@@ -1,0 +1,87 @@
+// Ablation: concurrent compute nodes (the paper's cluster has three).
+//
+// Fig. 9 benchmarks a single reader; the cluster was built with three
+// compute nodes.  This harness loads the same dataset from 1..3 clients
+// simultaneously and reports the makespan: the hybrid PVFS raw read is
+// HDD-aggregate-bound (clients divide ~1.5 GB/s), while ADA's protein reads
+// come from the SSD group with enough disk headroom that each client keeps
+// its own NIC saturated -- this is where the 3-node SSD group pays off.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "net/fabric.hpp"
+#include "platform/platform.hpp"
+#include "pvfs/pvfs.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "workload/spec.hpp"
+
+using namespace ada;
+
+namespace {
+
+struct Cluster {
+  sim::Simulator simulator;
+  sim::FlowNetwork network{simulator};
+  net::Fabric fabric;
+  pvfs::PvfsModel hybrid;
+  pvfs::PvfsModel ssd;
+
+  Cluster()
+      : fabric(simulator, network, net::FabricSpec{4.5e9, 40e9, 2e-6}, 9),
+        hybrid(simulator, fabric, "pvfs",
+               {{3, storage::DeviceSpec::wd_hdd_1tb(), 2},
+                {4, storage::DeviceSpec::wd_hdd_1tb(), 2},
+                {5, storage::DeviceSpec::wd_hdd_1tb(), 2},
+                {6, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+                {7, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+                {8, storage::DeviceSpec::plextor_ssd_256gb(), 2}},
+               3),
+        ssd(simulator, fabric, "pvfs-ssd",
+            {{6, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+             {7, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+             {8, storage::DeviceSpec::plextor_ssd_256gb(), 2}},
+            6) {}
+};
+
+double makespan(bool use_ada, unsigned clients, double raw_bytes, double protein_bytes) {
+  Cluster cluster;
+  int outstanding = static_cast<int>(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    if (use_ada) {
+      cluster.ssd.read_file(protein_bytes, c, [&outstanding] { --outstanding; });
+    } else {
+      cluster.hybrid.read_file(raw_bytes, c, [&outstanding] { --outstanding; });
+    }
+  }
+  cluster.simulator.run_while_pending([&] { return outstanding == 0; });
+  return cluster.simulator.now();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: concurrent compute nodes", "cluster scaling beyond paper Fig. 9");
+
+  const auto sizes =
+      platform::WorkloadSizes::from_profile(platform::FrameProfile::paper_gpcr(), 6256);
+
+  Table table({"concurrent clients", "D-PVFS makespan (raw)", "per-client rate",
+               "D-ADA protein makespan (SSD)", "per-client rate", "advantage"});
+  for (const unsigned clients : {1u, 2u, 3u}) {
+    const double pvfs = makespan(false, clients, sizes.raw_bytes, sizes.protein_bytes);
+    const double ada = makespan(true, clients, sizes.raw_bytes, sizes.protein_bytes);
+    table.add_row({std::to_string(clients), format_seconds(pvfs),
+                   format_bytes(sizes.raw_bytes / pvfs) + "/s", format_seconds(ada),
+                   format_bytes(sizes.protein_bytes / ada) + "/s",
+                   format_fixed(pvfs / ada, 1) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: adding clients divides the hybrid read's HDD-bound aggregate, so\n"
+               "D-PVFS makespan grows ~linearly; the SSD group has 12 GB/s of disk headroom,\n"
+               "so up to ~3 ADA clients each keep a full NIC and makespan barely moves --\n"
+               "ADA's advantage *widens* exactly where the paper's cluster would be used\n"
+               "(all three compute nodes rendering at once).\n";
+  return 0;
+}

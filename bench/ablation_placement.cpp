@@ -1,0 +1,53 @@
+// Ablation: how much of ADA's cluster win is pre-processing offload vs
+// SSD placement?
+//
+// DESIGN.md calls out that the paper's Fig. 9 requires ADA's decompressed
+// data to be served from the SSD PVFS instance (the Section 3.4 text
+// describes a protein-on-SSD / MISC-on-HDD split instead).  This harness
+// quantifies all three placements for both ADA scenarios.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "platform/platform.hpp"
+#include "workload/spec.hpp"
+
+using namespace ada;
+using platform::PipelineOptions;
+using platform::Scenario;
+
+int main() {
+  bench::banner("Ablation: ADA subset placement on the cluster",
+                "design choice behind paper Fig. 9");
+
+  const auto plat = platform::Platform::small_cluster();
+  const auto sizes =
+      platform::WorkloadSizes::from_profile(platform::FrameProfile::paper_gpcr(), 6256);
+
+  const auto d_pvfs = platform::run_scenario(plat, Scenario::kRawFs, sizes);
+
+  Table table({"placement", "D-ADA (all) retrieval", "D-ADA (all) turnaround",
+               "D-ADA (protein) retrieval", "D-ADA (protein) turnaround",
+               "retr. gain vs D-PVFS"});
+  const std::pair<const char*, PipelineOptions::AdaClusterPlacement> placements[] = {
+      {"all subsets on SSD (deployed)", PipelineOptions::AdaClusterPlacement::kAllOnSsd},
+      {"p on SSD, m on HDD (Sec. 3.4)", PipelineOptions::AdaClusterPlacement::kSplitSsdHdd},
+      {"all subsets on HDD", PipelineOptions::AdaClusterPlacement::kAllOnHdd},
+  };
+  for (const auto& [name, placement] : placements) {
+    PipelineOptions options;
+    options.ada_placement = placement;
+    const auto all = platform::run_scenario(plat, Scenario::kAdaAll, sizes, options);
+    const auto p = platform::run_scenario(plat, Scenario::kAdaProtein, sizes, options);
+    table.add_row({name, format_seconds(all.retrieval_s), format_seconds(all.turnaround_s),
+                   format_seconds(p.retrieval_s), format_seconds(p.turnaround_s),
+                   format_fixed(d_pvfs.retrieval_s / all.retrieval_s, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: only the all-on-SSD deployment reproduces Fig. 9a's \">2x better\n"
+               "than PVFS\" for D-ADA (all); the Section 3.4 split loses the full-read gain\n"
+               "(MISC still streams from HDDs) while keeping the protein-read gain.\n"
+               "Even all-on-HDD keeps most of the turnaround win: the dominant effect is\n"
+               "the pre-processing offload, not the device placement.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: data rearrangement (paper Section 3.2).
+//
+// ADA's pre-processor does two things: *filtering* (drop MISC) and
+// *rearrangement* (store the protein subset contiguously).  Filtering gets
+// all the attention in the evaluation, but rearrangement matters on HDDs:
+// reading just the protein portion out of an *interleaved* raw trajectory
+// means one discontiguous access per frame (seek + rotational latency),
+// while ADA's contiguous subset streams.  This harness quantifies that with
+// the mechanical HDD model, per frame count.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "platform/workload_stats.hpp"
+#include "storage/hdd_model.hpp"
+#include "workload/spec.hpp"
+
+using namespace ada;
+
+int main() {
+  bench::banner("Ablation: data rearrangement on HDD", "paper Section 3.2 design claim");
+
+  const auto& profile = platform::FrameProfile::paper_gpcr();
+
+  Table table({"frames", "contiguous subset (ADA layout)", "interleaved reads (raw layout)",
+               "full-file scan + filter", "rearrangement gain"});
+  for (const std::uint32_t frames : {626u, 1'251u, 2'503u, 5'006u}) {
+    const auto sizes = platform::WorkloadSizes::from_profile(profile, frames);
+    const auto raw_frame = static_cast<std::uint64_t>(profile.raw_per_frame);
+    const auto protein_frame = static_cast<std::uint64_t>(profile.protein_raw_per_frame);
+
+    // (a) ADA's layout: the protein subset is one contiguous stream.
+    storage::HddModel contiguous;
+    const double t_contiguous =
+        contiguous.sequential_read_time(0, static_cast<std::uint64_t>(sizes.protein_bytes));
+
+    // (b) raw layout, surgical reads: fetch only each frame's protein slice
+    // (protein atoms lead each frame), skipping the MISC tail -- one
+    // discontiguous access per frame.
+    storage::HddModel interleaved;
+    double t_interleaved = 0;
+    for (std::uint32_t f = 0; f < frames; ++f) {
+      t_interleaved += interleaved.access(static_cast<std::uint64_t>(f) * raw_frame,
+                                          protein_frame);
+    }
+
+    // (c) raw layout, streaming: read everything sequentially and filter in
+    // memory (what VMD actually does -- and why, given (b)).
+    storage::HddModel streaming;
+    const double t_stream =
+        streaming.sequential_read_time(0, static_cast<std::uint64_t>(sizes.raw_bytes));
+
+    table.add_row({bench::with_thousands(frames), format_seconds(t_contiguous),
+                   format_seconds(t_interleaved), format_seconds(t_stream),
+                   format_fixed(t_stream / t_contiguous, 1) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: without rearrangement there is no good option on an HDD --\n"
+               "surgical per-frame reads drown in seeks (worse than reading everything),\n"
+               "so the traditional workflow streams the whole file and filters in memory.\n"
+               "ADA's contiguous subset turns the protein read into a pure stream of 42.5%\n"
+               "of the bytes: the rearrangement alone buys ~2.4x on HDD retrieval, before\n"
+               "any decompression savings.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: PVFS stripe width vs aggregate read bandwidth.
+//
+// Sweeps the number of I/O servers serving ADA's protein subset and the
+// hybrid PVFS raw reads, showing where striping stops paying (the client
+// NIC for SSD servers; never for HDD servers at this scale).
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "platform/platform.hpp"
+#include "workload/spec.hpp"
+
+using namespace ada;
+using platform::PipelineOptions;
+using platform::Scenario;
+
+int main() {
+  bench::banner("Ablation: stripe width vs retrieval time", "PVFS substrate design");
+
+  const auto plat = platform::Platform::small_cluster();
+  const auto sizes =
+      platform::WorkloadSizes::from_profile(platform::FrameProfile::paper_gpcr(), 6256);
+
+  Table table({"servers per instance", "D-PVFS retrieval (hybrid)",
+               "D-ADA (protein) retrieval (SSD)", "effective rate ADA(p)"});
+  for (const unsigned servers : {1u, 2u, 3u}) {
+    PipelineOptions options;
+    options.stripe_servers_override = servers;
+    const auto d = platform::run_scenario(plat, Scenario::kRawFs, sizes, options);
+    const auto p = platform::run_scenario(plat, Scenario::kAdaProtein, sizes, options);
+    const double rate = sizes.protein_bytes / p.retrieval_s;
+    table.add_row({std::to_string(servers), format_seconds(d.retrieval_s),
+                   format_seconds(p.retrieval_s), format_bytes(rate) + "/s"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: HDD-backed hybrid reads scale ~linearly with servers (disks are\n"
+               "the bottleneck); for SSD-backed ADA reads even a single server (2x3 GB/s\n"
+               "drives) saturates the client NIC, so extra SSD nodes buy no retrieval time\n"
+               "for a single reader -- the paper's 3-node SSD group pays off only under\n"
+               "concurrent clients (see PvfsTest.ConcurrentClientsShareServers).\n";
+  return 0;
+}

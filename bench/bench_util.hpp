@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "platform/pipeline.hpp"
+
+namespace ada::bench {
+
+/// Section banner for a harness's stdout.
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n(reproduces " << paper_ref << ")\n"
+            << "================================================================\n";
+}
+
+inline std::string seconds_cell(const platform::ScenarioResult& r, double seconds) {
+  if (r.oom) return "OOM@" + format_seconds(seconds);
+  return format_seconds(seconds);
+}
+
+inline std::string memory_cell(const platform::ScenarioResult& r) {
+  return (r.oom ? "KILLED " : "") + format_bytes(r.memory_peak_bytes);
+}
+
+inline std::string with_thousands(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace ada::bench

@@ -1,0 +1,38 @@
+// Calibration report: where the performance model's CPU constants come from.
+//
+// Prints the model's deterministic defaults next to rates measured by
+// running the *real* ada3d decoder and the *real* cell-list bond search on
+// this host -- the grounding evidence for DESIGN.md section 4's claim that
+// the performance plane's CPU constants are of the right magnitude.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "platform/constants.hpp"
+
+using namespace ada;
+
+int main() {
+  bench::banner("Calibration report: model constants vs this host",
+                "DESIGN.md section 4 methodology");
+
+  const platform::CpuRates defaults = platform::CpuRates::paper_default();
+  const platform::CpuRates host = platform::calibrate_on_host();
+
+  Table table({"rate", "model default", "measured on this host", "ratio"});
+  table.add_row({"xtc decompress", format_bytes(defaults.decompress_bps) + "/s",
+                 format_bytes(host.decompress_bps) + "/s",
+                 format_fixed(host.decompress_bps / defaults.decompress_bps, 2) + "x"});
+  table.add_row({"render (per-frame vertex streaming)",
+                 format_bytes(defaults.render_bps) + "/s", format_bytes(host.render_bps) + "/s",
+                 format_fixed(host.render_bps / defaults.render_bps, 2) + "x"});
+  table.print(std::cout);
+
+  std::cout << "\nnotes: the decompress default (500 MB/s) reproduces the paper's 13.4x and\n"
+               "lands on any host's single-core rate for this codec class; the render\n"
+               "constant models VMD's recurring per-frame work (vertex streaming --\n"
+               "bond search runs once per structure, not per frame), which is memcpy-\n"
+               "class.  The figure benches use the deterministic defaults so every\n"
+               "machine regenerates identical tables; this report shows how far those\n"
+               "defaults sit from the current host.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks: Algorithm 1 (the data pre-processor's categorizer) and
+// the subset extraction path (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "ada/categorizer.hpp"
+#include "ada/schema_config.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+
+namespace {
+
+using namespace ada;
+
+const chem::System& paper_system() {
+  static const chem::System system =
+      workload::GpcrSystemBuilder(workload::GpcrSpec::paper_default()).build();
+  return system;
+}
+
+void BM_CategorizeRunList(benchmark::State& state) {
+  // Algorithm 1: run-length label construction.
+  const auto& system = paper_system();
+  for (auto _ : state) {
+    auto labels = core::categorize_protein_misc(system);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(system.atom_count()) * state.iterations());
+}
+BENCHMARK(BM_CategorizeRunList);
+
+void BM_CategorizeBruteForceBaseline(benchmark::State& state) {
+  // Baseline a naive labeler would use: one map entry per atom index.
+  const auto& system = paper_system();
+  for (auto _ : state) {
+    std::map<core::Tag, std::vector<std::uint32_t>> labels;
+    for (std::uint32_t i = 0; i < system.atom_count(); ++i) {
+      const bool protein = system.category(i) == chem::Category::kProtein;
+      labels[protein ? core::kProteinTag : core::kMiscTag].push_back(i);
+    }
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(system.atom_count()) * state.iterations());
+}
+BENCHMARK(BM_CategorizeBruteForceBaseline);
+
+void BM_CategorizeFineGrained(benchmark::State& state) {
+  const auto& system = paper_system();
+  for (auto _ : state) {
+    auto labels = core::categorize_fine_grained(system);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(system.atom_count()) * state.iterations());
+}
+BENCHMARK(BM_CategorizeFineGrained);
+
+void BM_CategorizeSchemaDriven(benchmark::State& state) {
+  // The Section 6 config-file categorizer: rule evaluation per atom.
+  const auto& system = paper_system();
+  const auto schema = core::CategorizerSchema::parse(
+                          "tag p category protein\n"
+                          "tag w category water\n"
+                          "tag l category lipid\n"
+                          "default m\n")
+                          .value();
+  for (auto _ : state) {
+    auto labels = schema.categorize(system);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(system.atom_count()) * state.iterations());
+}
+BENCHMARK(BM_CategorizeSchemaDriven);
+
+void BM_ExtractProteinSubset(benchmark::State& state) {
+  // The per-frame splitter work in the pre-processor.
+  const auto& system = paper_system();
+  const auto labels = core::categorize_protein_misc(system);
+  const auto& protein = labels.groups.at(core::kProteinTag);
+  const auto& coords = system.reference_coords();
+  for (auto _ : state) {
+    auto subset = formats::extract_subset(coords, protein);
+    benchmark::DoNotOptimize(subset);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(coords.size() * 4) * state.iterations());
+}
+BENCHMARK(BM_ExtractProteinSubset);
+
+}  // namespace

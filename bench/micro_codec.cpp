@@ -1,0 +1,93 @@
+// Micro-benchmarks: the ada3d coordinate codec (google-benchmark).
+//
+// Measures compression/decompression throughput and reports the achieved
+// ratio as a counter -- the numbers behind the CpuRates.decompress_bps
+// constant and the Table 1/2 size calibration.
+#include <benchmark/benchmark.h>
+
+#include "codec/coord_codec.hpp"
+#include "common/rng.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace {
+
+using namespace ada;
+
+std::vector<float> gpcr_frame(std::size_t target_atoms) {
+  // Use the real generator; tile frames if more atoms are requested than the
+  // tiny system provides.
+  static const chem::System system =
+      workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  const auto frame = gen.next_frame();
+  std::vector<float> coords;
+  coords.reserve(target_atoms * 3);
+  while (coords.size() < target_atoms * 3) {
+    const std::size_t take = std::min(frame.size(), target_atoms * 3 - coords.size());
+    coords.insert(coords.end(), frame.begin(),
+                  frame.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return coords;
+}
+
+void BM_CodecCompress(benchmark::State& state) {
+  const auto coords = gpcr_frame(static_cast<std::size_t>(state.range(0)));
+  codec::CodecParams params;
+  std::size_t compressed_bytes = 0;
+  for (auto _ : state) {
+    auto frame = codec::compress(coords, params).value();
+    compressed_bytes = frame.payload_bytes();
+    benchmark::DoNotOptimize(frame);
+  }
+  const double raw = static_cast<double>(coords.size()) * 4.0;
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw) * state.iterations());
+  state.counters["ratio"] = raw / static_cast<double>(compressed_bytes);
+}
+BENCHMARK(BM_CodecCompress)->Arg(1000)->Arg(10000)->Arg(43520);
+
+void BM_CodecDecompress(benchmark::State& state) {
+  const auto coords = gpcr_frame(static_cast<std::size_t>(state.range(0)));
+  const auto frame = codec::compress(coords, {}).value();
+  for (auto _ : state) {
+    auto out = codec::decompress(frame).value();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(coords.size() * 4) * state.iterations());
+}
+BENCHMARK(BM_CodecDecompress)->Arg(1000)->Arg(10000)->Arg(43520);
+
+void BM_CodecPrecisionSweep(benchmark::State& state) {
+  const auto coords = gpcr_frame(10000);
+  codec::CodecParams params;
+  params.precision = static_cast<float>(state.range(0));
+  std::size_t compressed_bytes = 0;
+  for (auto _ : state) {
+    auto frame = codec::compress(coords, params).value();
+    compressed_bytes = frame.payload_bytes();
+    benchmark::DoNotOptimize(frame);
+  }
+  const double raw = static_cast<double>(coords.size()) * 4.0;
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw) * state.iterations());
+  state.counters["ratio"] = raw / static_cast<double>(compressed_bytes);
+}
+BENCHMARK(BM_CodecPrecisionSweep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CodecHostileInput(benchmark::State& state) {
+  // Uniformly scattered atoms: worst case for the delta coder.
+  Rng rng(9);
+  std::vector<float> coords;
+  for (int i = 0; i < 30000; ++i) coords.push_back(static_cast<float>(rng.uniform(0.0, 100.0)));
+  std::size_t compressed_bytes = 0;
+  for (auto _ : state) {
+    auto frame = codec::compress(coords, {}).value();
+    compressed_bytes = frame.payload_bytes();
+    benchmark::DoNotOptimize(frame);
+  }
+  const double raw = static_cast<double>(coords.size()) * 4.0;
+  state.SetBytesProcessed(static_cast<std::int64_t>(raw) * state.iterations());
+  state.counters["ratio"] = raw / static_cast<double>(compressed_bytes);
+}
+BENCHMARK(BM_CodecHostileInput);
+
+}  // namespace

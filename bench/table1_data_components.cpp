@@ -1,0 +1,63 @@
+// Table 1: Data Components of Three .xtc Files.
+//
+// The paper measures, for three GPCR trajectory files (626 / 1,251 / 5,006
+// frames), the compressed file size, the protein share of the compressed
+// bytes, and the protein fraction (44 / 49 / 43.5%).
+//
+// We regenerate the table from first principles: really compress full-size
+// frames of the synthetic GPCR system, attribute each frame's packed bits to
+// the protein/MISC atom ranges using the codec's per-atom costs, then scale
+// the per-frame means to the three file sizes.
+#include <iostream>
+
+#include "ada/categorizer.hpp"
+#include "bench/bench_util.hpp"
+#include "codec/coord_codec.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/spec.hpp"
+#include "workload/trajectory_gen.hpp"
+
+using namespace ada;
+
+int main() {
+  bench::banner("Table 1: Data Components of Three .xtc Files", "paper Table 1");
+
+  const auto system =
+      workload::GpcrSystemBuilder(workload::GpcrSpec::paper_default()).build();
+  const auto labels = core::categorize_protein_misc(system);
+  const auto protein = labels.groups.at(core::kProteinTag);
+
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  for (int f = 0; f < 3; ++f) gen.next_frame();  // OU warm-up
+
+  constexpr int kSample = 12;
+  double total_bits = 0;
+  double protein_bits = 0;
+  double frame_overhead_bytes = 70;  // XTC header (magic/step/time/box/codec hdr)
+  for (int f = 0; f < kSample; ++f) {
+    codec::PerAtomCost cost;
+    const auto frame = codec::compress(gen.next_frame(), {}, &cost).value();
+    total_bits += static_cast<double>(frame.payload_bits);
+    for (const chem::Run& run : protein.runs()) {
+      protein_bits += static_cast<double>(codec::range_bits(cost, run.begin, run.end));
+    }
+  }
+  const double compressed_per_frame = total_bits / 8 / kSample + frame_overhead_bytes;
+  const double protein_per_frame = protein_bits / 8 / kSample;
+
+  Table table({"Number of frames", "Complete data (MB)", "Protein data (MB)",
+               "Protein fraction (%)"});
+  for (const std::uint32_t frames : workload::FrameSeries::kTable1) {
+    const double complete = compressed_per_frame * frames / kMB;
+    const double prot = protein_per_frame * frames / kMB;
+    table.add_row({bench::with_thousands(frames), format_fixed(complete, 0),
+                   format_fixed(prot, 0), format_fixed(100.0 * prot / complete, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference rows: 626 -> 100/44 MB (44%), 1,251 -> 200/98 MB (49%),\n"
+               "                      5,006 -> 800/348 MB (43.5%)\n"
+               "shape check: protein fraction of the compressed file stays in the 40-50%\n"
+               "band and tracks the 42.5% atom fraction.\n";
+  return 0;
+}

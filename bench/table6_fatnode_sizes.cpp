@@ -1,0 +1,27 @@
+// Table 6: Data Size Comparisons (XFS vs. ADA) on the fat-node server.
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "platform/workload_stats.hpp"
+#include "workload/spec.hpp"
+
+using namespace ada;
+
+int main() {
+  bench::banner("Table 6: Data Size Comparisons (XFS vs. ADA)", "paper Table 6");
+
+  const auto& profile = platform::FrameProfile::paper_gpcr();
+  Table table({"Number of Frames", "XFS (Compressed, GB)", "ADA (De-compressed protein, GB)",
+               "Raw Data (GB)"});
+  for (const std::uint32_t frames : workload::FrameSeries::kFatNode) {
+    const auto sizes = platform::WorkloadSizes::from_profile(profile, frames);
+    table.add_row({bench::with_thousands(frames), format_fixed(sizes.compressed_bytes / kGB, 1),
+                   format_fixed(sizes.protein_bytes / kGB, 1),
+                   format_fixed(sizes.raw_bytes / kGB, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper reference rows: 62,560 -> 10 / 13.9 / 32.7 GB;\n"
+               "1,876,800 -> 300 / 415.8 / 979.8 GB; 5,004,800 -> 800 / 1,108.8 / 2,612.8 GB.\n";
+  return 0;
+}

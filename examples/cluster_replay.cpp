@@ -1,0 +1,86 @@
+// Cluster replay: animation playback under memory pressure, on the
+// simulated nine-node cluster.
+//
+// Section 2.1 motivates ADA with the playback problem: on a cluster with
+// limited compute-node memory, "replaying the frames back and forth" causes
+// frequent frame swapping and a low hit rate -- a non-fluent animation.
+// This example runs the cluster performance model for the initial load and
+// the LRU replay model for the playback, comparing the traditional full
+// trajectory against ADA's protein subset.
+//
+// Run:  ./build/examples/cluster_replay
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "platform/pipeline.hpp"
+#include "platform/platform.hpp"
+#include "vmd/replay.hpp"
+
+using namespace ada;
+
+namespace {
+
+void report(const char* title, const platform::ScenarioResult& load,
+            const vmd::AnimationReplayer& replayer, double refetch_rate_bps) {
+  const auto& stats = replayer.stats();
+  const double stall_s = stats.refetch_bytes / refetch_rate_bps;
+  std::cout << "\n" << title << "\n"
+            << "  initial load: " << format_seconds(load.turnaround_s) << " (retrieval "
+            << format_seconds(load.retrieval_s) << "), memory "
+            << format_bytes(load.memory_peak_bytes) << "\n"
+            << "  cache: " << replayer.cache_capacity_frames() << " frames resident\n"
+            << "  replay: " << stats.accesses << " frame accesses, hit rate "
+            << format_fixed(100.0 * stats.hit_rate(), 1) << "%, refetched "
+            << format_bytes(stats.refetch_bytes) << " (" << format_seconds(stall_s)
+            << " of playback stalls)\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto cluster = platform::Platform::small_cluster();
+  constexpr std::uint64_t kFrames = 6256;
+  const auto sizes =
+      platform::WorkloadSizes::from_profile(platform::FrameProfile::paper_gpcr(), kFrames);
+
+  std::cout << "cluster replay study: " << kFrames << " frames, raw "
+            << format_bytes(sizes.raw_bytes) << ", protein subset "
+            << format_bytes(sizes.protein_bytes) << "\n"
+            << "compute node DRAM: " << format_bytes(cluster.dram_bytes)
+            << " -- but VMD's playback cache is capped at 2 GB (other users share the node)\n";
+
+  const double cache_bytes = 2 * kGB;
+  const double full_frame = sizes.raw_bytes / static_cast<double>(kFrames);
+  const double protein_frame = sizes.protein_bytes / static_cast<double>(kFrames);
+  // Misses refetch from the cluster file system at its streaming rate.
+  const double hybrid_rate = 1.5e9;  // hybrid PVFS effective (HDD-bound)
+  const double ssd_rate = 4e9;       // ADA subset from SSD PVFS (NIC-bound)
+
+  // Traditional: full frames through D-PVFS.
+  {
+    const auto load = platform::run_scenario(cluster, platform::Scenario::kRawFs, sizes);
+    vmd::AnimationReplayer replayer(static_cast<std::uint32_t>(kFrames), full_frame, cache_bytes);
+    replayer.play_back_and_forth(3);
+    Rng rng(11);
+    replayer.play_random(2000, rng);
+    report("traditional (D-PVFS, full frames):", load, replayer, hybrid_rate);
+  }
+
+  // ADA-assisted: protein frames only.
+  {
+    const auto load = platform::run_scenario(cluster, platform::Scenario::kAdaProtein, sizes);
+    vmd::AnimationReplayer replayer(static_cast<std::uint32_t>(kFrames), protein_frame,
+                                    cache_bytes);
+    replayer.play_back_and_forth(3);
+    Rng rng(11);
+    replayer.play_random(2000, rng);
+    report("ADA-assisted (D-ADA (protein)):", load, replayer, ssd_rate);
+  }
+
+  std::cout << "\nreading: ADA's smaller frames let ~2.4x more of the animation stay\n"
+               "resident, so back-and-forth replay stops thrashing -- the fluent-playback\n"
+               "effect behind the paper's Section 2.1 motivation.\n";
+  return 0;
+}

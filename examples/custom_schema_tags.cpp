@@ -1,0 +1,98 @@
+// Custom schema tags: the paper's Section 6 future work, working.
+//
+// "we plan to develop a dynamic data categorizing and labeling interface
+//  through which a user can describe the structure of his raw data in a
+//  configuration file."
+//
+// A materials scientist (the paper's VASP/XCrySDen audience) wants finer
+// control than protein/MISC: separate tags for the lipid membrane, the
+// solvent shell, and the ions, with everything else defaulting to MISC.
+// The schema below is plain text a user could ship next to their dataset;
+// ADA ingests under it, and each tag becomes independently loadable.
+//
+// Run:  ./build/examples/custom_schema_tags [output_dir]
+#include <filesystem>
+#include <iostream>
+
+#include "ada/middleware.hpp"
+#include "ada/schema_config.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "formats/pdb.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+using namespace ada;
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : "schema_tags_out";
+  std::filesystem::create_directories(root);
+
+  // The user's categorization, as a config file.
+  const std::string schema_text =
+      "# my-study.ada-schema: what each tag means for this dataset\n"
+      "tag prot     category protein\n"
+      "tag membrane category lipid\n"
+      "tag shell    category water\n"
+      "tag ions     category ion\n"
+      "default misc\n";
+  const auto schema = core::CategorizerSchema::parse(schema_text).value();
+  std::cout << "parsed schema with " << schema.rule_count() << " rules, default tag '"
+            << schema.default_tag() << "'\n";
+
+  // Build data and categorize under the schema.
+  workload::GpcrSpec spec = workload::GpcrSpec::tiny();
+  spec.ligand_atoms = 16;  // falls through every rule -> "misc"
+  const auto system = workload::GpcrSystemBuilder(spec).build();
+  const auto labels = schema.categorize(system);
+
+  workload::TrajectoryGenerator dynamics(system, workload::DynamicsSpec{});
+  formats::XtcWriter writer;
+  for (int f = 0; f < 20; ++f) {
+    ADA_CHECK(writer.add_frame(dynamics.current_step(), dynamics.current_time_ps(), system.box(),
+                               dynamics.next_frame())
+                  .is_ok());
+  }
+
+  // Route hot tags to the fast backend via a custom placement policy.
+  core::AdaConfig config;
+  config.placement.backend_of_tag = {{"prot", 0}, {"ions", 0}};
+  config.placement.default_backend = 1;
+  core::Ada middleware(
+      plfs::PlfsMount::open({{"fast", root + "/mnt_fast"}, {"bulk", root + "/mnt_bulk"}}).value(),
+      config);
+  const auto report = middleware.ingest_with_labels(labels, writer.bytes(), "study.xtc").value();
+
+  std::cout << "\ningested study.xtc with schema-driven tags:\n";
+  for (const auto& [tag, bytes] : report.preprocess.subset_bytes) {
+    std::cout << "  " << tag << ": " << report.preprocess.subset_atoms.at(tag) << " atoms, "
+              << format_bytes(static_cast<double>(bytes)) << " -> backend '"
+              << middleware.mount().backend(report.backend_of_tag.at(tag)).name << "'\n";
+  }
+
+  // Each tag loads independently -- e.g. just the ions for a conductivity
+  // analysis, a few KB instead of the whole trajectory.
+  const auto ions = middleware.query("study.xtc", "ions").value();
+  const auto reader = formats::RawTrajReader::open(ions).value();
+  std::cout << "\nloaded tag 'ions' alone: " << reader.frame_count() << " frames x "
+            << reader.atom_count() << " atoms = "
+            << format_bytes(static_cast<double>(ions.size())) << " (the full trajectory is "
+            << format_bytes(static_cast<double>(
+                   formats::raw_file_bytes(system.atom_count(), reader.frame_count())))
+            << " raw)\n";
+
+  // Average ion displacement across the trajectory, from subset data only.
+  const auto first = reader.frame(0).value();
+  const auto last = reader.frame(reader.frame_count() - 1).value();
+  double displacement = 0;
+  for (std::size_t i = 0; i < first.coords.size(); ++i) {
+    const double d = static_cast<double>(last.coords[i]) - static_cast<double>(first.coords[i]);
+    displacement += d * d;
+  }
+  displacement = std::sqrt(displacement / (static_cast<double>(first.coords.size()) / 3.0));
+  std::cout << "ion RMS displacement over the trajectory: " << format_fixed(displacement, 3)
+            << " nm -- computed without touching protein, lipid or water data.\n";
+  return 0;
+}

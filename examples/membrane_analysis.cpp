@@ -1,0 +1,142 @@
+// Membrane analysis: fine-grained tags + the selection language + the
+// analysis toolkit, working together on ADA subsets.
+//
+// A membrane biophysicist wants lipid-order and hydration answers without
+// ever touching the protein data: ADA's fine-grained ingest puts water,
+// lipids and ions in separately loadable subsets; the selection language
+// carves named groups out of the structure; the analysis toolkit computes
+// RDFs and distributions from the subset frames alone.
+//
+// Run:  ./build/examples/membrane_analysis [output_dir]
+#include <filesystem>
+#include <iostream>
+
+#include "ada/middleware.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "vmd/analysis.hpp"
+#include "vmd/select.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+using namespace ada;
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : "membrane_out";
+  std::filesystem::create_directories(root);
+
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  workload::TrajectoryGenerator dynamics(system, workload::DynamicsSpec{});
+  formats::XtcWriter writer;
+  for (int f = 0; f < 25; ++f) {
+    ADA_CHECK(writer.add_frame(dynamics.current_step(), dynamics.current_time_ps(), system.box(),
+                               dynamics.next_frame())
+                  .is_ok());
+  }
+
+  // Fine-grained ingest: every chemical category its own tag.
+  core::AdaConfig config;
+  config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  core::Ada middleware(
+      plfs::PlfsMount::open({{"ssd", root + "/ssd"}, {"hdd", root + "/hdd"}}).value(), config);
+  const auto labels = core::categorize_fine_grained(system);
+  ADA_CHECK(middleware.ingest_with_labels(labels, writer.bytes(), "membrane.xtc").is_ok());
+
+  // Selection language carves analysis groups out of the structure.
+  const auto phosphates = vmd::atom_select(system, "lipid and name P").value();
+  const auto water_oxygens = vmd::atom_select(system, "water and name OW").value();
+  const auto tail_ends = vmd::atom_select(system, "lipid and name C218 C318").value();
+  std::cout << "selection groups: " << phosphates.count() << " lipid phosphates, "
+            << water_oxygens.count() << " water oxygens, " << tail_ends.count()
+            << " tail-end carbons\n";
+
+  // Load only the subsets the analysis needs -- the protein never moves.
+  auto fetch = [&](const core::Tag& tag) {
+    const auto image = middleware.query("membrane.xtc", tag).value();
+    return formats::RawTrajCatReader::open(image).value().read_all().value();
+  };
+  const auto lipid_frames = fetch("l");
+  const auto water_frames = fetch("w");
+  std::cout << "loaded tags 'l' and 'w' ("
+            << format_bytes(static_cast<double>(middleware.subset_bytes("membrane.xtc", "l").value() +
+                                                middleware.subset_bytes("membrane.xtc", "w").value()))
+            << ") -- protein subset ("
+            << format_bytes(
+                   static_cast<double>(middleware.subset_bytes("membrane.xtc", "p").value()))
+            << ") untouched\n";
+
+  // Map the structure-level selections into subset-local coordinates.
+  const auto& lipid_selection = labels.groups.at("l");
+  const auto& water_selection = labels.groups.at("w");
+  auto subset_local = [](const chem::Selection& group, const chem::Selection& subset) {
+    // Indices of `group` within the packed ordering of `subset`.
+    std::vector<std::uint32_t> local;
+    std::uint32_t cursor = 0;
+    for (const chem::Run& run : subset.runs()) {
+      for (std::uint32_t i = run.begin; i < run.end; ++i, ++cursor) {
+        if (group.contains(i)) local.push_back(cursor);
+      }
+    }
+    return local;
+  };
+  const auto phosphate_local = subset_local(phosphates, lipid_selection);
+  const auto ow_local = subset_local(water_oxygens, water_selection);
+
+  auto gather = [](const formats::TrajFrame& frame, const std::vector<std::uint32_t>& ids) {
+    std::vector<float> out;
+    out.reserve(ids.size() * 3);
+    for (const std::uint32_t i : ids) {
+      out.push_back(frame.coords[3 * i]);
+      out.push_back(frame.coords[3 * i + 1]);
+      out.push_back(frame.coords[3 * i + 2]);
+    }
+    return out;
+  };
+
+  // Headgroup hydration: RDF between lipid phosphates and water oxygens,
+  // averaged over frames.
+  const std::array<float, 3> box = {system.box().x(), system.box().y(), system.box().z()};
+  constexpr std::size_t kBins = 12;
+  const double r_max = static_cast<double>(box[0]) / 2 * 0.9;
+  std::vector<double> g_sum(kBins, 0.0);
+  for (std::size_t f = 0; f < lipid_frames.size(); ++f) {
+    const auto p_coords = gather(lipid_frames[f], phosphate_local);
+    const auto w_coords = gather(water_frames[f], ow_local);
+    const auto rdf = vmd::radial_distribution(p_coords, w_coords, box, r_max, kBins).value();
+    for (std::size_t b = 0; b < kBins; ++b) g_sum[b] += rdf.g[b];
+  }
+  std::cout << "\nphosphate-water RDF, averaged over " << lipid_frames.size() << " frames:\n";
+  for (std::size_t b = 0; b < kBins; ++b) {
+    const double r = (static_cast<double>(b) + 0.5) * r_max / kBins;
+    const double g = g_sum[b] / static_cast<double>(lipid_frames.size());
+    std::cout << "  r=" << format_fixed(r, 2) << " nm  g(r)=" << format_fixed(g, 2) << "  "
+              << std::string(static_cast<std::size_t>(std::min(60.0, g * 12)), '#') << "\n";
+  }
+
+  // Bilayer thickness proxy: mean |z - center| of the phosphates per leaflet.
+  double upper = 0;
+  double lower = 0;
+  std::size_t nu = 0;
+  std::size_t nl = 0;
+  const float cz = system.box().z() / 2;
+  const auto p0 = gather(lipid_frames.front(), phosphate_local);
+  for (std::size_t i = 2; i < p0.size(); i += 3) {
+    if (p0[i] > cz) {
+      upper += static_cast<double>(p0[i]);
+      ++nu;
+    } else {
+      lower += static_cast<double>(p0[i]);
+      ++nl;
+    }
+  }
+  if (nu > 0 && nl > 0) {
+    std::cout << "\nbilayer P-P thickness: "
+              << format_fixed(upper / static_cast<double>(nu) - lower / static_cast<double>(nl),
+                              2)
+              << " nm (" << nu << " upper / " << nl << " lower leaflet phosphates)\n";
+  }
+  std::cout << "\nall of the above ran without loading a single protein byte.\n";
+  return 0;
+}

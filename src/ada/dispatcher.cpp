@@ -1,0 +1,40 @@
+#include "ada/dispatcher.hpp"
+
+namespace ada::core {
+
+PlacementPolicy PlacementPolicy::active_on_ssd(std::uint32_t ssd_backend,
+                                               std::uint32_t hdd_backend) {
+  PlacementPolicy policy;
+  policy.backend_of_tag[kProteinTag] = ssd_backend;
+  policy.default_backend = hdd_backend;
+  return policy;
+}
+
+PlacementPolicy PlacementPolicy::single_backend(std::uint32_t backend) {
+  PlacementPolicy policy;
+  policy.default_backend = backend;
+  return policy;
+}
+
+std::uint32_t PlacementPolicy::backend_for(const Tag& tag) const {
+  const auto it = backend_of_tag.find(tag);
+  return it == backend_of_tag.end() ? default_backend : it->second;
+}
+
+Status IoDispatcher::dispatch(const std::string& logical_name,
+                              const std::map<Tag, std::vector<std::uint8_t>>& subsets) {
+  ADA_RETURN_IF_ERROR(mount_.create_container(logical_name));
+  for (const auto& [tag, bytes] : subsets) {
+    ADA_RETURN_IF_ERROR(
+        mount_.append(logical_name, tag, policy_.backend_for(tag), bytes).status());
+  }
+  return Status::ok();
+}
+
+Result<plfs::IndexRecord> IoDispatcher::dispatch_one(const std::string& logical_name,
+                                                     const Tag& tag,
+                                                     std::span<const std::uint8_t> bytes) {
+  return mount_.append(logical_name, tag, policy_.backend_for(tag), bytes);
+}
+
+}  // namespace ada::core

@@ -1,0 +1,56 @@
+// I/O dispatcher: routes labeled data subsets to backend file systems.
+//
+// The I/O determinator's write half (paper Section 3.3): "Coupled with the
+// tags and target storage path passed from the data pre-processor, the I/O
+// dispatcher sends each data subset to an underlying file system."  Built on
+// the PLFS container layer; the placement policy is the paper's
+// active-on-SSD / inactive-on-HDD rule, made configurable.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "ada/tag.hpp"
+#include "common/result.hpp"
+#include "plfs/plfs.hpp"
+
+namespace ada::core {
+
+/// Tag -> backend routing.
+struct PlacementPolicy {
+  std::map<Tag, std::uint32_t> backend_of_tag;
+  std::uint32_t default_backend = 0;
+
+  /// The paper's policy: active data ("p") on the SSD file system,
+  /// everything else on the HDD file system.
+  static PlacementPolicy active_on_ssd(std::uint32_t ssd_backend, std::uint32_t hdd_backend);
+
+  /// Everything on one backend (ablation baseline).
+  static PlacementPolicy single_backend(std::uint32_t backend);
+
+  std::uint32_t backend_for(const Tag& tag) const;
+};
+
+class IoDispatcher {
+ public:
+  IoDispatcher(plfs::PlfsMount& mount, PlacementPolicy policy)
+      : mount_(mount), policy_(std::move(policy)) {}
+
+  const PlacementPolicy& policy() const noexcept { return policy_; }
+  plfs::PlfsMount& mount() noexcept { return mount_; }
+
+  /// Create the container and dispatch each subset to its backend.
+  Status dispatch(const std::string& logical_name,
+                  const std::map<Tag, std::vector<std::uint8_t>>& subsets);
+
+  /// Append one more labeled blob to an existing container.
+  Result<plfs::IndexRecord> dispatch_one(const std::string& logical_name, const Tag& tag,
+                                         std::span<const std::uint8_t> bytes);
+
+ private:
+  plfs::PlfsMount& mount_;
+  PlacementPolicy policy_;
+};
+
+}  // namespace ada::core

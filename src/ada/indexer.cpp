@@ -1,0 +1,61 @@
+#include "ada/indexer.hpp"
+
+#include <algorithm>
+
+#include "common/binary_io.hpp"
+
+namespace ada::core {
+
+Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_name,
+                                                     const Tag& tag) const {
+  ADA_ASSIGN_OR_RETURN(auto records, mount_.read_index(logical_name));
+  std::erase_if(records, [&](const plfs::IndexRecord& r) { return r.label != tag; });
+  if (records.empty()) {
+    return not_found("no subset tagged '" + tag + "' in " + logical_name);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const plfs::IndexRecord& a, const plfs::IndexRecord& b) {
+              return a.logical_offset < b.logical_offset;
+            });
+  std::vector<DatasetLocation> out;
+  out.reserve(records.size());
+  for (const plfs::IndexRecord& record : records) {
+    DatasetLocation location;
+    location.backend = record.backend;
+    location.backend_name = mount_.backend(record.backend).name;
+    location.host_path =
+        mount_.backend(record.backend).host_root + "/" + logical_name + "/" + record.dropping;
+    location.bytes = record.length;
+    out.push_back(std::move(location));
+  }
+  return out;
+}
+
+Result<std::vector<Tag>> Indexer::tags(const std::string& logical_name) const {
+  ADA_ASSIGN_OR_RETURN(const auto records, mount_.read_index(logical_name));
+  std::vector<Tag> out;
+  for (const plfs::IndexRecord& record : records) {
+    if (record.label == kLabelFileTag || record.label == kOriginalTag) continue;
+    if (std::find(out.begin(), out.end(), record.label) == out.end()) out.push_back(record.label);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> IoRetriever::retrieve(const std::string& logical_name,
+                                                        const Tag& tag) const {
+  Indexer indexer(mount_);
+  // The indexer resolves paths; the retriever performs the reads.
+  ADA_ASSIGN_OR_RETURN(const auto locations, indexer.locate(logical_name, tag));
+  std::vector<std::uint8_t> out;
+  for (const DatasetLocation& location : locations) {
+    ADA_ASSIGN_OR_RETURN(const auto bytes, read_file(location.host_path));
+    if (bytes.size() != location.bytes) {
+      return corrupt_data("dropping " + location.host_path + " size mismatch");
+    }
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+}  // namespace ada::core

@@ -1,0 +1,55 @@
+// Indexer + I/O retriever: the read half of the I/O determinator.
+//
+// "When users send data queries for certain groups of datasets, the indexer
+//  uses tags from the queries to look for paths of datasets on the
+//  underlying file systems and passes them to the I/O retriever.  The I/O
+//  retriever then raises I/O requests ... and obtains the requested data."
+//  (paper Section 3.2)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ada/tag.hpp"
+#include "common/result.hpp"
+#include "plfs/plfs.hpp"
+
+namespace ada::core {
+
+/// The indexer's answer: where a tagged subset lives.
+struct DatasetLocation {
+  std::uint32_t backend = 0;
+  std::string backend_name;
+  std::string host_path;   // resolvable host path of the dropping
+  std::uint64_t bytes = 0;
+};
+
+class Indexer {
+ public:
+  explicit Indexer(const plfs::PlfsMount& mount) : mount_(mount) {}
+
+  /// Locations of every dropping carrying `tag` in logical order.
+  Result<std::vector<DatasetLocation>> locate(const std::string& logical_name,
+                                              const Tag& tag) const;
+
+  /// All user tags present in a container (reserved labels filtered out).
+  Result<std::vector<Tag>> tags(const std::string& logical_name) const;
+
+ private:
+  const plfs::PlfsMount& mount_;
+};
+
+class IoRetriever {
+ public:
+  explicit IoRetriever(const plfs::PlfsMount& mount) : mount_(mount) {}
+
+  /// Fetch the full subset image for `tag` (POSIX reads on the droppings the
+  /// indexer located).
+  Result<std::vector<std::uint8_t>> retrieve(const std::string& logical_name,
+                                             const Tag& tag) const;
+
+ private:
+  const plfs::PlfsMount& mount_;
+};
+
+}  // namespace ada::core

@@ -1,0 +1,83 @@
+#include "ada/ingest_stream.hpp"
+
+#include "ada/label_store.hpp"
+#include "formats/xtc_file.hpp"
+
+namespace ada::core {
+
+IngestStream::IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
+                           std::uint32_t chunk_frames)
+    : dispatcher_(&dispatcher),
+      labels_(std::move(labels)),
+      logical_name_(std::move(logical_name)),
+      chunk_frames_(chunk_frames) {
+  reset_writers();
+}
+
+Result<IngestStream> IngestStream::begin(IoDispatcher& dispatcher, LabelMap labels,
+                                         std::string logical_name, std::uint32_t chunk_frames) {
+  if (!labels.is_partition()) {
+    return invalid_argument("label map does not partition the atom range");
+  }
+  if (chunk_frames == 0) return invalid_argument("chunk_frames must be positive");
+  ADA_RETURN_IF_ERROR(dispatcher.mount().create_container(logical_name));
+  return IngestStream(dispatcher, std::move(labels), std::move(logical_name), chunk_frames);
+}
+
+void IngestStream::reset_writers() {
+  writers_.clear();
+  for (const auto& [tag, selection] : labels_.groups) {
+    writers_.emplace(tag, formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));
+  }
+  frames_in_chunk_ = 0;
+}
+
+Status IngestStream::add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
+                               std::span<const float> coords) {
+  if (finished_) return failed_precondition("stream already finished");
+  if (coords.size() != std::size_t{3} * labels_.atom_count) {
+    return invalid_argument("frame has " + std::to_string(coords.size() / 3) +
+                            " atoms, label map expects " + std::to_string(labels_.atom_count));
+  }
+  for (auto& [tag, writer] : writers_) {
+    const auto subset = formats::extract_subset(coords, labels_.groups.at(tag));
+    ADA_RETURN_IF_ERROR(writer.add_frame(step, time_ps, box, subset));
+  }
+  ++frames_;
+  ++frames_in_chunk_;
+  if (frames_in_chunk_ >= chunk_frames_) return flush_chunk();
+  return Status::ok();
+}
+
+Status IngestStream::flush_chunk() {
+  if (frames_in_chunk_ == 0) return Status::ok();
+  for (auto& [tag, writer] : writers_) {
+    const auto image = writer.finish();
+    subset_bytes_[tag] += image.size();
+    ADA_RETURN_IF_ERROR(dispatcher_->dispatch_one(logical_name_, tag, image).status());
+  }
+  ++chunks_;
+  reset_writers();
+  return Status::ok();
+}
+
+Result<StreamReport> IngestStream::finish() {
+  if (finished_) return failed_precondition("stream already finished");
+  ADA_RETURN_IF_ERROR(flush_chunk());
+  const std::string label_text = encode_label_file(labels_);
+  ADA_RETURN_IF_ERROR(
+      dispatcher_
+          ->dispatch_one(logical_name_, kLabelFileTag,
+                         std::span(reinterpret_cast<const std::uint8_t*>(label_text.data()),
+                                   label_text.size()))
+          .status());
+  finished_ = true;
+  StreamReport report;
+  report.logical_name = logical_name_;
+  report.frames = frames_;
+  report.chunks = chunks_;
+  report.subset_bytes = subset_bytes_;
+  return report;
+}
+
+}  // namespace ada::core

@@ -1,0 +1,73 @@
+// Streaming ingest: frame-at-a-time data acquisition.
+//
+// The paper's write path ("when the .pdb and .xtc files are sent to ADA for
+// permanent storage") is batch-shaped, but a running MD application emits
+// frames continuously.  IngestStream accepts decoded frames as they arrive,
+// splits each into labeled subsets, and flushes a dropping per tag every
+// `chunk_frames` -- so subsets become durable long before the simulation
+// ends, and a crash loses at most one chunk.  Chunked subsets read back
+// through the same tag queries (formats::RawTrajCatReader joins the chunks).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "ada/categorizer.hpp"
+#include "ada/dispatcher.hpp"
+#include "ada/tag.hpp"
+#include "chem/system.hpp"
+#include "common/result.hpp"
+#include "formats/raw_traj.hpp"
+
+namespace ada::core {
+
+/// What a finished stream did.
+struct StreamReport {
+  std::string logical_name;
+  std::uint32_t frames = 0;
+  std::uint32_t chunks = 0;
+  std::map<Tag, std::uint64_t> subset_bytes;
+};
+
+class IngestStream {
+ public:
+  /// Create the container and start streaming.  `labels` must partition the
+  /// atom range; `chunk_frames` bounds the data lost on a crash.
+  static Result<IngestStream> begin(IoDispatcher& dispatcher, LabelMap labels,
+                                    std::string logical_name, std::uint32_t chunk_frames = 64);
+
+  IngestStream(IngestStream&&) = default;
+  IngestStream& operator=(IngestStream&&) = delete;
+
+  /// Append one decoded frame (atom order must match the label map).
+  Status add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
+                   std::span<const float> coords);
+
+  std::uint32_t frames_ingested() const noexcept { return frames_; }
+  std::uint32_t chunks_flushed() const noexcept { return chunks_; }
+
+  /// Flush the partial chunk, persist the label file, and seal the stream.
+  /// No further add_frame calls are allowed afterwards.
+  Result<StreamReport> finish();
+
+ private:
+  IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
+               std::uint32_t chunk_frames);
+
+  void reset_writers();
+  Status flush_chunk();
+
+  IoDispatcher* dispatcher_;
+  LabelMap labels_;
+  std::string logical_name_;
+  std::uint32_t chunk_frames_;
+  std::map<Tag, formats::RawTrajWriter> writers_;
+  std::uint32_t frames_in_chunk_ = 0;
+  std::uint32_t frames_ = 0;
+  std::uint32_t chunks_ = 0;
+  std::map<Tag, std::uint64_t> subset_bytes_;
+  bool finished_ = false;
+};
+
+}  // namespace ada::core

@@ -1,0 +1,52 @@
+#include "ada/label_store.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ada::core {
+
+namespace {
+constexpr const char* kHeader = "# ada label file v1";
+}
+
+std::string encode_label_file(const LabelMap& labels) {
+  std::string out = kHeader;
+  out += "\natoms " + std::to_string(labels.atom_count) + "\n";
+  for (const auto& [tag, selection] : labels.groups) {
+    out += tag + " " + selection.to_string() + "\n";
+  }
+  return out;
+}
+
+Result<LabelMap> decode_label_file(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || trim(line) != kHeader) {
+    return corrupt_data("label file missing header");
+  }
+  if (!std::getline(stream, line)) return corrupt_data("label file missing atoms line");
+  const auto atoms_fields = split_whitespace(line);
+  if (atoms_fields.size() != 2 || atoms_fields[0] != "atoms") {
+    return corrupt_data("bad atoms line: " + line);
+  }
+  const long long atoms = parse_int(atoms_fields[1]);
+  if (atoms < 0) return corrupt_data("bad atom count: " + atoms_fields[1]);
+
+  LabelMap labels;
+  labels.atom_count = static_cast<std::uint32_t>(atoms);
+  while (std::getline(stream, line)) {
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = split_whitespace(trimmed);
+    if (fields.size() != 2) return corrupt_data("bad label line: " + line);
+    if (labels.groups.count(fields[0]) != 0) {
+      return corrupt_data("duplicate tag in label file: " + fields[0]);
+    }
+    ADA_ASSIGN_OR_RETURN(chem::Selection selection, chem::Selection::parse(fields[1]));
+    labels.groups[fields[0]] = std::move(selection);
+  }
+  return labels;
+}
+
+}  // namespace ada::core

@@ -1,0 +1,29 @@
+// Label-file persistence (Algorithm 1, line 27-28: "Store the labeler to a
+// file named label_file for later I/O reference").
+//
+// Text format, one tag per line:
+//
+//   # ada label file v1
+//   atoms 43520
+//   p 0-18499
+//   m 18500-43519
+//
+// Ranges use the Selection text form (inclusive, comma separated).  The
+// labeler keeps tags *separate from the data subsets* (paper Section 3.2):
+// nothing is injected into any subset.
+#pragma once
+
+#include <string>
+
+#include "ada/categorizer.hpp"
+#include "common/result.hpp"
+
+namespace ada::core {
+
+/// Serialize a label map to label-file text.
+std::string encode_label_file(const LabelMap& labels);
+
+/// Parse label-file text.
+Result<LabelMap> decode_label_file(const std::string& text);
+
+}  // namespace ada::core

@@ -1,0 +1,124 @@
+#include "ada/middleware.hpp"
+
+#include <algorithm>
+
+#include "ada/label_store.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+
+namespace ada::core {
+
+Ada::Ada(plfs::PlfsMount mount, AdaConfig config)
+    : mount_(std::move(mount)), config_(std::move(config)), dispatcher_(mount_, config_.placement) {}
+
+bool Ada::should_intercept(const std::string& path, const std::string& app_id) const {
+  const std::string app = to_upper(app_id);
+  const bool app_matches =
+      std::any_of(config_.target_apps.begin(), config_.target_apps.end(),
+                  [&](const std::string& target) { return to_upper(target) == app; });
+  if (!app_matches) return false;
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string extension = to_upper(path.substr(dot));
+  return std::any_of(config_.target_extensions.begin(), config_.target_extensions.end(),
+                     [&](const std::string& e) { return to_upper(e) == extension; });
+}
+
+Result<IngestReport> Ada::ingest(const chem::System& structure,
+                                 std::span<const std::uint8_t> xtc_image,
+                                 const std::string& logical_name) {
+  return ingest_with_labels(categorize_protein_misc(structure), xtc_image, logical_name);
+}
+
+Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
+                                             std::span<const std::uint8_t> xtc_image,
+                                             const std::string& logical_name) {
+  if (!labels.is_partition()) {
+    return invalid_argument("label map does not partition the atom range");
+  }
+  DataPreProcessor preprocessor(labels);
+  IngestReport report;
+  report.logical_name = logical_name;
+  ADA_ASSIGN_OR_RETURN(const auto subsets, preprocessor.split(xtc_image, &report.preprocess));
+
+  ADA_RETURN_IF_ERROR(dispatcher_.dispatch(logical_name, subsets));
+  for (const auto& [tag, bytes] : subsets) {
+    report.backend_of_tag[tag] = dispatcher_.policy().backend_for(tag);
+  }
+
+  // Persist the label file inside the container (reserved label) so that
+  // later sessions -- and the indexer -- can resolve tags without the .pdb.
+  const std::string label_text = encode_label_file(labels);
+  ADA_RETURN_IF_ERROR(
+      dispatcher_
+          .dispatch_one(logical_name, kLabelFileTag,
+                        std::span(reinterpret_cast<const std::uint8_t*>(label_text.data()),
+                                  label_text.size()))
+          .status());
+
+  if (config_.keep_original) {
+    ADA_RETURN_IF_ERROR(dispatcher_.dispatch_one(logical_name, kOriginalTag, xtc_image).status());
+  }
+  return report;
+}
+
+std::vector<Result<IngestReport>> Ada::ingest_batch(const chem::System& structure,
+                                                    const std::vector<Phase>& phases,
+                                                    unsigned threads) {
+  // The label map is shared read-only across phases (one structure).
+  const LabelMap labels = categorize_protein_misc(structure);
+  std::vector<Result<IngestReport>> results(
+      phases.size(), Result<IngestReport>(internal_error("not executed")));
+
+  // Duplicate names would race on the same container: reject up front.
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    for (std::size_t j = i + 1; j < phases.size(); ++j) {
+      if (phases[i].logical_name == phases[j].logical_name) {
+        const auto error =
+            invalid_argument("duplicate phase name: " + phases[i].logical_name);
+        for (auto& r : results) r = error;
+        return results;
+      }
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    tasks.push_back([this, &labels, &phases, &results, i] {
+      // Each task touches only its own container directory; the mount's
+      // file operations on distinct containers are independent.
+      results[i] = ingest_with_labels(labels, phases[i].xtc_image, phases[i].logical_name);
+    });
+  }
+  parallel_run(std::move(tasks), threads);
+  return results;
+}
+
+Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string& logical_name,
+                                       std::uint32_t chunk_frames) {
+  return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames);
+}
+
+Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
+                                             const Tag& tag) const {
+  if (tag == kLabelFileTag || tag == kOriginalTag) {
+    return invalid_argument("tag '" + tag + "' is reserved");
+  }
+  return IoRetriever(mount_).retrieve(logical_name, tag);
+}
+
+Result<LabelMap> Ada::labels(const std::string& logical_name) const {
+  ADA_ASSIGN_OR_RETURN(const auto bytes, IoRetriever(mount_).retrieve(logical_name, kLabelFileTag));
+  return decode_label_file(std::string(bytes.begin(), bytes.end()));
+}
+
+Result<std::vector<Tag>> Ada::tags(const std::string& logical_name) const {
+  return Indexer(mount_).tags(logical_name);
+}
+
+Result<std::uint64_t> Ada::subset_bytes(const std::string& logical_name, const Tag& tag) const {
+  return mount_.label_size(logical_name, tag);
+}
+
+}  // namespace ada::core

@@ -1,0 +1,57 @@
+#include "ada/preprocessor.hpp"
+
+#include "common/stopwatch.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+
+namespace ada::core {
+
+DataPreProcessor::DataPreProcessor(LabelMap labels) : labels_(std::move(labels)) {
+  ADA_CHECK(labels_.is_partition());
+}
+
+Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
+    std::span<const std::uint8_t> xtc_image, PreprocessStats* stats) const {
+  std::map<Tag, formats::RawTrajWriter> writers;
+  for (const auto& [tag, selection] : labels_.groups) {
+    writers.emplace(tag, formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));
+  }
+
+  Stopwatch stopwatch;
+  std::uint32_t frames = 0;
+  formats::XtcReader reader(xtc_image);
+  while (true) {
+    ADA_ASSIGN_OR_RETURN(auto frame, reader.next());
+    if (!frame.has_value()) break;
+    if (frame->atom_count() != labels_.atom_count) {
+      return corrupt_data("frame " + std::to_string(frames) + " has " +
+                          std::to_string(frame->atom_count()) + " atoms, label map expects " +
+                          std::to_string(labels_.atom_count));
+    }
+    for (auto& [tag, writer] : writers) {
+      const auto subset = formats::extract_subset(frame->coords, labels_.groups.at(tag));
+      ADA_RETURN_IF_ERROR(writer.add_frame(frame->step, frame->time_ps, frame->box, subset));
+    }
+    ++frames;
+  }
+  const double wall = stopwatch.elapsed_seconds();
+
+  std::map<Tag, std::vector<std::uint8_t>> out;
+  for (auto& [tag, writer] : writers) out.emplace(tag, writer.finish());
+
+  if (stats != nullptr) {
+    stats->frames = frames;
+    stats->atoms = labels_.atom_count;
+    stats->compressed_bytes = xtc_image.size();
+    stats->decompress_wall_seconds = wall;
+    stats->subset_bytes.clear();
+    stats->subset_atoms.clear();
+    for (const auto& [tag, image] : out) {
+      stats->subset_bytes[tag] = image.size();
+      stats->subset_atoms[tag] = labels_.groups.at(tag).count();
+    }
+  }
+  return out;
+}
+
+}  // namespace ada::core

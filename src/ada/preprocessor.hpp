@@ -1,0 +1,47 @@
+// Data pre-processor: decompressor + subset splitter.
+//
+// The pipeline of paper Fig. 5 between "dataset arrives" and "dispatch":
+// the decompressor expands the .xtc image, and the categorizer/labeler's
+// LabelMap drives the split of every frame into per-tag RAW subsets.  The
+// output subsets are *decompressed* -- that is ADA's central trade: spend
+// storage-node CPU once at ingest so compute nodes never decompress again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "ada/categorizer.hpp"
+#include "ada/tag.hpp"
+#include "common/result.hpp"
+
+namespace ada::core {
+
+/// Measured facts about one ingest (functional plane).
+struct PreprocessStats {
+  std::uint32_t frames = 0;
+  std::uint32_t atoms = 0;
+  std::uint64_t compressed_bytes = 0;            // input .xtc image size
+  std::map<Tag, std::uint64_t> subset_bytes;     // output RAW subset sizes
+  std::map<Tag, std::uint64_t> subset_atoms;     // atoms per subset
+  double decompress_wall_seconds = 0.0;          // real CPU time spent decoding
+};
+
+class DataPreProcessor {
+ public:
+  /// `labels` must partition [0, atom_count).
+  explicit DataPreProcessor(LabelMap labels);
+
+  const LabelMap& labels() const noexcept { return labels_; }
+
+  /// Decompress an XTC image and split it into per-tag RAW trajectory
+  /// images.  Every frame must carry exactly the label map's atom count.
+  Result<std::map<Tag, std::vector<std::uint8_t>>> split(
+      std::span<const std::uint8_t> xtc_image, PreprocessStats* stats = nullptr) const;
+
+ private:
+  LabelMap labels_;
+};
+
+}  // namespace ada::core

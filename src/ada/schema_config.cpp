@@ -1,0 +1,109 @@
+#include "ada/schema_config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ada::core {
+
+namespace {
+
+Result<chem::Category> parse_category(const std::string& name) {
+  for (int c = 0; c < chem::kCategoryCount; ++c) {
+    const auto category = static_cast<chem::Category>(c);
+    if (name == chem::category_name(category)) return category;
+  }
+  return invalid_argument("unknown category: " + name);
+}
+
+}  // namespace
+
+Result<CategorizerSchema> CategorizerSchema::parse(const std::string& text) {
+  CategorizerSchema schema;
+  bool saw_default = false;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto fields = split_whitespace(line);
+    if (fields.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+
+    if (fields[0] == "default") {
+      if (fields.size() != 2) return invalid_argument("default needs exactly one tag" + where);
+      schema.default_tag_ = fields[1];
+      saw_default = true;
+      continue;
+    }
+    if (fields[0] != "tag") return invalid_argument("unknown directive '" + fields[0] + "'" + where);
+    if (fields.size() < 4) {
+      return invalid_argument("tag rule needs: tag <name> <matcher> <args...>" + where);
+    }
+
+    Rule rule;
+    rule.tag = fields[1];
+    const std::string& matcher = fields[2];
+    std::vector<std::string> args(fields.begin() + 3, fields.end());
+    if (matcher == "residues") {
+      rule.matcher = Matcher::kResidues;
+      for (auto& a : args) a = to_upper(a);
+      rule.names = std::move(args);
+    } else if (matcher == "names") {
+      rule.matcher = Matcher::kAtomNames;
+      for (auto& a : args) a = to_upper(a);
+      rule.names = std::move(args);
+    } else if (matcher == "category") {
+      if (args.size() != 1) return invalid_argument("category matcher takes one name" + where);
+      rule.matcher = Matcher::kCategory;
+      ADA_ASSIGN_OR_RETURN(rule.category, parse_category(args[0]));
+    } else {
+      return invalid_argument("unknown matcher '" + matcher + "'" + where);
+    }
+    schema.rules_.push_back(std::move(rule));
+  }
+  if (schema.rules_.empty() && !saw_default) {
+    return invalid_argument("schema has no rules and no default");
+  }
+  return schema;
+}
+
+TypeFn CategorizerSchema::type_fn() const {
+  // Capture by value: the schema may outlive this call's receiver.
+  const auto rules = rules_;
+  const Tag fallback = default_tag_;
+  return [rules, fallback](const chem::Atom& atom, chem::Category category) -> Tag {
+    for (const Rule& rule : rules) {
+      switch (rule.matcher) {
+        case Matcher::kResidues: {
+          const std::string residue = to_upper(trim(atom.residue_name));
+          if (std::find(rule.names.begin(), rule.names.end(), residue) != rule.names.end()) {
+            return rule.tag;
+          }
+          break;
+        }
+        case Matcher::kAtomNames: {
+          const std::string name = to_upper(trim(atom.name));
+          if (std::find(rule.names.begin(), rule.names.end(), name) != rule.names.end()) {
+            return rule.tag;
+          }
+          break;
+        }
+        case Matcher::kCategory:
+          if (category == rule.category) return rule.tag;
+          break;
+      }
+    }
+    return fallback;
+  };
+}
+
+LabelMap CategorizerSchema::categorize(const chem::System& system) const {
+  return core::categorize(system, type_fn());
+}
+
+}  // namespace ada::core

@@ -1,0 +1,53 @@
+// Config-driven categorization: the paper's Section 6 future work.
+//
+// "we plan to develop a dynamic data categorizing and labeling interface
+//  through which a user can describe the structure of his raw data in a
+//  configuration file."
+//
+// The config is line-oriented; rules are evaluated top-down, first match
+// wins, `default` catches the rest:
+//
+//   # ADA categorizer schema
+//   tag p  residues ALA ARG ASN           # explicit residue names
+//   tag p  category protein               # or a whole chemical category
+//   tag w  category water
+//   tag hot names CA CB                   # match by atom name
+//   default m
+#pragma once
+
+#include <string>
+
+#include "ada/categorizer.hpp"
+#include "common/result.hpp"
+
+namespace ada::core {
+
+/// A compiled schema: apply it to any System to get a LabelMap.
+class CategorizerSchema {
+ public:
+  /// Parse config text; rejects unknown directives and malformed rules.
+  static Result<CategorizerSchema> parse(const std::string& text);
+
+  /// The TypeFn implementing this schema (first matching rule wins).
+  TypeFn type_fn() const;
+
+  /// Convenience: run Algorithm 1 under this schema.
+  LabelMap categorize(const chem::System& system) const;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+  const Tag& default_tag() const noexcept { return default_tag_; }
+
+ private:
+  enum class Matcher { kResidues, kCategory, kAtomNames };
+  struct Rule {
+    Tag tag;
+    Matcher matcher;
+    std::vector<std::string> names;      // residue or atom names (upper-case)
+    chem::Category category = chem::Category::kOther;
+  };
+
+  std::vector<Rule> rules_;
+  Tag default_tag_ = kMiscTag;
+};
+
+}  // namespace ada::core

@@ -1,0 +1,26 @@
+// Tags: the labels ADA's data pre-processor attaches to data subsets.
+//
+// The paper's GPCR deployment uses two: "p" (protein, the active data) and
+// "m" (MISC, the inactive data).  Tags are short strings rather than single
+// characters so the config-driven categorizer (Section 6 future work) can
+// use richer names.
+#pragma once
+
+#include <string>
+
+namespace ada::core {
+
+using Tag = std::string;
+
+inline const Tag kProteinTag = "p";
+inline const Tag kMiscTag = "m";
+
+/// Reserved label under which ADA persists the label file inside a PLFS
+/// container; never returned by categorizers.
+inline const Tag kLabelFileTag = "__labels__";
+
+/// Reserved label for the original (compressed) input image, kept for
+/// provenance / re-categorization.
+inline const Tag kOriginalTag = "__original__";
+
+}  // namespace ada::core

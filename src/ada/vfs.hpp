@@ -1,0 +1,68 @@
+// VfsShim: the file-system interception surface of the middleware.
+//
+// The paper deploys ADA "between VMD and an existing file system": writes of
+// .pdb/.xtc files from the target application are trapped and pre-processed;
+// everything else passes through to the underlying file system untouched.
+// Kernel plumbing (FUSE) is replaced by a library call with identical
+// decision logic (see DESIGN.md substitution table); applications use plain
+// whole-file read/write with an application id.
+//
+// Pairing rule (paper Section 2.1: "One .xtc file is guided by a
+// corresponding .pdb file.  Besides, one .pdb file can guide multiple .xtc
+// files"): a trapped .pdb registers its structure; subsequent trapped .xtc
+// writes are categorized under the most recently registered structure, or
+// under an explicitly named guide.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ada/middleware.hpp"
+#include "chem/system.hpp"
+#include "common/result.hpp"
+
+namespace ada::core {
+
+class VfsShim {
+ public:
+  /// `passthrough_root`: host directory backing non-intercepted paths.
+  VfsShim(Ada& ada, std::string passthrough_root);
+
+  /// Write a whole file as application `app_id`.
+  ///  - intercepted .pdb: structure parsed + registered (and passed through);
+  ///  - intercepted .xtc: ingested through ADA under the guiding structure;
+  ///  - anything else: passed through to the host file system.
+  Status write(const std::string& path, const std::string& app_id,
+               std::span<const std::uint8_t> bytes);
+
+  /// Read a whole file.  With a tag, the read resolves through ADA's indexer
+  /// to the decompressed subset; without one, an ADA dataset reads back every
+  /// subset's bytes in label order, and non-ADA paths pass through.
+  Result<std::vector<std::uint8_t>> read(const std::string& path, const std::string& app_id,
+                                         const std::optional<Tag>& tag = std::nullopt) const;
+
+  /// Explicitly bind future .xtc ingests to the structure registered under
+  /// `pdb_logical_name` (overrides most-recent pairing).
+  Status set_guide(const std::string& pdb_logical_name);
+
+  /// Structures currently registered (logical .pdb names).
+  std::vector<std::string> registered_structures() const;
+
+  bool was_intercepted(const std::string& logical_name) const {
+    return ada_->has_dataset(logical_name);
+  }
+
+ private:
+  Status passthrough_write(const std::string& path, std::span<const std::uint8_t> bytes);
+  Result<std::vector<std::uint8_t>> passthrough_read(const std::string& path) const;
+  std::string host_path(const std::string& path) const;
+
+  Ada* ada_;
+  std::string passthrough_root_;
+  std::map<std::string, std::shared_ptr<const chem::System>> structures_;
+  std::string current_guide_;  // logical name of the active structure
+};
+
+}  // namespace ada::core

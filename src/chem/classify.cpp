@@ -1,0 +1,98 @@
+#include "chem/classify.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace ada::chem {
+
+namespace {
+
+bool name_in(std::string_view needle, std::initializer_list<std::string_view> names) {
+  for (const auto& n : names) {
+    if (needle == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kProtein: return "protein";
+    case Category::kNucleic: return "nucleic";
+    case Category::kWater: return "water";
+    case Category::kLipid: return "lipid";
+    case Category::kIon: return "ion";
+    case Category::kLigand: return "ligand";
+    case Category::kOther: return "other";
+  }
+  return "other";
+}
+
+char category_tag(Category c) noexcept {
+  switch (c) {
+    case Category::kProtein: return 'p';
+    case Category::kNucleic: return 'n';
+    case Category::kWater: return 'w';
+    case Category::kLipid: return 'l';
+    case Category::kIon: return 'i';
+    case Category::kLigand: return 'g';
+    case Category::kOther: return 'o';
+  }
+  return 'o';
+}
+
+Category category_from_tag(char tag) noexcept {
+  switch (tag) {
+    case 'p': return Category::kProtein;
+    case 'n': return Category::kNucleic;
+    case 'w': return Category::kWater;
+    case 'l': return Category::kLipid;
+    case 'i': return Category::kIon;
+    case 'g': return Category::kLigand;
+    default: return Category::kOther;
+  }
+}
+
+bool is_amino_acid(std::string_view r) noexcept {
+  return name_in(r, {"ALA", "ARG", "ASN", "ASP", "CYS", "GLN", "GLU", "GLY", "HIS", "ILE",
+                     "LEU", "LYS", "MET", "PHE", "PRO", "SER", "THR", "TRP", "TYR", "VAL",
+                     // Common protonation-state / terminal variants (CHARMM/AMBER).
+                     "HSD", "HSE", "HSP", "HID", "HIE", "HIP", "CYX", "CYM", "ASH", "GLH",
+                     "LYN", "ACE", "NME", "NMA"});
+}
+
+bool is_water(std::string_view r) noexcept {
+  return name_in(r, {"HOH", "SOL", "WAT", "TIP", "TIP3", "TIP4", "TIP5", "SPC", "SPCE", "H2O"});
+}
+
+bool is_lipid(std::string_view r) noexcept {
+  return name_in(r, {"POPC", "POPE", "POPS", "DPPC", "DMPC", "DOPC", "DOPE", "DLPC",
+                     "CHL1", "CHOL", "PSM", "POPG", "DOPS", "SDPC"});
+}
+
+bool is_ion(std::string_view r) noexcept {
+  return name_in(r, {"NA", "NA+", "SOD", "CL", "CL-", "CLA", "K", "K+", "POT", "MG",
+                     "MG2", "CA", "CA2", "CAL", "ZN", "ZN2", "FE", "FE2", "FE3"});
+}
+
+bool is_nucleic(std::string_view r) noexcept {
+  return name_in(r, {"DA", "DC", "DG", "DT", "DI", "A", "C", "G", "U", "I",
+                     "ADE", "CYT", "GUA", "THY", "URA"});
+}
+
+Category classify_residue(std::string_view residue_name, bool is_hetatm) noexcept {
+  // Compare against the canonical upper-case trimmed form.
+  std::string upper = to_upper(trim(residue_name));
+  const std::string_view r = upper;
+  if (is_amino_acid(r)) return Category::kProtein;
+  if (is_water(r)) return Category::kWater;
+  if (is_lipid(r)) return Category::kLipid;
+  if (is_ion(r)) return Category::kIon;
+  if (is_nucleic(r)) return Category::kNucleic;
+  return is_hetatm ? Category::kLigand : Category::kOther;
+}
+
+}  // namespace ada::chem

@@ -1,0 +1,56 @@
+// Residue-name classification: the domain knowledge behind ADA's categorizer.
+//
+// ADA's data pre-processor reads atom records from a .pdb file and decides,
+// per atom, which data subset the atom belongs to ("GetType" in the paper's
+// Algorithm 1).  For the GPCR workload that is a protein / MISC split; this
+// module also provides the finer categories (water, lipid, ion, ligand,
+// nucleic acid) used by the fine-grained tag queries of Section 4.1.
+#pragma once
+
+#include <string_view>
+
+namespace ada::chem {
+
+enum class Category {
+  kProtein = 0,
+  kNucleic,
+  kWater,
+  kLipid,
+  kIon,
+  kLigand,
+  kOther,
+};
+
+constexpr int kCategoryCount = 7;
+
+/// Short human-readable name ("protein", "water", ...).
+std::string_view category_name(Category c) noexcept;
+
+/// The single-character tag ADA assigns ('p' protein, 'w' water, 'l' lipid,
+/// 'i' ion, 'g' ligand, 'n' nucleic, 'o' other).
+char category_tag(Category c) noexcept;
+
+/// Inverse of category_tag; Category::kOther for unknown tags.
+Category category_from_tag(char tag) noexcept;
+
+/// Classify a residue by its (upper-case, trimmed) name.  Unknown residue
+/// names classify as kLigand when `is_hetatm` (PDB HETATM record) and kOther
+/// otherwise -- mirroring how VMD's own selection language treats HET groups.
+Category classify_residue(std::string_view residue_name, bool is_hetatm = false) noexcept;
+
+/// True for the 20 standard amino acids (plus common protonation variants).
+bool is_amino_acid(std::string_view residue_name) noexcept;
+
+/// True for water model residue names (HOH, SOL, WAT, TIP3, ...).
+bool is_water(std::string_view residue_name) noexcept;
+
+/// True for common membrane lipid residue names (POPC, DPPC, CHL1, ...).
+bool is_lipid(std::string_view residue_name) noexcept;
+
+/// True for monoatomic ion residue names (NA, CL, K, MG, CA2, ...).
+bool is_ion(std::string_view residue_name) noexcept;
+
+/// True for nucleic-acid residue names (DA, DG, ..., A, U, G, C).
+bool is_nucleic(std::string_view residue_name) noexcept;
+
+}  // namespace ada::chem

@@ -1,0 +1,103 @@
+#include "chem/element.hpp"
+
+#include <cctype>
+
+namespace ada::chem {
+
+std::string_view symbol(Element e) noexcept {
+  switch (e) {
+    case Element::kUnknown: return "X";
+    case Element::kHydrogen: return "H";
+    case Element::kCarbon: return "C";
+    case Element::kNitrogen: return "N";
+    case Element::kOxygen: return "O";
+    case Element::kSodium: return "Na";
+    case Element::kMagnesium: return "Mg";
+    case Element::kPhosphorus: return "P";
+    case Element::kSulfur: return "S";
+    case Element::kChlorine: return "Cl";
+    case Element::kPotassium: return "K";
+    case Element::kCalcium: return "Ca";
+    case Element::kIron: return "Fe";
+    case Element::kZinc: return "Zn";
+  }
+  return "X";
+}
+
+double atomic_mass(Element e) noexcept {
+  switch (e) {
+    case Element::kUnknown: return 0.0;
+    case Element::kHydrogen: return 1.008;
+    case Element::kCarbon: return 12.011;
+    case Element::kNitrogen: return 14.007;
+    case Element::kOxygen: return 15.999;
+    case Element::kSodium: return 22.990;
+    case Element::kMagnesium: return 24.305;
+    case Element::kPhosphorus: return 30.974;
+    case Element::kSulfur: return 32.06;
+    case Element::kChlorine: return 35.45;
+    case Element::kPotassium: return 39.098;
+    case Element::kCalcium: return 40.078;
+    case Element::kIron: return 55.845;
+    case Element::kZinc: return 65.38;
+  }
+  return 0.0;
+}
+
+double vdw_radius_nm(Element e) noexcept {
+  switch (e) {
+    case Element::kUnknown: return 0.15;
+    case Element::kHydrogen: return 0.120;
+    case Element::kCarbon: return 0.170;
+    case Element::kNitrogen: return 0.155;
+    case Element::kOxygen: return 0.152;
+    case Element::kSodium: return 0.227;
+    case Element::kMagnesium: return 0.173;
+    case Element::kPhosphorus: return 0.180;
+    case Element::kSulfur: return 0.180;
+    case Element::kChlorine: return 0.175;
+    case Element::kPotassium: return 0.275;
+    case Element::kCalcium: return 0.231;
+    case Element::kIron: return 0.194;
+    case Element::kZinc: return 0.139;
+  }
+  return 0.15;
+}
+
+Element element_from_atom_name(std::string_view atom_name, bool is_ion_residue) noexcept {
+  // Strip leading digits and spaces ("1HB " -> "HB").
+  std::size_t start = 0;
+  while (start < atom_name.size() &&
+         (std::isdigit(static_cast<unsigned char>(atom_name[start])) != 0 ||
+          atom_name[start] == ' ')) {
+    ++start;
+  }
+  if (start >= atom_name.size()) return Element::kUnknown;
+  const char c0 = static_cast<char>(std::toupper(static_cast<unsigned char>(atom_name[start])));
+  const char c1 = start + 1 < atom_name.size()
+                      ? static_cast<char>(std::toupper(static_cast<unsigned char>(atom_name[start + 1])))
+                      : '\0';
+
+  // Two-letter matches first, but only in ion residues where "NA"/"CL"/...
+  // are genuine sodium/chloride; in a protein residue "CA" is an alpha carbon.
+  if (is_ion_residue) {
+    if (c0 == 'N' && c1 == 'A') return Element::kSodium;
+    if (c0 == 'C' && c1 == 'L') return Element::kChlorine;
+    if (c0 == 'M' && c1 == 'G') return Element::kMagnesium;
+    if (c0 == 'C' && c1 == 'A') return Element::kCalcium;
+    if (c0 == 'Z' && c1 == 'N') return Element::kZinc;
+    if (c0 == 'F' && c1 == 'E') return Element::kIron;
+    if (c0 == 'K') return Element::kPotassium;
+  }
+  switch (c0) {
+    case 'H': return Element::kHydrogen;
+    case 'C': return Element::kCarbon;
+    case 'N': return Element::kNitrogen;
+    case 'O': return Element::kOxygen;
+    case 'P': return Element::kPhosphorus;
+    case 'S': return Element::kSulfur;
+    default: return Element::kUnknown;
+  }
+}
+
+}  // namespace ada::chem

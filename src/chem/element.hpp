@@ -1,0 +1,42 @@
+// Chemical elements: the subset occurring in biomolecular simulations.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ada::chem {
+
+enum class Element {
+  kUnknown = 0,
+  kHydrogen,
+  kCarbon,
+  kNitrogen,
+  kOxygen,
+  kSodium,
+  kMagnesium,
+  kPhosphorus,
+  kSulfur,
+  kChlorine,
+  kPotassium,
+  kCalcium,
+  kIron,
+  kZinc,
+};
+
+/// Standard one/two-letter symbol ("C", "Na", ...).
+std::string_view symbol(Element e) noexcept;
+
+/// Atomic mass in daltons (standard atomic weight).
+double atomic_mass(Element e) noexcept;
+
+/// Van der Waals radius in nanometers (Bondi radii); used by the renderer's
+/// VDW representation and the bond-search cutoff heuristic.
+double vdw_radius_nm(Element e) noexcept;
+
+/// Parse an element from a PDB atom name (columns 13-16) or element field.
+/// Follows the PDB convention: a digit-stripped, left-trimmed name whose
+/// first characters name the element ("CA" in a protein residue is carbon;
+/// "NA" in an ion residue is sodium -- the caller passes `is_ion_residue`).
+Element element_from_atom_name(std::string_view atom_name, bool is_ion_residue = false) noexcept;
+
+}  // namespace ada::chem

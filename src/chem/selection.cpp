@@ -1,0 +1,151 @@
+#include "chem/selection.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ada::chem {
+
+void Selection::normalize() {
+  std::erase_if(runs_, [](const Run& r) { return r.begin >= r.end; });
+  std::sort(runs_.begin(), runs_.end(),
+            [](const Run& a, const Run& b) { return a.begin < b.begin; });
+  std::vector<Run> merged;
+  for (const Run& r : runs_) {
+    if (!merged.empty() && r.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  runs_ = std::move(merged);
+}
+
+Selection Selection::from_runs(std::vector<Run> runs) {
+  Selection s;
+  s.runs_ = std::move(runs);
+  s.normalize();
+  return s;
+}
+
+Selection Selection::from_indices(std::vector<std::uint32_t> indices) {
+  std::sort(indices.begin(), indices.end());
+  Selection s;
+  for (std::uint32_t i : indices) s.add_run({i, i + 1});
+  return s;
+}
+
+Selection Selection::all(std::uint32_t n) {
+  Selection s;
+  if (n > 0) s.runs_.push_back({0, n});
+  return s;
+}
+
+void Selection::add_run(Run run) {
+  if (run.begin >= run.end) return;
+  if (runs_.empty() || run.begin > runs_.back().end) {
+    runs_.push_back(run);
+    return;
+  }
+  if (run.begin >= runs_.back().begin) {
+    // Adjacent or overlapping with the last run: extend in place.
+    runs_.back().end = std::max(runs_.back().end, run.end);
+    return;
+  }
+  runs_.push_back(run);
+  normalize();
+}
+
+std::uint64_t Selection::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const Run& r : runs_) n += r.size();
+  return n;
+}
+
+bool Selection::contains(std::uint32_t index) const noexcept {
+  auto it = std::upper_bound(runs_.begin(), runs_.end(), index,
+                             [](std::uint32_t v, const Run& r) { return v < r.begin; });
+  if (it == runs_.begin()) return false;
+  --it;
+  return index >= it->begin && index < it->end;
+}
+
+Selection Selection::unite(const Selection& other) const {
+  std::vector<Run> runs = runs_;
+  runs.insert(runs.end(), other.runs_.begin(), other.runs_.end());
+  return from_runs(std::move(runs));
+}
+
+Selection Selection::intersect(const Selection& other) const {
+  Selection out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < runs_.size() && j < other.runs_.size()) {
+    const Run& a = runs_[i];
+    const Run& b = other.runs_[j];
+    const std::uint32_t lo = std::max(a.begin, b.begin);
+    const std::uint32_t hi = std::min(a.end, b.end);
+    if (lo < hi) out.runs_.push_back({lo, hi});
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+Selection Selection::complement(std::uint32_t universe) const {
+  Selection out;
+  std::uint32_t cursor = 0;
+  for (const Run& r : runs_) {
+    if (r.begin >= universe) break;
+    if (cursor < r.begin) out.runs_.push_back({cursor, std::min(r.begin, universe)});
+    cursor = std::max(cursor, r.end);
+  }
+  if (cursor < universe) out.runs_.push_back({cursor, universe});
+  return out;
+}
+
+std::vector<std::uint32_t> Selection::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (const Run& r : runs_) {
+    for (std::uint32_t i = r.begin; i < r.end; ++i) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Selection::to_string() const {
+  std::string out;
+  for (const Run& r : runs_) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(r.begin);
+    if (r.size() > 1) {
+      out += '-';
+      out += std::to_string(r.end - 1);
+    }
+  }
+  return out;
+}
+
+Result<Selection> Selection::parse(const std::string& text) {
+  Selection s;
+  if (trim(text).empty()) return s;
+  for (const std::string& part : split(text, ',')) {
+    const auto dash = part.find('-');
+    if (dash == std::string::npos) {
+      const long long v = parse_int(part);
+      if (v < 0) return corrupt_data("bad selection element: " + part);
+      s.add_run({static_cast<std::uint32_t>(v), static_cast<std::uint32_t>(v) + 1});
+    } else {
+      const long long lo = parse_int(part.substr(0, dash));
+      const long long hi = parse_int(part.substr(dash + 1));
+      if (lo < 0 || hi < lo) return corrupt_data("bad selection range: " + part);
+      s.add_run({static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi) + 1});
+    }
+  }
+  return s;
+}
+
+}  // namespace ada::chem

@@ -1,0 +1,50 @@
+#include "chem/system.hpp"
+
+namespace ada::chem {
+
+void System::add_atom(Atom atom, float x, float y, float z) {
+  categories_.push_back(classify_residue(atom.residue_name, atom.hetatm));
+  if (atom.element == Element::kUnknown) {
+    atom.element = element_from_atom_name(atom.name, categories_.back() == Category::kIon);
+  }
+  atoms_.push_back(std::move(atom));
+  coords_.push_back(x);
+  coords_.push_back(y);
+  coords_.push_back(z);
+}
+
+Selection System::selection_for(Category category) const {
+  Selection s;
+  for (std::uint32_t i = 0; i < atom_count(); ++i) {
+    if (categories_[i] == category) s.add_index(i);
+  }
+  return s;
+}
+
+std::uint32_t System::count_category(Category category) const {
+  std::uint32_t n = 0;
+  for (const Category c : categories_) {
+    if (c == category) ++n;
+  }
+  return n;
+}
+
+std::uint32_t System::residue_count() const {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < atom_count(); ++i) {
+    if (i == 0 || atoms_[i].residue_seq != atoms_[i - 1].residue_seq ||
+        atoms_[i].chain_id != atoms_[i - 1].chain_id ||
+        atoms_[i].residue_name != atoms_[i - 1].residue_name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double System::total_mass() const {
+  double mass = 0.0;
+  for (const Atom& a : atoms_) mass += atomic_mass(a.element);
+  return mass;
+}
+
+}  // namespace ada::chem

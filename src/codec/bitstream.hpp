@@ -1,0 +1,72 @@
+// MSB-first bit-level I/O used by the coordinate codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/result.hpp"
+
+namespace ada::codec {
+
+/// Appends variable-width unsigned fields, most-significant bit first.
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value` (width in [0, 32]).
+  /// Precondition: value < 2^width.
+  void put_bits(std::uint32_t value, unsigned width);
+
+  /// Append a single bit.
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Flushes the partial byte (zero-filled) and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t accumulator_ = 0;  // pending bits, left-aligned within acc_bits_
+  unsigned acc_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads variable-width unsigned fields written by BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `width` bits (width in [0, 32]).
+  Result<std::uint32_t> get_bits(unsigned width);
+
+  Result<bool> get_bit();
+
+  std::size_t bits_consumed() const noexcept { return bit_pos_; }
+  std::size_t bits_remaining() const noexcept { return data_.size() * 8 - bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+};
+
+/// Minimum number of bits that can represent `value` (0 -> 0 bits).
+constexpr unsigned bits_needed(std::uint32_t value) noexcept {
+  unsigned bits = 0;
+  while (value != 0) {
+    ++bits;
+    value >>= 1;
+  }
+  return bits;
+}
+
+/// Zigzag map: signed -> unsigned preserving small magnitudes.
+constexpr std::uint32_t zigzag_encode(std::int32_t v) noexcept {
+  return (static_cast<std::uint32_t>(v) << 1) ^ static_cast<std::uint32_t>(v >> 31);
+}
+
+constexpr std::int32_t zigzag_decode(std::uint32_t u) noexcept {
+  return static_cast<std::int32_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace ada::codec

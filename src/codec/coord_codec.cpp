@@ -1,0 +1,190 @@
+#include "codec/coord_codec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "codec/bitstream.hpp"
+
+namespace ada::codec {
+
+namespace {
+
+// Quantized coordinates must stay well inside int32 so deltas cannot overflow.
+constexpr std::int64_t kMaxQuantum = std::int64_t{1} << 30;
+
+struct QuantizedFrame {
+  std::vector<std::int32_t> q;  // xyz triplets, grid units
+  std::int32_t mins[3];
+  std::int32_t maxs[3];
+};
+
+Result<QuantizedFrame> quantize(std::span<const float> coords, float precision) {
+  QuantizedFrame out;
+  out.q.resize(coords.size());
+  for (int d = 0; d < 3; ++d) {
+    out.mins[d] = std::numeric_limits<std::int32_t>::max();
+    out.maxs[d] = std::numeric_limits<std::int32_t>::min();
+  }
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const float scaled = coords[i] * precision;
+    if (!std::isfinite(scaled)) return invalid_argument("non-finite coordinate");
+    const std::int64_t q64 = std::llrint(static_cast<double>(scaled));
+    if (q64 <= -kMaxQuantum || q64 >= kMaxQuantum) {
+      return invalid_argument("coordinate exceeds quantization range: " + std::to_string(coords[i]));
+    }
+    const auto q = static_cast<std::int32_t>(q64);
+    out.q[i] = q;
+    const int d = static_cast<int>(i % 3);
+    out.mins[d] = std::min(out.mins[d], q);
+    out.maxs[d] = std::max(out.maxs[d], q);
+  }
+  return out;
+}
+
+/// Width of the zigzagged delta field a given atom needs (max over dims).
+unsigned atom_delta_bits(const std::int32_t* prev, const std::int32_t* cur) {
+  unsigned needed = 0;
+  for (int d = 0; d < 3; ++d) {
+    const std::int32_t delta = cur[d] - prev[d];
+    needed = std::max(needed, bits_needed(zigzag_encode(delta)));
+  }
+  return needed;
+}
+
+}  // namespace
+
+Result<CompressedFrame> compress(std::span<const float> coords, const CodecParams& params,
+                                 PerAtomCost* per_atom) {
+  if (coords.size() % 3 != 0) return invalid_argument("coords length not divisible by 3");
+  if (!(params.precision > 0.0f)) return invalid_argument("precision must be positive");
+
+  CompressedFrame frame;
+  frame.atom_count = static_cast<std::uint32_t>(coords.size() / 3);
+  frame.precision = params.precision;
+  if (per_atom != nullptr) {
+    per_atom->bits.clear();
+    per_atom->bits.reserve(frame.atom_count);
+  }
+  if (frame.atom_count == 0) return frame;
+
+  ADA_ASSIGN_OR_RETURN(const QuantizedFrame qf, quantize(coords, params.precision));
+
+  unsigned full_sum = 0;
+  for (int d = 0; d < 3; ++d) {
+    frame.min_quantum[d] = qf.mins[d];
+    const auto span64 = static_cast<std::int64_t>(qf.maxs[d]) - qf.mins[d];
+    frame.full_bits[d] = static_cast<std::uint8_t>(bits_needed(static_cast<std::uint32_t>(span64)));
+    full_sum += frame.full_bits[d];
+  }
+
+  // Histogram of per-atom delta widths, then exact cost minimization over the
+  // candidate small-record width k: an atom whose widest delta fits in k bits
+  // costs 1 + 3k, otherwise 1 + full_sum.
+  std::array<std::uint32_t, 33> width_histogram{};
+  for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
+    width_histogram[atom_delta_bits(&qf.q[3 * (i - 1)], &qf.q[3 * i])] += 1;
+  }
+  unsigned best_k = 0;
+  std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned k = 0; k <= 31; ++k) {
+    std::uint64_t fitting = 0;
+    std::uint64_t overflowing = 0;
+    for (unsigned w = 0; w <= 32; ++w) {
+      (w <= k ? fitting : overflowing) += width_histogram[w];
+    }
+    const std::uint64_t cost = fitting * (1 + 3ull * k) + overflowing * (1 + full_sum);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+  }
+  frame.small_bits = static_cast<std::uint8_t>(best_k);
+
+  BitWriter writer;
+  // First atom: absolute, no flag (the decoder knows).
+  for (std::size_t d = 0; d < 3; ++d) {
+    const auto rel = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(qf.q[d]) - frame.min_quantum[d]);
+    writer.put_bits(rel, frame.full_bits[d]);
+  }
+  if (per_atom != nullptr) per_atom->bits.push_back(full_sum);
+
+  for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
+    const std::int32_t* prev = &qf.q[3 * (i - 1)];
+    const std::int32_t* cur = &qf.q[3 * i];
+    const std::size_t before = writer.bit_count();
+    if (atom_delta_bits(prev, cur) <= best_k) {
+      writer.put_bit(false);
+      for (int d = 0; d < 3; ++d) {
+        writer.put_bits(zigzag_encode(cur[d] - prev[d]), best_k);
+      }
+    } else {
+      writer.put_bit(true);
+      for (int d = 0; d < 3; ++d) {
+        const auto rel = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(cur[d]) - frame.min_quantum[d]);
+        writer.put_bits(rel, frame.full_bits[d]);
+      }
+    }
+    if (per_atom != nullptr) {
+      per_atom->bits.push_back(static_cast<std::uint32_t>(writer.bit_count() - before));
+    }
+  }
+
+  frame.payload_bits = writer.bit_count();
+  frame.payload = writer.finish();
+  return frame;
+}
+
+Result<std::vector<float>> decompress(const CompressedFrame& frame) {
+  std::vector<float> coords(static_cast<std::size_t>(frame.atom_count) * 3);
+  if (frame.atom_count == 0) return coords;
+  if (!(frame.precision > 0.0f)) return corrupt_data("compressed frame has invalid precision");
+  for (int d = 0; d < 3; ++d) {
+    if (frame.full_bits[d] > 32) return corrupt_data("invalid full_bits");
+  }
+  if (frame.small_bits > 31) return corrupt_data("invalid small_bits");
+
+  BitReader reader(frame.payload);
+  const float inv_precision = 1.0f / frame.precision;
+  std::int32_t prev[3];
+  for (int d = 0; d < 3; ++d) {
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t rel, reader.get_bits(frame.full_bits[d]));
+    prev[d] = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(frame.min_quantum[d]) + rel);
+    coords[static_cast<std::size_t>(d)] = static_cast<float>(prev[d]) * inv_precision;
+  }
+  for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
+    ADA_ASSIGN_OR_RETURN(const bool large, reader.get_bit());
+    for (int d = 0; d < 3; ++d) {
+      std::int32_t value = 0;
+      if (large) {
+        ADA_ASSIGN_OR_RETURN(const std::uint32_t rel, reader.get_bits(frame.full_bits[d]));
+        value = static_cast<std::int32_t>(static_cast<std::int64_t>(frame.min_quantum[d]) + rel);
+      } else {
+        ADA_ASSIGN_OR_RETURN(const std::uint32_t zz, reader.get_bits(frame.small_bits));
+        value = prev[d] + zigzag_decode(zz);
+      }
+      prev[d] = value;
+      coords[3 * static_cast<std::size_t>(i) + static_cast<std::size_t>(d)] =
+          static_cast<float>(value) * inv_precision;
+    }
+  }
+  if (reader.bits_consumed() != frame.payload_bits) {
+    return corrupt_data("payload bit count mismatch: consumed " +
+                        std::to_string(reader.bits_consumed()) + ", declared " +
+                        std::to_string(frame.payload_bits));
+  }
+  return coords;
+}
+
+std::uint64_t range_bits(const PerAtomCost& cost, std::size_t begin, std::size_t end) {
+  ADA_CHECK(begin <= end && end <= cost.bits.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = begin; i < end; ++i) total += cost.bits[i];
+  return total;
+}
+
+}  // namespace ada::codec

@@ -1,0 +1,72 @@
+// Lossy fixed-precision coordinate compression ("ada3d").
+//
+// This is the repository's stand-in for the GROMACS xtc3 / 3dfcoord
+// algorithm, with the same computational character:
+//
+//   1. quantize each coordinate to an integer grid: q = round(x * precision)
+//      (precision = 1000 reproduces xtc's default 0.001 nm grid);
+//   2. delta-encode each atom against the previous atom in file order --
+//      molecular files store bonded atoms consecutively, so deltas are small;
+//   3. pack each atom either as a "small" record (1 flag bit + 3 zigzag
+//      deltas of `small_bits` each) or, when any delta overflows, as a
+//      "large" record (1 flag bit + 3 absolute frame-box-relative values);
+//      `small_bits` is chosen per frame by exact cost minimization.
+//
+// On solvated MD systems this reaches ~3.3x over raw float32 (see
+// tests/codec_test.cpp and bench/micro_codec.cpp), matching the paper's
+// raw:compressed ratio of 3.27 (Table 2).  Decoding is deliberately a
+// sequential, branchy, CPU-bound loop -- exactly the "duplication of labor"
+// the paper's Fig. 8 flame graph attributes >50% of VMD CPU time to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::codec {
+
+/// Codec configuration.
+struct CodecParams {
+  /// Grid resolution: coordinates are stored as round(x * precision).
+  /// Default 1000 == millinanometer grid, the GROMACS xtc default.
+  float precision = 1000.0f;
+};
+
+/// One compressed coordinate frame.
+struct CompressedFrame {
+  std::uint32_t atom_count = 0;
+  float precision = 0.0f;
+  std::int32_t min_quantum[3] = {0, 0, 0};  // per-dimension frame minimum (grid units)
+  std::uint8_t full_bits[3] = {0, 0, 0};    // absolute-record field widths
+  std::uint8_t small_bits = 0;              // small-record delta field width
+  std::uint64_t payload_bits = 0;           // valid bits in `payload`
+  std::vector<std::uint8_t> payload;        // bit-packed records
+
+  /// Wire size of this frame's coordinate payload in bytes.
+  std::size_t payload_bytes() const noexcept { return payload.size(); }
+};
+
+/// Analysis by-product: the packed cost of each atom, for attributing
+/// compressed bytes to data subsets (paper Table 1).
+struct PerAtomCost {
+  std::vector<std::uint32_t> bits;  // bits[i] == packed size of atom i
+};
+
+/// Compress `coords` (xyz triplets, length divisible by 3).
+/// If `per_atom` is non-null it receives the per-atom bit costs.
+Result<CompressedFrame> compress(std::span<const float> coords, const CodecParams& params,
+                                 PerAtomCost* per_atom = nullptr);
+
+/// Decompress back to xyz triplets.  Output values are exact multiples of
+/// 1/precision; round-trip error is bounded by 0.5/precision per coordinate.
+Result<std::vector<float>> decompress(const CompressedFrame& frame);
+
+/// Sum of packed record bits over an index range [begin, end) of atoms,
+/// given a PerAtomCost from compress().  Used to attribute compressed volume
+/// to categorized subsets.
+std::uint64_t range_bits(const PerAtomCost& cost, std::size_t begin, std::size_t end);
+
+}  // namespace ada::codec

@@ -1,0 +1,31 @@
+// Invariant-checking macros.
+//
+// ADA_CHECK is always on (release included): it guards logic errors whose
+// cost is negligible next to the I/O they protect.  ADA_DCHECK compiles out
+// in release builds and is used inside per-atom / per-byte hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ada::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ADA_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace ada::detail
+
+#define ADA_CHECK(expr)                                            \
+  do {                                                             \
+    if (!(expr)) ::ada::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+#ifndef NDEBUG
+#define ADA_DCHECK(expr) ADA_CHECK(expr)
+#else
+#define ADA_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#endif

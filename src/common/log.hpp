@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The default level is kWarn so that tests and benches stay quiet; examples
+// raise it to kInfo to narrate the pipeline.  Not thread-safe by design: the
+// repository's simulators are single-threaded event loops (see src/sim/).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ada {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: ADA_LOG(kInfo) << "ingested " << n << " frames";
+#define ADA_LOG(level_name)                                             \
+  for (bool ada_log_once__ = ::ada::log_level() <= ::ada::LogLevel::level_name; \
+       ada_log_once__; ada_log_once__ = false)                         \
+  ::ada::detail::LogLine(::ada::LogLevel::level_name)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ada

@@ -1,0 +1,161 @@
+// Result<T> / Status: value-or-error return types used across the library.
+//
+// The library does not throw for expected failure modes (missing file,
+// malformed record, short read); those travel through Result<T>.  Exceptions
+// remain reserved for programming errors (via ADA_CHECK -> abort) and
+// allocation failure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace ada {
+
+/// Broad error categories; the message string carries the specifics.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruptData,
+  kIoError,
+  kUnsupported,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("corrupt_data", ...).
+constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kCorruptData: return "corrupt_data";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error: category + context message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "corrupt_data: bad magic 0x1234" -- for logs and test failure output.
+  std::string to_string() const { return std::string(ada::to_string(code_)) + ": " + message_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Success-or-error for operations with no payload.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message) : error_(Error(code, std::move(message))) {}
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT: implicit by design
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Precondition: !is_ok().
+  const Error& error() const {
+    ADA_CHECK(error_.has_value());
+    return *error_;
+  }
+
+  std::string to_string() const { return is_ok() ? "ok" : error_->to_string(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Value-or-error. Accessors check: calling value() on an error aborts with
+/// the error message, which keeps call sites terse in tests and examples.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}       // NOLINT: implicit by design
+  Result(Error error) : storage_(std::move(error)) {}   // NOLINT: implicit by design
+  Result(ErrorCode code, std::string message) : storage_(Error(code, std::move(message))) {}
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const T& value() const& {
+    if (!is_ok()) detail::check_failed(std::get<Error>(storage_).to_string().c_str(), __FILE__, __LINE__);
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    if (!is_ok()) detail::check_failed(std::get<Error>(storage_).to_string().c_str(), __FILE__, __LINE__);
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    if (!is_ok()) detail::check_failed(std::get<Error>(storage_).to_string().c_str(), __FILE__, __LINE__);
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    ADA_CHECK(!is_ok());
+    return std::get<Error>(storage_);
+  }
+
+  /// Status view of this result (drops the value).
+  Status status() const { return is_ok() ? Status::ok() : Status(std::get<Error>(storage_)); }
+
+  /// value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? std::get<T>(storage_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Convenience factories mirroring absl-style helpers.
+inline Error invalid_argument(std::string m) { return Error(ErrorCode::kInvalidArgument, std::move(m)); }
+inline Error not_found(std::string m) { return Error(ErrorCode::kNotFound, std::move(m)); }
+inline Error already_exists(std::string m) { return Error(ErrorCode::kAlreadyExists, std::move(m)); }
+inline Error out_of_range(std::string m) { return Error(ErrorCode::kOutOfRange, std::move(m)); }
+inline Error corrupt_data(std::string m) { return Error(ErrorCode::kCorruptData, std::move(m)); }
+inline Error io_error(std::string m) { return Error(ErrorCode::kIoError, std::move(m)); }
+inline Error unsupported(std::string m) { return Error(ErrorCode::kUnsupported, std::move(m)); }
+inline Error resource_exhausted(std::string m) { return Error(ErrorCode::kResourceExhausted, std::move(m)); }
+inline Error failed_precondition(std::string m) { return Error(ErrorCode::kFailedPrecondition, std::move(m)); }
+inline Error internal_error(std::string m) { return Error(ErrorCode::kInternal, std::move(m)); }
+
+/// Propagate an error from an expression producing Status.
+#define ADA_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::ada::Status ada_status__ = (expr);          \
+    if (!ada_status__.is_ok()) return ada_status__.error(); \
+  } while (false)
+
+#define ADA_CONCAT_INNER(a, b) a##b
+#define ADA_CONCAT(a, b) ADA_CONCAT_INNER(a, b)
+
+/// Evaluate `rexpr` (a Result<T>), return its error on failure, otherwise
+/// bind the value to `lhs`.
+#define ADA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ADA_ASSIGN_OR_RETURN_IMPL(ADA_CONCAT(ada_result__, __LINE__), lhs, rexpr)
+
+#define ADA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.is_ok()) return tmp.error();            \
+  lhs = std::move(tmp).value()
+
+}  // namespace ada

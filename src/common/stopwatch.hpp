@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for calibration runs.
+//
+// Only calibration (platform/calibration.*) and the micro-benchmarks read
+// real time; everything in the performance model uses the simulated clock.
+#pragma once
+
+#include <chrono>
+
+namespace ada {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ada

@@ -1,0 +1,40 @@
+// Small string utilities shared by the PDB parser, label files and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ada {
+
+/// Copy of `s` without leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single-character delimiter; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; no empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view s);
+
+/// Left-pad with spaces to `width` (no-op if already wider).
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pad with spaces to `width` (no-op if already wider).
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Fixed-point decimal with `decimals` digits, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Parse a non-negative integer; returns -1 on malformed input.
+long long parse_int(std::string_view s);
+
+/// Parse a double; returns NaN on malformed input.
+double parse_double(std::string_view s);
+
+}  // namespace ada

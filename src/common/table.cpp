@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace ada {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ADA_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  ADA_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << pad_right(row[c], widths[c]);
+      os << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 == widths.size() ? 0 : 2);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      os << (c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace ada

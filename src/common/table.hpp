@@ -1,0 +1,39 @@
+// Aligned text tables + CSV emission.
+//
+// Every bench harness reports its figure/table through one of these so the
+// output format is uniform and machine-scrapable (EXPERIMENTS.md is generated
+// from the CSV side).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// A rectangular table of strings with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return header_.size(); }
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Column-aligned fixed-width rendering with a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (fields containing comma/quote/newline are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ada

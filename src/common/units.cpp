@@ -1,0 +1,40 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ada {
+
+namespace {
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", value, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  if (!(bytes >= 0.0)) return "nan";
+  if (bytes >= kTB) return format_with_unit(bytes / kTB, "TB");
+  if (bytes >= kGB) return format_with_unit(bytes / kGB, "GB");
+  if (bytes >= kMB) return format_with_unit(bytes / kMB, "MB");
+  if (bytes >= kKB) return format_with_unit(bytes / kKB, "KB");
+  return format_with_unit(bytes, "B");
+}
+
+std::string format_seconds(double seconds) {
+  if (!(seconds >= 0.0)) return "nan";
+  if (seconds >= 3600.0) return format_with_unit(seconds / 3600.0, "h");
+  if (seconds >= 60.0) return format_with_unit(seconds / 60.0, "min");
+  if (seconds >= 1.0) return format_with_unit(seconds, "s");
+  if (seconds >= 1e-3) return format_with_unit(seconds * 1e3, "ms");
+  return format_with_unit(seconds * 1e6, "us");
+}
+
+}  // namespace ada

@@ -1,0 +1,44 @@
+// Byte / time / rate unit helpers used by the storage and platform models.
+//
+// The performance model traffics in plain doubles (seconds, bytes/second,
+// joules); these helpers keep the literals readable and the conversions in
+// one place.  Sizes follow the paper's convention: "MB" and "GB" are decimal
+// (1e6 / 1e9 bytes) because the paper's tables (100 MB, 327 MB, 1 TB DRAM)
+// are decimal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ada {
+
+// --- byte sizes (decimal, matching the paper's tables) ----------------------
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+constexpr double kTB = 1e12;
+
+// Binary sizes, for DRAM-capacity arithmetic where it matters.
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// --- time --------------------------------------------------------------------
+constexpr double kMicrosecond = 1e-6;
+constexpr double kMillisecond = 1e-3;
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+
+// --- rates -------------------------------------------------------------------
+/// Bytes/second from a "MB/s" spec figure.
+constexpr double mb_per_s(double mb) { return mb * kMB; }
+/// Bytes/second from a "GB/s" spec figure.
+constexpr double gb_per_s(double gb) { return gb * kGB; }
+
+/// "327.4 MB" / "2.61 GB" / "512 B" -- human-readable size for reports.
+std::string format_bytes(double bytes);
+
+/// "13.4 s" / "412.0 ms" / "6.9 min" -- human-readable duration for reports.
+std::string format_seconds(double seconds);
+
+}  // namespace ada

@@ -1,0 +1,134 @@
+#include "formats/pdb.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/binary_io.hpp"
+#include "common/strings.hpp"
+
+namespace ada::formats {
+
+namespace {
+
+constexpr double kAngstromPerNm = 10.0;
+
+/// Fixed-column field [begin, end) (0-based, half open) of a record line.
+std::string_view column(std::string_view line, std::size_t begin, std::size_t end) {
+  if (line.size() <= begin) return {};
+  return line.substr(begin, std::min(end, line.size()) - begin);
+}
+
+Result<chem::Atom> parse_atom_record(std::string_view line, bool hetatm) {
+  chem::Atom atom;
+  atom.hetatm = hetatm;
+
+  const long long serial = parse_int(column(line, 6, 11));
+  if (serial < 0) return corrupt_data("bad atom serial in: " + std::string(line));
+  atom.serial = static_cast<std::uint32_t>(serial);
+
+  atom.name = std::string(trim(column(line, 12, 16)));
+  // Residue-name field widened to 4 columns (17-21): the CHARMM/GROMACS
+  // convention for lipid names like POPC; 3-char standard names still parse.
+  atom.residue_name = std::string(trim(column(line, 17, 21)));
+  const std::string_view chain = column(line, 21, 22);
+  atom.chain_id = chain.empty() ? ' ' : chain[0];
+
+  const long long res_seq = parse_int(column(line, 22, 26));
+  if (res_seq < 0) return corrupt_data("bad residue seq in: " + std::string(line));
+  atom.residue_seq = static_cast<std::uint32_t>(res_seq);
+
+  return atom;
+}
+
+}  // namespace
+
+Result<chem::System> parse_pdb(const std::string& text) {
+  chem::System system;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const bool is_atom = starts_with(line, "ATOM  ");
+    const bool is_hetatm = starts_with(line, "HETATM");
+    if (starts_with(line, "CRYST1")) {
+      const double a = parse_double(column(line, 6, 15));
+      const double b = parse_double(column(line, 15, 24));
+      const double c = parse_double(column(line, 24, 33));
+      if (std::isnan(a) || std::isnan(b) || std::isnan(c)) {
+        return corrupt_data("bad CRYST1 record at line " + std::to_string(line_number));
+      }
+      system.set_box(chem::Box::orthorhombic(static_cast<float>(a / kAngstromPerNm),
+                                             static_cast<float>(b / kAngstromPerNm),
+                                             static_cast<float>(c / kAngstromPerNm)));
+      continue;
+    }
+    if (!is_atom && !is_hetatm) continue;
+
+    ADA_ASSIGN_OR_RETURN(chem::Atom atom, parse_atom_record(line, is_hetatm));
+    const double x = parse_double(column(line, 30, 38));
+    const double y = parse_double(column(line, 38, 46));
+    const double z = parse_double(column(line, 46, 54));
+    if (std::isnan(x) || std::isnan(y) || std::isnan(z)) {
+      return corrupt_data("bad coordinates at line " + std::to_string(line_number));
+    }
+    // Element columns 77-78 when present; otherwise guessed from the name.
+    const std::string element_field = std::string(trim(column(line, 76, 78)));
+    if (!element_field.empty()) {
+      atom.element = chem::element_from_atom_name(
+          element_field, chem::classify_residue(atom.residue_name, is_hetatm) == chem::Category::kIon);
+    }
+    system.add_atom(std::move(atom), static_cast<float>(x / kAngstromPerNm),
+                    static_cast<float>(y / kAngstromPerNm), static_cast<float>(z / kAngstromPerNm));
+  }
+  if (system.atom_count() == 0) return corrupt_data("pdb document contains no atoms");
+  return system;
+}
+
+Result<chem::System> read_pdb_file(const std::string& path) {
+  ADA_ASSIGN_OR_RETURN(const auto bytes, read_file(path));
+  return parse_pdb(std::string(bytes.begin(), bytes.end()));
+}
+
+std::string write_pdb(const chem::System& system) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(system.atom_count()) * 81 + 160);
+  char buf[96];
+
+  const chem::Box& box = system.box();
+  if (box.x() > 0) {
+    std::snprintf(buf, sizeof buf, "CRYST1%9.3f%9.3f%9.3f%7.2f%7.2f%7.2f P 1           1\n",
+                  static_cast<double>(box.x()) * kAngstromPerNm,
+                  static_cast<double>(box.y()) * kAngstromPerNm,
+                  static_cast<double>(box.z()) * kAngstromPerNm, 90.0, 90.0, 90.0);
+    out += buf;
+  }
+
+  const std::vector<float>& coords = system.reference_coords();
+  for (std::uint32_t i = 0; i < system.atom_count(); ++i) {
+    const chem::Atom& a = system.atom(i);
+    // PDB serials are 5 columns; large systems conventionally wrap mod 100000.
+    const unsigned serial = a.serial % 100000u;
+    const unsigned res_seq = a.residue_seq % 10000u;
+    // Atom-name column convention: 1-2 char element names start in column 14.
+    std::string name = a.name.size() < 4 ? " " + a.name : a.name;
+    std::snprintf(buf, sizeof buf, "%-6s%5u %-4s %-4s%c%4u    %8.3f%8.3f%8.3f%6.2f%6.2f          %2s\n",
+                  a.hetatm ? "HETATM" : "ATOM", serial, name.c_str(), a.residue_name.c_str(),
+                  a.chain_id, res_seq,
+                  static_cast<double>(coords[3 * i + 0]) * kAngstromPerNm,
+                  static_cast<double>(coords[3 * i + 1]) * kAngstromPerNm,
+                  static_cast<double>(coords[3 * i + 2]) * kAngstromPerNm, 1.0, 0.0,
+                  std::string(chem::symbol(a.element)).c_str());
+    out += buf;
+  }
+  out += "TER\nEND\n";
+  return out;
+}
+
+Status write_pdb_file(const std::string& path, const chem::System& system) {
+  const std::string text = write_pdb(system);
+  return write_file(path, std::span(reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+}  // namespace ada::formats

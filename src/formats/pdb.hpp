@@ -1,0 +1,31 @@
+// PDB (Protein Data Bank) structure files: fixed-column text records.
+//
+// The paper's workflow starts from a .pdb file: ADA's data pre-processor
+// "analyzes the atom information from a .pdb file ... categorizes the
+// molecules and then stores them by classes" (Section 3.4).  This module
+// implements the records that workflow touches: CRYST1 (box), ATOM / HETATM
+// (atoms), TER and END.  Coordinates are angstroms on the wire and converted
+// to the library's nanometer convention in memory.
+#pragma once
+
+#include <string>
+
+#include "chem/system.hpp"
+#include "common/result.hpp"
+
+namespace ada::formats {
+
+/// Parse a PDB document (text) into a System.
+/// Unknown record types are skipped; malformed ATOM records are errors.
+Result<chem::System> parse_pdb(const std::string& text);
+
+/// Read + parse a .pdb file from the host file system.
+Result<chem::System> read_pdb_file(const std::string& path);
+
+/// Serialize a System to PDB text (CRYST1 + ATOM/HETATM + TER + END).
+std::string write_pdb(const chem::System& system);
+
+/// Serialize + write to the host file system.
+Status write_pdb_file(const std::string& path, const chem::System& system);
+
+}  // namespace ada::formats

@@ -1,0 +1,144 @@
+#include "formats/raw_traj.hpp"
+
+#include <cstring>
+
+#include "common/binary_io.hpp"
+
+namespace ada::formats {
+
+RawTrajWriter::RawTrajWriter(std::uint32_t atom_count) : atom_count_(atom_count) {
+  ByteWriter w;
+  w.put_bytes(kRawMagic);
+  w.put_u32_le(atom_count_);
+  w.put_u32_le(0);  // frame count, patched by finish()
+  buffer_ = w.take();
+}
+
+Status RawTrajWriter::add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
+                                std::span<const float> coords) {
+  if (coords.size() != std::size_t{3} * atom_count_) {
+    return invalid_argument("frame has " + std::to_string(coords.size() / 3) + " atoms, expected " +
+                            std::to_string(atom_count_));
+  }
+  ByteWriter w;
+  w.put_u32_le(step);
+  w.put_f32_le(time_ps);
+  for (float v : box.matrix) w.put_f32_le(v);
+  for (float v : coords) w.put_f32_le(v);
+  const auto& bytes = w.bytes();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  ++frame_count_;
+  return Status::ok();
+}
+
+std::vector<std::uint8_t> RawTrajWriter::finish() {
+  const std::uint32_t wire = to_little_endian32(frame_count_);
+  std::memcpy(buffer_.data() + 12, &wire, 4);
+  return std::move(buffer_);
+}
+
+Result<RawTrajReader> RawTrajReader::open(std::span<const std::uint8_t> data) {
+  if (data.size() < 16) return corrupt_data("raw trajectory too small for header");
+  if (std::memcmp(data.data(), kRawMagic, 8) != 0) return corrupt_data("bad raw trajectory magic");
+  ByteReader r(data.subspan(8));
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t atoms, r.get_u32_le());
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t frames, r.get_u32_le());
+  const std::size_t expected = raw_file_bytes(atoms, frames);
+  if (data.size() != expected) {
+    return corrupt_data("raw trajectory size mismatch: file " + std::to_string(data.size()) +
+                        " bytes, header implies " + std::to_string(expected));
+  }
+  return RawTrajReader(data, atoms, frames);
+}
+
+Result<TrajFrame> RawTrajReader::frame(std::uint32_t index) const {
+  if (index >= frame_count_) {
+    return out_of_range("frame " + std::to_string(index) + " of " + std::to_string(frame_count_));
+  }
+  const std::size_t offset = 16 + std::size_t{index} * raw_frame_bytes(atom_count_);
+  ByteReader r(data_.subspan(offset, raw_frame_bytes(atom_count_)));
+  TrajFrame out;
+  ADA_ASSIGN_OR_RETURN(out.step, r.get_u32_le());
+  ADA_ASSIGN_OR_RETURN(out.time_ps, r.get_f32_le());
+  for (float& v : out.box.matrix) {
+    ADA_ASSIGN_OR_RETURN(v, r.get_f32_le());
+  }
+  out.coords.resize(std::size_t{3} * atom_count_);
+  for (float& v : out.coords) {
+    ADA_ASSIGN_OR_RETURN(v, r.get_f32_le());
+  }
+  return out;
+}
+
+Result<std::vector<TrajFrame>> RawTrajReader::read_all() const {
+  std::vector<TrajFrame> frames;
+  frames.reserve(frame_count_);
+  for (std::uint32_t i = 0; i < frame_count_; ++i) {
+    ADA_ASSIGN_OR_RETURN(TrajFrame f, frame(i));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+Result<RawTrajCatReader> RawTrajCatReader::open(std::span<const std::uint8_t> data) {
+  RawTrajCatReader cat;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    // Peek the segment header to learn its extent, then validate the slice.
+    const auto rest = data.subspan(offset);
+    if (rest.size() < 16 || std::memcmp(rest.data(), kRawMagic, 8) != 0) {
+      return corrupt_data("garbage at offset " + std::to_string(offset) +
+                          " between raw segments");
+    }
+    ByteReader header(rest.subspan(8));
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t atoms, header.get_u32_le());
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t frames, header.get_u32_le());
+    const std::size_t segment_bytes = raw_file_bytes(atoms, frames);
+    if (segment_bytes > rest.size()) {
+      return corrupt_data("raw segment at offset " + std::to_string(offset) + " truncated");
+    }
+    ADA_ASSIGN_OR_RETURN(RawTrajReader reader,
+                         RawTrajReader::open(rest.subspan(0, segment_bytes)));
+    if (cat.segments_.empty()) {
+      cat.atom_count_ = reader.atom_count();
+    } else if (reader.atom_count() != cat.atom_count_) {
+      return corrupt_data("raw segments disagree on atom count: " +
+                          std::to_string(reader.atom_count()) + " vs " +
+                          std::to_string(cat.atom_count_));
+    }
+    cat.segments_.push_back(Segment{reader, cat.frame_count_});
+    cat.frame_count_ += reader.frame_count();
+    offset += segment_bytes;
+  }
+  return cat;
+}
+
+Result<TrajFrame> RawTrajCatReader::frame(std::uint32_t index) const {
+  if (index >= frame_count_) {
+    return out_of_range("frame " + std::to_string(index) + " of " + std::to_string(frame_count_));
+  }
+  // Binary search the owning segment.
+  std::size_t lo = 0;
+  std::size_t hi = segments_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (segments_[mid].first_frame <= index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return segments_[lo].reader.frame(index - segments_[lo].first_frame);
+}
+
+Result<std::vector<TrajFrame>> RawTrajCatReader::read_all() const {
+  std::vector<TrajFrame> frames;
+  frames.reserve(frame_count_);
+  for (const Segment& segment : segments_) {
+    ADA_ASSIGN_OR_RETURN(auto part, segment.reader.read_all());
+    for (auto& f : part) frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+}  // namespace ada::formats

@@ -1,0 +1,115 @@
+// RAW trajectory: the uncompressed on-disk form of a trajectory.
+//
+// The paper's "D" scenarios load trajectories "w/o compression" (Table 3),
+// and ADA itself stores *decompressed* per-tag subsets so compute nodes never
+// pay the decode cost again.  This little-endian container holds exactly
+// that: a fixed header followed by frames of plain float32 coordinates.
+//
+//   header:  magic "ADARAW1\0" (8) | atom_count u32 | frame_count u32
+//   frame:   step u32 | time f32 | box 9xf32 | coords atom_count*3 x f32
+//
+// Per-frame size is therefore 44 + 12*atom_count bytes, which for the GPCR
+// system (43,520 atoms) gives the paper's ~522 KB/frame (Table 2: 327 MB for
+// 626 frames).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "formats/xtc_file.hpp"
+
+namespace ada::formats {
+
+constexpr std::uint8_t kRawMagic[8] = {'A', 'D', 'A', 'R', 'A', 'W', '1', '\0'};
+
+/// Bytes per RAW frame for a given atom count.
+constexpr std::size_t raw_frame_bytes(std::uint32_t atom_count) noexcept {
+  return 44 + std::size_t{12} * atom_count;
+}
+
+/// Total RAW file size for a given atom and frame count.
+constexpr std::size_t raw_file_bytes(std::uint32_t atom_count, std::uint64_t frames) noexcept {
+  return 16 + frames * raw_frame_bytes(atom_count);
+}
+
+/// Streaming RAW writer (in-memory image; persist through the storage layer).
+class RawTrajWriter {
+ public:
+  explicit RawTrajWriter(std::uint32_t atom_count);
+
+  /// Append one frame; coords must hold atom_count*3 floats.
+  Status add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
+                   std::span<const float> coords);
+
+  std::uint32_t atom_count() const noexcept { return atom_count_; }
+  std::uint32_t frame_count() const noexcept { return frame_count_; }
+  std::size_t size_bytes() const noexcept { return buffer_.size(); }
+
+  /// Finalize (patches the frame count into the header) and take the image.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::uint32_t atom_count_;
+  std::uint32_t frame_count_ = 0;
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Random-access RAW reader over an in-memory image.
+class RawTrajReader {
+ public:
+  /// Validates the header.
+  static Result<RawTrajReader> open(std::span<const std::uint8_t> data);
+
+  std::uint32_t atom_count() const noexcept { return atom_count_; }
+  std::uint32_t frame_count() const noexcept { return frame_count_; }
+
+  /// Decode frame `index` (random access: frames are fixed-size).
+  Result<TrajFrame> frame(std::uint32_t index) const;
+
+  /// Decode all frames.
+  Result<std::vector<TrajFrame>> read_all() const;
+
+ private:
+  RawTrajReader(std::span<const std::uint8_t> data, std::uint32_t atoms, std::uint32_t frames)
+      : data_(data), atom_count_(atoms), frame_count_(frames) {}
+
+  std::span<const std::uint8_t> data_;
+  std::uint32_t atom_count_;
+  std::uint32_t frame_count_;
+};
+
+/// Reader over a *concatenation* of RAW images (what a chunked/streaming
+/// ingest stores: one dropping per chunk, each a self-describing RAW file).
+/// Presents the segments as one logical trajectory with random access.
+class RawTrajCatReader {
+ public:
+  /// Validates every segment; they must agree on atom count.
+  static Result<RawTrajCatReader> open(std::span<const std::uint8_t> data);
+
+  std::uint32_t atom_count() const noexcept { return atom_count_; }
+  std::uint32_t frame_count() const noexcept { return frame_count_; }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Decode logical frame `index`.
+  Result<TrajFrame> frame(std::uint32_t index) const;
+
+  /// Decode all frames in order.
+  Result<std::vector<TrajFrame>> read_all() const;
+
+ private:
+  struct Segment {
+    RawTrajReader reader;
+    std::uint32_t first_frame;  // logical index of the segment's frame 0
+  };
+
+  RawTrajCatReader() = default;
+
+  std::vector<Segment> segments_;
+  std::uint32_t atom_count_ = 0;
+  std::uint32_t frame_count_ = 0;
+};
+
+}  // namespace ada::formats

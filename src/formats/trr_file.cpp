@@ -1,0 +1,155 @@
+#include "formats/trr_file.hpp"
+
+#include "xdr/xdr.hpp"
+
+namespace ada::formats {
+
+namespace {
+constexpr std::size_t kFloat = 4;  // single-precision blocks only
+}
+
+TrajFrame TrrFrame::to_traj_frame() const {
+  TrajFrame out;
+  out.step = step;
+  out.time_ps = time_ps;
+  out.box = box;
+  out.coords = coords;
+  return out;
+}
+
+Status TrrWriter::add_frame(const TrrFrame& frame) {
+  if (frame.coords.size() % 3 != 0) return invalid_argument("coords length not divisible by 3");
+  const std::size_t natoms = frame.coords.size() / 3;
+  if (frame.velocities && frame.velocities->size() != frame.coords.size()) {
+    return invalid_argument("velocity block size mismatch");
+  }
+  if (frame.forces && frame.forces->size() != frame.coords.size()) {
+    return invalid_argument("force block size mismatch");
+  }
+
+  xdr::XdrWriter w;
+  w.put_i32(kTrrMagic);
+  w.put_string(kTrrVersion);
+  // Block-size header, in GROMACS trn order.
+  w.put_i32(0);  // ir_size
+  w.put_i32(0);  // e_size
+  w.put_i32(9 * kFloat);  // box_size
+  w.put_i32(0);  // vir_size
+  w.put_i32(0);  // pres_size
+  w.put_i32(0);  // top_size
+  w.put_i32(0);  // sym_size
+  w.put_i32(static_cast<std::int32_t>(frame.coords.size() * kFloat));  // x_size
+  w.put_i32(frame.velocities ? static_cast<std::int32_t>(frame.velocities->size() * kFloat) : 0);
+  w.put_i32(frame.forces ? static_cast<std::int32_t>(frame.forces->size() * kFloat) : 0);
+  w.put_i32(static_cast<std::int32_t>(natoms));
+  w.put_i32(static_cast<std::int32_t>(frame.step));
+  w.put_i32(0);  // nre
+  w.put_f32(frame.time_ps);
+  w.put_f32(frame.lambda);
+  for (const float v : frame.box.matrix) w.put_f32(v);
+  for (const float v : frame.coords) w.put_f32(v);
+  if (frame.velocities) {
+    for (const float v : *frame.velocities) w.put_f32(v);
+  }
+  if (frame.forces) {
+    for (const float v : *frame.forces) w.put_f32(v);
+  }
+
+  const auto& bytes = w.bytes();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  ++frame_count_;
+  return Status::ok();
+}
+
+Result<std::optional<TrrFrame>> TrrReader::next() {
+  if (pos_ == data_.size()) return std::optional<TrrFrame>{};
+  xdr::XdrReader r(data_.subspan(pos_));
+
+  ADA_ASSIGN_OR_RETURN(const std::int32_t magic, r.get_i32());
+  if (magic != kTrrMagic) return corrupt_data("bad trr frame magic: " + std::to_string(magic));
+  ADA_ASSIGN_OR_RETURN(const std::string version, r.get_string());
+  if (version != kTrrVersion) return corrupt_data("bad trr version string: " + version);
+
+  std::int32_t sizes[10];
+  for (auto& s : sizes) {
+    ADA_ASSIGN_OR_RETURN(s, r.get_i32());
+  }
+  const std::int32_t box_size = sizes[2];
+  const std::int32_t x_size = sizes[7];
+  const std::int32_t v_size = sizes[8];
+  const std::int32_t f_size = sizes[9];
+  for (const std::int32_t s : sizes) {
+    if (s < 0) return corrupt_data("negative trr block size");
+  }
+  if (sizes[0] != 0 || sizes[1] != 0 || sizes[3] != 0 || sizes[4] != 0 || sizes[5] != 0 ||
+      sizes[6] != 0) {
+    return unsupported("trr frame carries unsupported blocks (ir/e/vir/pres/top/sym)");
+  }
+
+  TrrFrame frame;
+  ADA_ASSIGN_OR_RETURN(const std::int32_t natoms, r.get_i32());
+  if (natoms < 0) return corrupt_data("negative atom count");
+  ADA_ASSIGN_OR_RETURN(const std::int32_t step, r.get_i32());
+  frame.step = static_cast<std::uint32_t>(step);
+  ADA_ASSIGN_OR_RETURN(const std::int32_t nre, r.get_i32());
+  if (nre != 0) return unsupported("trr energy records are unsupported");
+  ADA_ASSIGN_OR_RETURN(frame.time_ps, r.get_f32());
+  ADA_ASSIGN_OR_RETURN(frame.lambda, r.get_f32());
+
+  if (box_size != 0) {
+    if (box_size != 9 * static_cast<std::int32_t>(kFloat)) {
+      return unsupported("double-precision trr boxes are unsupported");
+    }
+    for (float& v : frame.box.matrix) {
+      ADA_ASSIGN_OR_RETURN(v, r.get_f32());
+    }
+  }
+
+  const auto expected_block =
+      static_cast<std::int32_t>(static_cast<std::size_t>(natoms) * 3 * kFloat);
+  auto read_block = [&](std::int32_t size, std::vector<float>& out) -> Status {
+    if (size != expected_block) {
+      return corrupt_data("trr block size " + std::to_string(size) + " does not match natoms " +
+                          std::to_string(natoms));
+    }
+    out.resize(static_cast<std::size_t>(natoms) * 3);
+    for (float& v : out) {
+      ADA_ASSIGN_OR_RETURN(v, r.get_f32());
+    }
+    return Status::ok();
+  };
+  if (x_size == 0) return corrupt_data("trr frame without coordinates");
+  ADA_RETURN_IF_ERROR(read_block(x_size, frame.coords));
+  if (v_size != 0) {
+    frame.velocities.emplace();
+    ADA_RETURN_IF_ERROR(read_block(v_size, *frame.velocities));
+  }
+  if (f_size != 0) {
+    frame.forces.emplace();
+    ADA_RETURN_IF_ERROR(read_block(f_size, *frame.forces));
+  }
+
+  pos_ += r.position();
+  return std::optional<TrrFrame>(std::move(frame));
+}
+
+Result<std::vector<TrrFrame>> read_all_trr(std::span<const std::uint8_t> data) {
+  std::vector<TrrFrame> frames;
+  TrrReader reader(data);
+  while (true) {
+    ADA_ASSIGN_OR_RETURN(auto frame, reader.next());
+    if (!frame.has_value()) break;
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+bool looks_like_trr(std::span<const std::uint8_t> data) {
+  xdr::XdrReader r(data);
+  const auto magic = r.get_i32();
+  if (!magic.is_ok() || magic.value() != kTrrMagic) return false;
+  const auto version = r.get_string();
+  return version.is_ok() && version.value() == kTrrVersion;
+}
+
+}  // namespace ada::formats

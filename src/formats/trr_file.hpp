@@ -1,0 +1,83 @@
+// TRR trajectory files: GROMACS's uncompressed XDR trajectory container.
+//
+// The paper's "D" scenarios load trajectories "w/o compression" (Table 3).
+// Next to the repository-native RAW container (raw_traj.hpp, fixed-stride
+// random access), this module implements the interchange format those
+// datasets would really ship in: the GROMACS .trr layout -- an XDR stream of
+// frames, each with magic 1993, the "GMX_trn_file" version string, a block
+// -size header, the box, and float coordinate/velocity/force blocks.  Only
+// the single-precision variant is produced; velocities and forces are
+// optional, exactly as in GROMACS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "chem/system.hpp"
+#include "common/result.hpp"
+#include "formats/xtc_file.hpp"
+
+namespace ada::formats {
+
+/// Frame magic, identical to GROMACS trn.
+constexpr std::int32_t kTrrMagic = 1993;
+/// Version string, identical to GROMACS trn.
+inline constexpr const char* kTrrVersion = "GMX_trn_file";
+
+/// One decoded TRR frame (coordinates always; velocities/forces optional).
+struct TrrFrame {
+  std::uint32_t step = 0;
+  float time_ps = 0.0f;
+  float lambda = 0.0f;  // free-energy coupling parameter, carried verbatim
+  chem::Box box;
+  std::vector<float> coords;                 // xyz triplets, nm
+  std::optional<std::vector<float>> velocities;
+  std::optional<std::vector<float>> forces;
+
+  std::uint32_t atom_count() const noexcept {
+    return static_cast<std::uint32_t>(coords.size() / 3);
+  }
+
+  /// View as the format-agnostic TrajFrame (drops velocities/forces).
+  TrajFrame to_traj_frame() const;
+};
+
+/// Streaming writer (in-memory image).
+class TrrWriter {
+ public:
+  Status add_frame(const TrrFrame& frame);
+
+  std::size_t frame_count() const noexcept { return frame_count_; }
+  std::size_t size_bytes() const noexcept { return buffer_.size(); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t frame_count_ = 0;
+};
+
+/// Streaming reader.
+class TrrReader {
+ public:
+  explicit TrrReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Decode the next frame; std::nullopt cleanly at end of stream.
+  Result<std::optional<TrrFrame>> next();
+
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Decode every frame.
+Result<std::vector<TrrFrame>> read_all_trr(std::span<const std::uint8_t> data);
+
+/// True if `data` begins with a TRR frame header (format sniffing).
+bool looks_like_trr(std::span<const std::uint8_t> data);
+
+}  // namespace ada::formats

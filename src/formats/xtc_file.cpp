@@ -1,0 +1,144 @@
+#include "formats/xtc_file.hpp"
+
+#include "xdr/xdr.hpp"
+
+namespace ada::formats {
+
+Status XtcWriter::add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
+                            std::span<const float> coords, codec::PerAtomCost* per_atom) {
+  ADA_ASSIGN_OR_RETURN(const codec::CompressedFrame frame,
+                       codec::compress(coords, params_, per_atom));
+  xdr::XdrWriter w;
+  w.put_i32(kXtcMagic);
+  w.put_u32(frame.atom_count);
+  w.put_u32(step);
+  w.put_f32(time_ps);
+  for (float v : box.matrix) w.put_f32(v);
+  // Coordinate block (ada3d variant).
+  w.put_u32(kAda3dMagic);
+  w.put_f32(frame.precision);
+  for (int d = 0; d < 3; ++d) w.put_i32(frame.min_quantum[d]);
+  for (int d = 0; d < 3; ++d) w.put_u32(frame.full_bits[d]);
+  w.put_u32(frame.small_bits);
+  w.put_u32(static_cast<std::uint32_t>(frame.payload_bits >> 32));
+  w.put_u32(static_cast<std::uint32_t>(frame.payload_bits & 0xffffffffu));
+  w.put_opaque(frame.payload);
+
+  const auto& bytes = w.bytes();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  ++frame_count_;
+  return Status::ok();
+}
+
+Result<std::optional<TrajFrame>> XtcReader::next() {
+  if (pos_ == data_.size()) return std::optional<TrajFrame>{};
+  xdr::XdrReader r(data_.subspan(pos_));
+
+  ADA_ASSIGN_OR_RETURN(const std::int32_t magic, r.get_i32());
+  if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic: " + std::to_string(magic));
+
+  codec::CompressedFrame frame;
+  TrajFrame out;
+  ADA_ASSIGN_OR_RETURN(frame.atom_count, r.get_u32());
+  ADA_ASSIGN_OR_RETURN(out.step, r.get_u32());
+  ADA_ASSIGN_OR_RETURN(out.time_ps, r.get_f32());
+  for (float& v : out.box.matrix) {
+    ADA_ASSIGN_OR_RETURN(v, r.get_f32());
+  }
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t codec_magic, r.get_u32());
+  if (codec_magic != kAda3dMagic) {
+    return corrupt_data("unsupported xtc coordinate codec: " + std::to_string(codec_magic));
+  }
+  ADA_ASSIGN_OR_RETURN(frame.precision, r.get_f32());
+  for (int d = 0; d < 3; ++d) {
+    ADA_ASSIGN_OR_RETURN(frame.min_quantum[d], r.get_i32());
+  }
+  for (int d = 0; d < 3; ++d) {
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t bits, r.get_u32());
+    if (bits > 32) return corrupt_data("bad full_bits field");
+    frame.full_bits[d] = static_cast<std::uint8_t>(bits);
+  }
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t small_bits, r.get_u32());
+  if (small_bits > 31) return corrupt_data("bad small_bits field");
+  frame.small_bits = static_cast<std::uint8_t>(small_bits);
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t bits_hi, r.get_u32());
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t bits_lo, r.get_u32());
+  frame.payload_bits = (static_cast<std::uint64_t>(bits_hi) << 32) | bits_lo;
+  ADA_ASSIGN_OR_RETURN(frame.payload, r.get_opaque());
+
+  ADA_ASSIGN_OR_RETURN(out.coords, codec::decompress(frame));
+  pos_ += r.position();
+  return std::optional<TrajFrame>(std::move(out));
+}
+
+Result<bool> XtcReader::skip() {
+  if (pos_ == data_.size()) return false;
+  xdr::XdrReader r(data_.subspan(pos_));
+  ADA_ASSIGN_OR_RETURN(const std::int32_t magic, r.get_i32());
+  if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic: " + std::to_string(magic));
+  // Fixed-size header after the magic: natoms, step, time, box, codec magic,
+  // precision, 3 min, 3 full_bits, small_bits, 2 payload_bits words.
+  constexpr std::size_t kHeaderWords = 3 + 9 + 1 + 1 + 3 + 3 + 1 + 2;
+  for (std::size_t i = 0; i < kHeaderWords; ++i) {
+    ADA_RETURN_IF_ERROR(r.get_u32().status());
+  }
+  ADA_RETURN_IF_ERROR(r.get_opaque().status());  // payload
+  pos_ += r.position();
+  return true;
+}
+
+Result<std::vector<TrajFrame>> read_all_xtc(std::span<const std::uint8_t> data) {
+  std::vector<TrajFrame> frames;
+  XtcReader reader(data);
+  while (true) {
+    ADA_ASSIGN_OR_RETURN(auto frame, reader.next());
+    if (!frame.has_value()) break;
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+Result<std::vector<XtcIndexEntry>> build_xtc_index(std::span<const std::uint8_t> data) {
+  std::vector<XtcIndexEntry> index;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    xdr::XdrReader r(data.subspan(pos));
+    ADA_ASSIGN_OR_RETURN(const std::int32_t magic, r.get_i32());
+    if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic in index pass");
+    XtcIndexEntry entry;
+    entry.offset = pos;
+    ADA_RETURN_IF_ERROR(r.get_u32().status());  // natoms
+    ADA_ASSIGN_OR_RETURN(entry.step, r.get_u32());
+    ADA_ASSIGN_OR_RETURN(entry.time_ps, r.get_f32());
+    // Skip: box (9), codec magic, precision, mins (3), full_bits (3),
+    // small_bits, payload_bits (2) = 20 words, then the opaque payload.
+    for (int i = 0; i < 20; ++i) {
+      ADA_RETURN_IF_ERROR(r.get_u32().status());
+    }
+    ADA_RETURN_IF_ERROR(r.get_opaque().status());
+    index.push_back(entry);
+    pos += r.position();
+  }
+  return index;
+}
+
+Result<TrajFrame> read_xtc_frame_at(std::span<const std::uint8_t> data, std::size_t offset) {
+  if (offset >= data.size()) return out_of_range("xtc frame offset beyond image");
+  XtcReader reader(data.subspan(offset));
+  ADA_ASSIGN_OR_RETURN(auto frame, reader.next());
+  if (!frame.has_value()) return corrupt_data("no frame at the given offset");
+  return std::move(*frame);
+}
+
+std::vector<float> extract_subset(std::span<const float> coords, const chem::Selection& selection) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(selection.count()) * 3);
+  for (const chem::Run& run : selection.runs()) {
+    ADA_CHECK(static_cast<std::size_t>(run.end) * 3 <= coords.size());
+    out.insert(out.end(), coords.begin() + static_cast<std::ptrdiff_t>(run.begin) * 3,
+               coords.begin() + static_cast<std::ptrdiff_t>(run.end) * 3);
+  }
+  return out;
+}
+
+}  // namespace ada::formats

@@ -1,0 +1,60 @@
+// Cluster fabric: an InfiniBand-like switched network over the flow model.
+//
+// Every node gets a TX and an RX link (its NIC directions); a shared
+// backplane link models the switch.  A transfer from node A to node B is a
+// flow across [A.tx, backplane, B.rx], so concurrent transfers contend
+// exactly where real ones do: at source NICs, at the switch, and at the
+// destination NIC (the convergence bottleneck for striped reads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/flow_network.hpp"
+
+namespace ada::net {
+
+using NodeId = std::uint32_t;
+
+/// Fabric performance envelope.
+struct FabricSpec {
+  double nic_bandwidth = 4e9;        // bytes/s per direction (IB QDR-class)
+  double backplane_bandwidth = 4e10; // switch capacity
+  double base_latency = 2e-6;        // per-transfer setup latency, seconds
+
+  static FabricSpec infiniband_qdr() { return FabricSpec{}; }
+};
+
+class Fabric {
+ public:
+  /// Build a fabric over `node_count` nodes with its own FlowNetwork links.
+  Fabric(sim::Simulator& simulator, sim::FlowNetwork& network, FabricSpec spec,
+         std::uint32_t node_count);
+
+  std::uint32_t node_count() const noexcept { return static_cast<std::uint32_t>(tx_.size()); }
+  const FabricSpec& spec() const noexcept { return spec_; }
+
+  sim::FlowNetwork& network() noexcept { return network_; }
+
+  /// Flow path for a transfer src -> dst (usable as a prefix/suffix of a
+  /// larger path that includes disk links).
+  std::vector<sim::LinkId> path(NodeId src, NodeId dst) const;
+
+  /// Start a transfer; `on_complete` fires when the last byte lands.
+  sim::FlowId transfer(NodeId src, NodeId dst, double bytes, std::function<void()> on_complete);
+
+  sim::LinkId tx_link(NodeId node) const { return tx_.at(node); }
+  sim::LinkId rx_link(NodeId node) const { return rx_.at(node); }
+  sim::LinkId backplane() const noexcept { return backplane_; }
+
+ private:
+  sim::Simulator& simulator_;
+  sim::FlowNetwork& network_;
+  FabricSpec spec_;
+  std::vector<sim::LinkId> tx_;
+  std::vector<sim::LinkId> rx_;
+  sim::LinkId backplane_;
+};
+
+}  // namespace ada::net

@@ -1,0 +1,62 @@
+#include "platform/constants.hpp"
+
+#include "codec/coord_codec.hpp"
+#include "common/check.hpp"
+#include "formats/xtc_file.hpp"
+#include "common/stopwatch.hpp"
+#include "vmd/geometry.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::platform {
+
+CpuRates calibrate_on_host() {
+  CpuRates rates;
+
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+
+  // Decompress rate: encode a batch of frames once, then time decode passes.
+  std::vector<codec::CompressedFrame> compressed;
+  double raw_bytes = 0;
+  for (int f = 0; f < 24; ++f) {
+    const auto coords = gen.next_frame();
+    compressed.push_back(codec::compress(coords, {}).value());
+    raw_bytes += static_cast<double>(coords.size()) * 4.0;
+  }
+  Stopwatch decode_watch;
+  int passes = 0;
+  while (decode_watch.elapsed_seconds() < 0.2) {
+    for (const auto& frame : compressed) {
+      const auto out = codec::decompress(frame);
+      ADA_CHECK(out.is_ok());
+    }
+    ++passes;
+  }
+  rates.decompress_bps = raw_bytes * passes / decode_watch.elapsed_seconds();
+
+  // Render rate: per-frame geometry update.  VMD computes bonds once per
+  // structure; the recurring per-frame render work is streaming coordinates
+  // into transformed vertex buffers, so that is what the constant models.
+  const auto protein = system.selection_for(chem::Category::kProtein);
+  const auto coords = formats::extract_subset(system.reference_coords(), protein);
+  const double subset_bytes = static_cast<double>(coords.size()) * 4.0;
+  std::vector<float> vertices(coords.size());
+  Stopwatch render_watch;
+  passes = 0;
+  float sink = 0.0f;
+  while (render_watch.elapsed_seconds() < 0.2) {
+    // Model-view transform per vertex (scale + translate per axis).
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      vertices[i] = coords[i] * 37.5f + 240.0f;
+    }
+    sink += vertices[static_cast<std::size_t>(passes) % vertices.size()];
+    ++passes;
+  }
+  ADA_CHECK(std::isfinite(static_cast<double>(sink)));
+  rates.render_bps = subset_bytes * passes / render_watch.elapsed_seconds();
+
+  return rates;
+}
+
+}  // namespace ada::platform

@@ -1,0 +1,44 @@
+// CPU-rate constants of the performance plane.
+//
+// These are the single-threaded processing rates the scenario pipelines
+// charge for each VMD phase.  Defaults are deterministic and calibrated so
+// that the paper's headline ratios emerge from the paper's own hardware
+// tables (see DESIGN.md section 4 and EXPERIMENTS.md); calibrate() instead
+// measures the real codec and bond search on the host, for readers who want
+// the model grounded in their machine.
+#pragma once
+
+namespace ada::platform {
+
+struct CpuRates {
+  /// xtc decompression throughput, raw (output) bytes per second.
+  /// Real xdrfile-class decoders decode a few hundred MB/s of coordinates
+  /// per core; 500 MB/s reproduces the paper's 13.4x (Fig 7b).
+  double decompress_bps = 500e6;
+
+  /// Active-data scan/filter over decompressed frames (bytes/second).
+  double filter_bps = 1.3e9;
+
+  /// Subset-merge (scatter) throughput for ADA(all) reconstruction.
+  double merge_bps = 1.5e9;
+
+  /// Scene/geometry build throughput over displayed bytes.
+  double render_bps = 7e9;
+
+  /// Per-frame fixed render cost (display-list bookkeeping), seconds.
+  double render_per_frame_s = 2e-6;
+
+  /// ADA indexer tag lookup per query, seconds (the small extra cost that
+  /// makes D-ADA(all) trail D-ext4 in Fig 7a).
+  double indexer_overhead_s = 0.02;
+
+  static CpuRates paper_default() { return CpuRates{}; }
+};
+
+/// Host-measured rates: runs the real ada3d decoder and the real cell-list
+/// bond search on a synthetic sample and returns observed bytes/second for
+/// the decompress and render entries (other fields keep defaults).
+/// Deterministic inputs, host-dependent outputs -- for reporting only.
+CpuRates calibrate_on_host();
+
+}  // namespace ada::platform

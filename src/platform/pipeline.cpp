@@ -1,0 +1,291 @@
+#include "platform/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "pvfs/pvfs.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace ada::platform {
+
+namespace {
+
+/// Render working set: geometry buffers scale with the displayed subset.
+constexpr double kRenderWorkingSetFraction = 0.005;
+
+std::string fs_suffix(const Platform& platform) {
+  switch (platform.kind) {
+    case Platform::Kind::kLocalFs: return platform.local_fs->params().name;
+    case Platform::Kind::kCluster: return "PVFS";
+  }
+  return "fs";
+}
+
+/// Bytes each scenario moves from storage to the compute node.
+double loaded_bytes(Scenario scenario, const WorkloadSizes& sizes) {
+  switch (scenario) {
+    case Scenario::kCompressedFs: return sizes.compressed_bytes;
+    case Scenario::kRawFs: return sizes.raw_bytes;
+    case Scenario::kAdaAll: return sizes.raw_bytes;
+    case Scenario::kAdaProtein: return sizes.protein_bytes;
+  }
+  return 0;
+}
+
+/// Cluster retrieval: run the striped-PVFS DES and return elapsed seconds.
+double cluster_retrieval_seconds(const ClusterConfig& cluster, Scenario scenario,
+                                 const WorkloadSizes& sizes, const PipelineOptions& options) {
+  sim::Simulator simulator;
+  sim::FlowNetwork network(simulator);
+  const unsigned nodes = cluster.compute_nodes + cluster.hdd_storage_nodes + cluster.ssd_storage_nodes;
+  net::Fabric fabric(simulator, network,
+                     net::FabricSpec{cluster.nic_bandwidth, cluster.backplane_bandwidth, 2e-6},
+                     nodes);
+
+  auto make_servers = [&](unsigned first, unsigned count, const storage::DeviceSpec& device) {
+    std::vector<pvfs::IoServer> servers;
+    const unsigned limit = options.stripe_servers_override == 0
+                               ? count
+                               : std::min(count, options.stripe_servers_override);
+    for (unsigned i = 0; i < limit; ++i) {
+      servers.push_back(pvfs::IoServer{first + i, device, cluster.disks_per_node});
+    }
+    return servers;
+  };
+  const unsigned hdd_first = cluster.compute_nodes;
+  const unsigned ssd_first = cluster.compute_nodes + cluster.hdd_storage_nodes;
+  const net::NodeId client = 0;
+
+  int outstanding = 0;
+  auto on_done = [&outstanding] { --outstanding; };
+
+  // Instances are built per scenario; unused ones cost nothing.
+  std::optional<pvfs::PvfsModel> hybrid;
+  std::optional<pvfs::PvfsModel> ssd_fs;
+  std::optional<pvfs::PvfsModel> hdd_fs;
+
+  switch (scenario) {
+    case Scenario::kCompressedFs:
+    case Scenario::kRawFs: {
+      // One PVFS over all six storage nodes (3 HDD + 3 SSD), the paper's
+      // hybrid control group.
+      auto servers = make_servers(hdd_first, cluster.hdd_storage_nodes,
+                                  storage::DeviceSpec::wd_hdd_1tb());
+      auto ssd_servers = make_servers(ssd_first, cluster.ssd_storage_nodes,
+                                      storage::DeviceSpec::plextor_ssd_256gb());
+      servers.insert(servers.end(), ssd_servers.begin(), ssd_servers.end());
+      hybrid.emplace(simulator, fabric, "pvfs", std::move(servers), hdd_first);
+      outstanding = 1;
+      hybrid->read_file(loaded_bytes(scenario, sizes), client, on_done);
+      break;
+    }
+    case Scenario::kAdaAll:
+    case Scenario::kAdaProtein: {
+      ssd_fs.emplace(simulator, fabric, "pvfs-ssd",
+                     make_servers(ssd_first, cluster.ssd_storage_nodes,
+                                  storage::DeviceSpec::plextor_ssd_256gb()),
+                     ssd_first);
+      hdd_fs.emplace(simulator, fabric, "pvfs-hdd",
+                     make_servers(hdd_first, cluster.hdd_storage_nodes,
+                                  storage::DeviceSpec::wd_hdd_1tb()),
+                     hdd_first);
+      const double misc_bytes = sizes.raw_bytes - sizes.protein_bytes;
+      using Placement = PipelineOptions::AdaClusterPlacement;
+      if (scenario == Scenario::kAdaProtein) {
+        outstanding = 1;
+        auto& fs = options.ada_placement == Placement::kAllOnHdd ? *hdd_fs : *ssd_fs;
+        fs.read_file(sizes.protein_bytes, client, on_done);
+      } else {
+        switch (options.ada_placement) {
+          case Placement::kAllOnSsd:
+            outstanding = 1;
+            ssd_fs->read_file(sizes.raw_bytes, client, on_done);
+            break;
+          case Placement::kAllOnHdd:
+            outstanding = 1;
+            hdd_fs->read_file(sizes.raw_bytes, client, on_done);
+            break;
+          case Placement::kSplitSsdHdd:
+            // Protein subset from the SSD instance, MISC from the HDD
+            // instance, fetched concurrently.
+            outstanding = 2;
+            ssd_fs->read_file(sizes.protein_bytes, client, on_done);
+            hdd_fs->read_file(misc_bytes, client, on_done);
+            break;
+        }
+      }
+      break;
+    }
+  }
+  ADA_CHECK(outstanding > 0);
+  simulator.run_while_pending([&] { return outstanding == 0; });
+  ADA_CHECK(outstanding == 0);
+  return simulator.now();
+}
+
+/// Internal phase description before slowdown/OOM resolution.
+struct PhasePlan {
+  std::string name;
+  double base_seconds = 0;
+  double mem_start = 0;
+  double mem_end = 0;
+  double cpu_fraction = 0;
+  double disk_fraction = 0;
+};
+
+}  // namespace
+
+std::string scenario_label(Scenario scenario, const Platform& platform) {
+  const std::string fs = fs_suffix(platform);
+  switch (scenario) {
+    case Scenario::kCompressedFs: return "C-" + fs;
+    case Scenario::kRawFs: return "D-" + fs;
+    case Scenario::kAdaAll: return "D-ADA (all)";
+    case Scenario::kAdaProtein: return "D-ADA (protein)";
+  }
+  return "?";
+}
+
+ScenarioResult run_scenario(const Platform& platform, Scenario scenario,
+                            const WorkloadSizes& sizes, const PipelineOptions& options) {
+  const CpuRates& cpu = platform.cpu;
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.label = scenario_label(scenario, platform);
+
+  // --- raw retrieval time ------------------------------------------------------
+  const double bytes_in = loaded_bytes(scenario, sizes);
+  double retrieve_base = 0;
+  switch (platform.kind) {
+    case Platform::Kind::kLocalFs:
+      retrieve_base = platform.local_fs->read_file_time(bytes_in);
+      break;
+    case Platform::Kind::kCluster:
+      retrieve_base = cluster_retrieval_seconds(*platform.cluster, scenario, sizes, options);
+      break;
+  }
+
+  const double window = std::min(sizes.compressed_bytes, platform.page_cache_window);
+  const double render_ws = kRenderWorkingSetFraction * sizes.protein_bytes;
+  const double render_cpu_s = sizes.protein_bytes / cpu.render_bps +
+                              static_cast<double>(sizes.frames) * cpu.render_per_frame_s;
+
+  // --- phase plan -----------------------------------------------------------------
+  std::vector<PhasePlan> plan;
+  auto add = [&plan](std::string name, double seconds, double mem_start, double mem_end,
+                     double cpu_frac, double disk_frac) {
+    plan.push_back(PhasePlan{std::move(name), seconds, mem_start, mem_end, cpu_frac, disk_frac});
+  };
+
+  switch (scenario) {
+    case Scenario::kCompressedFs: {
+      add("retrieve", retrieve_base, 0, window, 0.05, 1.0);
+      add("decompress", sizes.raw_bytes / cpu.decompress_bps, window, window + sizes.raw_bytes,
+          1.0, 0.1);
+      add("filter", sizes.raw_bytes / cpu.filter_bps, window + sizes.raw_bytes,
+          window + sizes.raw_bytes, 1.0, 0.0);
+      add("render", render_cpu_s, window + sizes.raw_bytes,
+          window + sizes.raw_bytes + render_ws, 1.0, 0.0);
+      break;
+    }
+    case Scenario::kRawFs: {
+      add("retrieve", retrieve_base, 0, sizes.raw_bytes, 0.05, 1.0);
+      add("filter", sizes.raw_bytes / cpu.filter_bps, sizes.raw_bytes, sizes.raw_bytes, 1.0, 0.0);
+      add("render", render_cpu_s, sizes.raw_bytes, sizes.raw_bytes + render_ws, 1.0, 0.0);
+      break;
+    }
+    case Scenario::kAdaAll: {
+      add("indexer", cpu.indexer_overhead_s, 0, 0, 0.2, 0.0);
+      add("retrieve", retrieve_base, 0, sizes.raw_bytes, 0.05, 1.0);
+      add("merge", sizes.raw_bytes / cpu.merge_bps, sizes.raw_bytes, sizes.raw_bytes, 1.0, 0.0);
+      add("render", render_cpu_s, sizes.raw_bytes, sizes.raw_bytes + render_ws, 1.0, 0.0);
+      break;
+    }
+    case Scenario::kAdaProtein: {
+      add("indexer", cpu.indexer_overhead_s, 0, 0, 0.2, 0.0);
+      add("retrieve", retrieve_base, 0, sizes.protein_bytes, 0.05, 1.0);
+      add("render", render_cpu_s, sizes.protein_bytes, sizes.protein_bytes + render_ws, 1.0, 0.0);
+      break;
+    }
+  }
+
+  // --- execute: slowdown, OOM, metrics ------------------------------------------------
+  const double usable = platform.dram_bytes * (1.0 - platform.os_reserve_fraction);
+  storage::EnergyMeter meter(platform.power, platform.metered_nodes);
+  double peak = 0;
+
+  // Point slowdown at memory ratio r (capped exponential above the threshold).
+  const auto thrash_at = [&platform](double ratio) {
+    if (ratio <= platform.thrash_threshold) return 1.0;
+    return std::min(platform.thrash_max_factor,
+                    std::exp(platform.thrash_k * (ratio - platform.thrash_threshold)));
+  };
+  // Mean slowdown along a linear memory trajectory [m0, m1] (numeric
+  // integration; exact enough at 64 points for a smooth exponential).
+  const auto thrash_mean = [&](double m0, double m1) {
+    if (m1 <= m0) return thrash_at(m0 / usable);
+    constexpr int kSteps = 64;
+    double sum = 0;
+    for (int i = 0; i < kSteps; ++i) {
+      const double m = m0 + (m1 - m0) * (i + 0.5) / kSteps;
+      sum += thrash_at(m / usable);
+    }
+    return sum / kSteps;
+  };
+
+  for (const PhasePlan& phase : plan) {
+    bool killed = false;
+    double fraction = 1.0;
+    double mem_end = phase.mem_end;
+    if (phase.mem_end > usable) {
+      // The growing allocation crosses usable capacity mid-phase: the OOM
+      // killer fires after the corresponding fraction of the phase.
+      const double growth = phase.mem_end - phase.mem_start;
+      fraction = growth > 0 ? std::clamp((usable - phase.mem_start) / growth, 0.0, 1.0) : 0.0;
+      mem_end = std::min(phase.mem_end, usable);
+      killed = true;
+    }
+    const double factor =
+        phase.cpu_fraction >= 0.5 ? thrash_mean(phase.mem_start, mem_end) : 1.0;
+    const double seconds = phase.base_seconds * factor * fraction;
+
+    result.phases.push_back(
+        PhaseResult{phase.name, seconds, phase.cpu_fraction, phase.disk_fraction});
+    meter.record({phase.name, seconds, phase.cpu_fraction, phase.disk_fraction});
+    result.turnaround_s += seconds;
+    if (phase.name == "retrieve" || phase.name == "indexer") {
+      // Fig. 7a counts the indexer's tag search in the retrieval time
+      // ("ADA needs to launch Indexer to search tags").
+      result.retrieval_s += seconds;
+    } else if (phase.name == "render") {
+      result.render_s += seconds;
+    } else {
+      result.preprocess_s += seconds;
+    }
+    peak = std::max(peak, std::min(phase.mem_end, usable));
+    if (killed) {
+      result.oom = true;
+      break;
+    }
+  }
+
+  result.memory_peak_bytes = peak;
+  result.energy_joules = meter.joules();
+  return result;
+}
+
+std::vector<ScenarioResult> run_all_scenarios(const Platform& platform, const WorkloadSizes& sizes,
+                                              const PipelineOptions& options) {
+  std::vector<ScenarioResult> out;
+  for (const Scenario scenario : {Scenario::kCompressedFs, Scenario::kRawFs, Scenario::kAdaAll,
+                                  Scenario::kAdaProtein}) {
+    out.push_back(run_scenario(platform, scenario, sizes, options));
+  }
+  return out;
+}
+
+}  // namespace ada::platform

@@ -1,0 +1,79 @@
+// Scenario pipelines: the four workflows of paper Table 3, end to end.
+//
+//   C           VMD loads a compressed XTC file
+//   D           VMD loads a raw XTC file w/o compression
+//   ADA (all)   ADA transfers the entire (decompressed) raw data
+//   ADA (protein) ADA transfers the decompressed protein subset only
+//
+// run_scenario() executes a scenario's phase sequence against a platform,
+// charging storage time (local FS model or the striped-PVFS DES), CPU time
+// (CpuRates), memory (with the OOM semantics of Section 4.3), the
+// memory-pressure slowdown, and node energy.  The result rows are what every
+// figure bench prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/workload_stats.hpp"
+
+namespace ada::platform {
+
+enum class Scenario {
+  kCompressedFs,  // C-<fs>
+  kRawFs,         // D-<fs>
+  kAdaAll,        // D-ADA (all)
+  kAdaProtein,    // D-ADA (protein)
+};
+
+/// Paper-style label, e.g. "C-ext4", "D-PVFS", "D-ADA (protein)".
+std::string scenario_label(Scenario scenario, const Platform& platform);
+
+/// One executed phase (feeds Fig. 8 and the energy meter).
+struct PhaseResult {
+  std::string name;       // "retrieve", "decompress", "filter", "merge", "render", "indexer"
+  double seconds = 0;     // final (slowdown-adjusted, truncated on OOM)
+  double cpu_fraction = 0;
+  double disk_fraction = 0;
+};
+
+struct ScenarioResult {
+  Scenario scenario = Scenario::kCompressedFs;
+  std::string label;
+
+  double retrieval_s = 0;   // paper metric: raw data retrieval time
+  double preprocess_s = 0;  // decompress + filter/merge (+ indexer)
+  double render_s = 0;
+  double turnaround_s = 0;  // paper metric: data processing turnaround time
+
+  double memory_peak_bytes = 0;
+  bool oom = false;         // killed by the system (Section 4.3)
+
+  double energy_joules = 0;
+
+  std::vector<PhaseResult> phases;
+};
+
+struct PipelineOptions {
+  /// Where ADA's decompressed subsets live on the cluster.  The paper's
+  /// deployment serves ADA reads from the SSD file system (Fig. 9a: "ADA
+  /// only uses the underlying SSD storage nodes"); the split placement is
+  /// the Section 3.4 textual design, kept as an ablation.
+  enum class AdaClusterPlacement { kAllOnSsd, kSplitSsdHdd, kAllOnHdd };
+  AdaClusterPlacement ada_placement = AdaClusterPlacement::kAllOnSsd;
+
+  /// Override the stripe server count of the scenario's PVFS instance
+  /// (striping ablation); 0 = use every server of the instance.
+  unsigned stripe_servers_override = 0;
+};
+
+ScenarioResult run_scenario(const Platform& platform, Scenario scenario,
+                            const WorkloadSizes& sizes, const PipelineOptions& options = {});
+
+/// All four scenarios at once (one figure column).
+std::vector<ScenarioResult> run_all_scenarios(const Platform& platform,
+                                              const WorkloadSizes& sizes,
+                                              const PipelineOptions& options = {});
+
+}  // namespace ada::platform

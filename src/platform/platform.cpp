@@ -1,0 +1,38 @@
+#include "platform/platform.hpp"
+
+#include "common/units.hpp"
+
+namespace ada::platform {
+
+Platform Platform::ssd_server() {
+  Platform p;
+  p.name = "ssd-server";
+  p.kind = Kind::kLocalFs;
+  p.local_fs.emplace(storage::FsParams::ext4(), storage::DeviceSpec::nvme_ssd_256gb());
+  p.dram_bytes = 16 * kGB;
+  p.page_cache_window = 8 * kGB;
+  return p;
+}
+
+Platform Platform::small_cluster() {
+  Platform p;
+  p.name = "small-cluster";
+  p.kind = Kind::kCluster;
+  p.cluster.emplace();
+  p.dram_bytes = 16 * kGB;       // per compute node
+  p.page_cache_window = 8 * kGB;
+  p.metered_nodes = 9;           // whole cluster drew power in Table 4
+  return p;
+}
+
+Platform Platform::fat_node() {
+  Platform p;
+  p.name = "fat-node";
+  p.kind = Kind::kLocalFs;
+  p.local_fs.emplace(storage::FsParams::xfs(), storage::DeviceSpec::raid50_wd_hdd(10));
+  p.dram_bytes = 1007 * kGB;     // paper Table 5: DDR-4 1,007 GB
+  p.page_cache_window = 32 * kGB;
+  return p;
+}
+
+}  // namespace ada::platform

@@ -1,0 +1,66 @@
+// The paper's three evaluation platforms (Sections 4.1-4.3) as model configs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "platform/constants.hpp"
+#include "storage/device.hpp"
+#include "storage/energy.hpp"
+#include "storage/filesystem_model.hpp"
+
+namespace ada::platform {
+
+/// Cluster-side parameters (paper Table 4) for the 9-node platform.
+struct ClusterConfig {
+  unsigned compute_nodes = 3;
+  unsigned hdd_storage_nodes = 3;
+  unsigned ssd_storage_nodes = 3;
+  unsigned disks_per_node = 2;
+  double nic_bandwidth = 4.5e9;      // InfiniBand QDR class
+  double backplane_bandwidth = 40e9;
+};
+
+struct Platform {
+  enum class Kind { kLocalFs, kCluster };
+
+  std::string name;
+  Kind kind = Kind::kLocalFs;
+
+  // kLocalFs: the node's file system + device.
+  std::optional<storage::LocalFileSystemModel> local_fs;
+
+  // kCluster: fabric + node counts (PVFS instances are built per scenario).
+  std::optional<ClusterConfig> cluster;
+
+  // Compute-node memory.
+  double dram_bytes = 0;
+  double os_reserve_fraction = 0.028;   // kernel + daemons slice of DRAM
+  /// Streaming window for compressed input: VMD reads .xtc through the page
+  /// cache rather than materializing the file, so only this much of the
+  /// compressed image is resident at once (see EXPERIMENTS.md note on the
+  /// Section 4.3 kill-point arithmetic).
+  double page_cache_window = 0;
+
+  // Memory-pressure slowdown: CPU work at memory ratio r > thrash_threshold
+  // stretches by min(thrash_max_factor, exp(thrash_k * (r - threshold)))
+  // (page-cache starvation + swap churn near capacity); phases whose memory
+  // grows integrate the factor along their trajectory.
+  double thrash_threshold = 0.70;
+  double thrash_k = 21.0;
+  double thrash_max_factor = 64.0;
+
+  storage::PowerSpec power = storage::PowerSpec::paper_node();
+  unsigned metered_nodes = 1;
+
+  CpuRates cpu = CpuRates::paper_default();
+
+  /// Section 4.1: Xeon E5-2603v4, 16 GB DRAM, NVMe SSD, CentOS 6.10, ext4.
+  static Platform ssd_server();
+  /// Section 4.2 / Table 4: nine nodes, OrangeFS, 3 HDD + 3 SSD storage nodes.
+  static Platform small_cluster();
+  /// Section 4.3 / Table 5: Xeon E7-4820v3, 1007 GB DRAM, RAID-50 HDD, XFS.
+  static Platform fat_node();
+};
+
+}  // namespace ada::platform

@@ -1,0 +1,53 @@
+#include "platform/workload_stats.hpp"
+
+#include "common/check.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::platform {
+
+FrameProfile FrameProfile::measure(const workload::GpcrSpec& spec,
+                                   const workload::DynamicsSpec& dynamics,
+                                   std::uint32_t sample_frames) {
+  ADA_CHECK(sample_frames > 0);
+  const auto system = workload::GpcrSystemBuilder(spec).build();
+  workload::TrajectoryGenerator gen(system, dynamics);
+  // Warm up past the OU transient so deltas are steady-state.
+  for (int f = 0; f < 3; ++f) gen.next_frame();
+
+  formats::XtcWriter writer;
+  for (std::uint32_t f = 0; f < sample_frames; ++f) {
+    const Status s = writer.add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                                      gen.next_frame());
+    ADA_CHECK(s.is_ok());
+  }
+
+  FrameProfile profile;
+  profile.atoms = system.atom_count();
+  profile.protein_atoms = system.count_category(chem::Category::kProtein);
+  profile.compressed_per_frame = static_cast<double>(writer.size_bytes()) / sample_frames;
+  profile.raw_per_frame = static_cast<double>(formats::raw_frame_bytes(profile.atoms));
+  profile.protein_raw_per_frame =
+      static_cast<double>(formats::raw_frame_bytes(profile.protein_atoms));
+  return profile;
+}
+
+const FrameProfile& FrameProfile::paper_gpcr() {
+  static const FrameProfile profile =
+      measure(workload::GpcrSpec::paper_default(), workload::DynamicsSpec{}, 16);
+  return profile;
+}
+
+WorkloadSizes WorkloadSizes::from_profile(const FrameProfile& profile, std::uint64_t frames) {
+  WorkloadSizes sizes;
+  sizes.frames = frames;
+  const auto f = static_cast<double>(frames);
+  sizes.compressed_bytes = profile.compressed_per_frame * f;
+  sizes.raw_bytes = profile.raw_per_frame * f + 16;           // + RAW file header
+  sizes.protein_bytes = profile.protein_raw_per_frame * f + 16;
+  return sizes;
+}
+
+}  // namespace ada::platform

@@ -1,0 +1,43 @@
+// Workload sizes: the byte counts that drive the performance model.
+//
+// Small scales could be materialized outright, but the fat-node series runs
+// to 5,004,800 frames (2.6 TB raw), so sizes are obtained the way DESIGN.md
+// section 4 describes: really generate and really compress a sample window
+// of full-size frames, take the per-frame means (stationary by construction
+// -- verified by test), and scale analytically to any frame count.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/spec.hpp"
+
+namespace ada::platform {
+
+/// Per-frame measurements of a workload (bytes).
+struct FrameProfile {
+  std::uint32_t atoms = 0;
+  std::uint32_t protein_atoms = 0;
+  double compressed_per_frame = 0;     // measured from the real codec
+  double raw_per_frame = 0;            // 44 + 12*atoms
+  double protein_raw_per_frame = 0;    // 44 + 12*protein_atoms
+
+  /// Generate `sample_frames` real frames of the spec'd system, compress
+  /// them, and average.  Deterministic for fixed seeds.
+  static FrameProfile measure(const workload::GpcrSpec& spec,
+                              const workload::DynamicsSpec& dynamics, std::uint32_t sample_frames);
+
+  /// The paper's GPCR profile (cached across calls; measures once).
+  static const FrameProfile& paper_gpcr();
+};
+
+/// A concrete experiment size.
+struct WorkloadSizes {
+  std::uint64_t frames = 0;
+  double compressed_bytes = 0;
+  double raw_bytes = 0;
+  double protein_bytes = 0;
+
+  static WorkloadSizes from_profile(const FrameProfile& profile, std::uint64_t frames);
+};
+
+}  // namespace ada::platform

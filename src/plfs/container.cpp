@@ -1,0 +1,72 @@
+#include "plfs/container.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/binary_io.hpp"
+
+namespace ada::plfs {
+
+namespace {
+constexpr std::uint8_t kIndexMagic[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '1'};
+}
+
+std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) {
+  ByteWriter w;
+  w.put_bytes(kIndexMagic);
+  w.put_u32_le(static_cast<std::uint32_t>(records.size()));
+  for (const IndexRecord& r : records) {
+    w.put_u64_le(r.logical_offset);
+    w.put_u64_le(r.length);
+    w.put_u32_le(r.backend);
+    w.put_string_le(r.label);
+    w.put_string_le(r.dropping);
+    w.put_u64_le(r.physical_offset);
+  }
+  return w.take();
+}
+
+Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> image) {
+  if (image.size() < 12 || std::memcmp(image.data(), kIndexMagic, 8) != 0) {
+    return corrupt_data("bad plfs index magic");
+  }
+  ByteReader r(image.subspan(8));
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t count, r.get_u32_le());
+  std::vector<IndexRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IndexRecord record;
+    ADA_ASSIGN_OR_RETURN(record.logical_offset, r.get_u64_le());
+    ADA_ASSIGN_OR_RETURN(record.length, r.get_u64_le());
+    ADA_ASSIGN_OR_RETURN(record.backend, r.get_u32_le());
+    ADA_ASSIGN_OR_RETURN(record.label, r.get_string_le());
+    ADA_ASSIGN_OR_RETURN(record.dropping, r.get_string_le());
+    ADA_ASSIGN_OR_RETURN(record.physical_offset, r.get_u64_le());
+    records.push_back(std::move(record));
+  }
+  if (!r.at_end()) return corrupt_data("trailing bytes after plfs index records");
+  return records;
+}
+
+std::uint64_t logical_size(const std::vector<IndexRecord>& records) {
+  std::uint64_t end = 0;
+  for (const IndexRecord& r : records) end = std::max(end, r.logical_offset + r.length);
+  return end;
+}
+
+bool is_complete(const std::vector<IndexRecord>& records) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;
+  extents.reserve(records.size());
+  for (const IndexRecord& r : records) {
+    if (r.length > 0) extents.emplace_back(r.logical_offset, r.logical_offset + r.length);
+  }
+  std::sort(extents.begin(), extents.end());
+  std::uint64_t cursor = 0;
+  for (const auto& [begin, end] : extents) {
+    if (begin != cursor) return false;  // hole or overlap
+    cursor = end;
+  }
+  return true;
+}
+
+}  // namespace ada::plfs

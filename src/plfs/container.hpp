@@ -1,0 +1,44 @@
+// PLFS container structures: index records and their on-disk encoding.
+//
+// Following PLFS (Bent et al., SC'09), a logical file is a *container*: a
+// same-named directory on every backend file system, holding data
+// "droppings" plus an index that maps logical extents to (backend, dropping,
+// physical offset).  ADA's I/O dispatcher leans on exactly this: each
+// dropping carries the label of the data subset it stores, so a tag query
+// resolves to the droppings with that label.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::plfs {
+
+/// One logical extent of a container.
+struct IndexRecord {
+  std::uint64_t logical_offset = 0;  // position in the logical file
+  std::uint64_t length = 0;
+  std::uint32_t backend = 0;         // which backend holds the dropping
+  std::string label;                 // data-subset tag ("p", "m", ... or "")
+  std::string dropping;              // dropping file name within the container dir
+  std::uint64_t physical_offset = 0; // offset inside the dropping file
+
+  friend bool operator==(const IndexRecord&, const IndexRecord&) = default;
+};
+
+/// Serialize an index to its on-disk image (little-endian, magic-prefixed).
+std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records);
+
+/// Parse an on-disk index image.
+Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> image);
+
+/// Logical file size implied by an index (max extent end).
+std::uint64_t logical_size(const std::vector<IndexRecord>& records);
+
+/// True if extents tile [0, logical_size) exactly once (no holes/overlap).
+bool is_complete(const std::vector<IndexRecord>& records);
+
+}  // namespace ada::plfs

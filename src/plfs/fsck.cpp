@@ -1,0 +1,71 @@
+#include "plfs/fsck.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "common/binary_io.hpp"
+
+namespace ada::plfs {
+
+Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string& logical_name) {
+  VerifyReport report;
+  ADA_ASSIGN_OR_RETURN(const auto records, mount.read_index(logical_name));
+
+  // Referenced droppings, per backend.
+  std::vector<std::set<std::string>> referenced(mount.backend_count());
+  std::vector<IndexRecord> intact;
+  for (const IndexRecord& record : records) {
+    bool broken = record.backend >= mount.backend_count();
+    if (!broken) {
+      referenced[record.backend].insert(record.dropping);
+      const std::string path =
+          mount.dropping_host_path(record.backend, logical_name, record.dropping);
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      broken = ec || size < record.physical_offset + record.length;
+    }
+    if (broken) {
+      report.broken_records.push_back(record);
+    } else {
+      intact.push_back(record);
+    }
+  }
+
+  for (std::uint32_t b = 0; b < mount.backend_count(); ++b) {
+    ADA_ASSIGN_OR_RETURN(const auto files, mount.list_dropping_files(b, logical_name));
+    for (const std::string& file : files) {
+      if (referenced[b].count(file) == 0) report.orphan_droppings.emplace_back(b, file);
+    }
+  }
+
+  report.extents_complete = report.broken_records.empty() && is_complete(records);
+  return report;
+}
+
+Result<RepairActions> repair_container(PlfsMount& mount, const std::string& logical_name) {
+  ADA_ASSIGN_OR_RETURN(const VerifyReport report, verify_container(mount, logical_name));
+  RepairActions actions;
+  if (report.clean()) return actions;
+
+  if (!report.broken_records.empty()) {
+    ADA_ASSIGN_OR_RETURN(auto records, mount.read_index(logical_name));
+    const auto is_broken = [&](const IndexRecord& record) {
+      return std::find(report.broken_records.begin(), report.broken_records.end(), record) !=
+             report.broken_records.end();
+    };
+    std::erase_if(records, is_broken);
+    ADA_RETURN_IF_ERROR(mount.rewrite_index(logical_name, records));
+    actions.records_dropped = report.broken_records.size();
+  }
+
+  for (const auto& [backend, file] : report.orphan_droppings) {
+    std::error_code ec;
+    std::filesystem::remove(mount.dropping_host_path(backend, logical_name, file), ec);
+    if (ec) return io_error("cannot remove orphan " + file + ": " + ec.message());
+    ++actions.orphans_removed;
+  }
+  return actions;
+}
+
+}  // namespace ada::plfs

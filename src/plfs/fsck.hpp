@@ -1,0 +1,49 @@
+// Container verification and repair (fsck for the PLFS layer).
+//
+// A streaming ingest that crashes between chunk flushes, a backend that
+// loses a disk, or a stray file dropped into a container directory all leave
+// the container inconsistent.  verify_container() diagnoses; repair()
+// restores the strongest consistent state (drops index records whose
+// droppings are gone, removes orphan files) without touching intact data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "plfs/plfs.hpp"
+
+namespace ada::plfs {
+
+struct VerifyReport {
+  /// Index records whose dropping file is missing or shorter than the
+  /// record's extent.
+  std::vector<IndexRecord> broken_records;
+
+  /// Files inside container directories that no index record references.
+  /// (backend id, file name)
+  std::vector<std::pair<std::uint32_t, std::string>> orphan_droppings;
+
+  /// True when the logical extents tile [0, size) without holes/overlap.
+  bool extents_complete = false;
+
+  bool clean() const noexcept {
+    return broken_records.empty() && orphan_droppings.empty() && extents_complete;
+  }
+};
+
+/// Diagnose one container.  Fails only if the index itself is unreadable.
+Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string& logical_name);
+
+struct RepairActions {
+  std::size_t records_dropped = 0;
+  std::size_t orphans_removed = 0;
+};
+
+/// Repair in place: rewrite the index without broken records and delete
+/// orphan droppings.  Data whose droppings are intact is never modified.
+/// Extent completeness is *not* restored (lost extents stay lost) -- the
+/// report tells the caller what is gone.
+Result<RepairActions> repair_container(PlfsMount& mount, const std::string& logical_name);
+
+}  // namespace ada::plfs

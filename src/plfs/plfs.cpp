@@ -1,0 +1,209 @@
+#include "plfs/plfs.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/binary_io.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ada::plfs {
+
+namespace {
+constexpr const char* kIndexFile = "index.plfs";
+
+bool valid_logical_name(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos && name.find('\0') == std::string::npos;
+}
+}  // namespace
+
+Result<PlfsMount> PlfsMount::open(std::vector<Backend> backends) {
+  if (backends.empty()) return invalid_argument("plfs mount needs at least one backend");
+  for (const Backend& backend : backends) {
+    if (backend.host_root.empty()) return invalid_argument("backend has empty host root");
+    std::error_code ec;
+    fs::create_directories(backend.host_root, ec);
+    if (ec) return io_error("cannot create backend root " + backend.host_root + ": " + ec.message());
+  }
+  return PlfsMount(std::move(backends));
+}
+
+std::string PlfsMount::container_dir(std::uint32_t backend_id,
+                                     const std::string& logical_name) const {
+  return backends_.at(backend_id).host_root + "/" + logical_name;
+}
+
+std::string PlfsMount::index_path(const std::string& logical_name) const {
+  return container_dir(0, logical_name) + "/" + kIndexFile;
+}
+
+Status PlfsMount::create_container(const std::string& logical_name) {
+  if (!valid_logical_name(logical_name)) {
+    return invalid_argument("bad logical name: " + logical_name);
+  }
+  if (container_exists(logical_name)) {
+    return already_exists("container " + logical_name + " already exists");
+  }
+  for (std::uint32_t b = 0; b < backend_count(); ++b) {
+    std::error_code ec;
+    fs::create_directories(container_dir(b, logical_name), ec);
+    if (ec) return io_error("cannot create container dir on backend " + backends_[b].name);
+  }
+  return write_index(logical_name, {});
+}
+
+bool PlfsMount::container_exists(const std::string& logical_name) const {
+  return valid_logical_name(logical_name) && fs::exists(index_path(logical_name));
+}
+
+Status PlfsMount::write_index(const std::string& logical_name,
+                              const std::vector<IndexRecord>& records) const {
+  return write_file(index_path(logical_name), encode_index(records));
+}
+
+Result<std::vector<IndexRecord>> PlfsMount::read_index(const std::string& logical_name) const {
+  if (!container_exists(logical_name)) {
+    return not_found("container " + logical_name + " does not exist");
+  }
+  ADA_ASSIGN_OR_RETURN(const auto image, read_file(index_path(logical_name)));
+  return decode_index(image);
+}
+
+Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std::string& label,
+                                      std::uint32_t backend_id,
+                                      std::span<const std::uint8_t> bytes) {
+  if (backend_id >= backend_count()) {
+    return invalid_argument("backend " + std::to_string(backend_id) + " out of range");
+  }
+  ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
+
+  IndexRecord record;
+  record.logical_offset = logical_size(records);
+  record.length = bytes.size();
+  record.backend = backend_id;
+  record.label = label;
+  record.dropping = "dropping." + (label.empty() ? std::string("data") : label) + "." +
+                    std::to_string(records.size());
+  record.physical_offset = 0;  // one dropping file per append
+
+  const std::string path = container_dir(backend_id, logical_name) + "/" + record.dropping;
+  ADA_RETURN_IF_ERROR(write_file(path, bytes));
+  records.push_back(record);
+  ADA_RETURN_IF_ERROR(write_index(logical_name, records));
+  return record;
+}
+
+Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& logical_name) const {
+  ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
+  if (!is_complete(records)) {
+    return corrupt_data("container " + logical_name + " has holes or overlapping extents");
+  }
+  std::sort(records.begin(), records.end(),
+            [](const IndexRecord& a, const IndexRecord& b) {
+              return a.logical_offset < b.logical_offset;
+            });
+  std::vector<std::uint8_t> out;
+  out.reserve(logical_size(records));
+  for (const IndexRecord& record : records) {
+    const std::string path = container_dir(record.backend, logical_name) + "/" + record.dropping;
+    ADA_ASSIGN_OR_RETURN(const auto dropping, read_file(path));
+    if (dropping.size() < record.physical_offset + record.length) {
+      return corrupt_data("dropping " + record.dropping + " shorter than its index record");
+    }
+    out.insert(out.end(),
+               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
+               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> PlfsMount::read_label(const std::string& logical_name,
+                                                        const std::string& label) const {
+  ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
+  std::erase_if(records, [&](const IndexRecord& r) { return r.label != label; });
+  std::sort(records.begin(), records.end(),
+            [](const IndexRecord& a, const IndexRecord& b) {
+              return a.logical_offset < b.logical_offset;
+            });
+  std::vector<std::uint8_t> out;
+  for (const IndexRecord& record : records) {
+    const std::string path = container_dir(record.backend, logical_name) + "/" + record.dropping;
+    ADA_ASSIGN_OR_RETURN(const auto dropping, read_file(path));
+    if (dropping.size() < record.physical_offset + record.length) {
+      return corrupt_data("dropping " + record.dropping + " shorter than its index record");
+    }
+    out.insert(out.end(),
+               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
+               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
+  }
+  return out;
+}
+
+Result<std::uint64_t> PlfsMount::label_size(const std::string& logical_name,
+                                            const std::string& label) const {
+  ADA_ASSIGN_OR_RETURN(const auto records, read_index(logical_name));
+  std::uint64_t total = 0;
+  for (const IndexRecord& record : records) {
+    if (record.label == label) total += record.length;
+  }
+  return total;
+}
+
+Status PlfsMount::remove_container(const std::string& logical_name) {
+  if (!container_exists(logical_name)) {
+    return not_found("container " + logical_name + " does not exist");
+  }
+  for (std::uint32_t b = 0; b < backend_count(); ++b) {
+    std::error_code ec;
+    fs::remove_all(container_dir(b, logical_name), ec);
+    if (ec) return io_error("cannot remove container on backend " + backends_[b].name);
+  }
+  return Status::ok();
+}
+
+std::string PlfsMount::dropping_host_path(std::uint32_t backend_id,
+                                          const std::string& logical_name,
+                                          const std::string& dropping) const {
+  return container_dir(backend_id, logical_name) + "/" + dropping;
+}
+
+Result<std::vector<std::string>> PlfsMount::list_dropping_files(
+    std::uint32_t backend_id, const std::string& logical_name) const {
+  if (backend_id >= backend_count()) return invalid_argument("backend out of range");
+  std::vector<std::string> out;
+  std::error_code ec;
+  const std::string dir = container_dir(backend_id, logical_name);
+  if (!fs::is_directory(dir)) return out;  // backend never got this container
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kIndexFile) continue;
+    out.push_back(name);
+  }
+  if (ec) return io_error("cannot list " + dir + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status PlfsMount::rewrite_index(const std::string& logical_name,
+                                const std::vector<IndexRecord>& records) {
+  if (!container_exists(logical_name)) {
+    return not_found("container " + logical_name + " does not exist");
+  }
+  return write_index(logical_name, records);
+}
+
+Result<std::vector<std::string>> PlfsMount::list_containers() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(backends_[0].host_root, ec)) {
+    if (entry.is_directory() && fs::exists(entry.path() / kIndexFile)) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  if (ec) return io_error("cannot list " + backends_[0].host_root + ": " + ec.message());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ada::plfs

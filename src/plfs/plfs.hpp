@@ -1,0 +1,99 @@
+// PlfsMount: a multi-backend PLFS-style mount over real host directories.
+//
+// This is the functional half of the I/O dispatcher substrate.  A mount owns
+// N backends (paper Fig. 6: mnt1, mnt2, ...), each a directory on the host
+// file system.  Creating logical file "bar" creates a "bar/" container
+// directory on every backend; appends become dropping files on the chosen
+// backend plus index records; reads reassemble the logical stream -- or just
+// one label's subset -- from the droppings.
+//
+// Data written through a mount is real bytes in real files: the correctness
+// tests and examples operate on what a real deployment would store, while
+// performance is modeled separately (src/pvfs, src/storage).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "plfs/container.hpp"
+
+namespace ada::plfs {
+
+/// One backend file system of the mount.
+struct Backend {
+  std::string name;       // e.g. "ssd-pvfs"
+  std::string host_root;  // host directory that stands in for the mount point
+};
+
+class PlfsMount {
+ public:
+  /// Validate backends and create their root directories.
+  static Result<PlfsMount> open(std::vector<Backend> backends);
+
+  std::uint32_t backend_count() const noexcept {
+    return static_cast<std::uint32_t>(backends_.size());
+  }
+  const Backend& backend(std::uint32_t id) const { return backends_.at(id); }
+
+  /// Create an (empty) container for `logical_name` on every backend.
+  /// Fails with kAlreadyExists if the container is already present.
+  Status create_container(const std::string& logical_name);
+
+  bool container_exists(const std::string& logical_name) const;
+
+  /// Append `bytes` to the logical file, storing the dropping on `backend_id`
+  /// tagged with `label`.  Returns the index record it created.
+  Result<IndexRecord> append(const std::string& logical_name, const std::string& label,
+                             std::uint32_t backend_id, std::span<const std::uint8_t> bytes);
+
+  /// Full logical file content, reassembled across backends in logical order.
+  Result<std::vector<std::uint8_t>> read_logical(const std::string& logical_name) const;
+
+  /// Concatenated content of every dropping carrying `label`, in logical order.
+  Result<std::vector<std::uint8_t>> read_label(const std::string& logical_name,
+                                               const std::string& label) const;
+
+  /// The container's index records.
+  Result<std::vector<IndexRecord>> read_index(const std::string& logical_name) const;
+
+  /// Total bytes stored under `label` (0 if none).
+  Result<std::uint64_t> label_size(const std::string& logical_name,
+                                   const std::string& label) const;
+
+  /// Delete the container from every backend.
+  Status remove_container(const std::string& logical_name);
+
+  /// Containers present (by index files on backend 0).
+  Result<std::vector<std::string>> list_containers() const;
+
+  // --- low-level accessors (fsck / tooling) ------------------------------------
+
+  /// Host path of a dropping file.
+  std::string dropping_host_path(std::uint32_t backend_id, const std::string& logical_name,
+                                 const std::string& dropping) const;
+
+  /// Dropping file names physically present in one backend's container dir
+  /// (excludes the index file).
+  Result<std::vector<std::string>> list_dropping_files(std::uint32_t backend_id,
+                                                       const std::string& logical_name) const;
+
+  /// Overwrite the container's index wholesale.  For repair tools only --
+  /// normal writers go through append().
+  Status rewrite_index(const std::string& logical_name,
+                       const std::vector<IndexRecord>& records);
+
+ private:
+  explicit PlfsMount(std::vector<Backend> backends) : backends_(std::move(backends)) {}
+
+  std::string container_dir(std::uint32_t backend_id, const std::string& logical_name) const;
+  std::string index_path(const std::string& logical_name) const;
+  Status write_index(const std::string& logical_name,
+                     const std::vector<IndexRecord>& records) const;
+
+  std::vector<Backend> backends_;
+};
+
+}  // namespace ada::plfs

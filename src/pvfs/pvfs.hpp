@@ -1,0 +1,79 @@
+// PVFS (OrangeFS) performance model: striped I/O over storage nodes.
+//
+// Reproduces the paper's cluster substrate (Table 4): a PVFS file system
+// whose I/O servers are cluster nodes with local disks, accessed by compute
+// nodes over the fabric.  A file read fans out into one flow per I/O server,
+// each crossing [server disk -> server NIC -> switch -> client NIC]; the
+// flow model's max-min sharing then yields the aggregate-vs-bottleneck
+// behaviour (HDD servers limit hybrid reads; the client NIC caps SSD reads).
+//
+// The paper runs *two* PVFS instances -- one over the HDD nodes and one over
+// the SSD nodes -- with ADA dispatching between them; each instance is one
+// PvfsModel here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "pvfs/striping.hpp"
+#include "sim/resource.hpp"
+#include "storage/device.hpp"
+
+namespace ada::pvfs {
+
+/// One I/O server: a fabric node with a local disk subsystem.
+struct IoServer {
+  net::NodeId node = 0;
+  storage::DeviceSpec device;       // per-disk spec
+  std::uint32_t devices_per_node = 1;  // disks aggregated on this server
+};
+
+/// Metadata operation cost (PVFS metadata server round trip).
+struct MetadataParams {
+  double lookup_latency = 250e-6;  // getattr + layout fetch
+  double create_latency = 400e-6;
+};
+
+class PvfsModel {
+ public:
+  PvfsModel(sim::Simulator& simulator, net::Fabric& fabric, std::string name,
+            std::vector<IoServer> servers, net::NodeId metadata_node,
+            StripeLayout layout = {}, MetadataParams metadata = {});
+
+  const std::string& name() const noexcept { return name_; }
+  const StripeLayout& layout() const noexcept { return layout_; }
+  std::uint32_t server_count() const noexcept { return static_cast<std::uint32_t>(servers_.size()); }
+
+  /// Aggregate streaming read bandwidth of all servers (bytes/s), before
+  /// network limits -- a sanity metric for tests and reports.
+  double aggregate_disk_read_bandwidth() const;
+
+  /// Read a striped file of `bytes` into `client`; `on_complete` fires after
+  /// the metadata lookup and every stripe flow finish.
+  void read_file(double bytes, net::NodeId client, std::function<void()> on_complete);
+
+  /// Write a striped file of `bytes` from `client`.
+  void write_file(double bytes, net::NodeId client, std::function<void()> on_complete);
+
+ private:
+  struct ServerLinks {
+    sim::LinkId disk_read;
+    sim::LinkId disk_write;
+  };
+
+  void start_striped(double bytes, net::NodeId client, bool write,
+                     std::function<void()> on_complete);
+
+  sim::Simulator& simulator_;
+  net::Fabric& fabric_;
+  std::string name_;
+  std::vector<IoServer> servers_;
+  std::vector<ServerLinks> links_;
+  sim::FcfsResource metadata_;
+  MetadataParams metadata_params_;
+  StripeLayout layout_;
+};
+
+}  // namespace ada::pvfs

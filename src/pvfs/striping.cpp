@@ -1,0 +1,33 @@
+#include "pvfs/striping.hpp"
+
+#include "common/check.hpp"
+
+namespace ada::pvfs {
+
+std::uint64_t StripeLayout::bytes_on_server(std::uint64_t file_size, std::uint32_t server) const {
+  ADA_CHECK(server < server_count);
+  ADA_CHECK(stripe_size > 0);
+  const std::uint64_t full_rounds = file_size / (stripe_size * server_count);
+  const std::uint64_t tail = file_size % (stripe_size * server_count);
+  std::uint64_t bytes = full_rounds * stripe_size;
+  const std::uint64_t tail_start = static_cast<std::uint64_t>(server) * stripe_size;
+  if (tail > tail_start) bytes += std::min(stripe_size, tail - tail_start);
+  return bytes;
+}
+
+std::uint32_t StripeLayout::server_of(std::uint64_t offset) const {
+  return static_cast<std::uint32_t>((offset / stripe_size) % server_count);
+}
+
+std::vector<std::uint64_t> StripeLayout::distribution(std::uint64_t file_size) const {
+  std::vector<std::uint64_t> out(server_count);
+  for (std::uint32_t s = 0; s < server_count; ++s) out[s] = bytes_on_server(file_size, s);
+  return out;
+}
+
+std::uint64_t StripeLayout::stripes_on_server(std::uint64_t file_size, std::uint32_t server) const {
+  const std::uint64_t bytes = bytes_on_server(file_size, server);
+  return (bytes + stripe_size - 1) / stripe_size;
+}
+
+}  // namespace ada::pvfs

@@ -1,0 +1,33 @@
+// PVFS stripe layout arithmetic.
+//
+// PVFS/OrangeFS distributes a file round-robin across I/O servers in fixed
+// stripe units (simple_stripe distribution, 64 KiB default).  These helpers
+// answer the layout questions the simulator needs: how many bytes of a file
+// land on each server, and which server holds a given logical offset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ada::pvfs {
+
+struct StripeLayout {
+  std::uint64_t stripe_size = 64 * 1024;  // PVFS simple_stripe default
+  std::uint32_t server_count = 1;
+
+  /// Bytes of a `file_size`-byte file stored on server `server`
+  /// (round-robin starting at server 0).
+  std::uint64_t bytes_on_server(std::uint64_t file_size, std::uint32_t server) const;
+
+  /// Server holding logical offset `offset`.
+  std::uint32_t server_of(std::uint64_t offset) const;
+
+  /// Per-server byte totals for a file (sums to file_size).
+  std::vector<std::uint64_t> distribution(std::uint64_t file_size) const;
+
+  /// Number of stripe units the file occupies on `server` (request count for
+  /// the device model).
+  std::uint64_t stripes_on_server(std::uint64_t file_size, std::uint32_t server) const;
+};
+
+}  // namespace ada::pvfs

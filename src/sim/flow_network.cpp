@@ -1,0 +1,150 @@
+#include "sim/flow_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ada::sim {
+
+namespace {
+// Flows within this many bytes of done are considered complete (floating-
+// point progress integration).
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+LinkId FlowNetwork::add_link(std::string name, double capacity_bytes_per_s) {
+  ADA_CHECK(capacity_bytes_per_s > 0.0);
+  links_.push_back(Link{std::move(name), capacity_bytes_per_s});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+double FlowNetwork::link_capacity(LinkId id) const { return links_.at(id).capacity; }
+
+const std::string& FlowNetwork::link_name(LinkId id) const { return links_.at(id).name; }
+
+FlowId FlowNetwork::start_flow(std::vector<LinkId> path, double bytes,
+                               std::function<void()> on_complete) {
+  ADA_CHECK(bytes >= 0.0);
+  for (const LinkId link : path) ADA_CHECK(link < links_.size());
+  advance_to(simulator_.now());
+  const FlowId id = next_flow_id_++;
+  total_bytes_started_ += bytes;
+  if (bytes <= kByteEpsilon || path.empty()) {
+    // Degenerate flows complete immediately (still asynchronously, for
+    // uniform callback ordering).
+    total_bytes_delivered_ += bytes;
+    if (on_complete) simulator_.schedule_after(0.0, std::move(on_complete));
+    reschedule();
+    return id;
+  }
+  flows_.push_back(Flow{id, std::move(path), bytes, 0.0, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+double FlowNetwork::current_rate(FlowId id) const {
+  for (const Flow& f : flows_) {
+    if (f.id == id) return f.rate;
+  }
+  return 0.0;
+}
+
+void FlowNetwork::advance_to(SimTime now) {
+  ADA_CHECK(now >= last_update_ - 1e-12);
+  const double dt = std::max(0.0, now - last_update_);
+  if (dt > 0.0) {
+    for (Flow& f : flows_) {
+      const double moved = std::min(f.remaining, f.rate * dt);
+      f.remaining -= moved;
+      total_bytes_delivered_ += moved;
+    }
+  }
+  last_update_ = now;
+
+  // Fire completions for drained flows.
+  std::vector<std::function<void()>> done;
+  for (Flow& f : flows_) {
+    if (f.remaining <= kByteEpsilon) {
+      total_bytes_delivered_ += f.remaining;
+      f.remaining = 0.0;
+      if (f.on_complete) done.push_back(std::move(f.on_complete));
+    }
+  }
+  std::erase_if(flows_, [](const Flow& f) { return f.remaining <= 0.0; });
+  for (auto& fn : done) simulator_.schedule_after(0.0, std::move(fn));
+}
+
+void FlowNetwork::recompute_rates() {
+  // Progressive filling (max-min fairness): repeatedly find the most
+  // constrained link, freeze its flows at the fair share, remove capacity.
+  std::vector<double> residual(links_.size());
+  std::vector<std::uint32_t> active_on_link(links_.size(), 0);
+  for (std::size_t i = 0; i < links_.size(); ++i) residual[i] = links_[i].capacity;
+
+  std::vector<Flow*> unassigned;
+  for (Flow& f : flows_) {
+    f.rate = 0.0;
+    unassigned.push_back(&f);
+    for (const LinkId link : f.path) ++active_on_link[link];
+  }
+
+  while (!unassigned.empty()) {
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (active_on_link[i] == 0) continue;
+      bottleneck_share = std::min(bottleneck_share, residual[i] / active_on_link[i]);
+    }
+    ADA_CHECK(bottleneck_share < std::numeric_limits<double>::infinity());
+
+    // Freeze every flow that crosses a link at the bottleneck share.
+    std::vector<Flow*> still_unassigned;
+    bool froze_any = false;
+    for (Flow* f : unassigned) {
+      bool saturated = false;
+      for (const LinkId link : f->path) {
+        if (residual[link] / active_on_link[link] <= bottleneck_share * (1 + 1e-12)) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        f->rate = bottleneck_share;
+        froze_any = true;
+      } else {
+        still_unassigned.push_back(f);
+      }
+    }
+    ADA_CHECK(froze_any);
+    // Remove frozen flows' rate from their links.
+    for (Flow* f : unassigned) {
+      if (f->rate > 0.0 || std::find(still_unassigned.begin(), still_unassigned.end(), f) ==
+                               still_unassigned.end()) {
+        for (const LinkId link : f->path) {
+          residual[link] = std::max(0.0, residual[link] - f->rate);
+          --active_on_link[link];
+        }
+      }
+    }
+    unassigned = std::move(still_unassigned);
+  }
+}
+
+void FlowNetwork::reschedule() {
+  recompute_rates();
+  ++timer_generation_;
+  if (flows_.empty()) return;
+  double next_completion = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    if (f.rate > 0.0) next_completion = std::min(next_completion, f.remaining / f.rate);
+  }
+  ADA_CHECK(next_completion < std::numeric_limits<double>::infinity());
+  const std::uint64_t generation = timer_generation_;
+  simulator_.schedule_after(next_completion, [this, generation] { on_timer(generation); });
+}
+
+void FlowNetwork::on_timer(std::uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded by a newer state change
+  advance_to(simulator_.now());
+  reschedule();
+}
+
+}  // namespace ada::sim

@@ -1,0 +1,82 @@
+// Fluid-flow network with max-min fair bandwidth sharing.
+//
+// Models concurrent data transfers (striped PVFS reads, multi-client
+// traffic) the way fluid network simulators do: each flow follows a path of
+// capacitated links; at any instant, active flows receive their max-min fair
+// rates (progressive filling); the network advances piecewise-linearly
+// between flow arrivals/completions.  This captures the two effects the
+// paper's cluster numbers depend on -- aggregate bandwidth from parallel
+// storage nodes, and the client NIC as the convergence bottleneck -- without
+// packet-level detail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/simulator.hpp"
+
+namespace ada::sim {
+
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Simulator& simulator) : simulator_(simulator) {}
+
+  /// Create a link with the given capacity (bytes/second).
+  LinkId add_link(std::string name, double capacity_bytes_per_s);
+
+  double link_capacity(LinkId id) const;
+  const std::string& link_name(LinkId id) const;
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Start a flow of `bytes` across `path`; `on_complete` fires (via the
+  /// simulator) when the last byte arrives.  Zero-byte flows complete at the
+  /// current time.  Returns the flow id.
+  FlowId start_flow(std::vector<LinkId> path, double bytes, std::function<void()> on_complete);
+
+  /// Instantaneous max-min fair rate of an active flow (bytes/second).
+  /// Returns 0 for completed/unknown flows.
+  double current_rate(FlowId id) const;
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Total bytes ever injected (for conservation checks in tests).
+  double total_bytes_started() const noexcept { return total_bytes_started_; }
+  double total_bytes_delivered() const noexcept { return total_bytes_delivered_; }
+
+ private:
+  struct Link {
+    std::string name;
+    double capacity;
+  };
+  struct Flow {
+    FlowId id;
+    std::vector<LinkId> path;
+    double remaining;
+    double rate = 0.0;
+    std::function<void()> on_complete;
+  };
+
+  /// Integrate progress to `now`, recompute fair rates, schedule the next
+  /// completion event.
+  void reschedule();
+  void advance_to(SimTime now);
+  void recompute_rates();
+  void on_timer(std::uint64_t generation);
+
+  Simulator& simulator_;
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;
+  SimTime last_update_ = 0.0;
+  std::uint64_t timer_generation_ = 0;
+  FlowId next_flow_id_ = 1;
+  double total_bytes_started_ = 0.0;
+  double total_bytes_delivered_ = 0.0;
+};
+
+}  // namespace ada::sim

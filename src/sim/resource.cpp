@@ -1,0 +1,27 @@
+#include "sim/resource.hpp"
+
+namespace ada::sim {
+
+void FcfsResource::submit(SimTime service_time, std::function<void()> on_done) {
+  ADA_CHECK(service_time >= 0.0);
+  queue_.push_back(Request{service_time, std::move(on_done)});
+  if (!busy_) start_next();
+}
+
+void FcfsResource::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  busy_time_ += request.service_time;
+  simulator_.schedule_after(request.service_time, [this, fn = std::move(request.on_done)]() {
+    ++completed_;
+    if (fn) fn();
+    start_next();
+  });
+}
+
+}  // namespace ada::sim

@@ -1,0 +1,49 @@
+// FCFS resources: single-server queues for metadata services and CPU cores.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace ada::sim {
+
+/// A first-come-first-served server: requests are serialized, each holding
+/// the server for its service time.  Used for PVFS metadata servers and for
+/// single-core CPU phases.
+class FcfsResource {
+ public:
+  FcfsResource(Simulator& simulator, std::string name)
+      : simulator_(simulator), name_(std::move(name)) {}
+
+  /// Enqueue a request needing `service_time` seconds; `on_done` fires when
+  /// service completes.
+  void submit(SimTime service_time, std::function<void()> on_done);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t queue_length() const noexcept { return queue_.size(); }
+  bool busy() const noexcept { return busy_; }
+
+  /// Total time the server has spent serving (utilization numerator).
+  double busy_time() const noexcept { return busy_time_; }
+  std::uint64_t completed() const noexcept { return completed_; }
+
+ private:
+  struct Request {
+    SimTime service_time;
+    std::function<void()> on_done;
+  };
+
+  void start_next();
+
+  Simulator& simulator_;
+  std::string name_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  double busy_time_ = 0.0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace ada::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+namespace ada::sim {
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  ADA_CHECK(t >= now_);
+  ADA_CHECK(fn != nullptr);
+  queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+void Simulator::execute_next() {
+  // priority_queue::top() is const; the function object must be moved out
+  // before pop, so const_cast on the (logically owned) top element.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) execute_next();
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    execute_next();
+  }
+  return true;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& predicate) {
+  if (predicate()) return true;
+  while (!queue_.empty()) {
+    execute_next();
+    if (predicate()) return true;
+  }
+  return false;
+}
+
+}  // namespace ada::sim

@@ -1,0 +1,74 @@
+// Discrete-event simulator core.
+//
+// The performance plane of this repository (disks, networks, CPU phases,
+// energy) runs on simulated time: components schedule events on a shared
+// Simulator, which executes them in timestamp order (FIFO among equal
+// timestamps).  Single-threaded by design -- determinism is a feature; the
+// "parallelism" being modeled (striped reads, concurrent flows) is expressed
+// as interleaved events, exactly as in classical DES engines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ada::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `dt` seconds of simulated time (dt >= 0).
+  void schedule_after(SimTime dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run until the queue drains or simulated time would exceed `deadline`;
+  /// returns true if the queue drained.
+  bool run_until(SimTime deadline);
+
+  /// Run until `predicate()` turns true (checked after every event) or the
+  /// queue drains; returns true if the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& predicate);
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void execute_next();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ada::sim

@@ -1,0 +1,45 @@
+#include "storage/device.hpp"
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ada::storage {
+
+DeviceSpec DeviceSpec::wd_hdd_1tb() {
+  return DeviceSpec{"WD-1TB-HDD", mb_per_s(126), mb_per_s(126), 8.5e-3};
+}
+
+DeviceSpec DeviceSpec::plextor_ssd_256gb() {
+  return DeviceSpec{"Plextor-256GB-SSD", mb_per_s(3000), mb_per_s(1000), 60e-6};
+}
+
+DeviceSpec DeviceSpec::nvme_ssd_256gb() {
+  return DeviceSpec{"NVMe-256GB-SSD", mb_per_s(3000), mb_per_s(1000), 60e-6};
+}
+
+DeviceSpec DeviceSpec::raid50_wd_hdd(unsigned disks) {
+  ADA_CHECK(disks >= 6 && disks % 2 == 0);
+  const DeviceSpec hdd = wd_hdd_1tb();
+  // RAID-50: two RAID-5 legs of disks/2 drives; each leg streams with
+  // (leg_size - 1) data spindles; reads stream from all data spindles,
+  // writes pay the parity-update penalty (~25% on streaming writes).
+  const unsigned data_spindles = disks - 2;
+  DeviceSpec spec;
+  spec.name = "RAID50-" + std::to_string(disks) + "xWD-HDD";
+  spec.read_bandwidth = hdd.read_bandwidth * data_spindles;
+  spec.write_bandwidth = hdd.write_bandwidth * data_spindles * 0.75;
+  spec.access_latency = hdd.access_latency;  // seeks are not parallelized
+  return spec;
+}
+
+double BlockDevice::read_time(double bytes, std::uint64_t requests) const {
+  ADA_CHECK(bytes >= 0.0);
+  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.read_bandwidth;
+}
+
+double BlockDevice::write_time(double bytes, std::uint64_t requests) const {
+  ADA_CHECK(bytes >= 0.0);
+  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.write_bandwidth;
+}
+
+}  // namespace ada::storage

@@ -1,0 +1,51 @@
+// Block-device performance models, with presets for the paper's hardware.
+//
+// The evaluation platforms (paper Tables 4 and 5) use three device classes:
+//   - WD 1 TB SATA HDD: 126 MB/s max streaming, mechanical seek;
+//   - Plextor 256 GB PCIe SSD: 3000 MB/s peak read, 1000 MB/s peak write;
+//   - a RAID-50 array of 10 WD HDDs on the fat node.
+// A device answers "how long does transferring N bytes take", accounting for
+// access latency and (for RAID) stripe parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ada::storage {
+
+/// Performance envelope of one block device (or array).
+struct DeviceSpec {
+  std::string name;
+  double read_bandwidth = 0.0;    // bytes/s, streaming
+  double write_bandwidth = 0.0;   // bytes/s, streaming
+  double access_latency = 0.0;    // seconds per request (seek + controller)
+
+  /// WD 1 TB SATA HDD (paper Table 4: 126 MB/s MAX).
+  static DeviceSpec wd_hdd_1tb();
+  /// Plextor 256 GB PCIe SSD (paper Table 4: 3000 / 1000 MB/s peak).
+  static DeviceSpec plextor_ssd_256gb();
+  /// Intel NVMe SSD of the SSD server (Section 4.1; same class as Plextor).
+  static DeviceSpec nvme_ssd_256gb();
+  /// RAID-50 of `disks` WD HDDs (paper Table 5): two RAID-5 legs striped;
+  /// one parity disk per leg does not contribute streaming bandwidth.
+  static DeviceSpec raid50_wd_hdd(unsigned disks = 10);
+};
+
+/// Stateless timing model over a DeviceSpec.
+class BlockDevice {
+ public:
+  explicit BlockDevice(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Seconds to read `bytes` in `requests` sequential requests.
+  double read_time(double bytes, std::uint64_t requests = 1) const;
+
+  /// Seconds to write `bytes` in `requests` sequential requests.
+  double write_time(double bytes, std::uint64_t requests = 1) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace ada::storage

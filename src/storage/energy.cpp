@@ -1,0 +1,29 @@
+#include "storage/energy.hpp"
+
+#include "common/check.hpp"
+
+namespace ada::storage {
+
+double EnergyMeter::interval_watts(const ActivityInterval& interval) const {
+  return spec_.baseline_w + spec_.cpu_active_w * interval.cpu_fraction +
+         spec_.disk_active_w * interval.disk_fraction;
+}
+
+void EnergyMeter::record(const ActivityInterval& interval) {
+  ADA_CHECK(interval.seconds >= 0.0);
+  ADA_CHECK(interval.cpu_fraction >= 0.0 && interval.cpu_fraction <= 1.0 + 1e-9);
+  ADA_CHECK(interval.disk_fraction >= 0.0 && interval.disk_fraction <= 1.0 + 1e-9);
+  joules_ += interval_watts(interval) * interval.seconds * node_count_;
+  seconds_ += interval.seconds;
+  intervals_.push_back(interval);
+}
+
+double EnergyMeter::phase_joules(const std::string& phase) const {
+  double total = 0.0;
+  for (const ActivityInterval& interval : intervals_) {
+    if (interval.phase == phase) total += interval_watts(interval) * interval.seconds * node_count_;
+  }
+  return total;
+}
+
+}  // namespace ada::storage

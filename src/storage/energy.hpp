@@ -1,0 +1,60 @@
+// Node power model + energy meter.
+//
+// Reproduces the paper's measurement setup in model form: a power meter on
+// the server integrates consumption over the data-processing turnaround
+// window (Fig. 10d).  Nodes draw a baseline (paper Table 4: "Average Power
+// per Node 400W") plus activity-dependent increments while the CPU or disks
+// work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ada::storage {
+
+/// Per-node power draw by activity (watts).
+struct PowerSpec {
+  double baseline_w = 400.0;   // idle-with-OS draw, paper Table 4
+  double cpu_active_w = 95.0;  // extra draw per fully busy CPU package
+  double disk_active_w = 25.0; // extra draw while the disk subsystem streams
+
+  static PowerSpec paper_node() { return PowerSpec{}; }
+};
+
+/// Activity level of one interval, for the meter.
+struct ActivityInterval {
+  std::string phase;        // "retrieve", "decompress", "render", ...
+  double seconds = 0.0;
+  double cpu_fraction = 0;  // 0..1 of one package busy
+  double disk_fraction = 0; // 0..1 of the disk subsystem busy
+};
+
+/// Integrates node power over recorded intervals.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(PowerSpec spec, unsigned node_count = 1)
+      : spec_(spec), node_count_(node_count) {}
+
+  /// Record an interval; energy accrues for all metered nodes.
+  void record(const ActivityInterval& interval);
+
+  double joules() const noexcept { return joules_; }
+  double kilojoules() const noexcept { return joules_ / 1e3; }
+  double metered_seconds() const noexcept { return seconds_; }
+  const std::vector<ActivityInterval>& intervals() const noexcept { return intervals_; }
+
+  /// Energy attributable to one phase name (joules).
+  double phase_joules(const std::string& phase) const;
+
+ private:
+  double interval_watts(const ActivityInterval& interval) const;
+
+  PowerSpec spec_;
+  unsigned node_count_;
+  double joules_ = 0.0;
+  double seconds_ = 0.0;
+  std::vector<ActivityInterval> intervals_;
+};
+
+}  // namespace ada::storage

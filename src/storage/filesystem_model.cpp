@@ -1,0 +1,48 @@
+#include "storage/filesystem_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ada::storage {
+
+FsParams FsParams::ext4() {
+  FsParams p;
+  p.name = "ext4";
+  p.open_latency = 150e-6;
+  p.per_extent_latency = 20e-6;
+  p.extent_bytes = 128 * kMiB;  // max ext4 extent
+  p.journal_write_factor = 1.05;  // ordered-mode metadata journaling
+  return p;
+}
+
+FsParams FsParams::xfs() {
+  FsParams p;
+  p.name = "xfs";
+  p.open_latency = 120e-6;
+  p.per_extent_latency = 15e-6;
+  p.extent_bytes = 512 * kMiB;  // XFS delayed allocation yields large extents
+  p.journal_write_factor = 1.04;
+  return p;
+}
+
+double LocalFileSystemModel::extent_count(double bytes) const {
+  ADA_CHECK(bytes >= 0.0);
+  return std::max(1.0, std::ceil(bytes / params_.extent_bytes));
+}
+
+double LocalFileSystemModel::read_file_time(double bytes) const {
+  const double extents = extent_count(bytes);
+  return params_.open_latency + extents * params_.per_extent_latency +
+         device_.read_time(bytes, static_cast<std::uint64_t>(extents));
+}
+
+double LocalFileSystemModel::write_file_time(double bytes) const {
+  const double extents = extent_count(bytes);
+  return params_.open_latency + extents * params_.per_extent_latency +
+         device_.write_time(bytes * params_.journal_write_factor,
+                            static_cast<std::uint64_t>(extents));
+}
+
+}  // namespace ada::storage

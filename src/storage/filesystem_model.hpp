@@ -1,0 +1,50 @@
+// Local file-system performance models (ext4 / XFS flavoured).
+//
+// The SSD server runs ext4 (Section 4.1) and the fat node runs XFS
+// (Section 4.3).  At the granularity the paper measures -- whole-file
+// streaming of multi-hundred-MB trajectories -- the file systems differ in
+// metadata/allocation overhead, not in steady-state bandwidth, so the model
+// is: per-file metadata cost + per-extent access + device streaming time.
+#pragma once
+
+#include <string>
+
+#include "storage/device.hpp"
+
+namespace ada::storage {
+
+/// Tunables distinguishing file-system flavours.
+struct FsParams {
+  std::string name;
+  double open_latency = 0.0;      // path walk + inode fetch, seconds
+  double per_extent_latency = 0;  // extent map traversal per extent
+  double extent_bytes = 0.0;      // allocation granularity -> extents per file
+  double journal_write_factor = 1.0;  // write amplification from journaling
+
+  static FsParams ext4();
+  static FsParams xfs();
+};
+
+/// Timing model of one mounted local file system over one device.
+class LocalFileSystemModel {
+ public:
+  LocalFileSystemModel(FsParams params, DeviceSpec device)
+      : params_(std::move(params)), device_(std::move(device)) {}
+
+  const FsParams& params() const noexcept { return params_; }
+  const BlockDevice& device() const noexcept { return device_; }
+
+  /// Seconds to open + sequentially read a file of `bytes`.
+  double read_file_time(double bytes) const;
+
+  /// Seconds to create + sequentially write a file of `bytes`.
+  double write_file_time(double bytes) const;
+
+ private:
+  double extent_count(double bytes) const;
+
+  FsParams params_;
+  BlockDevice device_;
+};
+
+}  // namespace ada::storage

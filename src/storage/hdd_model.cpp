@@ -1,0 +1,54 @@
+#include "storage/hdd_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ada::storage {
+
+HddModel::HddModel(HddParams params) : params_(params) {
+  ADA_CHECK(params_.capacity_bytes > 0);
+  ADA_CHECK(params_.outer_bandwidth >= params_.inner_bandwidth);
+  ADA_CHECK(params_.inner_bandwidth > 0);
+}
+
+double HddModel::bandwidth_at(std::uint64_t offset) const {
+  const double fraction = std::min(1.0, static_cast<double>(offset) /
+                                            static_cast<double>(params_.capacity_bytes));
+  return params_.outer_bandwidth - fraction * (params_.outer_bandwidth - params_.inner_bandwidth);
+}
+
+double HddModel::seek_time(std::uint64_t from, std::uint64_t to) const {
+  if (from == to) return 0.0;
+  const double distance = static_cast<double>(from > to ? from - to : to - from) /
+                          static_cast<double>(params_.capacity_bytes);
+  // Square-root seek curve through (0+, track_to_track) and (1, full_stroke).
+  const double t = params_.track_to_track_seek +
+                   (params_.full_stroke_seek - params_.track_to_track_seek) * std::sqrt(distance);
+  return std::min(t, params_.full_stroke_seek);
+}
+
+double HddModel::access(std::uint64_t offset, std::uint64_t bytes) {
+  ADA_CHECK(offset + bytes <= params_.capacity_bytes);
+  ++requests_;
+  double time = params_.controller_overhead;
+  if (offset != head_) {
+    const double seek = seek_time(head_, offset);
+    seek_seconds_ += seek;
+    // Average rotational latency: half a revolution after a seek.
+    time += seek + rotation_seconds() / 2;
+  }
+  // Transfer across zones: integrate in zone-sized steps (linear profile, so
+  // the midpoint rate over the extent is exact).
+  const double rate = (bandwidth_at(offset) + bandwidth_at(offset + bytes)) / 2;
+  time += static_cast<double>(bytes) / rate;
+  head_ = offset + bytes;
+  return time;
+}
+
+double HddModel::sequential_read_time(std::uint64_t offset, std::uint64_t bytes) {
+  return access(offset, bytes);
+}
+
+}  // namespace ada::storage

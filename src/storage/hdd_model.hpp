@@ -1,0 +1,64 @@
+// Mechanical HDD model: seeks, rotation, and zoned recording.
+//
+// The coarse DeviceSpec used by the platform pipelines says "126 MB/s MAX".
+// This model explains that MAX: a drive's streaming rate depends on the
+// zone under the head (outer tracks carry more sectors per revolution), and
+// random access pays a distance-dependent seek plus rotational latency.
+// It is used to validate the coarse spec (tests cross-check the effective
+// rates) and by workloads that care about layout, e.g. the PLFS dropping
+// placement study.
+#pragma once
+
+#include <cstdint>
+
+namespace ada::storage {
+
+/// Drive parameters, defaulted to a WD 1 TB 7200 rpm SATA drive
+/// (paper Table 4's HDD).
+struct HddParams {
+  std::uint64_t capacity_bytes = 1'000'000'000'000ull;
+  double rpm = 7200.0;
+  double outer_bandwidth = 126e6;  // bytes/s at LBA 0 (outer rim)
+  double inner_bandwidth = 62e6;   // bytes/s at the last LBA
+  double track_to_track_seek = 0.7e-3;
+  double full_stroke_seek = 16e-3;
+  double controller_overhead = 0.1e-3;  // per-request fixed cost
+};
+
+class HddModel {
+ public:
+  explicit HddModel(HddParams params = {});
+
+  const HddParams& params() const noexcept { return params_; }
+
+  /// Streaming bandwidth at a byte offset (linear zone interpolation:
+  /// conventional drives serpentine outer->inner as LBA grows).
+  double bandwidth_at(std::uint64_t offset) const;
+
+  /// Seek time between two byte offsets (square-root-of-distance law,
+  /// bounded by track-to-track and full-stroke).
+  double seek_time(std::uint64_t from, std::uint64_t to) const;
+
+  /// Service one request at `offset` of `bytes`, advancing the head.
+  /// Returns seconds: controller + seek + rotational latency (half a
+  /// revolution on a discontiguous access, none when sequential) + transfer.
+  double access(std::uint64_t offset, std::uint64_t bytes);
+
+  /// Convenience: total time of a whole-file sequential read starting at
+  /// `offset` (single seek, zoned transfer).
+  double sequential_read_time(std::uint64_t offset, std::uint64_t bytes);
+
+  std::uint64_t head_position() const noexcept { return head_; }
+  std::uint64_t requests_served() const noexcept { return requests_; }
+  double seeks_seconds() const noexcept { return seek_seconds_; }
+
+ private:
+  double rotation_seconds() const noexcept { return 60.0 / params_.rpm; }
+
+  HddParams params_;
+  std::uint64_t head_ = 0;   // byte offset under the head
+  std::uint64_t requests_ = 0;
+  double seek_seconds_ = 0;
+};
+
+}  // namespace ada::storage

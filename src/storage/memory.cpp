@@ -1,0 +1,49 @@
+#include "storage/memory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace ada::storage {
+
+MemoryTracker::MemoryTracker(double capacity_bytes, double os_reserve_fraction)
+    : capacity_(capacity_bytes), usable_(capacity_bytes * (1.0 - os_reserve_fraction)) {
+  ADA_CHECK(capacity_bytes > 0.0);
+  ADA_CHECK(os_reserve_fraction >= 0.0 && os_reserve_fraction < 1.0);
+}
+
+Status MemoryTracker::allocate(const std::string& label, double bytes) {
+  ADA_CHECK(bytes >= 0.0);
+  if (in_use_ + bytes > usable_) {
+    oom_ = true;
+    return resource_exhausted("OOM: " + label + " needs " + format_bytes(bytes) + ", " +
+                              format_bytes(usable_ - in_use_) + " of " + format_bytes(usable_) +
+                              " usable remain");
+  }
+  charges_[label] += bytes;
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+  return Status::ok();
+}
+
+void MemoryTracker::free(const std::string& label) {
+  const auto it = charges_.find(label);
+  if (it == charges_.end()) return;
+  in_use_ -= it->second;
+  ADA_CHECK(in_use_ >= -1e-6);
+  in_use_ = std::max(0.0, in_use_);
+  charges_.erase(it);
+}
+
+void MemoryTracker::reset() {
+  charges_.clear();
+  in_use_ = 0.0;
+}
+
+double MemoryTracker::charged(const std::string& label) const {
+  const auto it = charges_.find(label);
+  return it == charges_.end() ? 0.0 : it->second;
+}
+
+}  // namespace ada::storage

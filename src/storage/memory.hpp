@@ -1,0 +1,53 @@
+// Compute-node memory accounting with OOM semantics.
+//
+// The paper's fat-node experiments (Section 4.3) hinge on exactly this:
+// "both XFS and ADA (all) are killed by the system due to memory shortage
+// when VMD is trying to render 1,876,800 frames".  The tracker charges every
+// model-level allocation (compressed buffer, decompressed frames, render
+// working set), tracks the peak, and reports OOM when usage would exceed
+// usable DRAM (capacity minus an OS reserve).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ada::storage {
+
+class MemoryTracker {
+ public:
+  /// `capacity_bytes`: physical DRAM; `os_reserve_fraction`: slice the
+  /// kernel, page cache floor and daemons keep (not available to VMD).
+  explicit MemoryTracker(double capacity_bytes, double os_reserve_fraction = 0.03);
+
+  /// Charge `bytes` under `label`.  Fails with kResourceExhausted -- and
+  /// latches oom_occurred() -- if usage would exceed usable capacity.
+  Status allocate(const std::string& label, double bytes);
+
+  /// Release everything charged under `label` (no-op for unknown labels).
+  void free(const std::string& label);
+
+  /// Release all charges (end of a scenario).
+  void reset();
+
+  double capacity() const noexcept { return capacity_; }
+  double usable() const noexcept { return usable_; }
+  double in_use() const noexcept { return in_use_; }
+  double peak() const noexcept { return peak_; }
+  bool oom_occurred() const noexcept { return oom_; }
+
+  /// Bytes charged under one label (0 if absent).
+  double charged(const std::string& label) const;
+
+ private:
+  double capacity_;
+  double usable_;
+  double in_use_ = 0.0;
+  double peak_ = 0.0;
+  bool oom_ = false;
+  std::map<std::string, double> charges_;
+};
+
+}  // namespace ada::storage

@@ -1,0 +1,172 @@
+#include "storage/ssd_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ada::storage {
+
+SsdModel::SsdModel(SsdParams params) : params_(params) {
+  ADA_CHECK(params_.page_bytes > 0 && params_.pages_per_block > 0 && params_.channels > 0);
+  ADA_CHECK(params_.over_provision > 0.0);
+
+  const std::uint64_t logical = logical_pages();
+  const auto physical =
+      static_cast<std::uint64_t>(std::ceil(static_cast<double>(logical) *
+                                           (1.0 + params_.over_provision)));
+  const std::uint64_t block_count =
+      (physical + params_.pages_per_block - 1) / params_.pages_per_block + 1;
+  ADA_CHECK(block_count >= 4);
+
+  l2p_.assign(logical, kUnmapped);
+  blocks_.assign(block_count, Block{});
+  p2l_.assign(blocks_.size() * params_.pages_per_block, kUnmapped);
+  free_list_.reserve(block_count);
+  // All blocks start erased; the last one becomes the first active block.
+  for (std::uint32_t b = 0; b < block_count - 1; ++b) free_list_.push_back(b);
+  active_block_ = static_cast<std::uint32_t>(block_count - 1);
+  blocks_[active_block_].is_active = true;
+}
+
+std::uint64_t SsdModel::logical_pages() const noexcept {
+  return (params_.logical_capacity_bytes + params_.page_bytes - 1) / params_.page_bytes;
+}
+
+double SsdModel::utilization() const noexcept {
+  std::uint64_t mapped = 0;
+  for (const std::uint32_t p : l2p_) {
+    if (p != kUnmapped) ++mapped;
+  }
+  return static_cast<double>(mapped) / static_cast<double>(l2p_.size());
+}
+
+std::uint32_t SsdModel::free_blocks() const noexcept {
+  return static_cast<std::uint32_t>(free_list_.size());
+}
+
+Result<std::uint64_t> SsdModel::page_range(std::uint64_t offset, std::uint64_t bytes,
+                                           std::uint64_t* first_page) const {
+  if (bytes == 0) return invalid_argument("zero-length request");
+  if (offset + bytes > params_.logical_capacity_bytes) {
+    return out_of_range("request beyond logical capacity");
+  }
+  *first_page = offset / params_.page_bytes;
+  const std::uint64_t last = (offset + bytes - 1) / params_.page_bytes;
+  return last - *first_page + 1;
+}
+
+void SsdModel::advance_active_block() {
+  ADA_CHECK(!free_list_.empty());
+  blocks_[active_block_].is_active = false;
+  active_block_ = free_list_.back();
+  free_list_.pop_back();
+  Block& block = blocks_[active_block_];
+  ADA_CHECK(block.written == 0 && block.valid == 0);
+  block.is_active = true;
+}
+
+double SsdModel::program_page(std::uint64_t logical_page) {
+  double time = 0.0;
+  if (blocks_[active_block_].written == params_.pages_per_block) {
+    advance_active_block();
+  }
+  // Invalidate the previous version.
+  const std::uint32_t old_physical = l2p_[logical_page];
+  if (old_physical != kUnmapped) {
+    const std::uint32_t old_block = old_physical / params_.pages_per_block;
+    ADA_CHECK(blocks_[old_block].valid > 0);
+    --blocks_[old_block].valid;
+    p2l_[old_physical] = kUnmapped;
+  }
+  const std::uint32_t physical =
+      active_block_ * params_.pages_per_block + blocks_[active_block_].written;
+  ++blocks_[active_block_].written;
+  ++blocks_[active_block_].valid;
+  l2p_[logical_page] = physical;
+  p2l_[physical] = static_cast<std::uint32_t>(logical_page);
+  ++stats_.flash_pages_written;
+  time += params_.page_program_s;
+  return time;
+}
+
+std::uint32_t SsdModel::pick_victim() const {
+  // Greedy: the fully-written block with the fewest valid pages.
+  std::uint32_t best = kUnmapped;
+  std::uint32_t best_valid = params_.pages_per_block + 1;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    const Block& block = blocks_[b];
+    if (block.is_active || block.written != params_.pages_per_block) continue;
+    if (block.valid < best_valid) {
+      best_valid = block.valid;
+      best = b;
+    }
+  }
+  return best;
+}
+
+double SsdModel::collect_garbage() {
+  double time = 0.0;
+  const auto low_watermark = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(blocks_.size()) * params_.gc_low_watermark));
+  while (free_list_.size() < low_watermark) {
+    const std::uint32_t victim = pick_victim();
+    ADA_CHECK(victim != kUnmapped);
+    Block& block = blocks_[victim];
+    // Relocate live pages into the active block.
+    for (std::uint32_t slot = 0; slot < params_.pages_per_block; ++slot) {
+      const std::uint32_t physical = victim * params_.pages_per_block + slot;
+      const std::uint32_t logical = p2l_[physical];
+      if (logical == kUnmapped) continue;
+      time += params_.page_read_s;
+      time += program_page(logical);
+      ++stats_.gc_relocations;
+    }
+    ADA_CHECK(block.valid == 0);
+    block.written = 0;
+    time += params_.block_erase_s;
+    ++stats_.erases;
+    free_list_.push_back(victim);
+  }
+  return time;
+}
+
+Result<double> SsdModel::write(std::uint64_t offset, std::uint64_t bytes) {
+  std::uint64_t first = 0;
+  ADA_ASSIGN_OR_RETURN(const std::uint64_t pages, page_range(offset, bytes, &first));
+  double time = 0.0;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    time += program_page(first + p);
+    ++stats_.host_pages_written;
+    const auto low_watermark = std::max<std::size_t>(
+        2,
+        static_cast<std::size_t>(static_cast<double>(blocks_.size()) * params_.gc_low_watermark));
+    if (free_list_.size() < low_watermark) time += collect_garbage();
+  }
+  // Channel parallelism: programs pipeline across channels.
+  return time / params_.channels;
+}
+
+Result<double> SsdModel::read(std::uint64_t offset, std::uint64_t bytes) const {
+  std::uint64_t first = 0;
+  ADA_ASSIGN_OR_RETURN(const std::uint64_t pages, page_range(offset, bytes, &first));
+  // Reads pipeline across channels regardless of mapping.
+  return params_.page_read_s * static_cast<double>(pages) / params_.channels;
+}
+
+Status SsdModel::trim(std::uint64_t offset, std::uint64_t bytes) {
+  std::uint64_t first = 0;
+  ADA_ASSIGN_OR_RETURN(const std::uint64_t pages, page_range(offset, bytes, &first));
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const std::uint32_t physical = l2p_[first + p];
+    if (physical == kUnmapped) continue;
+    const std::uint32_t block = physical / params_.pages_per_block;
+    ADA_CHECK(blocks_[block].valid > 0);
+    --blocks_[block].valid;
+    p2l_[physical] = kUnmapped;
+    l2p_[first + p] = kUnmapped;
+  }
+  return Status::ok();
+}
+
+}  // namespace ada::storage

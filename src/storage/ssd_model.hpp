@@ -1,0 +1,100 @@
+// Flash SSD model: page-mapped FTL with garbage collection.
+//
+// The coarse DeviceSpec says "3000 MB/s read / 1000 MB/s write PEAK".  This
+// model explains the asymmetry and its decay: reads parallelize cleanly
+// across channels; writes program slower pages and, once free blocks run
+// low, pay garbage-collection relocation whose cost grows with utilization
+// (the write-amplification factor).  Used to validate the coarse spec and
+// to study ADA's write path (ingest writes decompressed subsets: WAF tells
+// us what that costs the SSD's lifetime).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::storage {
+
+/// Flash geometry and timing, defaulted to a small PCIe drive
+/// (scaled-capacity instances are used in tests; timings stay realistic).
+struct SsdParams {
+  std::uint64_t logical_capacity_bytes = 256ull << 20;  // exported capacity
+  double over_provision = 0.07;                         // extra physical space
+  std::uint32_t channels = 8;
+  std::uint32_t page_bytes = 16 * 1024;
+  std::uint32_t pages_per_block = 256;
+  double page_read_s = 50e-6;
+  double page_program_s = 400e-6;
+  double block_erase_s = 3e-3;
+  /// GC engages when free blocks drop below this fraction of all blocks.
+  double gc_low_watermark = 0.03;
+};
+
+/// Lifetime/efficiency counters.
+struct SsdStats {
+  std::uint64_t host_pages_written = 0;
+  std::uint64_t flash_pages_written = 0;  // host + GC relocations
+  std::uint64_t gc_relocations = 0;
+  std::uint64_t erases = 0;
+
+  /// Write amplification factor (1.0 until GC starts relocating).
+  double waf() const noexcept {
+    return host_pages_written == 0
+               ? 1.0
+               : static_cast<double>(flash_pages_written) /
+                     static_cast<double>(host_pages_written);
+  }
+};
+
+class SsdModel {
+ public:
+  explicit SsdModel(SsdParams params = {});
+
+  const SsdParams& params() const noexcept { return params_; }
+  const SsdStats& stats() const noexcept { return stats_; }
+
+  /// Write `bytes` at `offset` (page-aligned rounding up); returns simulated
+  /// seconds including any garbage collection triggered.
+  Result<double> write(std::uint64_t offset, std::uint64_t bytes);
+
+  /// Read `bytes` at `offset`; unwritten pages read as zero at full speed.
+  Result<double> read(std::uint64_t offset, std::uint64_t bytes) const;
+
+  /// TRIM a logical range: invalidates mappings so GC skips the data.
+  Status trim(std::uint64_t offset, std::uint64_t bytes);
+
+  /// Fraction of logical pages currently mapped (utilization).
+  double utilization() const noexcept;
+
+  std::uint32_t free_blocks() const noexcept;
+
+ private:
+  static constexpr std::uint32_t kUnmapped = 0xffffffffu;
+
+  std::uint64_t logical_pages() const noexcept;
+  std::uint64_t physical_pages() const noexcept { return blocks_.size() * params_.pages_per_block; }
+
+  Result<std::uint64_t> page_range(std::uint64_t offset, std::uint64_t bytes,
+                                   std::uint64_t* first_page) const;
+  double program_page(std::uint64_t logical_page);
+  double collect_garbage();
+  std::uint32_t pick_victim() const;
+  void advance_active_block();
+
+  struct Block {
+    std::uint32_t valid = 0;   // live pages
+    std::uint32_t written = 0; // next free page slot
+    bool is_active = false;
+  };
+
+  SsdParams params_;
+  std::vector<std::uint32_t> l2p_;       // logical page -> physical page (or kUnmapped)
+  std::vector<std::uint32_t> p2l_;       // physical page -> logical page (or kUnmapped)
+  std::vector<Block> blocks_;
+  std::vector<std::uint32_t> free_list_; // erased blocks
+  std::uint32_t active_block_ = 0;
+  SsdStats stats_;
+};
+
+}  // namespace ada::storage

@@ -1,0 +1,238 @@
+#include "vmd/analysis.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ada::vmd {
+
+namespace {
+
+Status require_triplets(std::span<const float> coords, const char* what) {
+  if (coords.empty() || coords.size() % 3 != 0) {
+    return invalid_argument(std::string(what) + " must be nonempty xyz triplets");
+  }
+  return Status::ok();
+}
+
+/// Largest-eigenvalue eigenvector of a symmetric 4x4 matrix via shifted
+/// power iteration (deterministic; ~60 iterations reach double precision for
+/// the well-separated spectra Horn matrices have).
+std::array<double, 4> dominant_eigenvector4(const double m[4][4]) {
+  // Shift to make the target eigenvalue strictly dominant in magnitude.
+  double shift = 0;
+  for (int i = 0; i < 4; ++i) {
+    double row = 0;
+    for (int j = 0; j < 4; ++j) row += std::abs(m[i][j]);
+    shift = std::max(shift, row);
+  }
+  std::array<double, 4> v = {1.0, 0.1, 0.2, 0.3};  // deterministic start
+  for (int iter = 0; iter < 128; ++iter) {
+    std::array<double, 4> next{};
+    for (std::size_t i = 0; i < 4; ++i) {
+      next[i] = shift * v[i];
+      for (std::size_t j = 0; j < 4; ++j) next[i] += m[i][j] * v[j];
+    }
+    double norm = 0;
+    for (const double x : next) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) return {1, 0, 0, 0};  // degenerate: identity rotation
+    for (double& x : next) x /= norm;
+    v = next;
+  }
+  return v;
+}
+
+struct Centered {
+  std::vector<double> points;  // xyz triplets, centroid-subtracted
+  std::array<double, 3> centroid;
+};
+
+Centered center(std::span<const float> coords) {
+  Centered out;
+  out.centroid = centroid(coords);
+  out.points.resize(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    out.points[i] = static_cast<double>(coords[i]) - out.centroid[i % 3];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::array<double, 3> centroid(std::span<const float> coords) {
+  std::array<double, 3> c = {0, 0, 0};
+  if (coords.empty()) return c;
+  for (std::size_t i = 0; i < coords.size(); ++i) c[i % 3] += static_cast<double>(coords[i]);
+  const double n = static_cast<double>(coords.size()) / 3.0;
+  for (double& x : c) x /= n;
+  return c;
+}
+
+Result<std::array<double, 3>> center_of_mass(std::span<const float> coords,
+                                             std::span<const double> masses) {
+  ADA_RETURN_IF_ERROR(require_triplets(coords, "coords"));
+  if (masses.size() * 3 != coords.size()) {
+    return invalid_argument("masses must be per-atom, parallel to coords");
+  }
+  std::array<double, 3> c = {0, 0, 0};
+  double total = 0;
+  for (std::size_t a = 0; a < masses.size(); ++a) {
+    total += masses[a];
+    for (std::size_t d = 0; d < 3; ++d) c[d] += masses[a] * static_cast<double>(coords[3 * a + d]);
+  }
+  if (total <= 0) return invalid_argument("total mass must be positive");
+  for (double& x : c) x /= total;
+  return c;
+}
+
+double radius_of_gyration(std::span<const float> coords) {
+  if (coords.empty()) return 0.0;
+  const auto c = centroid(coords);
+  double sum = 0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const double d = static_cast<double>(coords[i]) - c[i % 3];
+    sum += d * d;
+  }
+  return std::sqrt(sum / (static_cast<double>(coords.size()) / 3.0));
+}
+
+Result<double> rmsd_no_align(std::span<const float> a, std::span<const float> b) {
+  ADA_RETURN_IF_ERROR(require_triplets(a, "a"));
+  if (a.size() != b.size()) return invalid_argument("conformations differ in size");
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / (static_cast<double>(a.size()) / 3.0));
+}
+
+Result<std::array<double, 9>> kabsch_rotation(std::span<const float> mobile,
+                                              std::span<const float> target) {
+  ADA_RETURN_IF_ERROR(require_triplets(mobile, "mobile"));
+  if (mobile.size() != target.size()) return invalid_argument("conformations differ in size");
+  const Centered a = center(mobile);
+  const Centered b = center(target);
+
+  // Correlation matrix S[i][j] = sum_k a_k[i] * b_k[j].
+  double s[3][3] = {};
+  const std::size_t atoms = mobile.size() / 3;
+  for (std::size_t k = 0; k < atoms; ++k) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        s[i][j] += a.points[3 * k + static_cast<std::size_t>(i)] *
+                   b.points[3 * k + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+
+  // Horn's quaternion matrix: its dominant eigenvector is the optimal
+  // rotation (mapping mobile onto target) as a unit quaternion (w,x,y,z).
+  const double n[4][4] = {
+      {s[0][0] + s[1][1] + s[2][2], s[1][2] - s[2][1], s[2][0] - s[0][2], s[0][1] - s[1][0]},
+      {s[1][2] - s[2][1], s[0][0] - s[1][1] - s[2][2], s[0][1] + s[1][0], s[2][0] + s[0][2]},
+      {s[2][0] - s[0][2], s[0][1] + s[1][0], -s[0][0] + s[1][1] - s[2][2], s[1][2] + s[2][1]},
+      {s[0][1] - s[1][0], s[2][0] + s[0][2], s[1][2] + s[2][1], -s[0][0] - s[1][1] + s[2][2]},
+  };
+  const auto q = dominant_eigenvector4(n);
+  const double w = q[0];
+  const double x = q[1];
+  const double y = q[2];
+  const double z = q[3];
+
+  return std::array<double, 9>{
+      w * w + x * x - y * y - z * z, 2 * (x * y - w * z),           2 * (x * z + w * y),
+      2 * (x * y + w * z),           w * w - x * x + y * y - z * z, 2 * (y * z - w * x),
+      2 * (x * z - w * y),           2 * (y * z + w * x),           w * w - x * x - y * y + z * z,
+  };
+}
+
+Result<double> rmsd_aligned(std::span<const float> a, std::span<const float> b) {
+  ADA_ASSIGN_OR_RETURN(const auto rotation, kabsch_rotation(a, b));
+  const Centered ca = center(a);
+  const Centered cb = center(b);
+  const std::size_t atoms = a.size() / 3;
+  double sum = 0;
+  for (std::size_t k = 0; k < atoms; ++k) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      double rotated = 0;
+      for (std::size_t j = 0; j < 3; ++j) {
+        rotated += rotation[3 * i + j] * ca.points[3 * k + j];
+      }
+      const double d = rotated - cb.points[3 * k + i];
+      sum += d * d;
+    }
+  }
+  return std::sqrt(sum / static_cast<double>(atoms));
+}
+
+Result<std::vector<double>> mean_squared_displacement(
+    const std::vector<std::vector<float>>& frames) {
+  if (frames.empty()) return invalid_argument("no frames");
+  const std::vector<float>& reference = frames.front();
+  ADA_RETURN_IF_ERROR(require_triplets(reference, "frames[0]"));
+  std::vector<double> out;
+  out.reserve(frames.size());
+  for (const auto& frame : frames) {
+    if (frame.size() != reference.size()) return invalid_argument("frames differ in size");
+    double sum = 0;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      const double d = static_cast<double>(frame[i]) - static_cast<double>(reference[i]);
+      sum += d * d;
+    }
+    out.push_back(sum / (static_cast<double>(reference.size()) / 3.0));
+  }
+  return out;
+}
+
+Result<RdfResult> radial_distribution(std::span<const float> set_a, std::span<const float> set_b,
+                                      const std::array<float, 3>& box, double r_max,
+                                      std::size_t bins) {
+  ADA_RETURN_IF_ERROR(require_triplets(set_a, "set_a"));
+  ADA_RETURN_IF_ERROR(require_triplets(set_b, "set_b"));
+  if (bins == 0 || !(r_max > 0)) return invalid_argument("need bins > 0 and r_max > 0");
+  for (const float edge : box) {
+    if (!(edge > 0)) return invalid_argument("box edges must be positive");
+    if (r_max > static_cast<double>(edge) / 2) {
+      return invalid_argument("r_max exceeds half the box edge (minimum image breaks)");
+    }
+  }
+
+  RdfResult result;
+  result.bin_width = r_max / static_cast<double>(bins);
+  std::vector<std::uint64_t> counts(bins, 0);
+  const std::size_t na = set_a.size() / 3;
+  const std::size_t nb = set_b.size() / 3;
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      double d2 = 0;
+      for (std::size_t d = 0; d < 3; ++d) {
+        double diff = static_cast<double>(set_a[3 * i + d]) - static_cast<double>(set_b[3 * j + d]);
+        const double edge = static_cast<double>(box[d]);
+        diff -= edge * std::round(diff / edge);  // minimum image
+        d2 += diff * diff;
+      }
+      const double r = std::sqrt(d2);
+      if (r < 1e-9) continue;  // identical atom appearing in both sets
+      if (r < r_max) ++counts[static_cast<std::size_t>(r / result.bin_width)];
+    }
+  }
+
+  // Normalize by the ideal-gas shell expectation.
+  const double volume =
+      static_cast<double>(box[0]) * static_cast<double>(box[1]) * static_cast<double>(box[2]);
+  const double density = static_cast<double>(nb) / volume;
+  result.g.resize(bins);
+  constexpr double kFourPi = 12.566370614359172;
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const double r_lo = static_cast<double>(bin) * result.bin_width;
+    const double r_hi = r_lo + result.bin_width;
+    const double shell = kFourPi / 3.0 * (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double expected = static_cast<double>(na) * density * shell;
+    result.g[bin] = expected > 0 ? static_cast<double>(counts[bin]) / expected : 0.0;
+  }
+  return result;
+}
+
+}  // namespace ada::vmd

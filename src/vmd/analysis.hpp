@@ -1,0 +1,61 @@
+// Trajectory analysis toolkit.
+//
+// The paper's point is that compute nodes should spend their cycles on
+// "sophisticated operations" rather than re-decompressing data.  These are
+// those operations: the standard structural analyses VMD users run on the
+// active subset ADA delivers -- centroids, radius of gyration, RMSD with
+// optimal (Kabsch) superposition, mean-squared displacement, and radial
+// distribution functions.  All functions take flat xyz coordinate spans so
+// they compose directly with ADA subset queries and FrameStore frames.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::vmd {
+
+/// Geometric center (equal weights), xyz.
+std::array<double, 3> centroid(std::span<const float> coords);
+
+/// Mass-weighted center; `masses` is per-atom, parallel to the triplets.
+Result<std::array<double, 3>> center_of_mass(std::span<const float> coords,
+                                             std::span<const double> masses);
+
+/// Radius of gyration about the centroid (equal weights), nm.
+double radius_of_gyration(std::span<const float> coords);
+
+/// Root-mean-square deviation between two conformations, *without*
+/// superposition (frames from the same trajectory share a frame of
+/// reference).  Inputs must have equal, nonzero length.
+Result<double> rmsd_no_align(std::span<const float> a, std::span<const float> b);
+
+/// Optimal-superposition RMSD: translates both conformations to their
+/// centroids and applies the Kabsch-optimal rotation (computed via Horn's
+/// quaternion method) before measuring.  Rotation/translation-invariant.
+Result<double> rmsd_aligned(std::span<const float> a, std::span<const float> b);
+
+/// The 3x3 rotation matrix (row-major) that optimally superimposes `mobile`
+/// onto `target` after centroid translation.
+Result<std::array<double, 9>> kabsch_rotation(std::span<const float> mobile,
+                                              std::span<const float> target);
+
+/// Mean-squared displacement of frame `t` relative to frame 0, for each
+/// frame of a trajectory (vector of per-frame MSD values, nm^2).
+Result<std::vector<double>> mean_squared_displacement(
+    const std::vector<std::vector<float>>& frames);
+
+/// Radial distribution function g(r) between two atom sets in an
+/// orthorhombic box (minimum-image convention).  Returns `bins` values for
+/// shells of width r_max/bins.
+struct RdfResult {
+  double bin_width = 0;
+  std::vector<double> g;  // g[i] for shell [i*bin_width, (i+1)*bin_width)
+};
+Result<RdfResult> radial_distribution(std::span<const float> set_a, std::span<const float> set_b,
+                                      const std::array<float, 3>& box, double r_max,
+                                      std::size_t bins);
+
+}  // namespace ada::vmd

@@ -1,0 +1,105 @@
+#include "vmd/command.hpp"
+
+#include "common/strings.hpp"
+#include "common/units.hpp"
+#include "vmd/analysis.hpp"
+#include "vmd/select.hpp"
+
+namespace ada::vmd {
+
+Result<std::string> CommandInterpreter::execute(const std::string& line) {
+  const auto args = split_whitespace(line);
+  if (args.empty()) return std::string();
+  if (args[0] == "mol") return cmd_mol(args);
+  if (args[0] == "animate") return cmd_animate(args);
+  if (args[0] == "render") return cmd_render(args);
+  if (args[0] == "atomselect") return cmd_atomselect(line);
+  if (args[0] == "measure") return cmd_measure(args);
+  return invalid_argument("unknown command: " + args[0]);
+}
+
+Result<std::string> CommandInterpreter::cmd_atomselect(const std::string& line) {
+  if (!session_.has_molecule()) return failed_precondition("no molecule loaded");
+  const std::string expression = std::string(trim(line.substr(std::string("atomselect").size())));
+  if (expression.empty()) return invalid_argument("usage: atomselect <expression>");
+  ADA_ASSIGN_OR_RETURN(const chem::Selection selection,
+                       atom_select(session_.system(), expression));
+  const auto loaded = selection.intersect(session_.loaded_selection());
+  return std::to_string(selection.count()) + " atoms selected (" +
+         std::to_string(loaded.count()) + " in the loaded subset)";
+}
+
+Result<std::string> CommandInterpreter::cmd_measure(const std::vector<std::string>& args) {
+  if (session_.frames().frame_count() == 0) return failed_precondition("no frames loaded");
+  if (args.size() == 2 && args[1] == "rgyr") {
+    const auto& frame = session_.frames().frame(current_frame_);
+    return "Rgyr = " + format_fixed(radius_of_gyration(frame.coords), 4) + " nm (frame " +
+           std::to_string(current_frame_) + ")";
+  }
+  if (args.size() == 4 && args[1] == "rmsd") {
+    const long long a = parse_int(args[2]);
+    const long long b = parse_int(args[3]);
+    const auto n = static_cast<long long>(session_.frames().frame_count());
+    if (a < 0 || b < 0 || a >= n || b >= n) return out_of_range("frame index out of range");
+    ADA_ASSIGN_OR_RETURN(
+        const double rmsd,
+        rmsd_aligned(session_.frames().frame(static_cast<std::size_t>(a)).coords,
+                     session_.frames().frame(static_cast<std::size_t>(b)).coords));
+    return "aligned RMSD(" + args[2] + ", " + args[3] + ") = " + format_fixed(rmsd, 5) + " nm";
+  }
+  return invalid_argument("usage: measure rgyr | measure rmsd <frameA> <frameB>");
+}
+
+Result<std::string> CommandInterpreter::cmd_mol(const std::vector<std::string>& args) {
+  if (args.size() >= 3 && args[1] == "new") {
+    ADA_RETURN_IF_ERROR(session_.mol_new_file(args[2]));
+    return "loaded structure " + args[2] + " (" + std::to_string(session_.system().atom_count()) +
+           " atoms)";
+  }
+  if (args.size() >= 3 && args[1] == "addfile") {
+    std::optional<core::Tag> tag;
+    if (args.size() == 5 && args[3] == "tag") {
+      tag = args[4];
+    } else if (args.size() != 3) {
+      return invalid_argument("usage: mol addfile <path> [tag <t>]");
+    }
+    ADA_RETURN_IF_ERROR(session_.mol_addfile(args[2], tag));
+    return "loaded " + std::to_string(session_.frames().frame_count()) + " frames (" +
+           std::to_string(session_.loaded_selection().count()) + " atoms" +
+           (tag.has_value() ? ", tag " + *tag : std::string()) + ", " +
+           format_bytes(session_.frames().bytes()) + " in memory)";
+  }
+  if (args.size() == 2 && args[1] == "info") {
+    if (!session_.has_molecule()) return std::string("no molecule loaded");
+    return std::to_string(session_.system().atom_count()) + " atoms, " +
+           std::to_string(session_.frames().frame_count()) + " frames, selection " +
+           std::to_string(session_.loaded_selection().count()) + " atoms";
+  }
+  return invalid_argument("usage: mol new <pdb> | mol addfile <path> [tag <t>] | mol info");
+}
+
+Result<std::string> CommandInterpreter::cmd_animate(const std::vector<std::string>& args) {
+  if (args.size() != 3 || args[1] != "goto") {
+    return invalid_argument("usage: animate goto <frame>");
+  }
+  const long long frame = parse_int(args[2]);
+  if (frame < 0 || static_cast<std::size_t>(frame) >= session_.frames().frame_count()) {
+    return out_of_range("frame " + args[2] + " of " +
+                        std::to_string(session_.frames().frame_count()));
+  }
+  current_frame_ = static_cast<std::size_t>(frame);
+  return "frame " + args[2];
+}
+
+Result<std::string> CommandInterpreter::cmd_render(const std::vector<std::string>& args) {
+  if (args.size() != 3 || args[1] != "snapshot") {
+    return invalid_argument("usage: render snapshot <out.ppm>");
+  }
+  ADA_ASSIGN_OR_RETURN(const RenderResult result, session_.render(current_frame_));
+  ADA_RETURN_IF_ERROR(write_ppm(args[2], result.image));
+  return "rendered frame " + std::to_string(current_frame_) + " to " + args[2] + " (" +
+         std::to_string(result.stats.atoms) + " atoms, " + std::to_string(result.stats.bonds) +
+         " bonds)";
+}
+
+}  // namespace ada::vmd

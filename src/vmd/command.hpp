@@ -1,0 +1,46 @@
+// Command interpreter: the paper's modified VMD command-line surface.
+//
+// Executes the command strings Section 3.4 shows verbatim:
+//
+//   mol new foo.pdb
+//   mol addfile /mnt/bar.xtc
+//   mol addfile /mnt/bar.xtc tag p
+//   animate goto 12
+//   render snapshot out.ppm
+//   mol info
+//   atomselect protein and backbone
+//   measure rgyr
+//   measure rmsd 0 12
+//
+// Each command returns a short human-readable status string (what VMD would
+// print to its console).
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "vmd/mol.hpp"
+
+namespace ada::vmd {
+
+class CommandInterpreter {
+ public:
+  explicit CommandInterpreter(MolSession& session) : session_(session) {}
+
+  /// Execute one command line; returns the console output.
+  Result<std::string> execute(const std::string& line);
+
+  std::size_t current_frame() const noexcept { return current_frame_; }
+
+ private:
+  Result<std::string> cmd_mol(const std::vector<std::string>& args);
+  Result<std::string> cmd_animate(const std::vector<std::string>& args);
+  Result<std::string> cmd_render(const std::vector<std::string>& args);
+  Result<std::string> cmd_atomselect(const std::string& line);
+  Result<std::string> cmd_measure(const std::vector<std::string>& args);
+
+  MolSession& session_;
+  std::size_t current_frame_ = 0;
+};
+
+}  // namespace ada::vmd

@@ -1,0 +1,32 @@
+#include "vmd/frame_store.hpp"
+
+namespace ada::vmd {
+
+FrameStore::FrameStore(storage::MemoryTracker* memory, std::string label)
+    : memory_(memory), label_(std::move(label)) {}
+
+FrameStore::~FrameStore() { clear(); }
+
+Status FrameStore::add_frame(formats::TrajFrame frame) {
+  if (!frames_.empty() && frame.atom_count() != atom_count()) {
+    return invalid_argument("frame atom count " + std::to_string(frame.atom_count()) +
+                            " differs from store's " + std::to_string(atom_count()));
+  }
+  const double bytes = frame_bytes(frame);
+  if (memory_ != nullptr) {
+    // Charge incrementally under a per-store label: the tracker keeps one
+    // aggregate figure per label, so free-on-clear stays O(1).
+    ADA_RETURN_IF_ERROR(memory_->allocate(label_, bytes));
+  }
+  charged_bytes_ += bytes;
+  frames_.push_back(std::move(frame));
+  return Status::ok();
+}
+
+void FrameStore::clear() {
+  frames_.clear();
+  if (memory_ != nullptr) memory_->free(label_);
+  charged_bytes_ = 0.0;
+}
+
+}  // namespace ada::vmd

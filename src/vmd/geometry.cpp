@@ -1,0 +1,111 @@
+#include "vmd/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace ada::vmd {
+
+namespace {
+
+struct CellKey {
+  std::int32_t x;
+  std::int32_t y;
+  std::int32_t z;
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct CellHash {
+  std::size_t operator()(const CellKey& k) const noexcept {
+    // 3D integer hash (large-prime mix).
+    const auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.x));
+    const auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.y));
+    const auto uz = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.z));
+    return static_cast<std::size_t>(ux * 73856093ull ^ uy * 19349663ull ^ uz * 83492791ull);
+  }
+};
+
+}  // namespace
+
+std::vector<Bond> find_bonds(std::span<const float> coords, std::span<const float> radii,
+                             float tolerance) {
+  ADA_CHECK(coords.size() == radii.size() * 3);
+  const std::size_t n = radii.size();
+  std::vector<Bond> bonds;
+  if (n < 2) return bonds;
+
+  float max_radius = 0.0f;
+  for (const float r : radii) max_radius = std::max(max_radius, r);
+  const float cutoff = tolerance * 2.0f * max_radius;
+  ADA_CHECK(cutoff > 0.0f);
+  const float cell = cutoff;
+
+  // Bucket atoms into cells.
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellHash> grid;
+  grid.reserve(n);
+  auto key_of = [cell](const float* p) {
+    return CellKey{static_cast<std::int32_t>(std::floor(p[0] / cell)),
+                   static_cast<std::int32_t>(std::floor(p[1] / cell)),
+                   static_cast<std::int32_t>(std::floor(p[2] / cell))};
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    grid[key_of(&coords[3 * i])].push_back(i);
+  }
+
+  // For each atom, scan its 27-cell neighborhood; emit each pair once (a<b).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const float* pi = &coords[3 * i];
+    const CellKey center = key_of(pi);
+    for (std::int32_t dz = -1; dz <= 1; ++dz) {
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+          const auto it = grid.find(CellKey{center.x + dx, center.y + dy, center.z + dz});
+          if (it == grid.end()) continue;
+          for (const std::uint32_t j : it->second) {
+            if (j <= i) continue;
+            const float* pj = &coords[3 * j];
+            const float ddx = pi[0] - pj[0];
+            const float ddy = pi[1] - pj[1];
+            const float ddz = pi[2] - pj[2];
+            const float dist2 = ddx * ddx + ddy * ddy + ddz * ddz;
+            const float limit = tolerance * (radii[i] + radii[j]);
+            if (dist2 < limit * limit && dist2 > 1e-8f) {
+              bonds.push_back(Bond{i, j});
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(bonds.begin(), bonds.end(), [](const Bond& a, const Bond& b) {
+    return a.a != b.a ? a.a < b.a : a.b < b.b;
+  });
+  return bonds;
+}
+
+std::vector<float> subset_radii(const chem::System& system, const chem::Selection& selection) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(selection.count()));
+  for (const chem::Run& run : selection.runs()) {
+    ADA_CHECK(run.end <= system.atom_count());
+    for (std::uint32_t i = run.begin; i < run.end; ++i) {
+      out.push_back(static_cast<float>(chem::vdw_radius_nm(system.atom(i).element)));
+    }
+  }
+  return out;
+}
+
+GeometryStats build_geometry(std::span<const float> coords, std::span<const float> radii) {
+  GeometryStats stats;
+  stats.atoms = radii.size();
+  stats.sphere_count = radii.size();
+  const auto bonds = find_bonds(coords, radii);
+  stats.bonds = bonds.size();
+  stats.line_vertices = 2 * bonds.size();
+  return stats;
+}
+
+}  // namespace ada::vmd

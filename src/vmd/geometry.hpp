@@ -1,0 +1,48 @@
+// Geometry builder: bond search and representation statistics.
+//
+// The "data rendering" phase the paper measures is VMD rebuilding 3D scene
+// geometry from frames.  Its dominant computation is the distance-based bond
+// search; this module implements it with a uniform cell grid (linked-cell
+// method, the standard O(N) neighbor search of MD codes) over real
+// coordinates, so render-phase CPU costs in the calibration are grounded in
+// real work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chem/selection.hpp"
+#include "chem/system.hpp"
+#include "common/result.hpp"
+
+namespace ada::vmd {
+
+/// A chemical bond between two atom indices (subset-local).
+struct Bond {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  friend bool operator==(const Bond&, const Bond&) = default;
+};
+
+/// Scene statistics for one built frame.
+struct GeometryStats {
+  std::uint64_t atoms = 0;
+  std::uint64_t bonds = 0;
+  std::uint64_t line_vertices = 0;   // 2 per bond (Lines representation)
+  std::uint64_t sphere_count = 0;    // 1 per atom (VDW representation)
+};
+
+/// Distance-based bond search: a bond exists when the pair distance is below
+/// `tolerance` x (r_vdw(a) + r_vdw(b)).  `radii` holds per-atom VDW radii in
+/// nm, parallel to `coords` (xyz triplets).  VMD uses tolerance 0.6.
+std::vector<Bond> find_bonds(std::span<const float> coords, std::span<const float> radii,
+                             float tolerance = 0.6f);
+
+/// Per-atom VDW radii for the atoms of `selection` within `system`.
+std::vector<float> subset_radii(const chem::System& system, const chem::Selection& selection);
+
+/// Build scene statistics for one frame of a subset.
+GeometryStats build_geometry(std::span<const float> coords, std::span<const float> radii);
+
+}  // namespace ada::vmd

@@ -1,0 +1,80 @@
+// MolSession: mini-VMD's molecule state machine.
+//
+// Mirrors the VMD workflow the paper modifies (Section 3.4):
+//
+//   $ mol new foo.pdb                    -> structure loaded, categorized
+//   $ mol addfile /mnt/bar.xtc           -> trajectory frames appended
+//   $ mol addfile /mnt/bar.xtc tag p     -> ADA-backed: only the "p" subset
+//
+// addfile resolves through the ADA middleware when one is attached and the
+// dataset was ingested; otherwise it falls back to plain file loading with
+// format sniffing (XTC -> decompress, RAW -> direct).  Load phases are
+// accounted in the session's PhaseProfiler (real measured CPU seconds), the
+// functional counterpart of the paper's Fig. 8.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ada/middleware.hpp"
+#include "chem/system.hpp"
+#include "common/result.hpp"
+#include "vmd/frame_store.hpp"
+#include "vmd/profiler.hpp"
+#include "vmd/renderer.hpp"
+
+namespace ada::vmd {
+
+class MolSession {
+ public:
+  /// `ada` (optional) enables tag-aware addfile; `memory` (optional) meters
+  /// the frame store.
+  explicit MolSession(core::Ada* ada = nullptr, storage::MemoryTracker* memory = nullptr);
+
+  // --- structure ($ mol new) -------------------------------------------------
+  Status mol_new_text(const std::string& pdb_text);
+  Status mol_new_file(const std::string& path);
+  Status mol_new_system(chem::System system);
+
+  bool has_molecule() const noexcept { return system_ != nullptr; }
+  const chem::System& system() const;
+
+  // --- trajectory ($ mol addfile) ---------------------------------------------
+  /// Load a trajectory.  With a tag, the data comes from ADA's tagged subset
+  /// (middleware required); without one, either the ADA dataset's full
+  /// reconstruction or a plain host file.
+  Status mol_addfile(const std::string& path, const std::optional<core::Tag>& tag = std::nullopt);
+
+  FrameStore& frames() noexcept { return frames_; }
+  const FrameStore& frames() const noexcept { return frames_; }
+
+  /// Atoms covered by the loaded frames (all atoms, or the tag's subset).
+  const chem::Selection& loaded_selection() const noexcept { return loaded_selection_; }
+
+  // --- rendering ----------------------------------------------------------------
+  /// Render frame `index` of the loaded subset (non-const: accounts the
+  /// render phase in the profiler).
+  Result<RenderResult> render(std::size_t index, const RenderOptions& options = {});
+
+  PhaseProfiler& profiler() noexcept { return profiler_; }
+  const PhaseProfiler& profiler() const noexcept { return profiler_; }
+
+ private:
+  Status addfile_via_ada(const std::string& logical_name, const std::optional<core::Tag>& tag);
+  Status addfile_host(const std::string& path);
+  Status load_raw_image(std::span<const std::uint8_t> image, chem::Selection selection);
+  Status load_xtc_image(std::span<const std::uint8_t> image);
+  Status load_trr_image(std::span<const std::uint8_t> image);
+
+  core::Ada* ada_;
+  std::unique_ptr<chem::System> system_;
+  FrameStore frames_;
+  chem::Selection loaded_selection_;
+  PhaseProfiler profiler_;
+};
+
+/// "/mnt/bar.xtc" -> "bar.xtc" (the logical dataset name ADA ingested under).
+std::string logical_name_of(const std::string& path);
+
+}  // namespace ada::vmd

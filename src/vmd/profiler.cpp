@@ -1,0 +1,44 @@
+#include "vmd/profiler.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace ada::vmd {
+
+void PhaseProfiler::add(const std::string& stack, double seconds) {
+  ADA_CHECK(seconds >= 0.0);
+  ADA_CHECK(!stack.empty());
+  stacks_[stack] += seconds;
+  total_ += seconds;
+}
+
+double PhaseProfiler::seconds_under(const std::string& prefix) const {
+  double sum = 0.0;
+  for (const auto& [stack, seconds] : stacks_) {
+    if (stack == prefix || starts_with(stack, prefix + ";")) sum += seconds;
+  }
+  return sum;
+}
+
+double PhaseProfiler::fraction_under(const std::string& prefix) const {
+  if (total_ <= 0.0) return 0.0;
+  return seconds_under(prefix) / total_;
+}
+
+std::vector<std::string> PhaseProfiler::folded() const {
+  std::vector<std::string> out;
+  out.reserve(stacks_.size());
+  for (const auto& [stack, seconds] : stacks_) {
+    out.push_back(stack + " " + std::to_string(static_cast<long long>(std::llround(seconds * 1e3))));
+  }
+  return out;  // std::map iteration is already lexicographic
+}
+
+void PhaseProfiler::clear() {
+  stacks_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace ada::vmd

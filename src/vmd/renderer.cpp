@@ -1,0 +1,119 @@
+#include "vmd/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/binary_io.hpp"
+
+namespace ada::vmd {
+
+std::vector<std::uint8_t> Image::to_ppm() const {
+  const std::string header =
+      "P6\n" + std::to_string(width) + " " + std::to_string(height) + "\n255\n";
+  std::vector<std::uint8_t> out(header.begin(), header.end());
+  out.insert(out.end(), rgb.begin(), rgb.end());
+  return out;
+}
+
+void category_color(chem::Category category, std::uint8_t* rgb_out) {
+  switch (category) {
+    case chem::Category::kProtein: rgb_out[0] = 70;  rgb_out[1] = 130; rgb_out[2] = 235; break;
+    case chem::Category::kNucleic: rgb_out[0] = 210; rgb_out[1] = 110; rgb_out[2] = 40;  break;
+    case chem::Category::kWater:   rgb_out[0] = 190; rgb_out[1] = 30;  rgb_out[2] = 45;  break;
+    case chem::Category::kLipid:   rgb_out[0] = 235; rgb_out[1] = 200; rgb_out[2] = 60;  break;
+    case chem::Category::kIon:     rgb_out[0] = 90;  rgb_out[1] = 200; rgb_out[2] = 120; break;
+    case chem::Category::kLigand:  rgb_out[0] = 200; rgb_out[1] = 90;  rgb_out[2] = 220; break;
+    case chem::Category::kOther:   rgb_out[0] = 150; rgb_out[1] = 150; rgb_out[2] = 150; break;
+  }
+}
+
+Result<RenderResult> render_frame(std::span<const float> coords, std::span<const float> radii,
+                                  std::span<const chem::Category> categories,
+                                  const RenderOptions& options) {
+  if (coords.size() != radii.size() * 3 || radii.size() != categories.size()) {
+    return invalid_argument("render inputs disagree on atom count");
+  }
+  if (options.width == 0 || options.height == 0) {
+    return invalid_argument("zero-sized render target");
+  }
+  if (options.view_axis < 0 || options.view_axis > 2) {
+    return invalid_argument("view_axis must be 0, 1 or 2");
+  }
+
+  RenderResult result;
+  result.image.width = options.width;
+  result.image.height = options.height;
+  result.image.rgb.assign(std::size_t{3} * options.width * options.height, 16);  // dark bg
+  result.stats = build_geometry(coords, radii);
+  const std::size_t n = radii.size();
+  if (n == 0) return result;
+
+  const int u_axis = (options.view_axis + 1) % 3;
+  const int v_axis = (options.view_axis + 2) % 3;
+  const int d_axis = options.view_axis;
+
+  // Frame bounds -> screen transform.
+  float lo_u = std::numeric_limits<float>::max();
+  float hi_u = std::numeric_limits<float>::lowest();
+  float lo_v = lo_u;
+  float hi_v = hi_u;
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_u = std::min(lo_u, coords[3 * i + static_cast<std::size_t>(u_axis)]);
+    hi_u = std::max(hi_u, coords[3 * i + static_cast<std::size_t>(u_axis)]);
+    lo_v = std::min(lo_v, coords[3 * i + static_cast<std::size_t>(v_axis)]);
+    hi_v = std::max(hi_v, coords[3 * i + static_cast<std::size_t>(v_axis)]);
+  }
+  const float span_u = std::max(hi_u - lo_u, 1e-3f);
+  const float span_v = std::max(hi_v - lo_v, 1e-3f);
+  const float scale = 0.92f * std::min(static_cast<float>(options.width) / span_u,
+                                       static_cast<float>(options.height) / span_v);
+  const float off_x = (static_cast<float>(options.width) - scale * span_u) / 2;
+  const float off_y = (static_cast<float>(options.height) - scale * span_v) / 2;
+
+  // Painter's algorithm: back-to-front along the view axis.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return coords[3 * a + static_cast<std::size_t>(d_axis)] <
+           coords[3 * b + static_cast<std::size_t>(d_axis)];
+  });
+
+  for (const std::uint32_t i : order) {
+    const float u = coords[3 * i + static_cast<std::size_t>(u_axis)];
+    const float v = coords[3 * i + static_cast<std::size_t>(v_axis)];
+    const float cx = off_x + scale * (u - lo_u);
+    const float cy = off_y + scale * (v - lo_v);
+    const float r = std::max(1.0f, scale * radii[i] * options.splat_scale);
+    std::uint8_t color[3] = {0, 0, 0};
+    category_color(categories[i], color);
+
+    const int x0 = std::max(0, static_cast<int>(cx - r));
+    const int x1 = std::min(static_cast<int>(options.width) - 1, static_cast<int>(cx + r));
+    const int y0 = std::max(0, static_cast<int>(cy - r));
+    const int y1 = std::min(static_cast<int>(options.height) - 1, static_cast<int>(cy + r));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / r;
+        const float dy = (static_cast<float>(y) - cy) / r;
+        const float rr = dx * dx + dy * dy;
+        if (rr > 1.0f) continue;
+        // Lambert-ish sphere shading.
+        const float shade = 0.55f + 0.45f * std::sqrt(1.0f - rr);
+        const std::size_t p =
+            3 * (static_cast<std::size_t>(y) * options.width + static_cast<std::size_t>(x));
+        for (int c = 0; c < 3; ++c) {
+          result.image.rgb[p + static_cast<std::size_t>(c)] =
+              static_cast<std::uint8_t>(static_cast<float>(color[c]) * shade);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Status write_ppm(const std::string& path, const Image& image) {
+  return write_file(path, image.to_ppm());
+}
+
+}  // namespace ada::vmd

@@ -1,0 +1,53 @@
+// Software renderer: orthographic splat rendering of a frame to an RGB image.
+//
+// Mini-VMD's stand-in for VMD's OpenGL pipeline: enough to produce the
+// paper's Fig. 1-style pictures (full system / protein subset / MISC subset)
+// from real coordinates, and to give the render phase genuine per-atom work.
+// Atoms are depth-sorted and splatted as shaded discs along the chosen axis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chem/classify.hpp"
+#include "common/result.hpp"
+#include "vmd/geometry.hpp"
+
+namespace ada::vmd {
+
+/// Simple RGB8 image.
+struct Image {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgb;  // 3 bytes/pixel, row-major
+
+  /// Binary PPM (P6) encoding.
+  std::vector<std::uint8_t> to_ppm() const;
+};
+
+struct RenderOptions {
+  std::uint32_t width = 480;
+  std::uint32_t height = 480;
+  int view_axis = 2;        // project along z (0=x, 1=y, 2=z)
+  float splat_scale = 1.0f; // multiplies VDW radii on screen
+};
+
+/// Per-category display colors (VMD-ish defaults).
+void category_color(chem::Category category, std::uint8_t* rgb_out);
+
+/// Render one frame: `categories` is parallel to atoms (colors), `radii`
+/// gives splat sizes.  Returns the image plus scene statistics.
+struct RenderResult {
+  Image image;
+  GeometryStats stats;
+};
+Result<RenderResult> render_frame(std::span<const float> coords, std::span<const float> radii,
+                                  std::span<const chem::Category> categories,
+                                  const RenderOptions& options = {});
+
+/// Write an image as a .ppm file on the host.
+Status write_ppm(const std::string& path, const Image& image);
+
+}  // namespace ada::vmd

@@ -1,0 +1,55 @@
+#include "vmd/replay.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ada::vmd {
+
+AnimationReplayer::AnimationReplayer(std::uint32_t frame_count, double frame_bytes,
+                                     double cache_capacity_bytes)
+    : frame_count_(frame_count), frame_bytes_(frame_bytes) {
+  ADA_CHECK(frame_count > 0);
+  ADA_CHECK(frame_bytes > 0.0);
+  capacity_frames_ = std::max(
+      1u, static_cast<std::uint32_t>(std::min<double>(cache_capacity_bytes / frame_bytes, 4e9)));
+}
+
+bool AnimationReplayer::access(std::uint32_t frame) {
+  ADA_CHECK(frame < frame_count_);
+  ++stats_.accesses;
+  const auto it = index_.find(frame);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return true;
+  }
+  ++stats_.misses;
+  stats_.refetch_bytes += frame_bytes_;
+  if (lru_.size() >= capacity_frames_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(frame);
+  index_[frame] = lru_.begin();
+  return false;
+}
+
+void AnimationReplayer::play_sequential() {
+  for (std::uint32_t f = 0; f < frame_count_; ++f) access(f);
+}
+
+void AnimationReplayer::play_back_and_forth(std::uint32_t sweeps) {
+  for (std::uint32_t s = 0; s < sweeps; ++s) {
+    for (std::uint32_t f = 0; f < frame_count_; ++f) access(f);
+    for (std::uint32_t f = frame_count_; f-- > 0;) access(f);
+  }
+}
+
+void AnimationReplayer::play_random(std::uint32_t count, Rng& rng) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    access(static_cast<std::uint32_t>(rng.uniform_index(frame_count_)));
+  }
+}
+
+}  // namespace ada::vmd

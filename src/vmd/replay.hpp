@@ -1,0 +1,64 @@
+// Animation replayer: frame-cache behaviour under playback access patterns.
+//
+// Paper Section 2.1: "Recently retrieved frames should be evacuated from the
+// limited memory to make room for subsequent phases of frames.  Frequent
+// data swapping operations cause a low data hit rate under random frames
+// accesses (e.g., replaying the frames back and forth)".  The replayer
+// models exactly that: an LRU cache of frames sized by available memory, and
+// access patterns (sequential sweep, back-and-forth, random seek) whose hit
+// rates and refetch volume quantify the non-fluent-playback effect -- and
+// why ADA's smaller frames (protein only) raise the hit rate.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+
+namespace ada::vmd {
+
+struct ReplayStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double refetch_bytes = 0.0;  // bytes re-read from storage on misses
+
+  double hit_rate() const noexcept {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+};
+
+class AnimationReplayer {
+ public:
+  /// `frame_count` frames of `frame_bytes` each; the cache holds at most
+  /// `cache_capacity_bytes` worth of frames (at least one).
+  AnimationReplayer(std::uint32_t frame_count, double frame_bytes, double cache_capacity_bytes);
+
+  /// Access one frame; updates stats and the LRU state.
+  /// Returns true on a cache hit.
+  bool access(std::uint32_t frame);
+
+  /// One forward sweep 0..frame_count-1.
+  void play_sequential();
+
+  /// `sweeps` forward-backward passes (the paper's "back and forth").
+  void play_back_and_forth(std::uint32_t sweeps);
+
+  /// `count` uniform random seeks.
+  void play_random(std::uint32_t count, Rng& rng);
+
+  const ReplayStats& stats() const noexcept { return stats_; }
+  std::uint32_t cached_frames() const noexcept { return static_cast<std::uint32_t>(lru_.size()); }
+  std::uint32_t cache_capacity_frames() const noexcept { return capacity_frames_; }
+
+ private:
+  std::uint32_t frame_count_;
+  double frame_bytes_;
+  std::uint32_t capacity_frames_;
+  std::list<std::uint32_t> lru_;  // front = most recent
+  std::unordered_map<std::uint32_t, std::list<std::uint32_t>::iterator> index_;
+  ReplayStats stats_;
+};
+
+}  // namespace ada::vmd

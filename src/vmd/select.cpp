@@ -1,0 +1,364 @@
+#include "vmd/select.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace ada::vmd {
+
+// --- AST -----------------------------------------------------------------------
+
+struct SelectionExpr::Node {
+  enum class Kind {
+    kOr,
+    kAnd,
+    kNot,
+    kCategory,  // protein/water/lipid/ion/ligand/nucleic
+    kAll,
+    kNone,
+    kHetero,
+    kBackbone,
+    kName,
+    kResname,
+    kResid,
+    kIndex,
+    kChain,
+    kElement,
+  };
+
+  Kind kind;
+  chem::Category category = chem::Category::kOther;
+  std::vector<std::string> args;                         // upper-cased words
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;  // inclusive
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+};
+
+SelectionExpr::SelectionExpr(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+SelectionExpr::SelectionExpr(SelectionExpr&&) noexcept = default;
+SelectionExpr& SelectionExpr::operator=(SelectionExpr&&) noexcept = default;
+SelectionExpr::~SelectionExpr() = default;
+
+namespace {
+
+using Node = SelectionExpr::Node;
+using Kind = Node::Kind;
+
+// --- tokenizer -------------------------------------------------------------------
+
+struct Token {
+  enum class Type { kWord, kLParen, kRParen, kEnd };
+  Type type = Type::kEnd;
+  std::string text;  // upper-cased for words
+};
+
+Result<std::vector<Token>> tokenize(const std::string& expression) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < expression.size()) {
+    const char c = expression[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (c == '(') {
+      out.push_back({Token::Type::kLParen, "("});
+      ++i;
+    } else if (c == ')') {
+      out.push_back({Token::Type::kRParen, ")"});
+      ++i;
+    } else if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-' ||
+               c == '\'' || c == '+') {
+      std::size_t start = i;
+      while (i < expression.size() &&
+             (std::isalnum(static_cast<unsigned char>(expression[i])) != 0 ||
+              expression[i] == '_' || expression[i] == '-' || expression[i] == '\'' ||
+              expression[i] == '+')) {
+        ++i;
+      }
+      out.push_back({Token::Type::kWord, to_upper(expression.substr(start, i - start))});
+    } else {
+      return invalid_argument(std::string("unexpected character '") + c + "' in selection");
+    }
+  }
+  out.push_back({Token::Type::kEnd, ""});
+  return out;
+}
+
+bool is_keyword(const std::string& word) {
+  static const char* kKeywords[] = {"AND",    "OR",      "NOT",   "PROTEIN", "WATER",
+                                    "LIPID",  "ION",     "LIGAND", "NUCLEIC", "ALL",
+                                    "NONE",   "HETERO",  "BACKBONE", "NAME",  "RESNAME",
+                                    "RESID",  "INDEX",   "CHAIN", "ELEMENT"};
+  return std::find_if(std::begin(kKeywords), std::end(kKeywords),
+                      [&](const char* k) { return word == k; }) != std::end(kKeywords);
+}
+
+// --- parser -----------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Node>> parse() {
+    ADA_ASSIGN_OR_RETURN(auto root, parse_or());
+    if (peek().type != Token::Type::kEnd) {
+      return invalid_argument("trailing tokens after selection: " + peek().text);
+    }
+    return root;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  Result<std::unique_ptr<Node>> parse_or() {
+    ADA_ASSIGN_OR_RETURN(auto left, parse_and());
+    while (peek().type == Token::Type::kWord && peek().text == "OR") {
+      take();
+      ADA_ASSIGN_OR_RETURN(auto right, parse_and());
+      auto node = std::make_unique<Node>();
+      node->kind = Kind::kOr;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Node>> parse_and() {
+    ADA_ASSIGN_OR_RETURN(auto left, parse_factor());
+    while (peek().type == Token::Type::kWord && peek().text == "AND") {
+      take();
+      ADA_ASSIGN_OR_RETURN(auto right, parse_factor());
+      auto node = std::make_unique<Node>();
+      node->kind = Kind::kAnd;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Node>> parse_factor() {
+    if (peek().type == Token::Type::kWord && peek().text == "NOT") {
+      take();
+      ADA_ASSIGN_OR_RETURN(auto child, parse_factor());
+      auto node = std::make_unique<Node>();
+      node->kind = Kind::kNot;
+      node->left = std::move(child);
+      return node;
+    }
+    if (peek().type == Token::Type::kLParen) {
+      take();
+      ADA_ASSIGN_OR_RETURN(auto inner, parse_or());
+      if (peek().type != Token::Type::kRParen) return invalid_argument("missing ')'");
+      take();
+      return inner;
+    }
+    return parse_primary();
+  }
+
+  Result<std::unique_ptr<Node>> parse_primary() {
+    if (peek().type != Token::Type::kWord) {
+      return invalid_argument("expected a selection keyword, got '" + peek().text + "'");
+    }
+    const std::string word = take().text;
+    auto node = std::make_unique<Node>();
+
+    const std::map<std::string, chem::Category> kCategories = {
+        {"PROTEIN", chem::Category::kProtein}, {"WATER", chem::Category::kWater},
+        {"LIPID", chem::Category::kLipid},     {"ION", chem::Category::kIon},
+        {"LIGAND", chem::Category::kLigand},   {"NUCLEIC", chem::Category::kNucleic}};
+    if (const auto it = kCategories.find(word); it != kCategories.end()) {
+      node->kind = Kind::kCategory;
+      node->category = it->second;
+      return node;
+    }
+    if (word == "ALL") {
+      node->kind = Kind::kAll;
+      return node;
+    }
+    if (word == "NONE") {
+      node->kind = Kind::kNone;
+      return node;
+    }
+    if (word == "HETERO") {
+      node->kind = Kind::kHetero;
+      return node;
+    }
+    if (word == "BACKBONE") {
+      node->kind = Kind::kBackbone;
+      return node;
+    }
+    if (word == "NAME" || word == "RESNAME" || word == "CHAIN" || word == "ELEMENT") {
+      node->kind = word == "NAME"      ? Kind::kName
+                   : word == "RESNAME" ? Kind::kResname
+                   : word == "CHAIN"   ? Kind::kChain
+                                       : Kind::kElement;
+      while (peek().type == Token::Type::kWord && !is_keyword(peek().text)) {
+        node->args.push_back(take().text);
+      }
+      if (node->args.empty()) return invalid_argument(word + " needs at least one value");
+      return node;
+    }
+    if (word == "RESID" || word == "INDEX") {
+      node->kind = word == "RESID" ? Kind::kResid : Kind::kIndex;
+      while (peek().type == Token::Type::kWord && !is_keyword(peek().text)) {
+        const std::string item = take().text;
+        const auto dash = item.find('-');
+        long long lo = 0;
+        long long hi = 0;
+        if (dash == std::string::npos) {
+          lo = hi = parse_int(item);
+        } else {
+          lo = parse_int(item.substr(0, dash));
+          hi = parse_int(item.substr(dash + 1));
+        }
+        if (lo < 0 || hi < lo) return invalid_argument("bad numeric range: " + item);
+        node->ranges.emplace_back(static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi));
+      }
+      if (node->ranges.empty()) return invalid_argument(word + " needs at least one range");
+      return node;
+    }
+    return invalid_argument("unknown selection keyword: " + word);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// --- evaluation -------------------------------------------------------------------
+
+bool contains_word(const std::vector<std::string>& args, const std::string& value) {
+  return std::find(args.begin(), args.end(), value) != args.end();
+}
+
+chem::Selection evaluate_node(const Node& node, const chem::System& system) {
+  const std::uint32_t n = system.atom_count();
+  switch (node.kind) {
+    case Kind::kOr:
+      return evaluate_node(*node.left, system).unite(evaluate_node(*node.right, system));
+    case Kind::kAnd:
+      return evaluate_node(*node.left, system).intersect(evaluate_node(*node.right, system));
+    case Kind::kNot:
+      return evaluate_node(*node.left, system).complement(n);
+    case Kind::kAll:
+      return chem::Selection::all(n);
+    case Kind::kNone:
+      return chem::Selection();
+    case Kind::kIndex: {
+      chem::Selection s;
+      for (const auto& [lo, hi] : node.ranges) {
+        if (lo >= n) continue;
+        s.add_run({lo, std::min(hi + 1, n)});
+      }
+      return s;
+    }
+    default:
+      break;
+  }
+
+  // Per-atom predicates share one scan.
+  chem::Selection s;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const chem::Atom& atom = system.atom(i);
+    bool match = false;
+    switch (node.kind) {
+      case Kind::kCategory:
+        match = system.category(i) == node.category;
+        break;
+      case Kind::kHetero:
+        match = atom.hetatm;
+        break;
+      case Kind::kBackbone:
+        match = system.category(i) == chem::Category::kProtein &&
+                (atom.name == "N" || atom.name == "CA" || atom.name == "C" || atom.name == "O");
+        break;
+      case Kind::kName:
+        match = contains_word(node.args, to_upper(atom.name));
+        break;
+      case Kind::kResname:
+        match = contains_word(node.args, to_upper(atom.residue_name));
+        break;
+      case Kind::kChain:
+        match = contains_word(node.args, std::string(1, static_cast<char>(std::toupper(
+                                             static_cast<unsigned char>(atom.chain_id)))));
+        break;
+      case Kind::kElement:
+        match = contains_word(node.args, to_upper(std::string(chem::symbol(atom.element))));
+        break;
+      case Kind::kResid:
+        for (const auto& [lo, hi] : node.ranges) {
+          if (atom.residue_seq >= lo && atom.residue_seq <= hi) {
+            match = true;
+            break;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    if (match) s.add_index(i);
+  }
+  return s;
+}
+
+std::string node_to_string(const Node& node) {
+  auto join = [](const std::vector<std::string>& args) {
+    std::string out;
+    for (const auto& a : args) out += " " + a;
+    return out;
+  };
+  switch (node.kind) {
+    case Kind::kOr:
+      return "(" + node_to_string(*node.left) + " or " + node_to_string(*node.right) + ")";
+    case Kind::kAnd:
+      return "(" + node_to_string(*node.left) + " and " + node_to_string(*node.right) + ")";
+    case Kind::kNot:
+      return "(not " + node_to_string(*node.left) + ")";
+    case Kind::kCategory:
+      return std::string(chem::category_name(node.category));
+    case Kind::kAll: return "all";
+    case Kind::kNone: return "none";
+    case Kind::kHetero: return "hetero";
+    case Kind::kBackbone: return "backbone";
+    case Kind::kName: return "name" + join(node.args);
+    case Kind::kResname: return "resname" + join(node.args);
+    case Kind::kChain: return "chain" + join(node.args);
+    case Kind::kElement: return "element" + join(node.args);
+    case Kind::kResid:
+    case Kind::kIndex: {
+      std::string out = node.kind == Kind::kResid ? "resid" : "index";
+      for (const auto& [lo, hi] : node.ranges) {
+        out += " " + std::to_string(lo);
+        if (hi != lo) out += "-" + std::to_string(hi);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<SelectionExpr> SelectionExpr::parse(const std::string& expression) {
+  ADA_ASSIGN_OR_RETURN(auto tokens, tokenize(expression));
+  Parser parser(std::move(tokens));
+  ADA_ASSIGN_OR_RETURN(auto root, parser.parse());
+  return SelectionExpr(std::move(root));
+}
+
+chem::Selection SelectionExpr::evaluate(const chem::System& system) const {
+  return evaluate_node(*root_, system);
+}
+
+std::string SelectionExpr::to_string() const { return node_to_string(*root_); }
+
+Result<chem::Selection> atom_select(const chem::System& system, const std::string& expression) {
+  ADA_ASSIGN_OR_RETURN(const SelectionExpr expr, SelectionExpr::parse(expression));
+  return expr.evaluate(system);
+}
+
+}  // namespace ada::vmd

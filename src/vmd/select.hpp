@@ -1,0 +1,62 @@
+// Atom-selection language: VMD's iconic `atomselect` expressions, the
+// query surface biologists actually type.
+//
+// Grammar (case-insensitive keywords, standard precedence NOT > AND > OR):
+//
+//   expr     := term (OR term)*
+//   term     := factor (AND factor)*
+//   factor   := NOT factor | '(' expr ')' | primary
+//   primary  := 'protein' | 'water' | 'lipid' | 'ion' | 'ligand' | 'nucleic'
+//             | 'all' | 'none' | 'hetero' | 'backbone'
+//             | 'name'    <atom name>+
+//             | 'resname' <residue name>+
+//             | 'resid'   <n | n-m>+
+//             | 'index'   <n | n-m>+
+//             | 'chain'   <id>+
+//             | 'element' <symbol>+
+//
+// Examples the examples/ directory uses:
+//   "protein and backbone"
+//   "resname POPC or water"
+//   "protein and not name CA CB"
+//   "index 0-99 or resid 5-10"
+//
+// Evaluation returns a chem::Selection (run-list), so selections compose
+// with ADA's label maps and subset extraction directly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "chem/selection.hpp"
+#include "chem/system.hpp"
+#include "common/result.hpp"
+
+namespace ada::vmd {
+
+/// Parse + evaluate an expression against a system.
+Result<chem::Selection> atom_select(const chem::System& system, const std::string& expression);
+
+/// A parsed expression, reusable across systems/frames.
+class SelectionExpr {
+ public:
+  static Result<SelectionExpr> parse(const std::string& expression);
+
+  SelectionExpr(SelectionExpr&&) noexcept;
+  SelectionExpr& operator=(SelectionExpr&&) noexcept;
+  ~SelectionExpr();
+
+  chem::Selection evaluate(const chem::System& system) const;
+
+  /// Canonical text form (normalized spacing/case) for diagnostics.
+  std::string to_string() const;
+
+  /// AST node; defined in the implementation file (opaque to users).
+  struct Node;
+
+ private:
+  explicit SelectionExpr(std::unique_ptr<Node> root);
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ada::vmd

@@ -1,0 +1,272 @@
+#include "workload/gpcr_builder.hpp"
+
+#include <array>
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ada::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Amino-acid template: name + atom names (backbone first).  Atom counts
+/// span the realistic 7..24 range so truncation behaves like missing density.
+struct ResidueTemplate {
+  std::string_view name;
+  std::vector<std::string_view> atoms;
+};
+
+const std::vector<ResidueTemplate>& protein_templates() {
+  static const std::vector<ResidueTemplate> kTemplates = {
+      {"LEU", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "CG", "HG", "CD1", "HD11", "HD12",
+               "HD13", "CD2", "HD21", "HD22", "HD23", "C", "O"}},
+      {"ALA", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "HB3", "C", "O"}},
+      {"PHE", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "CG", "CD1", "HD1", "CD2", "HD2",
+               "CE1", "HE1", "CE2", "HE2", "CZ", "HZ", "C", "O"}},
+      {"VAL", {"N", "H", "CA", "HA", "CB", "HB", "CG1", "HG11", "HG12", "HG13", "CG2",
+               "HG21", "HG22", "HG23", "C", "O"}},
+      {"SER", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "OG", "HG", "C", "O"}},
+      {"ILE", {"N", "H", "CA", "HA", "CB", "HB", "CG1", "HG11", "HG12", "CG2", "HG21",
+               "HG22", "HG23", "CD", "HD1", "HD2", "HD3", "C", "O"}},
+      {"GLY", {"N", "H", "CA", "HA1", "HA2", "C", "O"}},
+      {"THR", {"N", "H", "CA", "HA", "CB", "HB", "OG1", "HG1", "CG2", "HG21", "HG22",
+               "HG23", "C", "O"}},
+      {"MET", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "CG", "HG1", "HG2", "SD", "CE",
+               "HE1", "HE2", "HE3", "C", "O"}},
+      {"TRP", {"N", "H", "CA", "HA", "CB", "HB1", "HB2", "CG", "CD1", "HD1", "CD2", "NE1",
+               "HE1", "CE2", "CE3", "HE3", "CZ2", "HZ2", "CZ3", "HZ3", "CH2", "HH2", "C", "O"}},
+  };
+  return kTemplates;
+}
+
+/// POPC-like lipid: choline/phosphate head, glycerol, two acyl tails.
+const std::vector<std::string_view>& lipid_atom_names() {
+  static const std::vector<std::string_view> kNames = {
+      // head group (10)
+      "N", "C11", "C12", "C13", "C14", "P", "O11", "O12", "O13", "O14",
+      // glycerol (4)
+      "C1", "C2", "C3", "O21",
+      // sn-1 tail (19)
+      "C21", "C22", "C23", "C24", "C25", "C26", "C27", "C28", "C29", "C210",
+      "C211", "C212", "C213", "C214", "C215", "C216", "C217", "C218", "O22",
+      // sn-2 tail (19)
+      "C31", "C32", "C33", "C34", "C35", "C36", "C37", "C38", "C39", "C310",
+      "C311", "C312", "C313", "C314", "C315", "C316", "C317", "C318", "O31"};
+  return kNames;  // 52 atoms
+}
+constexpr std::uint32_t kLipidAtoms = 52;
+
+struct BuildCursor {
+  chem::System* system;
+  std::uint32_t next_serial = 1;
+  std::uint32_t next_residue_seq = 1;
+};
+
+void emit_atom(BuildCursor& cur, std::string_view name, std::string_view residue, char chain,
+               std::uint32_t residue_seq, bool hetatm, float x, float y, float z) {
+  chem::Atom atom;
+  atom.serial = cur.next_serial++;
+  atom.name = std::string(name);
+  atom.residue_name = std::string(residue);
+  atom.chain_id = chain;
+  atom.residue_seq = residue_seq;
+  atom.hetatm = hetatm;
+  cur.system->add_atom(std::move(atom), x, y, z);
+}
+
+/// Alpha-helical backbone point for residue k of a helix at (cx, cy).
+void helix_backbone(float cx, float cy, float z0, std::uint32_t k, float* out) {
+  constexpr float kRisePerResidue = 0.15f;   // nm
+  constexpr float kHelixRadius = 0.23f;      // nm
+  constexpr float kTurnPerResidue = 1.745f;  // 100 degrees in radians
+  const float angle = kTurnPerResidue * static_cast<float>(k);
+  out[0] = cx + kHelixRadius * std::cos(angle);
+  out[1] = cy + kHelixRadius * std::sin(angle);
+  out[2] = z0 + kRisePerResidue * static_cast<float>(k);
+}
+
+}  // namespace
+
+chem::System GpcrSystemBuilder::build() const {
+  ADA_CHECK(spec_.protein_atoms + spec_.ligand_atoms + kLipidAtoms * spec_.lipid_molecules + 23 <=
+            spec_.total_atoms);
+  chem::System system;
+  system.set_box(chem::Box::orthorhombic(spec_.box_xy_nm, spec_.box_xy_nm, spec_.box_z_nm));
+  BuildCursor cur{&system};
+  Rng rng(spec_.seed);
+
+  const float cx0 = spec_.box_xy_nm / 2;
+  const float cy0 = spec_.box_xy_nm / 2;
+  const float cz0 = spec_.box_z_nm / 2;
+
+  // --- protein: alpha-helix bundle, exactly spec_.protein_atoms atoms -------
+  {
+    constexpr std::uint32_t kResiduesPerHelix = 30;
+    // Helix centers on concentric rings around the box axis.
+    std::vector<std::pair<float, float>> centers;
+    centers.emplace_back(cx0, cy0);
+    for (int ring = 1; centers.size() < 4096; ++ring) {
+      const float radius = 0.95f * static_cast<float>(ring);
+      const int count = 6 * ring;
+      for (int i = 0; i < count; ++i) {
+        const float a = static_cast<float>(kTwoPi * i / count);
+        centers.emplace_back(cx0 + radius * std::cos(a), cy0 + radius * std::sin(a));
+      }
+      if (centers.size() >= 1024) break;  // far more than any spec needs
+    }
+
+    std::uint32_t emitted = 0;
+    std::uint32_t helix = 0;
+    std::uint32_t template_index = 0;
+    char chain = 'A';
+    std::uint32_t chain_residues = 0;
+    while (emitted < spec_.protein_atoms) {
+      ADA_CHECK(helix < centers.size());
+      const auto [hx, hy] = centers[helix];
+      const float z0 = cz0 - 0.15f * kResiduesPerHelix / 2;
+      for (std::uint32_t k = 0; k < kResiduesPerHelix && emitted < spec_.protein_atoms; ++k) {
+        const ResidueTemplate& tpl = protein_templates()[template_index];
+        template_index =
+            (template_index + 1) % static_cast<std::uint32_t>(protein_templates().size());
+        const std::uint32_t residue_seq = cur.next_residue_seq++;
+        float backbone[3];
+        helix_backbone(hx, hy, z0, k, backbone);
+        // Sidechain random walk starts at the backbone point.
+        float sx = backbone[0];
+        float sy = backbone[1];
+        float sz = backbone[2];
+        for (std::size_t a = 0; a < tpl.atoms.size() && emitted < spec_.protein_atoms; ++a) {
+          float x;
+          float y;
+          float z;
+          if (a < 4) {  // backbone-ish atoms hug the helix path
+            x = backbone[0] + static_cast<float>(rng.normal(0.0, 0.04));
+            y = backbone[1] + static_cast<float>(rng.normal(0.0, 0.04));
+            z = backbone[2] + static_cast<float>(rng.normal(0.0, 0.04));
+          } else {  // sidechain atoms walk outward in ~bond-length steps
+            sx += static_cast<float>(rng.normal(0.0, 0.08));
+            sy += static_cast<float>(rng.normal(0.0, 0.08));
+            sz += static_cast<float>(rng.normal(0.0, 0.08));
+            x = sx;
+            y = sy;
+            z = sz;
+          }
+          emit_atom(cur, tpl.atoms[a], tpl.name, chain, residue_seq, false, x, y, z);
+          ++emitted;
+        }
+        if (++chain_residues == 400) {  // PDB-style chain break
+          ++chain;
+          chain_residues = 0;
+        }
+      }
+      ++helix;
+    }
+  }
+
+  // --- ligand (optional): HET group buried at the bundle center -------------
+  for (std::uint32_t a = 0; a < spec_.ligand_atoms; ++a) {
+    const std::uint32_t residue_seq = (a == 0) ? cur.next_residue_seq++ : cur.next_residue_seq - 1;
+    emit_atom(cur, a % 3 == 0 ? "C" : (a % 3 == 1 ? "O" : "N"), "LIG", 'L', residue_seq, true,
+              cx0 + static_cast<float>(rng.normal(0.0, 0.25)),
+              cy0 + static_cast<float>(rng.normal(0.0, 0.25)),
+              cz0 + static_cast<float>(rng.normal(0.0, 0.25)));
+  }
+
+  // --- lipid bilayer ---------------------------------------------------------
+  {
+    const std::uint32_t per_leaflet = (spec_.lipid_molecules + 1) / 2;
+    const auto grid = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(std::max(per_leaflet, 1u)))));
+    const float spacing = spec_.box_xy_nm / static_cast<float>(grid + 1);
+    for (std::uint32_t m = 0; m < spec_.lipid_molecules; ++m) {
+      const bool upper = m < per_leaflet;
+      const std::uint32_t slot = upper ? m : m - per_leaflet;
+      const float lx = spacing * static_cast<float>(slot % grid + 1) +
+                       static_cast<float>(rng.normal(0.0, 0.05));
+      const float ly = spacing * static_cast<float>(slot / grid + 1) +
+                       static_cast<float>(rng.normal(0.0, 0.05));
+      const float head_z = cz0 + (upper ? 2.1f : -2.1f);
+      const float direction = upper ? -1.0f : 1.0f;  // tails point to the midplane
+      const std::uint32_t residue_seq = cur.next_residue_seq++;
+      const auto& names = lipid_atom_names();
+      for (std::size_t a = 0; a < names.size(); ++a) {
+        float x = lx;
+        float y = ly;
+        float z = head_z;
+        if (a < 14) {  // head + glycerol cluster near the leaflet plane
+          x += static_cast<float>(rng.normal(0.0, 0.12));
+          y += static_cast<float>(rng.normal(0.0, 0.12));
+          z += static_cast<float>(rng.normal(0.0, 0.10));
+        } else {  // the two tails descend toward the midplane
+          const std::size_t tail_pos = (a - 14) % 19;
+          const bool second_tail = (a - 14) >= 19;
+          x += (second_tail ? 0.25f : -0.25f) + static_cast<float>(rng.normal(0.0, 0.06));
+          y += static_cast<float>(rng.normal(0.0, 0.06));
+          z += direction * 0.105f * static_cast<float>(tail_pos + 1) +
+               static_cast<float>(rng.normal(0.0, 0.04));
+        }
+        emit_atom(cur, names[a], "POPC", 'M', residue_seq, false, x, y, z);
+      }
+    }
+  }
+
+  // --- solvent + ions: fill to the exact total -------------------------------
+  const std::uint32_t used = cur.next_serial - 1;
+  ADA_CHECK(used <= spec_.total_atoms);
+  const std::uint32_t remaining = spec_.total_atoms - used;
+  constexpr std::uint32_t kMinIons = 20;
+  ADA_CHECK(remaining >= kMinIons);
+  const std::uint32_t water_atoms = ((remaining - kMinIons) / 3) * 3;
+  const std::uint32_t water_molecules = water_atoms / 3;
+  const std::uint32_t ion_count = remaining - water_atoms;
+
+  // Waters occupy the two slabs outside the membrane (|z - cz0| > 2.3 nm).
+  const float slab = spec_.box_z_nm / 2 - 2.3f;
+  ADA_CHECK(slab > 0.3f);
+  const double slab_volume = 2.0 * static_cast<double>(spec_.box_xy_nm) *
+                             static_cast<double>(spec_.box_xy_nm) * static_cast<double>(slab);
+  const float spacing =
+      static_cast<float>(std::cbrt(slab_volume / std::max<double>(water_molecules, 1)));
+  const auto nx = static_cast<std::uint32_t>(spec_.box_xy_nm / spacing);
+  const auto nz = std::max(1u, static_cast<std::uint32_t>(slab / spacing));
+  std::uint32_t placed = 0;
+  for (std::uint32_t w = 0; w < water_molecules; ++w) {
+    const std::uint32_t cell = placed++;
+    const std::uint32_t layer = cell / (nx * nx);
+    const std::uint32_t in_layer = cell % (nx * nx);
+    const bool top = (layer % 2) == 0;
+    const std::uint32_t level = layer / 2;
+    const float ox = spacing * static_cast<float>(in_layer % nx) + spacing / 2;
+    const float oy = spacing * static_cast<float>(in_layer / nx) + spacing / 2;
+    const float oz = top ? cz0 + 2.3f + spacing * static_cast<float>(level % nz) + spacing / 2
+                         : cz0 - 2.3f - spacing * static_cast<float>(level % nz) - spacing / 2;
+    const std::uint32_t residue_seq = cur.next_residue_seq++;
+    const float jx = ox + static_cast<float>(rng.normal(0.0, 0.03));
+    const float jy = oy + static_cast<float>(rng.normal(0.0, 0.03));
+    const float jz = oz + static_cast<float>(rng.normal(0.0, 0.03));
+    emit_atom(cur, "OW", "SOL", 'W', residue_seq, false, jx, jy, jz);
+    emit_atom(cur, "HW1", "SOL", 'W', residue_seq, false, jx + 0.095f, jy + 0.024f, jz);
+    emit_atom(cur, "HW2", "SOL", 'W', residue_seq, false, jx - 0.024f, jy + 0.095f, jz);
+  }
+
+  for (std::uint32_t i = 0; i < ion_count; ++i) {
+    const bool sodium = (i % 2) == 0;
+    const bool top = rng.uniform() < 0.5;
+    const float z = top ? static_cast<float>(rng.uniform(cz0 + 2.4f, spec_.box_z_nm - 0.2f))
+                        : static_cast<float>(rng.uniform(0.2f, cz0 - 2.4f));
+    emit_atom(cur, sodium ? "NA" : "CL", sodium ? "NA" : "CL", 'I', cur.next_residue_seq++, true,
+              static_cast<float>(rng.uniform(0.2f, spec_.box_xy_nm - 0.2f)),
+              static_cast<float>(rng.uniform(0.2f, spec_.box_xy_nm - 0.2f)), z);
+  }
+
+  ADA_CHECK(system.atom_count() == spec_.total_atoms);
+  ADA_CHECK(system.count_category(chem::Category::kProtein) == spec_.protein_atoms);
+  return system;
+}
+
+}  // namespace ada::workload

@@ -1,0 +1,29 @@
+// Synthetic GPCR membrane-protein system builder.
+//
+// Produces a chem::System with the canonical GROMACS file ordering --
+// protein chain(s) first, then the optional ligand, then lipids, solvent and
+// ions -- so that the categorizer's run-lists have the same shape they would
+// for the paper's real data.  Geometry is simplified but physically sane
+// (helical bundle, bilayer slab, solvent grid): close enough that bond
+// search, VDW radii and compression behave like real structures.
+#pragma once
+
+#include "chem/system.hpp"
+#include "workload/spec.hpp"
+
+namespace ada::workload {
+
+class GpcrSystemBuilder {
+ public:
+  explicit GpcrSystemBuilder(GpcrSpec spec) : spec_(spec) {}
+
+  /// Build the full system.  Atom counts are exact: the total and the
+  /// protein subset match the spec to the atom (the last protein residue is
+  /// truncated if needed, like a real structure with unresolved atoms).
+  chem::System build() const;
+
+ private:
+  GpcrSpec spec_;
+};
+
+}  // namespace ada::workload

@@ -1,0 +1,17 @@
+#include "workload/spec.hpp"
+
+namespace ada::workload {
+
+const std::uint32_t FrameSeries::kSsdServer[8] = {626,  1'251, 1'877, 2'503,
+                                                  3'129, 3'754, 4'380, 5'006};
+
+const std::uint32_t FrameSeries::kCluster[10] = {626,   1'251, 1'877, 2'503, 3'129,
+                                                 3'754, 4'380, 5'006, 5'631, 6'256};
+
+const std::uint32_t FrameSeries::kFatNode[13] = {
+    62'560,    187'680,   312'800,   437'920,   625'600,   938'400,   1'251'200,
+    1'564'000, 1'876'800, 2'502'400, 3'440'800, 4'379'200, 5'004'800};
+
+const std::uint32_t FrameSeries::kTable1[3] = {626, 1'251, 5'006};
+
+}  // namespace ada::workload

@@ -1,0 +1,77 @@
+// Workload specifications: the synthetic stand-in for the paper's GPCR data.
+//
+// The paper evaluates ADA on trajectories of the human cannabinoid receptor
+// CB1 (Hua et al. 2016).  We cannot redistribute that data, so the workload
+// module builds a synthetic membrane-protein system whose *sizes* match the
+// paper's measured tables:
+//
+//   Table 2 (SSD server):  626 frames == 327 MB raw == 100 MB compressed,
+//                          protein subset 139 MB decompressed;
+//   => 43,520 atoms/frame (12 B/atom raw + 44 B frame header)
+//   => 18,500 protein atoms (42.5% of atoms; 42.5% of raw bytes).
+//
+// Composition beyond those two constraints follows a typical GPCR membrane
+// simulation: a POPC bilayer (~25% of atoms), TIP3P-like solvent, ~0.15 M
+// NaCl, and optionally a bound ligand inside the receptor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ada::workload {
+
+/// Parameters of the synthetic GPCR system.
+struct GpcrSpec {
+  std::uint32_t total_atoms = 43'520;
+  std::uint32_t protein_atoms = 18'500;
+  std::uint32_t lipid_molecules = 200;   // POPC, 52 atoms each
+  std::uint32_t ligand_atoms = 0;        // 0 = no ligand; >0 inserts a HET group
+  float box_xy_nm = 7.8f;                // lateral box edge
+  float box_z_nm = 9.0f;                 // normal to the membrane
+  std::uint64_t seed = 20210809;         // build-time randomness
+
+  /// The paper's GPCR system (Tables 1/2/6 arithmetic).
+  static GpcrSpec paper_default() { return GpcrSpec{}; }
+
+  /// A small system for fast functional tests (~2.2k atoms, same layout).
+  static GpcrSpec tiny() {
+    GpcrSpec s;
+    s.total_atoms = 2'176;
+    s.protein_atoms = 925;
+    s.lipid_molecules = 10;
+    s.box_xy_nm = 3.2f;
+    s.box_z_nm = 7.0f;
+    return s;
+  }
+};
+
+/// Parameters of the synthetic dynamics (units: nm, frames).
+///
+/// Atoms follow an Ornstein-Uhlenbeck process around their reference
+/// positions: bounded wander, frame-to-frame displacements comparable to a
+/// 2 ps MD sampling interval.  Per-category amplitudes reflect physical
+/// mobility (solvent diffuses, the protein core breathes).
+struct DynamicsSpec {
+  float protein_sigma = 0.006f;  // per-frame displacement scale
+  float lipid_sigma = 0.012f;
+  float water_sigma = 0.022f;
+  float ion_sigma = 0.020f;
+  float restore_rate = 0.02f;    // OU pull-back toward the reference position
+  float time_step_ps = 2.0f;     // trajectory sampling interval
+  std::uint32_t md_steps_per_frame = 1000;
+  std::uint64_t seed = 7;
+};
+
+/// Frame counts used by the paper's experiment series.
+struct FrameSeries {
+  /// Table 2 / Fig 7 (SSD server): 626 .. 5,006 frames.
+  static const std::uint32_t kSsdServer[8];
+  /// Fig 9 (cluster): 626 .. 6,256 frames.
+  static const std::uint32_t kCluster[10];
+  /// Table 6 / Fig 10 (fat node): 62,560 .. 5,004,800 frames.
+  static const std::uint32_t kFatNode[13];
+  /// Table 1 sample files.
+  static const std::uint32_t kTable1[3];
+};
+
+}  // namespace ada::workload

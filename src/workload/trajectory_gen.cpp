@@ -1,0 +1,48 @@
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::workload {
+
+TrajectoryGenerator::TrajectoryGenerator(const chem::System& system, DynamicsSpec spec)
+    : system_(system), spec_(spec), rng_(spec.seed), positions_(system.reference_coords()) {
+  sigma_per_atom_.reserve(system.atom_count());
+  for (std::uint32_t i = 0; i < system.atom_count(); ++i) {
+    switch (system.category(i)) {
+      case chem::Category::kProtein:
+      case chem::Category::kNucleic:
+      case chem::Category::kLigand:
+        sigma_per_atom_.push_back(spec_.protein_sigma);
+        break;
+      case chem::Category::kLipid:
+        sigma_per_atom_.push_back(spec_.lipid_sigma);
+        break;
+      case chem::Category::kWater:
+        sigma_per_atom_.push_back(spec_.water_sigma);
+        break;
+      case chem::Category::kIon:
+        sigma_per_atom_.push_back(spec_.ion_sigma);
+        break;
+      case chem::Category::kOther:
+        sigma_per_atom_.push_back(spec_.water_sigma);
+        break;
+    }
+  }
+}
+
+std::span<const float> TrajectoryGenerator::next_frame() {
+  const std::vector<float>& ref = system_.reference_coords();
+  const float pull = spec_.restore_rate;
+  for (std::uint32_t i = 0; i < system_.atom_count(); ++i) {
+    const float sigma = sigma_per_atom_[i];
+    for (std::uint32_t d = 0; d < 3; ++d) {
+      const std::size_t j = std::size_t{3} * i + d;
+      const float noise = static_cast<float>(rng_.normal()) * sigma;
+      positions_[j] += pull * (ref[j] - positions_[j]) + noise;
+    }
+  }
+  ++frame_index_;
+  step_ += spec_.md_steps_per_frame;
+  time_ps_ += spec_.time_step_ps;
+  return positions_;
+}
+
+}  // namespace ada::workload

@@ -1,0 +1,46 @@
+// Trajectory generation: Ornstein-Uhlenbeck dynamics over a built system.
+//
+// Produces frame after frame of coordinates with MD-like statistics: small
+// frame-to-frame displacements (so the codec reaches xtc-like ratios),
+// category-dependent mobility, and bounded wander (no box wrapping, which
+// would create compression-hostile jumps the real workflow also avoids by
+// unwrapping trajectories before visualization).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chem/system.hpp"
+#include "common/rng.hpp"
+#include "workload/spec.hpp"
+
+namespace ada::workload {
+
+class TrajectoryGenerator {
+ public:
+  TrajectoryGenerator(const chem::System& system, DynamicsSpec spec);
+
+  /// Advance the dynamics and return the new frame's coordinates
+  /// (atom_count*3 floats, valid until the next call).
+  std::span<const float> next_frame();
+
+  /// MD step number of the most recent frame.
+  std::uint32_t current_step() const noexcept { return step_; }
+
+  /// Simulation time of the most recent frame, picoseconds.
+  float current_time_ps() const noexcept { return time_ps_; }
+
+  std::uint32_t frame_index() const noexcept { return frame_index_; }
+
+ private:
+  const chem::System& system_;
+  DynamicsSpec spec_;
+  Rng rng_;
+  std::vector<float> positions_;       // current coordinates
+  std::vector<float> sigma_per_atom_;  // category-resolved mobility
+  std::uint32_t step_ = 0;
+  float time_ps_ = 0.0f;
+  std::uint32_t frame_index_ = 0;
+};
+
+}  // namespace ada::workload

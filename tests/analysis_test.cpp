@@ -1,0 +1,251 @@
+// Tests for the trajectory analysis toolkit: centroids, Rg, RMSD (aligned
+// and not), Kabsch rotations, MSD, and RDF -- validated against closed-form
+// cases and synthetic transformations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "vmd/analysis.hpp"
+#include "workload/gpcr_builder.hpp"
+
+namespace ada::vmd {
+namespace {
+
+std::vector<float> rotate_z(std::span<const float> coords, double angle,
+                            const std::array<double, 3>& shift = {0, 0, 0}) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  std::vector<float> out(coords.size());
+  for (std::size_t a = 0; a < coords.size() / 3; ++a) {
+    const double x = coords[3 * a];
+    const double y = coords[3 * a + 1];
+    const double z = coords[3 * a + 2];
+    out[3 * a] = static_cast<float>(c * x - s * y + shift[0]);
+    out[3 * a + 1] = static_cast<float>(s * x + c * y + shift[1]);
+    out[3 * a + 2] = static_cast<float>(z + shift[2]);
+  }
+  return out;
+}
+
+std::vector<float> cloud(std::size_t atoms, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> coords;
+  coords.reserve(atoms * 3);
+  for (std::size_t i = 0; i < atoms * 3; ++i) {
+    coords.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+  }
+  return coords;
+}
+
+// --- centroid / center of mass -----------------------------------------------------
+
+TEST(CentroidTest, SimpleAverage) {
+  const std::vector<float> coords = {0, 0, 0, 2, 4, 6};
+  const auto c = centroid(coords);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+}
+
+TEST(CentroidTest, EmptyIsOrigin) {
+  const auto c = centroid({});
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+}
+
+TEST(CenterOfMassTest, WeightsMatter) {
+  const std::vector<float> coords = {0, 0, 0, 10, 0, 0};
+  const std::vector<double> masses = {1.0, 3.0};
+  const auto c = center_of_mass(coords, masses).value();
+  EXPECT_DOUBLE_EQ(c[0], 7.5);
+}
+
+TEST(CenterOfMassTest, Validation) {
+  const std::vector<float> coords = {0, 0, 0};
+  EXPECT_FALSE(center_of_mass(coords, std::vector<double>{1.0, 2.0}).is_ok());
+  EXPECT_FALSE(center_of_mass(coords, std::vector<double>{0.0}).is_ok());
+  EXPECT_FALSE(center_of_mass({}, {}).is_ok());
+}
+
+// --- radius of gyration ---------------------------------------------------------------
+
+TEST(RgTest, PointHasZeroRg) {
+  const std::vector<float> coords = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(radius_of_gyration(coords), 0.0);
+}
+
+TEST(RgTest, SymmetricPairClosedForm) {
+  // Two points at distance 2r from each other: Rg = r.
+  const std::vector<float> coords = {-1.5f, 0, 0, 1.5f, 0, 0};
+  EXPECT_NEAR(radius_of_gyration(coords), 1.5, 1e-6);
+}
+
+TEST(RgTest, TranslationInvariant) {
+  const auto a = cloud(100, 1);
+  auto b = a;
+  for (std::size_t i = 0; i < b.size(); i += 3) b[i] += 42.0f;
+  EXPECT_NEAR(radius_of_gyration(a), radius_of_gyration(b), 1e-4);
+}
+
+// --- RMSD -------------------------------------------------------------------------------
+
+TEST(RmsdTest, IdenticalIsZero) {
+  const auto a = cloud(50, 2);
+  EXPECT_NEAR(rmsd_no_align(a, a).value(), 0.0, 1e-12);
+  EXPECT_NEAR(rmsd_aligned(a, a).value(), 0.0, 1e-6);
+}
+
+TEST(RmsdTest, UniformShiftClosedForm) {
+  const auto a = cloud(50, 3);
+  auto b = a;
+  for (std::size_t i = 0; i < b.size(); i += 3) b[i] += 3.0f;  // +3 in x
+  EXPECT_NEAR(rmsd_no_align(a, b).value(), 3.0, 1e-5);
+  // Alignment removes the translation entirely.
+  EXPECT_NEAR(rmsd_aligned(a, b).value(), 0.0, 1e-5);
+}
+
+TEST(RmsdTest, PureRotationAlignsToZero) {
+  const auto a = cloud(80, 4);
+  const auto b = rotate_z(a, 1.1, {2.0, -1.0, 0.5});
+  EXPECT_GT(rmsd_no_align(a, b).value(), 0.5);
+  EXPECT_NEAR(rmsd_aligned(a, b).value(), 0.0, 1e-4);
+}
+
+TEST(RmsdTest, AlignedNeverExceedsUnaligned) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = cloud(40, 100 + static_cast<std::uint64_t>(trial));
+    auto b = cloud(40, 200 + static_cast<std::uint64_t>(trial));
+    EXPECT_LE(rmsd_aligned(a, b).value(), rmsd_no_align(a, b).value() + 1e-9);
+  }
+}
+
+TEST(RmsdTest, Validation) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {1, 2, 3, 4, 5, 6};
+  EXPECT_FALSE(rmsd_no_align(a, b).is_ok());
+  EXPECT_FALSE(rmsd_aligned({}, {}).is_ok());
+}
+
+// --- Kabsch rotation ------------------------------------------------------------------------
+
+TEST(KabschTest, RecoversKnownRotation) {
+  const auto a = cloud(60, 6);
+  const double angle = 0.7;
+  const auto b = rotate_z(a, angle);
+  const auto r = kabsch_rotation(a, b).value();
+  // Expected row-major rotation about z.
+  EXPECT_NEAR(r[0], std::cos(angle), 1e-4);
+  EXPECT_NEAR(r[1], -std::sin(angle), 1e-4);
+  EXPECT_NEAR(r[3], std::sin(angle), 1e-4);
+  EXPECT_NEAR(r[4], std::cos(angle), 1e-4);
+  EXPECT_NEAR(r[8], 1.0, 1e-4);
+}
+
+TEST(KabschTest, ResultIsOrthonormal) {
+  const auto a = cloud(30, 7);
+  const auto b = cloud(30, 8);
+  const auto r = kabsch_rotation(a, b).value();
+  // R * R^T == I.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double dot = 0;
+      for (int k = 0; k < 3; ++k) {
+        dot += r[static_cast<std::size_t>(3 * i + k)] * r[static_cast<std::size_t>(3 * j + k)];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9) << i << "," << j;
+    }
+  }
+  // Proper rotation: determinant +1.
+  const double det = r[0] * (r[4] * r[8] - r[5] * r[7]) - r[1] * (r[3] * r[8] - r[5] * r[6]) +
+                     r[2] * (r[3] * r[7] - r[4] * r[6]);
+  EXPECT_NEAR(det, 1.0, 1e-9);
+}
+
+// --- MSD ------------------------------------------------------------------------------------
+
+TEST(MsdTest, FirstFrameZeroAndGrowth) {
+  std::vector<std::vector<float>> frames;
+  frames.push_back({0, 0, 0});
+  frames.push_back({1, 0, 0});
+  frames.push_back({2, 0, 0});
+  const auto msd = mean_squared_displacement(frames).value();
+  ASSERT_EQ(msd.size(), 3u);
+  EXPECT_DOUBLE_EQ(msd[0], 0.0);
+  EXPECT_DOUBLE_EQ(msd[1], 1.0);
+  EXPECT_DOUBLE_EQ(msd[2], 4.0);
+}
+
+TEST(MsdTest, Validation) {
+  EXPECT_FALSE(mean_squared_displacement({}).is_ok());
+  std::vector<std::vector<float>> bad = {{1, 2, 3}, {1, 2}};
+  EXPECT_FALSE(mean_squared_displacement(bad).is_ok());
+}
+
+// --- RDF ------------------------------------------------------------------------------------
+
+TEST(RdfTest, IdealGasIsFlatUnity) {
+  // Uniformly random points against themselves: g(r) ~ 1 away from r=0.
+  Rng rng(9);
+  std::vector<float> coords;
+  constexpr std::size_t kAtoms = 600;
+  const std::array<float, 3> box = {10, 10, 10};
+  for (std::size_t i = 0; i < kAtoms * 3; ++i) {
+    coords.push_back(static_cast<float>(rng.uniform(0.0, 10.0)));
+  }
+  const auto rdf = radial_distribution(coords, coords, box, 4.0, 16).value();
+  // Skip the first bins (self-exclusion artifacts); the rest hover near 1.
+  for (std::size_t bin = 4; bin < rdf.g.size(); ++bin) {
+    EXPECT_NEAR(rdf.g[bin], 1.0, 0.25) << "bin " << bin;
+  }
+}
+
+TEST(RdfTest, FixedPairPeaksInRightBin) {
+  // Two atoms 1.0 apart in a big box: all density lands in the bin holding r=1.
+  const std::vector<float> a = {5, 5, 5};
+  const std::vector<float> b = {6, 5, 5};
+  const auto rdf = radial_distribution(a, b, {20, 20, 20}, 2.0, 10).value();
+  std::size_t peak = 0;
+  for (std::size_t bin = 1; bin < rdf.g.size(); ++bin) {
+    if (rdf.g[bin] > rdf.g[peak]) peak = bin;
+  }
+  EXPECT_EQ(peak, 5u);  // r=1.0 in [1.0, 1.2) with bin width 0.2
+}
+
+TEST(RdfTest, MinimumImageWrapsAcrossBoundary) {
+  // Atoms at x=0.1 and x=9.9 in a 10-box are 0.2 apart by minimum image.
+  const std::vector<float> a = {0.1f, 5, 5};
+  const std::vector<float> b = {9.9f, 5, 5};
+  const auto rdf = radial_distribution(a, b, {10, 10, 10}, 1.0, 10).value();
+  EXPECT_GT(rdf.g[2], 0.0);  // bin [0.2, 0.3)
+  for (std::size_t bin = 4; bin < 10; ++bin) EXPECT_DOUBLE_EQ(rdf.g[bin], 0.0);
+}
+
+TEST(RdfTest, Validation) {
+  const std::vector<float> a = {0, 0, 0};
+  EXPECT_FALSE(radial_distribution(a, a, {10, 10, 10}, 0.0, 10).is_ok());
+  EXPECT_FALSE(radial_distribution(a, a, {10, 10, 10}, 1.0, 0).is_ok());
+  EXPECT_FALSE(radial_distribution(a, a, {10, 10, 10}, 8.0, 10).is_ok());  // > L/2
+  EXPECT_FALSE(radial_distribution(a, a, {0, 10, 10}, 1.0, 10).is_ok());
+}
+
+// --- integration with the workload ------------------------------------------------------------
+
+TEST(AnalysisIntegrationTest, ProteinIsMoreCompactThanSystem) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto protein = system.selection_for(chem::Category::kProtein);
+  std::vector<float> protein_coords;
+  for (const chem::Run& run : protein.runs()) {
+    for (std::uint32_t i = run.begin; i < run.end; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        protein_coords.push_back(system.reference_coords()[3 * i + static_cast<std::size_t>(d)]);
+      }
+    }
+  }
+  // The helix bundle is more compact than the whole solvated box.
+  EXPECT_LT(radius_of_gyration(protein_coords),
+            radius_of_gyration(system.reference_coords()));
+}
+
+}  // namespace
+}  // namespace ada::vmd

@@ -1,0 +1,179 @@
+// Unit tests for the molecular model: elements, classification, system.
+#include <gtest/gtest.h>
+
+#include "chem/classify.hpp"
+#include "chem/element.hpp"
+#include "chem/system.hpp"
+
+namespace ada::chem {
+namespace {
+
+// --- elements -------------------------------------------------------------------
+
+TEST(ElementTest, SymbolsRoundTrip) {
+  EXPECT_EQ(symbol(Element::kCarbon), "C");
+  EXPECT_EQ(symbol(Element::kSodium), "Na");
+  EXPECT_EQ(symbol(Element::kUnknown), "X");
+}
+
+TEST(ElementTest, MassesAreSane) {
+  EXPECT_NEAR(atomic_mass(Element::kHydrogen), 1.008, 1e-6);
+  EXPECT_NEAR(atomic_mass(Element::kCarbon), 12.011, 1e-6);
+  EXPECT_GT(atomic_mass(Element::kIron), atomic_mass(Element::kCalcium));
+}
+
+TEST(ElementTest, VdwRadiiPositive) {
+  for (int e = 0; e <= static_cast<int>(Element::kZinc); ++e) {
+    EXPECT_GT(vdw_radius_nm(static_cast<Element>(e)), 0.0);
+  }
+}
+
+TEST(ElementTest, NameGuessingProteinContext) {
+  // In a protein residue CA is an alpha-carbon, not calcium.
+  EXPECT_EQ(element_from_atom_name("CA", /*is_ion_residue=*/false), Element::kCarbon);
+  EXPECT_EQ(element_from_atom_name("CA", /*is_ion_residue=*/true), Element::kCalcium);
+  EXPECT_EQ(element_from_atom_name("NA", false), Element::kNitrogen);
+  EXPECT_EQ(element_from_atom_name("NA", true), Element::kSodium);
+}
+
+TEST(ElementTest, NameGuessingStripsDigitsAndSpaces) {
+  EXPECT_EQ(element_from_atom_name("1HB"), Element::kHydrogen);
+  EXPECT_EQ(element_from_atom_name(" OW"), Element::kOxygen);
+  EXPECT_EQ(element_from_atom_name("2H"), Element::kHydrogen);
+  EXPECT_EQ(element_from_atom_name(""), Element::kUnknown);
+  EXPECT_EQ(element_from_atom_name("123"), Element::kUnknown);
+}
+
+// --- classification -----------------------------------------------------------------
+
+TEST(ClassifyTest, StandardAminoAcidsAreProtein) {
+  for (const char* r : {"ALA", "GLY", "TRP", "HSD", "CYX"}) {
+    EXPECT_EQ(classify_residue(r), Category::kProtein) << r;
+  }
+}
+
+TEST(ClassifyTest, WaterModels) {
+  for (const char* r : {"HOH", "SOL", "TIP3", "SPC", "WAT"}) {
+    EXPECT_EQ(classify_residue(r), Category::kWater) << r;
+  }
+}
+
+TEST(ClassifyTest, Lipids) {
+  for (const char* r : {"POPC", "DPPC", "CHL1"}) {
+    EXPECT_EQ(classify_residue(r), Category::kLipid) << r;
+  }
+}
+
+TEST(ClassifyTest, Ions) {
+  for (const char* r : {"NA", "CL", "K", "MG", "CAL", "SOD", "POT"}) {
+    EXPECT_EQ(classify_residue(r), Category::kIon) << r;
+  }
+}
+
+TEST(ClassifyTest, Nucleic) {
+  for (const char* r : {"DA", "DG", "U", "ADE"}) {
+    EXPECT_EQ(classify_residue(r), Category::kNucleic) << r;
+  }
+}
+
+TEST(ClassifyTest, UnknownHetatmIsLigand) {
+  EXPECT_EQ(classify_residue("LIG", /*is_hetatm=*/true), Category::kLigand);
+  EXPECT_EQ(classify_residue("XYZ", /*is_hetatm=*/false), Category::kOther);
+}
+
+TEST(ClassifyTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(classify_residue(" ala "), Category::kProtein);
+  EXPECT_EQ(classify_residue("sol"), Category::kWater);
+}
+
+TEST(ClassifyTest, TagsRoundTrip) {
+  for (int c = 0; c < kCategoryCount; ++c) {
+    const auto category = static_cast<Category>(c);
+    if (category == Category::kOther) continue;  // 'o' is the catch-all
+    EXPECT_EQ(category_from_tag(category_tag(category)), category);
+  }
+  EXPECT_EQ(category_tag(Category::kProtein), 'p');
+  EXPECT_EQ(category_from_tag('?'), Category::kOther);
+}
+
+TEST(ClassifyTest, CategoryNames) {
+  EXPECT_EQ(category_name(Category::kProtein), "protein");
+  EXPECT_EQ(category_name(Category::kWater), "water");
+}
+
+// --- system -------------------------------------------------------------------------
+
+System make_test_system() {
+  System s;
+  s.set_box(Box::orthorhombic(5.0f, 5.0f, 5.0f));
+  Atom a;
+  a.serial = 1;
+  a.name = "CA";
+  a.residue_name = "ALA";
+  a.residue_seq = 1;
+  s.add_atom(a, 1.0f, 1.0f, 1.0f);
+  a.serial = 2;
+  a.name = "CB";
+  s.add_atom(a, 1.1f, 1.0f, 1.0f);
+  a.serial = 3;
+  a.name = "OW";
+  a.residue_name = "SOL";
+  a.residue_seq = 2;
+  s.add_atom(a, 2.0f, 2.0f, 2.0f);
+  a.serial = 4;
+  a.name = "NA";
+  a.residue_name = "NA";
+  a.residue_seq = 3;
+  s.add_atom(a, 3.0f, 3.0f, 3.0f);
+  return s;
+}
+
+TEST(SystemTest, CategoriesAssignedOnInsert) {
+  const System s = make_test_system();
+  EXPECT_EQ(s.category(0), Category::kProtein);
+  EXPECT_EQ(s.category(2), Category::kWater);
+  EXPECT_EQ(s.category(3), Category::kIon);
+}
+
+TEST(SystemTest, ElementInferredWithIonContext) {
+  const System s = make_test_system();
+  EXPECT_EQ(s.atom(0).element, Element::kCarbon);   // CA in ALA
+  EXPECT_EQ(s.atom(3).element, Element::kSodium);   // NA ion
+}
+
+TEST(SystemTest, SelectionForCategory) {
+  const System s = make_test_system();
+  const Selection protein = s.selection_for(Category::kProtein);
+  EXPECT_EQ(protein.count(), 2u);
+  EXPECT_TRUE(protein.contains(0));
+  EXPECT_TRUE(protein.contains(1));
+  EXPECT_FALSE(protein.contains(2));
+  // Contiguous protein atoms collapse into one run.
+  EXPECT_EQ(protein.runs().size(), 1u);
+}
+
+TEST(SystemTest, CountsAndResidues) {
+  const System s = make_test_system();
+  EXPECT_EQ(s.atom_count(), 4u);
+  EXPECT_EQ(s.count_category(Category::kProtein), 2u);
+  EXPECT_EQ(s.residue_count(), 3u);
+  EXPECT_GT(s.total_mass(), 0.0);
+}
+
+TEST(SystemTest, ReferenceCoordsLayout) {
+  const System s = make_test_system();
+  ASSERT_EQ(s.reference_coords().size(), 12u);
+  EXPECT_FLOAT_EQ(s.reference_coords()[0], 1.0f);
+  EXPECT_FLOAT_EQ(s.reference_coords()[3], 1.1f);
+}
+
+TEST(BoxTest, Orthorhombic) {
+  const Box b = Box::orthorhombic(1.0f, 2.0f, 3.0f);
+  EXPECT_FLOAT_EQ(b.x(), 1.0f);
+  EXPECT_FLOAT_EQ(b.y(), 2.0f);
+  EXPECT_FLOAT_EQ(b.z(), 3.0f);
+  EXPECT_FLOAT_EQ(b.matrix[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace ada::chem

@@ -1,0 +1,280 @@
+// Unit + property tests for the bitstream and the ada3d coordinate codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "codec/bitstream.hpp"
+#include "codec/coord_codec.hpp"
+#include "common/rng.hpp"
+
+namespace ada::codec {
+namespace {
+
+// --- bitstream -----------------------------------------------------------------
+
+TEST(BitstreamTest, SingleBits) {
+  BitWriter w;
+  w.put_bit(true);
+  w.put_bit(false);
+  w.put_bit(true);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.get_bit().value());
+  EXPECT_FALSE(r.get_bit().value());
+  EXPECT_TRUE(r.get_bit().value());
+}
+
+TEST(BitstreamTest, MixedWidthsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0x5, 3);
+  w.put_bits(0x1abcd, 17);
+  w.put_bits(0, 0);  // zero-width fields are legal no-ops
+  w.put_bits(0xffffffffu, 32);
+  w.put_bits(1, 1);
+  const std::size_t bits = w.bit_count();
+  EXPECT_EQ(bits, 3u + 17 + 0 + 32 + 1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(3).value(), 0x5u);
+  EXPECT_EQ(r.get_bits(17).value(), 0x1abcdu);
+  EXPECT_EQ(r.get_bits(0).value(), 0u);
+  EXPECT_EQ(r.get_bits(32).value(), 0xffffffffu);
+  EXPECT_EQ(r.get_bits(1).value(), 1u);
+  EXPECT_EQ(r.bits_consumed(), bits);
+}
+
+TEST(BitstreamTest, ReadingPastEndIsError) {
+  BitWriter w;
+  w.put_bits(3, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.get_bits(8).is_ok());  // padding bits are readable...
+  EXPECT_FALSE(r.get_bits(8).is_ok());  // ...but past the final byte is not
+}
+
+TEST(BitstreamPropertyTest, RandomRoundTrip) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint32_t, unsigned>> fields;
+    BitWriter w;
+    const int n = 1 + static_cast<int>(rng.uniform_index(200));
+    for (int i = 0; i < n; ++i) {
+      const unsigned width = static_cast<unsigned>(rng.uniform_index(33));
+      const std::uint32_t value =
+          width == 32 ? static_cast<std::uint32_t>(rng.next_u64())
+                      : static_cast<std::uint32_t>(rng.next_u64() & ((1ull << width) - 1));
+      fields.emplace_back(value, width);
+      w.put_bits(value, width);
+    }
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    for (const auto& [value, width] : fields) {
+      EXPECT_EQ(r.get_bits(width).value(), value);
+    }
+  }
+}
+
+TEST(BitstreamTest, BitsNeeded) {
+  EXPECT_EQ(bits_needed(0), 0u);
+  EXPECT_EQ(bits_needed(1), 1u);
+  EXPECT_EQ(bits_needed(2), 2u);
+  EXPECT_EQ(bits_needed(255), 8u);
+  EXPECT_EQ(bits_needed(256), 9u);
+  EXPECT_EQ(bits_needed(0xffffffffu), 32u);
+}
+
+TEST(BitstreamTest, ZigzagInvolution) {
+  for (std::int32_t v : {0, 1, -1, 2, -2, 1000000, -1000000, 2147483647, -2147483647}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+// --- codec ----------------------------------------------------------------------
+
+std::vector<float> random_cluster_coords(Rng& rng, std::size_t atoms, float box, float step) {
+  std::vector<float> coords;
+  coords.reserve(atoms * 3);
+  float x = box / 2;
+  float y = box / 2;
+  float z = box / 2;
+  for (std::size_t i = 0; i < atoms; ++i) {
+    // Random walk: consecutive atoms are spatially close (bonded-neighbour
+    // statistics), the property the delta coder exploits.
+    x = std::clamp(x + static_cast<float>(rng.normal(0.0, static_cast<double>(step))), 0.0f, box);
+    y = std::clamp(y + static_cast<float>(rng.normal(0.0, static_cast<double>(step))), 0.0f, box);
+    z = std::clamp(z + static_cast<float>(rng.normal(0.0, static_cast<double>(step))), 0.0f, box);
+    coords.push_back(x);
+    coords.push_back(y);
+    coords.push_back(z);
+  }
+  return coords;
+}
+
+TEST(CoordCodecTest, EmptyFrame) {
+  const auto frame = compress({}, {}).value();
+  EXPECT_EQ(frame.atom_count, 0u);
+  EXPECT_TRUE(decompress(frame).value().empty());
+}
+
+TEST(CoordCodecTest, SingleAtom) {
+  const std::vector<float> coords = {1.234f, -5.678f, 0.001f};
+  const auto frame = compress(coords, {}).value();
+  const auto out = decompress(frame).value();
+  ASSERT_EQ(out.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(d)], coords[static_cast<std::size_t>(d)], 0.0006f);
+  }
+}
+
+TEST(CoordCodecTest, NotDivisibleByThreeRejected) {
+  const std::vector<float> coords = {1.0f, 2.0f};
+  EXPECT_FALSE(compress(coords, {}).is_ok());
+}
+
+TEST(CoordCodecTest, NonFiniteRejected) {
+  const std::vector<float> coords = {1.0f, std::nanf(""), 2.0f};
+  EXPECT_FALSE(compress(coords, {}).is_ok());
+}
+
+TEST(CoordCodecTest, OutOfRangeRejected) {
+  const std::vector<float> coords = {3e7f, 0.0f, 0.0f};  // 3e10 grid units
+  EXPECT_FALSE(compress(coords, {}).is_ok());
+}
+
+TEST(CoordCodecTest, ZeroPrecisionRejected) {
+  const std::vector<float> coords = {1.0f, 2.0f, 3.0f};
+  CodecParams params;
+  params.precision = 0.0f;
+  EXPECT_FALSE(compress(coords, params).is_ok());
+}
+
+TEST(CoordCodecTest, IdenticalAtomsCompressToAlmostNothing) {
+  std::vector<float> coords;
+  for (int i = 0; i < 1000; ++i) {
+    coords.push_back(1.0f);
+    coords.push_back(2.0f);
+    coords.push_back(3.0f);
+  }
+  const auto frame = compress(coords, {}).value();
+  // All deltas zero: 1 flag bit per atom, zero-width delta fields.
+  EXPECT_LT(frame.payload_bytes(), 200u);
+  const auto out = decompress(frame).value();
+  EXPECT_EQ(out.size(), coords.size());
+  EXPECT_NEAR(out[2999], 3.0f, 0.0006f);
+}
+
+class CodecRoundTripTest : public testing::TestWithParam<std::tuple<int, float>> {};
+
+TEST_P(CodecRoundTripTest, ErrorBoundedByHalfGrid) {
+  const auto [atoms, precision] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(atoms) * 31 + static_cast<std::uint64_t>(precision));
+  const auto coords = random_cluster_coords(rng, static_cast<std::size_t>(atoms), 8.0f, 0.2f);
+  CodecParams params;
+  params.precision = precision;
+  const auto frame = compress(coords, params).value();
+  const auto out = decompress(frame).value();
+  ASSERT_EQ(out.size(), coords.size());
+  const float tolerance = 0.5f / precision + 1e-5f;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    ASSERT_NEAR(out[i], coords[i], tolerance) << "at coordinate " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTripTest,
+    testing::Combine(testing::Values(1, 2, 3, 10, 100, 1000, 10000),
+                     testing::Values(10.0f, 100.0f, 1000.0f, 10000.0f)),
+    [](const auto& param_info) {
+      return "atoms" + std::to_string(std::get<0>(param_info.param)) + "_prec" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param)));
+    });
+
+TEST(CoordCodecTest, QuantizationIsIdempotent) {
+  // Decompressing and recompressing must be lossless the second time:
+  // outputs are exact grid multiples.
+  Rng rng(7);
+  const auto coords = random_cluster_coords(rng, 500, 5.0f, 0.15f);
+  const auto frame1 = compress(coords, {}).value();
+  const auto out1 = decompress(frame1).value();
+  const auto frame2 = compress(out1, {}).value();
+  const auto out2 = decompress(frame2).value();
+  EXPECT_EQ(out1, out2);
+}
+
+TEST(CoordCodecTest, PerAtomCostsSumToPayload) {
+  Rng rng(11);
+  const auto coords = random_cluster_coords(rng, 2000, 8.0f, 0.1f);
+  PerAtomCost cost;
+  const auto frame = compress(coords, {}, &cost).value();
+  ASSERT_EQ(cost.bits.size(), 2000u);
+  EXPECT_EQ(range_bits(cost, 0, cost.bits.size()), frame.payload_bits);
+  // Prefix + suffix partition the total.
+  const auto prefix = range_bits(cost, 0, 700);
+  const auto suffix = range_bits(cost, 700, 2000);
+  EXPECT_EQ(prefix + suffix, frame.payload_bits);
+}
+
+TEST(CoordCodecTest, LocalStructureCompressesWell) {
+  // Bonded-neighbour statistics (0.1-0.3 nm spacing) must compress well
+  // below raw float32: this is the xtc-like >2.5x regime.
+  Rng rng(13);
+  const auto coords = random_cluster_coords(rng, 20000, 8.0f, 0.15f);
+  const auto frame = compress(coords, {}).value();
+  const double raw_bytes = static_cast<double>(coords.size()) * 4.0;
+  const double ratio = raw_bytes / static_cast<double>(frame.payload_bytes());
+  EXPECT_GT(ratio, 2.5) << "compression ratio " << ratio;
+  EXPECT_LT(ratio, 6.0) << "suspiciously high ratio " << ratio;
+}
+
+TEST(CoordCodecTest, ScatteredAtomsStillRoundTrip) {
+  // Uniformly scattered atoms (hostile to delta coding) must stay correct
+  // even if compression degrades.
+  Rng rng(17);
+  std::vector<float> coords;
+  for (int i = 0; i < 3000; ++i) coords.push_back(static_cast<float>(rng.uniform(0.0, 50.0)));
+  const auto frame = compress(coords, {}).value();
+  const auto out = decompress(frame).value();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    ASSERT_NEAR(out[i], coords[i], 0.0006f);
+  }
+}
+
+TEST(CoordCodecTest, CorruptPayloadDetected) {
+  Rng rng(23);
+  const auto coords = random_cluster_coords(rng, 100, 5.0f, 0.2f);
+  auto frame = compress(coords, {}).value();
+  frame.payload_bits += 64;  // declare more bits than the stream holds
+  EXPECT_FALSE(decompress(frame).is_ok());
+}
+
+TEST(CoordCodecTest, InvalidHeaderFieldsDetected) {
+  Rng rng(29);
+  const auto coords = random_cluster_coords(rng, 10, 5.0f, 0.2f);
+  auto frame = compress(coords, {}).value();
+  auto bad = frame;
+  bad.small_bits = 55;
+  EXPECT_FALSE(decompress(bad).is_ok());
+  bad = frame;
+  bad.full_bits[1] = 40;
+  EXPECT_FALSE(decompress(bad).is_ok());
+  bad = frame;
+  bad.precision = -1.0f;
+  EXPECT_FALSE(decompress(bad).is_ok());
+}
+
+TEST(CoordCodecTest, NegativeCoordinatesRoundTrip) {
+  std::vector<float> coords = {-3.5f, -2.25f, -900.0f, -3.51f, -2.24f, -900.01f};
+  const auto frame = compress(coords, {}).value();
+  const auto out = decompress(frame).value();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    ASSERT_NEAR(out[i], coords[i], 0.0006f);
+  }
+}
+
+}  // namespace
+}  // namespace ada::codec

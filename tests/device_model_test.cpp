@@ -1,0 +1,206 @@
+// Tests for the device-internals models: HDD mechanics and the SSD FTL.
+// Includes cross-validation against the coarse DeviceSpec numbers the
+// platform pipelines use (paper Table 4).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "storage/device.hpp"
+#include "storage/hdd_model.hpp"
+#include "storage/ssd_model.hpp"
+
+namespace ada::storage {
+namespace {
+
+// --- HDD ---------------------------------------------------------------------------
+
+TEST(HddModelTest, OuterZoneStreamsAtSpecRate) {
+  HddModel hdd;
+  const double bytes = 100 * kMB;
+  const double time = hdd.sequential_read_time(0, static_cast<std::uint64_t>(bytes));
+  const double rate = bytes / time;
+  // Within a few % of the paper's 126 MB/s MAX (start-up costs amortized).
+  EXPECT_GT(rate, 0.95 * mb_per_s(126));
+  EXPECT_LE(rate, mb_per_s(126));
+}
+
+TEST(HddModelTest, InnerZoneIsSlower) {
+  HddModel hdd;
+  const auto capacity = hdd.params().capacity_bytes;
+  const double outer = hdd.bandwidth_at(0);
+  const double inner = hdd.bandwidth_at(capacity - 1);
+  EXPECT_NEAR(outer, 126e6, 1.0);
+  EXPECT_NEAR(inner, 62e6, 1e6);
+  EXPECT_GT(outer / inner, 1.8);
+}
+
+TEST(HddModelTest, SeekCurveIsMonotoneAndBounded) {
+  HddModel hdd;
+  const auto capacity = hdd.params().capacity_bytes;
+  double prev = 0;
+  for (double fraction : {0.0001, 0.001, 0.01, 0.1, 0.5, 1.0}) {
+    const auto to = static_cast<std::uint64_t>(static_cast<double>(capacity - 1) * fraction);
+    const double t = hdd.seek_time(0, to);
+    EXPECT_GE(t, hdd.params().track_to_track_seek);
+    EXPECT_LE(t, hdd.params().full_stroke_seek);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(hdd.seek_time(500, 500), 0.0);
+}
+
+TEST(HddModelTest, SequentialAccessSkipsSeek) {
+  HddModel hdd;
+  const std::uint64_t chunk = 1 << 20;
+  hdd.access(0, chunk);
+  const double contiguous = hdd.access(chunk, chunk);   // head is already there
+  HddModel hdd2;
+  hdd2.access(0, chunk);
+  const double random = hdd2.access(500ull * chunk, chunk);
+  EXPECT_GT(random, contiguous + 3e-3);  // seek + rotational latency
+  EXPECT_DOUBLE_EQ(hdd.seeks_seconds(), 0.0);
+  EXPECT_GT(hdd2.seeks_seconds(), 0.0);
+}
+
+TEST(HddModelTest, RandomIopsInMechanicalRange) {
+  // 4 KiB random reads on a 7200 rpm drive land in the classic 70-120 IOPS.
+  HddModel hdd;
+  Rng rng(3);
+  double total = 0;
+  constexpr int kRequests = 400;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto offset =
+        (rng.uniform_index(hdd.params().capacity_bytes - 4096) / 4096) * 4096;
+    total += hdd.access(offset, 4096);
+  }
+  const double iops = kRequests / total;
+  EXPECT_GT(iops, 60.0) << iops;
+  EXPECT_LT(iops, 140.0) << iops;
+}
+
+// --- SSD ---------------------------------------------------------------------------
+
+SsdParams small_ssd() {
+  SsdParams p;
+  p.logical_capacity_bytes = 64ull << 20;  // 64 MiB keeps tests fast
+  return p;
+}
+
+TEST(SsdModelTest, SequentialFillHasUnitWaf) {
+  SsdModel ssd(small_ssd());
+  const std::uint64_t chunk = 1 << 20;
+  for (std::uint64_t offset = 0; offset + chunk <= ssd.params().logical_capacity_bytes;
+       offset += chunk) {
+    ASSERT_TRUE(ssd.write(offset, chunk).is_ok());
+  }
+  EXPECT_NEAR(ssd.stats().waf(), 1.0, 1e-9);
+  EXPECT_GT(ssd.utilization(), 0.99);
+}
+
+TEST(SsdModelTest, RandomOverwriteDrivesWafAboveOne) {
+  SsdModel ssd(small_ssd());
+  const std::uint64_t capacity = ssd.params().logical_capacity_bytes;
+  const std::uint64_t page = ssd.params().page_bytes;
+  // Fill once, then random-overwrite 2x the capacity.
+  for (std::uint64_t offset = 0; offset + page <= capacity; offset += page) {
+    ASSERT_TRUE(ssd.write(offset, page).is_ok());
+  }
+  Rng rng(5);
+  const std::uint64_t pages = capacity / page;
+  for (std::uint64_t i = 0; i < 2 * pages; ++i) {
+    ASSERT_TRUE(ssd.write(rng.uniform_index(pages) * page, page).is_ok());
+  }
+  EXPECT_GT(ssd.stats().waf(), 1.3) << ssd.stats().waf();
+  EXPECT_LT(ssd.stats().waf(), 12.0) << ssd.stats().waf();
+  EXPECT_GT(ssd.stats().erases, 0u);
+  EXPECT_GT(ssd.stats().gc_relocations, 0u);
+}
+
+TEST(SsdModelTest, SequentialOverwriteStaysCheap) {
+  // Whole-drive sequential overwrite invalidates whole blocks: GC reclaims
+  // them without relocating much -- WAF stays near 1.
+  SsdModel ssd(small_ssd());
+  const std::uint64_t capacity = ssd.params().logical_capacity_bytes;
+  const std::uint64_t chunk = 1 << 20;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t offset = 0; offset + chunk <= capacity; offset += chunk) {
+      ASSERT_TRUE(ssd.write(offset, chunk).is_ok());
+    }
+  }
+  EXPECT_LT(ssd.stats().waf(), 1.15) << ssd.stats().waf();
+}
+
+TEST(SsdModelTest, TrimReducesGcWork) {
+  auto run = [](bool with_trim) {
+    SsdModel ssd(small_ssd());
+    const std::uint64_t capacity = ssd.params().logical_capacity_bytes;
+    const std::uint64_t page = ssd.params().page_bytes;
+    for (std::uint64_t offset = 0; offset + page <= capacity; offset += page) {
+      ADA_CHECK(ssd.write(offset, page).is_ok());
+    }
+    if (with_trim) {
+      // The host deletes the first half before rewriting it.
+      ADA_CHECK(ssd.trim(0, capacity / 2).is_ok());
+    }
+    Rng rng(11);
+    const std::uint64_t half_pages = capacity / page / 2;
+    for (std::uint64_t i = 0; i < half_pages; ++i) {
+      ADA_CHECK(ssd.write(rng.uniform_index(half_pages) * page, page).is_ok());
+    }
+    return ssd.stats().gc_relocations;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(SsdModelTest, ReadsScaleWithChannels) {
+  SsdParams one = small_ssd();
+  one.channels = 1;
+  SsdParams eight = small_ssd();
+  eight.channels = 8;
+  SsdModel a(one);
+  SsdModel b(eight);
+  const double ta = a.read(0, 8 << 20).value();
+  const double tb = b.read(0, 8 << 20).value();
+  EXPECT_NEAR(ta / tb, 8.0, 1e-6);
+}
+
+TEST(SsdModelTest, PeakRatesMatchCoarseSpecOrder) {
+  // Cross-validation: the FTL's streaming numbers must land in the same
+  // decade as the coarse Plextor spec (3000/1000 MB/s).
+  SsdParams p = small_ssd();
+  p.channels = 8;
+  SsdModel ssd(p);
+  const double read_rate = (8 << 20) / ssd.read(0, 8 << 20).value();
+  const double write_rate = (8 << 20) / ssd.write(0, 8 << 20).value();
+  EXPECT_GT(read_rate, 1e9);
+  EXPECT_LT(read_rate, 10e9);
+  EXPECT_GT(write_rate, 0.2e9);
+  EXPECT_LT(write_rate, 2e9);
+  EXPECT_GT(read_rate, 2.0 * write_rate);  // the read/write asymmetry
+}
+
+TEST(SsdModelTest, BoundsChecking) {
+  SsdModel ssd(small_ssd());
+  const auto capacity = ssd.params().logical_capacity_bytes;
+  EXPECT_FALSE(ssd.write(capacity - 100, 200).is_ok());
+  EXPECT_FALSE(ssd.read(capacity, 1).is_ok());
+  EXPECT_FALSE(ssd.write(0, 0).is_ok());
+  EXPECT_FALSE(ssd.trim(capacity - 10, 100).is_ok());
+}
+
+TEST(SsdModelTest, WafIdentityHolds) {
+  // flash_pages_written == host_pages_written + gc_relocations, always.
+  SsdModel ssd(small_ssd());
+  Rng rng(17);
+  const std::uint64_t pages = ssd.params().logical_capacity_bytes / ssd.params().page_bytes;
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(
+        ssd.write(rng.uniform_index(pages) * ssd.params().page_bytes, ssd.params().page_bytes)
+            .is_ok());
+  }
+  EXPECT_EQ(ssd.stats().flash_pages_written,
+            ssd.stats().host_pages_written + ssd.stats().gc_relocations);
+}
+
+}  // namespace
+}  // namespace ada::storage

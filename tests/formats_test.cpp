@@ -1,0 +1,307 @@
+// Unit tests for PDB / XTC / RAW file formats.
+#include <gtest/gtest.h>
+
+#include "chem/selection.hpp"
+#include "formats/pdb.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::formats {
+namespace {
+
+// --- PDB --------------------------------------------------------------------------
+
+constexpr const char* kSamplePdb =
+    "HEADER    TEST STRUCTURE\n"
+    "CRYST1   50.000   50.000   50.000  90.00  90.00  90.00 P 1           1\n"
+    "ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N\n"
+    "ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C\n"
+    "ATOM      3  C   ALA A   1      10.722   6.789  -4.153  1.00  0.00           C\n"
+    "HETATM    4 NA    NA I   2      20.000  20.000  20.000  1.00  0.00          NA\n"
+    "ATOM      5  OW  SOL W   3       5.000   5.000   5.000  1.00  0.00           O\n"
+    "TER\n"
+    "END\n";
+
+TEST(PdbTest, ParseSample) {
+  const auto system = parse_pdb(kSamplePdb).value();
+  ASSERT_EQ(system.atom_count(), 5u);
+  EXPECT_FLOAT_EQ(system.box().x(), 5.0f);  // 50 A -> 5 nm
+  EXPECT_EQ(system.atom(0).name, "N");
+  EXPECT_EQ(system.atom(0).residue_name, "ALA");
+  EXPECT_EQ(system.atom(0).chain_id, 'A');
+  EXPECT_EQ(system.category(0), chem::Category::kProtein);
+  EXPECT_EQ(system.category(3), chem::Category::kIon);
+  EXPECT_EQ(system.atom(3).element, chem::Element::kSodium);
+  EXPECT_TRUE(system.atom(3).hetatm);
+  EXPECT_EQ(system.category(4), chem::Category::kWater);
+  // Coordinates are converted to nm.
+  EXPECT_NEAR(system.reference_coords()[0], 1.1104f, 1e-4f);
+  EXPECT_NEAR(system.reference_coords()[8], -0.4153f, 1e-4f);
+}
+
+TEST(PdbTest, EmptyDocumentRejected) {
+  EXPECT_FALSE(parse_pdb("").is_ok());
+  EXPECT_FALSE(parse_pdb("REMARK nothing here\n").is_ok());
+}
+
+TEST(PdbTest, MalformedCoordinatesRejected) {
+  const std::string bad =
+      "ATOM      1  N   ALA A   1      xx.xxx   6.134  -6.504  1.00  0.00           N\n";
+  EXPECT_FALSE(parse_pdb(bad).is_ok());
+}
+
+TEST(PdbTest, MalformedSerialRejected) {
+  const std::string bad =
+      "ATOM      x  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N\n";
+  EXPECT_FALSE(parse_pdb(bad).is_ok());
+}
+
+TEST(PdbTest, UnknownRecordsSkipped) {
+  const std::string doc = std::string("REMARK hi\nSEQRES stuff\n") + kSamplePdb;
+  EXPECT_EQ(parse_pdb(doc).value().atom_count(), 5u);
+}
+
+TEST(PdbTest, WriteParseRoundTrip) {
+  const auto original = parse_pdb(kSamplePdb).value();
+  const std::string text = write_pdb(original);
+  const auto reparsed = parse_pdb(text).value();
+  ASSERT_EQ(reparsed.atom_count(), original.atom_count());
+  for (std::uint32_t i = 0; i < original.atom_count(); ++i) {
+    EXPECT_EQ(reparsed.atom(i).name, original.atom(i).name) << i;
+    EXPECT_EQ(reparsed.atom(i).residue_name, original.atom(i).residue_name) << i;
+    EXPECT_EQ(reparsed.category(i), original.category(i)) << i;
+    for (int d = 0; d < 3; ++d) {
+      const std::size_t j = 3 * i + static_cast<std::size_t>(d);
+      // PDB has 3 decimal digits in angstroms: 1e-4 nm quantization.
+      EXPECT_NEAR(reparsed.reference_coords()[j], original.reference_coords()[j], 2e-4f);
+    }
+  }
+  EXPECT_EQ(reparsed.box(), original.box());
+}
+
+TEST(PdbTest, GeneratedSystemRoundTrip) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto reparsed = parse_pdb(write_pdb(system)).value();
+  ASSERT_EQ(reparsed.atom_count(), system.atom_count());
+  EXPECT_EQ(reparsed.count_category(chem::Category::kProtein),
+            system.count_category(chem::Category::kProtein));
+  EXPECT_EQ(reparsed.count_category(chem::Category::kWater),
+            system.count_category(chem::Category::kWater));
+  EXPECT_EQ(reparsed.count_category(chem::Category::kLipid),
+            system.count_category(chem::Category::kLipid));
+}
+
+TEST(PdbTest, FileRoundTrip) {
+  const auto system = parse_pdb(kSamplePdb).value();
+  const std::string path = testing::TempDir() + "/ada_pdb_test.pdb";
+  ASSERT_TRUE(write_pdb_file(path, system).is_ok());
+  EXPECT_EQ(read_pdb_file(path).value().atom_count(), 5u);
+}
+
+// --- XTC --------------------------------------------------------------------------
+
+std::vector<float> wiggle(const std::vector<float>& base, float amount, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out = base;
+  for (float& v : out) v += static_cast<float>(rng.normal(0.0, static_cast<double>(amount)));
+  return out;
+}
+
+TEST(XtcTest, MultiFrameRoundTrip) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  XtcWriter writer;
+  std::vector<std::vector<float>> truth;
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    truth.push_back(wiggle(system.reference_coords(), 0.01f, f));
+    ASSERT_TRUE(writer
+                    .add_frame(f * 1000, static_cast<float>(f) * 2.0f, system.box(), truth.back())
+                    .is_ok());
+  }
+  EXPECT_EQ(writer.frame_count(), 5u);
+
+  const auto frames = read_all_xtc(writer.bytes()).value();
+  ASSERT_EQ(frames.size(), 5u);
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(frames[f].step, f * 1000);
+    EXPECT_FLOAT_EQ(frames[f].time_ps, static_cast<float>(f) * 2.0f);
+    EXPECT_EQ(frames[f].box, system.box());
+    ASSERT_EQ(frames[f].coords.size(), truth[f].size());
+    for (std::size_t i = 0; i < truth[f].size(); ++i) {
+      ASSERT_NEAR(frames[f].coords[i], truth[f][i], 0.0006f);
+    }
+  }
+}
+
+TEST(XtcTest, SkipWalksFramesWithoutDecode) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  XtcWriter writer;
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    ASSERT_TRUE(
+        writer.add_frame(f, static_cast<float>(f), system.box(), system.reference_coords())
+            .is_ok());
+  }
+  XtcReader reader(writer.bytes());
+  EXPECT_TRUE(reader.skip().value());
+  EXPECT_TRUE(reader.skip().value());
+  const auto frame = reader.next().value();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->step, 2u);
+  EXPECT_TRUE(reader.skip().value());
+  EXPECT_FALSE(reader.skip().value());  // end of stream
+}
+
+TEST(XtcTest, BadMagicRejected) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  XtcWriter writer;
+  ASSERT_TRUE(writer.add_frame(0, 0.0f, system.box(), system.reference_coords()).is_ok());
+  auto bytes = writer.take();
+  bytes[3] = 0x00;  // clobber the magic's low byte
+  EXPECT_FALSE(read_all_xtc(bytes).is_ok());
+}
+
+TEST(XtcTest, TruncatedStreamRejected) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  XtcWriter writer;
+  ASSERT_TRUE(writer.add_frame(0, 0.0f, system.box(), system.reference_coords()).is_ok());
+  const auto& bytes = writer.bytes();
+  const auto truncated = std::span(bytes).subspan(0, bytes.size() - 7);
+  EXPECT_FALSE(read_all_xtc(truncated).is_ok());
+}
+
+TEST(XtcTest, EmptyStreamYieldsNoFrames) {
+  EXPECT_TRUE(read_all_xtc({}).value().empty());
+}
+
+TEST(XtcTest, CompressionRatioInXtcRegime) {
+  // On the synthetic GPCR system, total compressed size must be in the
+  // xtc-like regime the paper measures: raw/compressed ~ 3.27.
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  XtcWriter writer;
+  constexpr std::uint32_t kFrames = 20;
+  for (std::uint32_t f = 0; f < kFrames; ++f) {
+    ASSERT_TRUE(writer.add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                                 gen.next_frame())
+                    .is_ok());
+  }
+  const double raw = static_cast<double>(raw_file_bytes(system.atom_count(), kFrames));
+  const double ratio = raw / static_cast<double>(writer.size_bytes());
+  EXPECT_GT(ratio, 2.4) << "ratio " << ratio;
+  EXPECT_LT(ratio, 4.5) << "ratio " << ratio;
+}
+
+TEST(XtcTest, IndexEnablesRandomAccess) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  XtcWriter writer;
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    ASSERT_TRUE(writer.add_frame(f * 100, static_cast<float>(f) * 2.0f, system.box(),
+                                 gen.next_frame())
+                    .is_ok());
+  }
+  const auto index = build_xtc_index(writer.bytes()).value();
+  ASSERT_EQ(index.size(), 6u);
+  EXPECT_EQ(index[0].offset, 0u);
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    EXPECT_EQ(index[f].step, f * 100);
+    EXPECT_FLOAT_EQ(index[f].time_ps, static_cast<float>(f) * 2.0f);
+  }
+  // Decode frames out of order via the index; match sequential decode.
+  const auto sequential = read_all_xtc(writer.bytes()).value();
+  for (const std::uint32_t f : {4u, 1u, 5u, 0u}) {
+    const auto frame = read_xtc_frame_at(writer.bytes(), index[f].offset).value();
+    EXPECT_EQ(frame.step, sequential[f].step);
+    EXPECT_EQ(frame.coords, sequential[f].coords);
+  }
+  EXPECT_FALSE(read_xtc_frame_at(writer.bytes(), writer.size_bytes() + 5).is_ok());
+  EXPECT_FALSE(read_xtc_frame_at(writer.bytes(), 3).is_ok());  // mid-frame offset
+}
+
+TEST(XtcTest, IndexOfEmptyImage) {
+  EXPECT_TRUE(build_xtc_index({}).value().empty());
+}
+
+TEST(XtcTest, IndexRejectsCorruptStream) {
+  std::vector<std::uint8_t> junk(40, 0x11);
+  EXPECT_FALSE(build_xtc_index(junk).is_ok());
+}
+
+// --- RAW --------------------------------------------------------------------------
+
+TEST(RawTest, SizeFormulaMatchesPaperArithmetic) {
+  // 43,520 atoms, 626 frames -> the paper's 327 MB raw dataset.
+  const double bytes = static_cast<double>(raw_file_bytes(43'520, 626));
+  EXPECT_NEAR(bytes / 1e6, 327.0, 1.0);
+  // Per-frame size: 44-byte header + 12 bytes/atom.
+  EXPECT_EQ(raw_frame_bytes(100), 44u + 1200u);
+}
+
+TEST(RawTest, RoundTripAndRandomAccess) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  RawTrajWriter writer(system.atom_count());
+  std::vector<std::vector<float>> truth;
+  for (std::uint32_t f = 0; f < 6; ++f) {
+    truth.push_back(wiggle(system.reference_coords(), 0.01f, 100 + f));
+    ASSERT_TRUE(writer.add_frame(f, static_cast<float>(f) * 2.0f, system.box(), truth.back())
+                    .is_ok());
+  }
+  const auto image = writer.finish();
+  EXPECT_EQ(image.size(), raw_file_bytes(system.atom_count(), 6));
+
+  const auto reader = RawTrajReader::open(image).value();
+  EXPECT_EQ(reader.atom_count(), system.atom_count());
+  EXPECT_EQ(reader.frame_count(), 6u);
+  // Random access out of order.
+  for (std::uint32_t f : {3u, 0u, 5u, 2u}) {
+    const auto frame = reader.frame(f).value();
+    EXPECT_EQ(frame.step, f);
+    EXPECT_EQ(frame.coords, truth[f]);  // RAW is bit-exact
+  }
+  EXPECT_FALSE(reader.frame(6).is_ok());
+}
+
+TEST(RawTest, WrongAtomCountRejected) {
+  RawTrajWriter writer(10);
+  std::vector<float> coords(9, 0.0f);  // 3 atoms, not 10
+  EXPECT_FALSE(writer.add_frame(0, 0.0f, chem::Box{}, coords).is_ok());
+}
+
+TEST(RawTest, CorruptHeaderRejected) {
+  RawTrajWriter writer(4);
+  std::vector<float> coords(12, 1.0f);
+  ASSERT_TRUE(writer.add_frame(0, 0.0f, chem::Box{}, coords).is_ok());
+  auto image = writer.finish();
+  auto bad = image;
+  bad[0] = 'X';
+  EXPECT_FALSE(RawTrajReader::open(bad).is_ok());
+  // Truncation is detected by the size check.
+  EXPECT_FALSE(RawTrajReader::open(std::span(image).subspan(0, image.size() - 1)).is_ok());
+}
+
+// --- subset extraction ----------------------------------------------------------------
+
+TEST(SubsetTest, ExtractSubsetCopiesRuns) {
+  std::vector<float> coords;
+  for (int i = 0; i < 10; ++i) {
+    coords.push_back(static_cast<float>(i));
+    coords.push_back(static_cast<float>(i) + 0.1f);
+    coords.push_back(static_cast<float>(i) + 0.2f);
+  }
+  const auto sel = chem::Selection::from_runs({{2, 4}, {7, 8}});
+  const auto subset = extract_subset(coords, sel);
+  ASSERT_EQ(subset.size(), 9u);
+  EXPECT_FLOAT_EQ(subset[0], 2.0f);
+  EXPECT_FLOAT_EQ(subset[3], 3.0f);
+  EXPECT_FLOAT_EQ(subset[6], 7.0f);
+  EXPECT_FLOAT_EQ(subset[8], 7.2f);
+}
+
+TEST(SubsetTest, EmptySelectionYieldsEmpty) {
+  std::vector<float> coords(30, 1.0f);
+  EXPECT_TRUE(extract_subset(coords, chem::Selection{}).empty());
+}
+
+}  // namespace
+}  // namespace ada::formats

@@ -1,0 +1,138 @@
+// Fuzz-style robustness tests for every user-facing text surface: the PDB
+// parser, the label file, the categorizer schema, the selection language and
+// the command interpreter.  Random inputs must produce clean errors or valid
+// results -- never crashes or unbounded work.
+#include <gtest/gtest.h>
+
+#include "ada/label_store.hpp"
+#include "ada/schema_config.hpp"
+#include "common/rng.hpp"
+#include "formats/pdb.hpp"
+#include "vmd/command.hpp"
+#include "vmd/mol.hpp"
+#include "vmd/select.hpp"
+#include "workload/gpcr_builder.hpp"
+
+namespace ada {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \n\t()-.,#:/";
+  const std::size_t len = rng.uniform_index(max_len);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+/// Mutate a valid document: splice random text into random positions.
+std::string mutate(Rng& rng, const std::string& base) {
+  std::string out = base;
+  const int edits = 1 + static_cast<int>(rng.uniform_index(5));
+  for (int e = 0; e < edits; ++e) {
+    const std::size_t pos = rng.uniform_index(out.size() + 1);
+    out.insert(pos, random_text(rng, 12));
+  }
+  return out;
+}
+
+TEST(FuzzTest, PdbParserSurvivesRandomText) {
+  Rng rng(1001);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto result = formats::parse_pdb(random_text(rng, 400));
+    if (result.is_ok()) {
+      EXPECT_GT(result.value().atom_count(), 0u);
+    }
+  }
+}
+
+TEST(FuzzTest, PdbParserSurvivesMutatedRealDocuments) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const std::string pristine = formats::write_pdb(system);
+  Rng rng(1002);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto result = formats::parse_pdb(mutate(rng, pristine));
+    if (result.is_ok()) {
+      // Mutations may drop/garble atoms but never invent more than the
+      // document's line count allows.
+      EXPECT_LE(result.value().atom_count(), system.atom_count() + 64);
+    }
+  }
+}
+
+TEST(FuzzTest, LabelFileDecoderSurvives) {
+  Rng rng(1003);
+  const auto labels =
+      core::categorize_protein_misc(workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build());
+  const std::string pristine = core::encode_label_file(labels);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto mutated = mutate(rng, pristine);
+    const auto result = core::decode_label_file(mutated);
+    if (result.is_ok()) {
+      // Whatever decoded is internally consistent.
+      for (const auto& [tag, selection] : result.value().groups) {
+        EXPECT_FALSE(tag.empty());
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, SchemaParserSurvives) {
+  Rng rng(1004);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto result = core::CategorizerSchema::parse(random_text(rng, 200));
+    if (result.is_ok()) {
+      EXPECT_GE(result.value().rule_count() + 1, 1u);  // parsed something sane
+    }
+  }
+}
+
+TEST(FuzzTest, SelectionLanguageSurvives) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  Rng rng(1005);
+  // Random token soup from the language's own vocabulary plus junk.
+  const char* kWords[] = {"protein", "water",  "and", "or",  "not",   "(",      ")",
+                          "name",    "CA",     "resid", "0-5", "index", "zzz",  "all",
+                          "none",    "element", "O",    "chain", "A",  "backbone"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string expression;
+    const int words = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int w = 0; w < words; ++w) {
+      expression += kWords[rng.uniform_index(std::size(kWords))];
+      expression += ' ';
+    }
+    const auto result = vmd::atom_select(system, expression);
+    if (result.is_ok()) {
+      EXPECT_LE(result.value().count(), system.atom_count());
+    }
+  }
+}
+
+TEST(FuzzTest, CommandInterpreterSurvives) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  vmd::MolSession session;
+  ASSERT_TRUE(session.mol_new_text(formats::write_pdb(system)).is_ok());
+  vmd::CommandInterpreter interpreter(session);
+  Rng rng(1006);
+  const char* kWords[] = {"mol",    "new",  "addfile", "tag",  "p",     "animate",
+                          "goto",   "0",    "999",     "render", "snapshot", "info",
+                          "measure", "rgyr", "rmsd",   "atomselect", "protein", "junk"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    const int words = static_cast<int>(rng.uniform_index(6));
+    for (int w = 0; w < words; ++w) {
+      line += kWords[rng.uniform_index(std::size(kWords))];
+      line += ' ';
+    }
+    const auto result = interpreter.execute(line);  // ok or clean error, never a crash
+    (void)result;
+  }
+  // The session is still usable afterwards.
+  EXPECT_TRUE(interpreter.execute("mol info").is_ok());
+}
+
+}  // namespace
+}  // namespace ada

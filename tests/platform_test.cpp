@@ -1,0 +1,313 @@
+// Tests for the platform harness: workload size calibration against the
+// paper's tables, and the scenario pipelines against the paper's headline
+// results (Figs 7, 9, 10).  These are the reproduction's contract.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "platform/pipeline.hpp"
+#include "platform/platform.hpp"
+#include "platform/workload_stats.hpp"
+#include "workload/spec.hpp"
+
+namespace ada::platform {
+namespace {
+
+const FrameProfile& profile() { return FrameProfile::paper_gpcr(); }
+
+WorkloadSizes sizes_at(std::uint64_t frames) {
+  return WorkloadSizes::from_profile(profile(), frames);
+}
+
+ScenarioResult run(const Platform& platform, Scenario scenario, std::uint64_t frames) {
+  return run_scenario(platform, scenario, sizes_at(frames));
+}
+
+// --- workload profile vs paper tables ----------------------------------------------
+
+TEST(FrameProfileTest, MatchesPaperTable2) {
+  // 626 frames: raw 327 MB, protein 139 MB, compressed ~100 MB.
+  const auto s = sizes_at(626);
+  EXPECT_NEAR(s.raw_bytes / kMB, 327.0, 2.0);
+  EXPECT_NEAR(s.protein_bytes / kMB, 139.0, 1.5);
+  EXPECT_GT(s.compressed_bytes / kMB, 70.0);
+  EXPECT_LT(s.compressed_bytes / kMB, 135.0);
+}
+
+TEST(FrameProfileTest, MatchesPaperTable6) {
+  // 1,876,800 frames: raw 979.8 GB, protein subset 415.8 GB.
+  const auto s = sizes_at(1'876'800);
+  EXPECT_NEAR(s.raw_bytes / kGB, 979.8, 6.0);
+  EXPECT_NEAR(s.protein_bytes / kGB, 415.8, 4.0);
+  // 5,004,800 frames: protein 1,108.8 GB.
+  const auto big = sizes_at(5'004'800);
+  EXPECT_NEAR(big.protein_bytes / kGB, 1108.8, 11.0);
+}
+
+TEST(FrameProfileTest, PerFrameSizeIsStationary) {
+  // The analytic scale-out is valid only if per-frame compressed size is
+  // stationary: two disjoint sample windows must agree within a few %.
+  const auto early = FrameProfile::measure(workload::GpcrSpec::paper_default(),
+                                           workload::DynamicsSpec{}, 8);
+  workload::DynamicsSpec late_dynamics;
+  late_dynamics.seed = 99;  // different noise stream
+  const auto late = FrameProfile::measure(workload::GpcrSpec::paper_default(), late_dynamics, 8);
+  EXPECT_NEAR(early.compressed_per_frame / late.compressed_per_frame, 1.0, 0.03);
+}
+
+TEST(FrameProfileTest, LinearScaling) {
+  const auto a = sizes_at(1000);
+  const auto b = sizes_at(2000);
+  EXPECT_NEAR(b.compressed_bytes / a.compressed_bytes, 2.0, 1e-9);
+  EXPECT_NEAR((b.raw_bytes - 16) / (a.raw_bytes - 16), 2.0, 1e-9);
+}
+
+// --- SSD server (Fig 7) -----------------------------------------------------------------
+
+TEST(SsdServerTest, Fig7aRetrievalOrdering) {
+  const auto platform = Platform::ssd_server();
+  const auto c = run(platform, Scenario::kCompressedFs, 5006);
+  const auto d = run(platform, Scenario::kRawFs, 5006);
+  const auto all = run(platform, Scenario::kAdaAll, 5006);
+  const auto protein = run(platform, Scenario::kAdaProtein, 5006);
+  // C-ext4 best (1/3 the bytes); D-ADA(protein) second; D-ADA(all) trails
+  // D-ext4 slightly (indexer).
+  EXPECT_LT(c.retrieval_s, protein.retrieval_s);
+  EXPECT_LT(protein.retrieval_s, d.retrieval_s);
+  EXPECT_GT(all.retrieval_s, d.retrieval_s);
+  EXPECT_LT(all.retrieval_s, d.retrieval_s * 1.2);
+}
+
+TEST(SsdServerTest, Fig7bHeadline13x) {
+  // "D-ADA(protein) delivers a much better performance than that of C-ext4
+  //  (e.g., up to 13.4x)" at the largest frame count.
+  const auto platform = Platform::ssd_server();
+  const auto c = run(platform, Scenario::kCompressedFs, 5006);
+  const auto protein = run(platform, Scenario::kAdaProtein, 5006);
+  const double speedup = c.turnaround_s / protein.turnaround_s;
+  EXPECT_GT(speedup, 11.0) << "speedup " << speedup;
+  EXPECT_LT(speedup, 16.0) << "speedup " << speedup;
+}
+
+TEST(SsdServerTest, Fig7bAdaAllMatchesRawExt4) {
+  const auto platform = Platform::ssd_server();
+  const auto d = run(platform, Scenario::kRawFs, 5006);
+  const auto all = run(platform, Scenario::kAdaAll, 5006);
+  EXPECT_NEAR(all.turnaround_s / d.turnaround_s, 1.0, 0.1);
+}
+
+TEST(SsdServerTest, Fig7bDecompressionDominatesCompressedPath) {
+  const auto platform = Platform::ssd_server();
+  const auto c = run(platform, Scenario::kCompressedFs, 5006);
+  // "the data decompression time dominates the data pre-processing time":
+  // pre-processing is most of the turnaround and decompress most of that.
+  EXPECT_GT(c.preprocess_s / c.turnaround_s, 0.5);
+  double decompress = 0;
+  for (const auto& phase : c.phases) {
+    if (phase.name == "decompress") decompress = phase.seconds;
+  }
+  EXPECT_GT(decompress / c.turnaround_s, 0.5);  // Fig 8: >50% of CPU time
+}
+
+TEST(SsdServerTest, Fig7cMemoryRatio) {
+  // "the memory usage of ext4 is over 2.5x of that of ADA when the number
+  //  of frames reaches 5,006".
+  const auto platform = Platform::ssd_server();
+  const auto c = run(platform, Scenario::kCompressedFs, 5006);
+  const auto protein = run(platform, Scenario::kAdaProtein, 5006);
+  const double ratio = c.memory_peak_bytes / protein.memory_peak_bytes;
+  EXPECT_GT(ratio, 2.5) << "memory ratio " << ratio;
+  EXPECT_LT(ratio, 3.6) << "memory ratio " << ratio;
+  EXPECT_FALSE(c.oom);
+  EXPECT_FALSE(protein.oom);
+}
+
+TEST(SsdServerTest, SpeedupGrowsWithFrames) {
+  const auto platform = Platform::ssd_server();
+  double prev = 0;
+  for (const std::uint64_t frames : {626u, 2503u, 5006u}) {
+    const auto c = run(platform, Scenario::kCompressedFs, frames);
+    const auto p = run(platform, Scenario::kAdaProtein, frames);
+    const double speedup = c.turnaround_s / p.turnaround_s;
+    EXPECT_GT(speedup, prev * 0.99) << "at " << frames;
+    prev = speedup;
+  }
+}
+
+// --- cluster (Fig 9) -------------------------------------------------------------------------
+
+TEST(ClusterTest, Fig9aAdaAllBeatsPvfsRawBy2x) {
+  // "ADA performs more than 2x better than PVFS (i.e., D-ADA (all) vs.
+  //  D-PVFS) due to the better SSD read performance."
+  const auto platform = Platform::small_cluster();
+  const auto d = run(platform, Scenario::kRawFs, 6256);
+  const auto all = run(platform, Scenario::kAdaAll, 6256);
+  const double ratio = d.retrieval_s / all.retrieval_s;
+  EXPECT_GT(ratio, 2.0) << "retrieval ratio " << ratio;
+  EXPECT_LT(ratio, 4.0) << "retrieval ratio " << ratio;
+}
+
+TEST(ClusterTest, Fig9aProteinBetweenExtremes) {
+  const auto platform = Platform::small_cluster();
+  const auto c = run(platform, Scenario::kCompressedFs, 6256);
+  const auto d = run(platform, Scenario::kRawFs, 6256);
+  const auto protein = run(platform, Scenario::kAdaProtein, 6256);
+  EXPECT_LT(protein.retrieval_s, d.retrieval_s);
+  // "D-ADA (protein) performs similarly to C-PVFS": same order of magnitude.
+  EXPECT_LT(std::max(protein.retrieval_s, c.retrieval_s) /
+                std::min(protein.retrieval_s, c.retrieval_s),
+            2.5);
+}
+
+TEST(ClusterTest, Fig9bHeadline9x) {
+  // "when the number of frames is 6,256 the data processing turnaround time
+  //  of D-PVFS is 9x of that of D-ADA(protein)".
+  const auto platform = Platform::small_cluster();
+  const auto d = run(platform, Scenario::kRawFs, 6256);
+  const auto protein = run(platform, Scenario::kAdaProtein, 6256);
+  const double ratio = d.turnaround_s / protein.turnaround_s;
+  EXPECT_GT(ratio, 6.5) << "turnaround ratio " << ratio;
+  EXPECT_LT(ratio, 12.0) << "turnaround ratio " << ratio;
+}
+
+TEST(ClusterTest, Fig9cMemoryTrendMatchesFig7c) {
+  const auto platform = Platform::small_cluster();
+  const auto c = run(platform, Scenario::kCompressedFs, 5006);
+  const auto protein = run(platform, Scenario::kAdaProtein, 5006);
+  EXPECT_GT(c.memory_peak_bytes / protein.memory_peak_bytes, 2.5);
+}
+
+// --- fat node (Fig 10) ------------------------------------------------------------------------
+
+TEST(FatNodeTest, Fig10KillPoints) {
+  // Section 4.3: XFS and ADA(all) are killed at 1,876,800 frames;
+  // ADA(protein) survives until 5,004,800.
+  const auto platform = Platform::fat_node();
+
+  EXPECT_FALSE(run(platform, Scenario::kCompressedFs, 1'564'000).oom);
+  EXPECT_TRUE(run(platform, Scenario::kCompressedFs, 1'876'800).oom);
+
+  EXPECT_FALSE(run(platform, Scenario::kAdaAll, 1'564'000).oom);
+  EXPECT_TRUE(run(platform, Scenario::kAdaAll, 1'876'800).oom);
+
+  EXPECT_FALSE(run(platform, Scenario::kAdaProtein, 1'876'800).oom);
+  EXPECT_FALSE(run(platform, Scenario::kAdaProtein, 4'379'200).oom);
+  EXPECT_TRUE(run(platform, Scenario::kAdaProtein, 5'004'800).oom);
+}
+
+TEST(FatNodeTest, AdaRendersMoreThan2xFrames) {
+  // "ADA allows the 1TB memory server to render more than 2x VMD graphs":
+  // last surviving frame counts 4,379,200 (ADA protein) vs 1,564,000 (XFS).
+  EXPECT_GT(4'379'200.0 / 1'564'000.0, 2.0);
+  // And the model agrees those are the survival boundaries (checked above).
+}
+
+TEST(FatNodeTest, RetrievalInsignificantAtScale) {
+  // "the raw data retrieval time only weights less than 10% of the data
+  //  processing turnaround time" (XFS, 1,564,000 frames).
+  const auto platform = Platform::fat_node();
+  const auto c = run(platform, Scenario::kCompressedFs, 1'564'000);
+  EXPECT_LT(c.retrieval_s / c.turnaround_s, 0.10);
+}
+
+TEST(FatNodeTest, XfsTurnaroundHundredsOfMinutesAtScale) {
+  // "it takes VMD around 400 minutes to retrieve and render 1,564,000
+  //  frames on the XFS system".
+  const auto platform = Platform::fat_node();
+  const auto c = run(platform, Scenario::kCompressedFs, 1'564'000);
+  EXPECT_GT(c.turnaround_s / kMinute, 200.0);
+  EXPECT_LT(c.turnaround_s / kMinute, 700.0);
+}
+
+TEST(FatNodeTest, Fig10dEnergyRatios) {
+  // "XFS consumes more then 3x energy compared to ADA"; at 1,876,800 frames
+  // XFS > 12,500 kJ (we take the last completed point, 1,564,000, for the
+  // completed-run comparison; see EXPERIMENTS.md).
+  const auto platform = Platform::fat_node();
+  const auto xfs = run(platform, Scenario::kCompressedFs, 1'564'000);
+  const auto all = run(platform, Scenario::kAdaAll, 1'564'000);
+  const auto protein = run(platform, Scenario::kAdaProtein, 1'564'000);
+  // Paper Fig 10d values: XFS >12,500 kJ, ADA(all) <5,000 kJ (2.5x), and
+  // ADA(protein) ~2,200 kJ (>3x, the abstract's headline).
+  EXPECT_GT(xfs.energy_joules / all.energy_joules, 2.0);
+  EXPECT_GT(xfs.energy_joules / protein.energy_joules, 3.0);
+  EXPECT_GT(all.energy_joules / protein.energy_joules, 1.5);
+  // Absolute scale: around the paper's >12,500 kJ figure.
+  EXPECT_GT(xfs.energy_joules / 1e3, 8'000.0);
+  EXPECT_LT(xfs.energy_joules / 1e3, 25'000.0);
+}
+
+TEST(FatNodeTest, OomTruncatesTurnaroundAndEnergy) {
+  const auto platform = Platform::fat_node();
+  const auto killed = run(platform, Scenario::kCompressedFs, 1'876'800);
+  const auto survived = run(platform, Scenario::kCompressedFs, 1'564'000);
+  ASSERT_TRUE(killed.oom);
+  // The kill happens during decompression; no render phase was charged.
+  EXPECT_DOUBLE_EQ(killed.render_s, 0.0);
+  EXPECT_GT(killed.energy_joules, 0.0);
+  // Peak memory is capped at usable capacity.
+  EXPECT_LE(killed.memory_peak_bytes, platform.dram_bytes);
+  EXPECT_GT(killed.memory_peak_bytes, survived.memory_peak_bytes);
+}
+
+// --- scenario mechanics -----------------------------------------------------------------------
+
+TEST(PipelineTest, LabelsFollowPlatform) {
+  EXPECT_EQ(scenario_label(Scenario::kCompressedFs, Platform::ssd_server()), "C-ext4");
+  EXPECT_EQ(scenario_label(Scenario::kRawFs, Platform::fat_node()), "D-xfs");
+  EXPECT_EQ(scenario_label(Scenario::kCompressedFs, Platform::small_cluster()), "C-PVFS");
+  EXPECT_EQ(scenario_label(Scenario::kAdaProtein, Platform::ssd_server()), "D-ADA (protein)");
+}
+
+TEST(PipelineTest, RunAllReturnsFourScenarios) {
+  const auto results = run_all_scenarios(Platform::ssd_server(), sizes_at(626));
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.turnaround_s, 0.0);
+    EXPECT_GT(r.energy_joules, 0.0);
+    EXPECT_FALSE(r.phases.empty());
+    // Phase sum equals the turnaround.
+    double sum = 0;
+    for (const auto& p : r.phases) sum += p.seconds;
+    EXPECT_NEAR(sum, r.turnaround_s, 1e-9);
+  }
+}
+
+TEST(PipelineTest, AblationPlacementChangesClusterRetrieval) {
+  const auto platform = Platform::small_cluster();
+  PipelineOptions ssd;
+  ssd.ada_placement = PipelineOptions::AdaClusterPlacement::kAllOnSsd;
+  PipelineOptions split;
+  split.ada_placement = PipelineOptions::AdaClusterPlacement::kSplitSsdHdd;
+  PipelineOptions hdd;
+  hdd.ada_placement = PipelineOptions::AdaClusterPlacement::kAllOnHdd;
+  const auto s = run_scenario(platform, Scenario::kAdaAll, sizes_at(6256), ssd);
+  const auto m = run_scenario(platform, Scenario::kAdaAll, sizes_at(6256), split);
+  const auto h = run_scenario(platform, Scenario::kAdaAll, sizes_at(6256), hdd);
+  EXPECT_LT(s.retrieval_s, m.retrieval_s);
+  EXPECT_LT(m.retrieval_s, h.retrieval_s);
+}
+
+TEST(PipelineTest, AblationStripeWidthMonotone) {
+  const auto platform = Platform::small_cluster();
+  double prev = 1e18;
+  for (const unsigned servers : {1u, 2u, 3u}) {
+    PipelineOptions options;
+    options.stripe_servers_override = servers;
+    const auto r = run_scenario(platform, Scenario::kAdaProtein, sizes_at(6256), options);
+    EXPECT_LT(r.retrieval_s, prev * 1.001) << servers << " servers";
+    prev = r.retrieval_s;
+  }
+}
+
+TEST(CalibrationTest, HostCalibrationProducesSaneRates) {
+  const CpuRates rates = calibrate_on_host();
+  // The real decoder and bond search run at 10s of MB/s to GB/s on any
+  // plausible host; the point is they are nonzero and finite.
+  EXPECT_GT(rates.decompress_bps, 10e6);
+  EXPECT_LT(rates.decompress_bps, 100e9);
+  EXPECT_GT(rates.render_bps, 10e6);
+  EXPECT_LT(rates.render_bps, 1000e9);
+}
+
+}  // namespace
+}  // namespace ada::platform

@@ -1,0 +1,182 @@
+// Tests for the PLFS container layer: index codec, container lifecycle,
+// multi-backend droppings, label reads.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "plfs/container.hpp"
+#include "plfs/plfs.hpp"
+
+namespace ada::plfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+// --- index codec -----------------------------------------------------------------
+
+TEST(IndexCodecTest, RoundTrip) {
+  std::vector<IndexRecord> records = {
+      {0, 100, 0, "p", "dropping.p.0", 0},
+      {100, 50, 1, "m", "dropping.m.1", 0},
+      {150, 7, 0, "", "dropping.data.2", 32},
+  };
+  const auto image = encode_index(records);
+  const auto decoded = decode_index(image).value();
+  EXPECT_EQ(decoded, records);
+}
+
+TEST(IndexCodecTest, EmptyIndex) {
+  const auto image = encode_index({});
+  EXPECT_TRUE(decode_index(image).value().empty());
+}
+
+TEST(IndexCodecTest, BadMagicRejected) {
+  auto image = encode_index({});
+  image[0] = 'X';
+  EXPECT_FALSE(decode_index(image).is_ok());
+}
+
+TEST(IndexCodecTest, TrailingGarbageRejected) {
+  auto image = encode_index({{0, 1, 0, "p", "d", 0}});
+  image.push_back(0xff);
+  EXPECT_FALSE(decode_index(image).is_ok());
+}
+
+TEST(IndexCodecTest, TruncationRejected) {
+  const auto image = encode_index({{0, 1, 0, "p", "d", 0}});
+  EXPECT_FALSE(decode_index(std::span(image).subspan(0, image.size() - 3)).is_ok());
+}
+
+TEST(IndexCodecTest, LogicalSizeAndCompleteness) {
+  std::vector<IndexRecord> records = {{0, 100, 0, "p", "a", 0}, {100, 50, 1, "m", "b", 0}};
+  EXPECT_EQ(logical_size(records), 150u);
+  EXPECT_TRUE(is_complete(records));
+  records.push_back({200, 10, 0, "p", "c", 0});  // hole at [150,200)
+  EXPECT_FALSE(is_complete(records));
+  std::vector<IndexRecord> overlapping = {{0, 100, 0, "p", "a", 0}, {50, 100, 1, "m", "b", 0}};
+  EXPECT_FALSE(is_complete(overlapping));
+}
+
+// --- mount ------------------------------------------------------------------------
+
+class PlfsMountTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/plfs_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    fs::remove_all(root_);
+    mount_ = std::make_unique<PlfsMount>(
+        PlfsMount::open({{"ssd-fs", root_ + "/mnt1"}, {"hdd-fs", root_ + "/mnt2"}}).value());
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<PlfsMount> mount_;
+};
+
+TEST_F(PlfsMountTest, OpenCreatesBackendRoots) {
+  EXPECT_TRUE(fs::is_directory(root_ + "/mnt1"));
+  EXPECT_TRUE(fs::is_directory(root_ + "/mnt2"));
+  EXPECT_EQ(mount_->backend_count(), 2u);
+}
+
+TEST_F(PlfsMountTest, OpenRejectsEmptyBackendList) {
+  EXPECT_FALSE(PlfsMount::open({}).is_ok());
+}
+
+TEST_F(PlfsMountTest, ContainerLifecycle) {
+  EXPECT_FALSE(mount_->container_exists("bar"));
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  EXPECT_TRUE(mount_->container_exists("bar"));
+  // Container directories exist on both backends (paper Fig. 6 layout).
+  EXPECT_TRUE(fs::is_directory(root_ + "/mnt1/bar"));
+  EXPECT_TRUE(fs::is_directory(root_ + "/mnt2/bar"));
+  // Double create is AlreadyExists.
+  const Status again = mount_->create_container("bar");
+  ASSERT_FALSE(again.is_ok());
+  EXPECT_EQ(again.error().code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(mount_->remove_container("bar").is_ok());
+  EXPECT_FALSE(mount_->container_exists("bar"));
+}
+
+TEST_F(PlfsMountTest, BadLogicalNamesRejected) {
+  EXPECT_FALSE(mount_->create_container("").is_ok());
+  EXPECT_FALSE(mount_->create_container("a/b").is_ok());
+  EXPECT_FALSE(mount_->create_container("..").is_ok());
+}
+
+TEST_F(PlfsMountTest, AppendPlacesDroppingOnChosenBackend) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const auto r1 = mount_->append("bar", "p", 0, bytes_of("protein-data")).value();
+  const auto r2 = mount_->append("bar", "m", 1, bytes_of("misc")).value();
+  EXPECT_EQ(r1.logical_offset, 0u);
+  EXPECT_EQ(r2.logical_offset, 12u);
+  EXPECT_TRUE(fs::exists(root_ + "/mnt1/bar/" + r1.dropping));
+  EXPECT_TRUE(fs::exists(root_ + "/mnt2/bar/" + r2.dropping));
+  EXPECT_FALSE(fs::exists(root_ + "/mnt2/bar/" + r1.dropping));
+}
+
+TEST_F(PlfsMountTest, ReadLogicalReassemblesAcrossBackends) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("hello ")).is_ok());
+  ASSERT_TRUE(mount_->append("bar", "m", 1, bytes_of("plfs ")).is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("world")).is_ok());
+  const auto logical = mount_->read_logical("bar").value();
+  EXPECT_EQ(std::string(logical.begin(), logical.end()), "hello plfs world");
+}
+
+TEST_F(PlfsMountTest, ReadLabelFiltersSubsets) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("AAA")).is_ok());
+  ASSERT_TRUE(mount_->append("bar", "m", 1, bytes_of("BBB")).is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("CCC")).is_ok());
+  const auto p = mount_->read_label("bar", "p").value();
+  EXPECT_EQ(std::string(p.begin(), p.end()), "AAACCC");
+  const auto m = mount_->read_label("bar", "m").value();
+  EXPECT_EQ(std::string(m.begin(), m.end()), "BBB");
+  EXPECT_TRUE(mount_->read_label("bar", "zzz").value().empty());
+}
+
+TEST_F(PlfsMountTest, LabelSize) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("12345")).is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 1, bytes_of("678")).is_ok());
+  EXPECT_EQ(mount_->label_size("bar", "p").value(), 8u);
+  EXPECT_EQ(mount_->label_size("bar", "m").value(), 0u);
+}
+
+TEST_F(PlfsMountTest, AppendToMissingContainerFails) {
+  EXPECT_FALSE(mount_->append("nope", "p", 0, bytes_of("x")).is_ok());
+}
+
+TEST_F(PlfsMountTest, AppendToBadBackendFails) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  EXPECT_FALSE(mount_->append("bar", "p", 7, bytes_of("x")).is_ok());
+}
+
+TEST_F(PlfsMountTest, ListContainers) {
+  ASSERT_TRUE(mount_->create_container("zeta").is_ok());
+  ASSERT_TRUE(mount_->create_container("alpha").is_ok());
+  const auto names = mount_->list_containers().value();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST_F(PlfsMountTest, MissingDroppingDetectedOnRead) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const auto record = mount_->append("bar", "p", 0, bytes_of("payload")).value();
+  fs::remove(root_ + "/mnt1/bar/" + record.dropping);
+  EXPECT_FALSE(mount_->read_logical("bar").is_ok());
+}
+
+TEST_F(PlfsMountTest, EmptyContainerReadsEmpty) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  EXPECT_TRUE(mount_->read_logical("bar").value().empty());
+  EXPECT_TRUE(mount_->read_index("bar").value().empty());
+}
+
+}  // namespace
+}  // namespace ada::plfs

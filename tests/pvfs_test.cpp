@@ -1,0 +1,178 @@
+// Tests for stripe layout arithmetic and the PVFS performance model.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "pvfs/pvfs.hpp"
+#include "pvfs/striping.hpp"
+
+namespace ada::pvfs {
+namespace {
+
+// --- striping -----------------------------------------------------------------
+
+TEST(StripingTest, DistributionSumsToFileSize) {
+  StripeLayout layout{64 * 1024, 3};
+  for (const std::uint64_t size : {0ull, 1ull, 65536ull, 65537ull, 1000000ull, 123456789ull}) {
+    const auto dist = layout.distribution(size);
+    std::uint64_t total = 0;
+    for (const auto b : dist) total += b;
+    EXPECT_EQ(total, size) << "file size " << size;
+  }
+}
+
+TEST(StripingTest, RoundRobinAssignment) {
+  StripeLayout layout{100, 3};
+  EXPECT_EQ(layout.server_of(0), 0u);
+  EXPECT_EQ(layout.server_of(99), 0u);
+  EXPECT_EQ(layout.server_of(100), 1u);
+  EXPECT_EQ(layout.server_of(250), 2u);
+  EXPECT_EQ(layout.server_of(300), 0u);
+}
+
+TEST(StripingTest, BalancedForWholeRounds) {
+  StripeLayout layout{100, 4};
+  const auto dist = layout.distribution(4000);  // 10 full rounds
+  for (const auto b : dist) EXPECT_EQ(b, 1000u);
+}
+
+TEST(StripingTest, TailGoesToEarlyServers) {
+  StripeLayout layout{100, 4};
+  const auto dist = layout.distribution(450);  // one round + 50 bytes
+  EXPECT_EQ(dist[0], 150u);
+  EXPECT_EQ(dist[1], 100u);
+  EXPECT_EQ(dist[2], 100u);
+  EXPECT_EQ(dist[3], 100u);
+}
+
+TEST(StripingTest, StripesOnServerCountsUnits) {
+  StripeLayout layout{100, 2};
+  EXPECT_EQ(layout.stripes_on_server(350, 0), 2u);  // 100 @0, 50 @200..
+  EXPECT_EQ(layout.stripes_on_server(350, 1), 2u);
+  EXPECT_EQ(layout.stripes_on_server(0, 0), 0u);
+}
+
+TEST(StripingTest, SingleServerGetsEverything) {
+  StripeLayout layout{64 * 1024, 1};
+  EXPECT_EQ(layout.bytes_on_server(999999, 0), 999999u);
+}
+
+// --- pvfs model ----------------------------------------------------------------
+
+struct ClusterFixture {
+  sim::Simulator simulator;
+  sim::FlowNetwork network{simulator};
+  net::Fabric fabric;
+
+  explicit ClusterFixture(double nic_bw = 4e9)
+      : fabric(simulator, network,
+               net::FabricSpec{nic_bw, 100e9, 0.0}, /*node_count=*/9) {}
+};
+
+std::vector<IoServer> hdd_servers() {
+  // Paper Table 4: 3 HDD nodes, 2 WD 1TB drives each.
+  return {{3, storage::DeviceSpec::wd_hdd_1tb(), 2},
+          {4, storage::DeviceSpec::wd_hdd_1tb(), 2},
+          {5, storage::DeviceSpec::wd_hdd_1tb(), 2}};
+}
+
+std::vector<IoServer> ssd_servers() {
+  return {{6, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+          {7, storage::DeviceSpec::plextor_ssd_256gb(), 2},
+          {8, storage::DeviceSpec::plextor_ssd_256gb(), 2}};
+}
+
+TEST(PvfsTest, AggregateBandwidthSumsServers) {
+  ClusterFixture fx;
+  PvfsModel hdd_fs(fx.simulator, fx.fabric, "hdd", hdd_servers(), 3);
+  EXPECT_NEAR(hdd_fs.aggregate_disk_read_bandwidth(), 6 * mb_per_s(126), 1.0);
+}
+
+TEST(PvfsTest, HddReadLimitedByDisks) {
+  ClusterFixture fx;
+  PvfsModel hdd_fs(fx.simulator, fx.fabric, "hdd", hdd_servers(), 3);
+  double done_at = -1;
+  const double bytes = 756 * kMB;  // aggregate disk bw is 756 MB/s
+  hdd_fs.read_file(bytes, /*client=*/0, [&] { done_at = fx.simulator.now(); });
+  fx.simulator.run();
+  EXPECT_NEAR(done_at, 1.0, 0.05);  // ~1 s; metadata + seeks add a little
+}
+
+TEST(PvfsTest, SsdReadLimitedByClientNic) {
+  ClusterFixture fx(/*nic_bw=*/4e9);
+  PvfsModel ssd_fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+  // Disks could source 18 GB/s; the client NIC caps delivery at 4 GB/s.
+  double done_at = -1;
+  const double bytes = 8 * kGB;
+  ssd_fs.read_file(bytes, 0, [&] { done_at = fx.simulator.now(); });
+  fx.simulator.run();
+  EXPECT_NEAR(done_at, 2.0, 0.05);
+}
+
+TEST(PvfsTest, SsdBeatsHddByDeviceRatio) {
+  const double bytes = 500 * kMB;
+  double hdd_time = 0;
+  double ssd_time = 0;
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "hdd", hdd_servers(), 3);
+    fs.read_file(bytes, 0, [&] { hdd_time = fx.simulator.now(); });
+    fx.simulator.run();
+  }
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+    fs.read_file(bytes, 0, [&] { ssd_time = fx.simulator.now(); });
+    fx.simulator.run();
+  }
+  EXPECT_GT(hdd_time, 4.0 * ssd_time);
+}
+
+TEST(PvfsTest, WritesSlowerThanReadsOnSsd) {
+  const double bytes = 500 * kMB;
+  double read_time = 0;
+  double write_time = 0;
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+    fs.read_file(bytes, 0, [&] { read_time = fx.simulator.now(); });
+    fx.simulator.run();
+  }
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+    fs.write_file(bytes, 0, [&] { write_time = fx.simulator.now(); });
+    fx.simulator.run();
+  }
+  EXPECT_GT(write_time, read_time);  // SSD write bw is 1/3 of read bw
+}
+
+TEST(PvfsTest, ZeroByteFileIsMetadataOnly) {
+  ClusterFixture fx;
+  PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+  double done_at = -1;
+  fs.read_file(0.0, 0, [&] { done_at = fx.simulator.now(); });
+  fx.simulator.run();
+  EXPECT_GE(done_at, 0.0);
+  EXPECT_LT(done_at, 1e-3);
+}
+
+TEST(PvfsTest, ConcurrentClientsShareServers) {
+  ClusterFixture fx;
+  PvfsModel fs(fx.simulator, fx.fabric, "hdd", hdd_servers(), 3);
+  const double bytes = 378 * kMB;  // half the aggregate rate for 1 s
+  int done = 0;
+  double last = 0;
+  for (net::NodeId client : {0u, 1u}) {
+    fs.read_file(bytes, client, [&] {
+      ++done;
+      last = fx.simulator.now();
+    });
+  }
+  fx.simulator.run();
+  EXPECT_EQ(done, 2);
+  // Two concurrent 378 MB reads over 756 MB/s of disks: ~1 s total.
+  EXPECT_NEAR(last, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ada::pvfs

@@ -1,0 +1,187 @@
+// Tests for the atom-selection language: parsing, precedence, evaluation
+// against brute force, and integration with the GPCR system.
+#include <gtest/gtest.h>
+
+#include "vmd/select.hpp"
+#include "workload/gpcr_builder.hpp"
+
+namespace ada::vmd {
+namespace {
+
+const chem::System& gpcr() {
+  static const chem::System system = [] {
+    workload::GpcrSpec spec = workload::GpcrSpec::tiny();
+    spec.ligand_atoms = 12;
+    return workload::GpcrSystemBuilder(spec).build();
+  }();
+  return system;
+}
+
+std::uint64_t count(const std::string& expression) {
+  return atom_select(gpcr(), expression).value().count();
+}
+
+// --- category keywords ---------------------------------------------------------
+
+TEST(SelectTest, CategoryKeywords) {
+  EXPECT_EQ(count("protein"), gpcr().count_category(chem::Category::kProtein));
+  EXPECT_EQ(count("water"), gpcr().count_category(chem::Category::kWater));
+  EXPECT_EQ(count("lipid"), gpcr().count_category(chem::Category::kLipid));
+  EXPECT_EQ(count("ion"), gpcr().count_category(chem::Category::kIon));
+  EXPECT_EQ(count("ligand"), gpcr().count_category(chem::Category::kLigand));
+  EXPECT_EQ(count("all"), gpcr().atom_count());
+  EXPECT_EQ(count("none"), 0u);
+}
+
+TEST(SelectTest, CaseInsensitive) {
+  EXPECT_EQ(count("PROTEIN"), count("protein"));
+  EXPECT_EQ(count("Protein And Backbone"), count("protein and backbone"));
+}
+
+// --- boolean algebra --------------------------------------------------------------
+
+TEST(SelectTest, UnionAndIntersection) {
+  const auto p = count("protein");
+  const auto w = count("water");
+  EXPECT_EQ(count("protein or water"), p + w);  // disjoint categories
+  EXPECT_EQ(count("protein and water"), 0u);
+}
+
+TEST(SelectTest, NotComplementsWithinSystem) {
+  EXPECT_EQ(count("not protein"), gpcr().atom_count() - count("protein"));
+  EXPECT_EQ(count("not all"), 0u);
+  EXPECT_EQ(count("not none"), gpcr().atom_count());
+}
+
+TEST(SelectTest, PrecedenceNotOverAndOverOr) {
+  // "not protein and water" == "(not protein) and water" == water.
+  EXPECT_EQ(count("not protein and water"), count("water"));
+  // "protein or water and ion" == "protein or (water and ion)" == protein.
+  EXPECT_EQ(count("protein or water and ion"), count("protein"));
+  // Parentheses override.
+  EXPECT_EQ(count("(protein or water) and water"), count("water"));
+}
+
+TEST(SelectTest, DeMorganHolds) {
+  EXPECT_EQ(count("not (protein or water)"), count("not protein and not water"));
+}
+
+// --- field matchers -----------------------------------------------------------------
+
+TEST(SelectTest, NameMatchesBruteForce) {
+  const auto selection = atom_select(gpcr(), "name CA CB").value();
+  std::uint64_t expected = 0;
+  for (std::uint32_t i = 0; i < gpcr().atom_count(); ++i) {
+    const auto& name = gpcr().atom(i).name;
+    if (name == "CA" || name == "CB") {
+      ++expected;
+      EXPECT_TRUE(selection.contains(i));
+    } else {
+      EXPECT_FALSE(selection.contains(i));
+    }
+  }
+  EXPECT_EQ(selection.count(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(SelectTest, ResnameMatcher) {
+  EXPECT_EQ(count("resname POPC"), gpcr().count_category(chem::Category::kLipid));
+  EXPECT_EQ(count("resname SOL"), gpcr().count_category(chem::Category::kWater));
+  EXPECT_EQ(count("resname NOPE"), 0u);
+}
+
+TEST(SelectTest, BackboneIsProteinSubset) {
+  const auto backbone = count("backbone");
+  EXPECT_GT(backbone, 0u);
+  EXPECT_LT(backbone, count("protein"));
+  EXPECT_EQ(count("backbone and not protein"), 0u);
+  // 4 backbone atoms per residue, some residues truncated.
+  EXPECT_EQ(count("protein and name N CA C O"), backbone);
+}
+
+TEST(SelectTest, HeteroMatchesHetatmFlag) {
+  const auto selection = atom_select(gpcr(), "hetero").value();
+  for (std::uint32_t i = 0; i < gpcr().atom_count(); ++i) {
+    EXPECT_EQ(selection.contains(i), gpcr().atom(i).hetatm) << i;
+  }
+}
+
+TEST(SelectTest, IndexRanges) {
+  EXPECT_EQ(count("index 0-9"), 10u);
+  EXPECT_EQ(count("index 0-9 20-24"), 15u);
+  EXPECT_EQ(count("index 5"), 1u);
+  // Out-of-range indices clamp away silently.
+  EXPECT_EQ(count("index 999999"), 0u);
+  const auto selection = atom_select(gpcr(), "index 3-5").value();
+  EXPECT_EQ(selection.runs().size(), 1u);
+}
+
+TEST(SelectTest, ResidRanges) {
+  const auto selection = atom_select(gpcr(), "resid 1-3").value();
+  for (std::uint32_t i = 0; i < gpcr().atom_count(); ++i) {
+    const bool in = gpcr().atom(i).residue_seq >= 1 && gpcr().atom(i).residue_seq <= 3;
+    EXPECT_EQ(selection.contains(i), in) << i;
+  }
+}
+
+TEST(SelectTest, ElementMatcher) {
+  const auto oxygens = atom_select(gpcr(), "element O").value();
+  for (std::uint32_t i = 0; i < gpcr().atom_count(); ++i) {
+    EXPECT_EQ(oxygens.contains(i), gpcr().atom(i).element == chem::Element::kOxygen) << i;
+  }
+  EXPECT_GT(count("element O"), 0u);
+  EXPECT_GT(count("element Na Cl"), 0u);
+}
+
+TEST(SelectTest, ChainMatcher) {
+  EXPECT_EQ(count("chain W"), gpcr().count_category(chem::Category::kWater));
+  EXPECT_EQ(count("chain A and not protein"), 0u);
+}
+
+// --- composite expressions -------------------------------------------------------------
+
+TEST(SelectTest, PaperStyleQueries) {
+  // "everything except the solvent and ions" -- the MISC complement.
+  EXPECT_EQ(count("not (water or ion)"),
+            gpcr().atom_count() - count("water") - count("ion"));
+  // Sidechain heavy atoms.
+  const auto sidechain_heavy = count("protein and not backbone and not element H");
+  EXPECT_GT(sidechain_heavy, 0u);
+  EXPECT_LT(sidechain_heavy, count("protein"));
+}
+
+// --- parse errors ------------------------------------------------------------------------
+
+TEST(SelectTest, ParseErrors) {
+  EXPECT_FALSE(atom_select(gpcr(), "").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "bogus").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "protein and").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "(protein").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "protein)").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "name").is_ok());        // missing args
+  EXPECT_FALSE(atom_select(gpcr(), "index abc").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "index 9-3").is_ok());
+  EXPECT_FALSE(atom_select(gpcr(), "protein water").is_ok());  // missing operator
+  EXPECT_FALSE(atom_select(gpcr(), "protein & water").is_ok());
+}
+
+TEST(SelectTest, ReusableCompiledExpression) {
+  const auto expr = SelectionExpr::parse("protein and backbone").value();
+  const auto a = expr.evaluate(gpcr());
+  const auto b = expr.evaluate(gpcr());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(expr.to_string(), "(protein and backbone)");
+}
+
+TEST(SelectTest, ToStringRoundTripsSemantics) {
+  for (const char* text :
+       {"protein and not name CA", "resname POPC or water", "index 0-9 20-24",
+        "not (water or ion)", "element O and resid 1-5"}) {
+    const auto expr = SelectionExpr::parse(text).value();
+    const auto reparsed = SelectionExpr::parse(expr.to_string()).value();
+    EXPECT_EQ(expr.evaluate(gpcr()), reparsed.evaluate(gpcr())) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ada::vmd

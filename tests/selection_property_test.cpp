@@ -1,0 +1,207 @@
+// Property-based tests for Selection: the run-list algebra is checked against
+// a brute-force bitset model on random inputs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chem/selection.hpp"
+#include "common/rng.hpp"
+
+namespace ada::chem {
+namespace {
+
+constexpr std::uint32_t kUniverse = 500;
+
+/// Reference model: a plain set of indices.
+std::set<std::uint32_t> model_of(const Selection& s) {
+  std::set<std::uint32_t> out;
+  for (const auto i : s.to_indices()) out.insert(i);
+  return out;
+}
+
+Selection random_selection(Rng& rng) {
+  Selection s;
+  const int runs = static_cast<int>(rng.uniform_index(12));
+  std::vector<Run> list;
+  for (int i = 0; i < runs; ++i) {
+    const auto begin = static_cast<std::uint32_t>(rng.uniform_index(kUniverse));
+    const auto len = static_cast<std::uint32_t>(rng.uniform_index(40));
+    list.push_back({begin, std::min(begin + len, kUniverse)});
+  }
+  return Selection::from_runs(std::move(list));
+}
+
+TEST(SelectionTest, EmptyBasics) {
+  Selection s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.to_string(), "");
+}
+
+TEST(SelectionTest, AllCoversUniverse) {
+  const Selection s = Selection::all(10);
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.runs().size(), 1u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(9));
+  EXPECT_FALSE(s.contains(10));
+}
+
+TEST(SelectionTest, AdjacentRunsMerge) {
+  Selection s;
+  s.add_run({0, 5});
+  s.add_run({5, 10});
+  EXPECT_EQ(s.runs().size(), 1u);
+  EXPECT_EQ(s.count(), 10u);
+}
+
+TEST(SelectionTest, OverlappingRunsMerge) {
+  const Selection s = Selection::from_runs({{0, 6}, {4, 10}, {20, 25}});
+  EXPECT_EQ(s.runs().size(), 2u);
+  EXPECT_EQ(s.count(), 15u);
+}
+
+TEST(SelectionTest, EmptyRunsDiscarded) {
+  const Selection s = Selection::from_runs({{5, 5}, {7, 6}});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SelectionTest, OutOfOrderAppend) {
+  Selection s;
+  s.add_run({10, 20});
+  s.add_run({0, 5});
+  EXPECT_EQ(s.count(), 15u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(15));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(SelectionTest, FromIndicesDeduplicates) {
+  const Selection s = Selection::from_indices({3, 1, 2, 2, 3, 10});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.runs().size(), 2u);  // [1,4) and [10,11)
+}
+
+TEST(SelectionTest, ToStringAndParseRoundTrip) {
+  const Selection s = Selection::from_runs({{0, 100}, {200, 300}, {400, 401}});
+  EXPECT_EQ(s.to_string(), "0-99,200-299,400");
+  const auto parsed = Selection::parse(s.to_string());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(SelectionTest, ParseEmpty) {
+  EXPECT_TRUE(Selection::parse("").value().empty());
+  EXPECT_TRUE(Selection::parse("  ").value().empty());
+}
+
+TEST(SelectionTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Selection::parse("abc").is_ok());
+  EXPECT_FALSE(Selection::parse("5-").is_ok());
+  EXPECT_FALSE(Selection::parse("9-3").is_ok());
+}
+
+TEST(SelectionPropertyTest, NormalizationInvariants) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Selection s = random_selection(rng);
+    const auto& runs = s.runs();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      EXPECT_LT(runs[i].begin, runs[i].end);  // non-empty
+      if (i > 0) {
+        EXPECT_GT(runs[i].begin, runs[i - 1].end);  // disjoint, non-adjacent
+      }
+    }
+  }
+}
+
+TEST(SelectionPropertyTest, UnionMatchesModel) {
+  Rng rng(102);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Selection a = random_selection(rng);
+    const Selection b = random_selection(rng);
+    auto expected = model_of(a);
+    const auto mb = model_of(b);
+    expected.insert(mb.begin(), mb.end());
+    EXPECT_EQ(model_of(a.unite(b)), expected);
+  }
+}
+
+TEST(SelectionPropertyTest, IntersectMatchesModel) {
+  Rng rng(103);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Selection a = random_selection(rng);
+    const Selection b = random_selection(rng);
+    const auto ma = model_of(a);
+    const auto mb = model_of(b);
+    std::set<std::uint32_t> expected;
+    for (auto v : ma) {
+      if (mb.count(v) != 0) expected.insert(v);
+    }
+    EXPECT_EQ(model_of(a.intersect(b)), expected);
+  }
+}
+
+TEST(SelectionPropertyTest, ComplementMatchesModel) {
+  Rng rng(104);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Selection a = random_selection(rng);
+    const auto ma = model_of(a);
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t v = 0; v < kUniverse; ++v) {
+      if (ma.count(v) == 0) expected.insert(v);
+    }
+    EXPECT_EQ(model_of(a.complement(kUniverse)), expected);
+  }
+}
+
+TEST(SelectionPropertyTest, DeMorgan) {
+  Rng rng(105);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Selection a = random_selection(rng);
+    const Selection b = random_selection(rng);
+    // ~(a | b) == ~a & ~b within the universe.
+    const Selection lhs = a.unite(b).complement(kUniverse);
+    const Selection rhs = a.complement(kUniverse).intersect(b.complement(kUniverse));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(SelectionPropertyTest, ComplementIsInvolution) {
+  Rng rng(106);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Selection a = random_selection(rng);
+    EXPECT_EQ(a.complement(kUniverse).complement(kUniverse), a);
+  }
+}
+
+TEST(SelectionPropertyTest, CountMatchesIndices) {
+  Rng rng(107);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Selection a = random_selection(rng);
+    EXPECT_EQ(a.count(), a.to_indices().size());
+  }
+}
+
+TEST(SelectionPropertyTest, ContainsMatchesModel) {
+  Rng rng(108);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Selection a = random_selection(rng);
+    const auto ma = model_of(a);
+    for (std::uint32_t v = 0; v < kUniverse; ++v) {
+      EXPECT_EQ(a.contains(v), ma.count(v) != 0) << "index " << v;
+    }
+  }
+}
+
+TEST(SelectionPropertyTest, ParseRoundTripRandom) {
+  Rng rng(109);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Selection a = random_selection(rng);
+    EXPECT_EQ(Selection::parse(a.to_string()).value(), a);
+  }
+}
+
+}  // namespace
+}  // namespace ada::chem

@@ -1,0 +1,319 @@
+// Tests for the DES engine: simulator ordering, FCFS resource, and the
+// max-min fair flow network (including conservation properties).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "sim/flow_network.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace ada::sim {
+namespace {
+
+// --- simulator -----------------------------------------------------------------
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(3.0, [&] { order.push_back(3); });
+  simulator.schedule_at(1.0, [&] { order.push_back(1); });
+  simulator.schedule_at(2.0, [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+  EXPECT_EQ(simulator.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimestampsAreFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(1.0, [&] {
+    ++fired;
+    simulator.schedule_after(0.5, [&] { ++fired; });
+  });
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(simulator.now(), 1.5);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  bool late_ran = false;
+  simulator.schedule_at(5.0, [&] { late_ran = true; });
+  EXPECT_FALSE(simulator.run_until(2.0));
+  EXPECT_FALSE(late_ran);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);
+  EXPECT_TRUE(simulator.run_until(10.0));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorTest, RunWhilePendingStopsOnPredicate) {
+  Simulator simulator;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    simulator.schedule_at(i, [&] { ++count; });
+  }
+  EXPECT_TRUE(simulator.run_while_pending([&] { return count == 3; }));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(simulator.pending_events(), 2u);
+}
+
+// --- FCFS resource ----------------------------------------------------------------
+
+TEST(FcfsResourceTest, SerializesRequests) {
+  Simulator simulator;
+  FcfsResource server(simulator, "mds");
+  std::vector<double> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(1.0, [&] { completion_times.push_back(simulator.now()); });
+  }
+  simulator.run();
+  ASSERT_EQ(completion_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(completion_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(completion_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(completion_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 3.0);
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST(FcfsResourceTest, IdleBetweenBursts) {
+  Simulator simulator;
+  FcfsResource server(simulator, "cpu");
+  double second_done = 0;
+  server.submit(1.0, nullptr);
+  simulator.schedule_at(5.0, [&] {
+    server.submit(2.0, [&] { second_done = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_DOUBLE_EQ(second_done, 7.0);
+}
+
+// --- flow network -----------------------------------------------------------------
+
+TEST(FlowNetworkTest, SingleFlowSaturatesLink) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId link = network.add_link("wire", 100.0);  // 100 B/s
+  double done_at = -1;
+  network.start_flow({link}, 500.0, [&] { done_at = simulator.now(); });
+  simulator.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  EXPECT_NEAR(network.total_bytes_delivered(), 500.0, 1e-6);
+}
+
+TEST(FlowNetworkTest, TwoFlowsShareFairly) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId link = network.add_link("wire", 100.0);
+  double first = -1;
+  double second = -1;
+  network.start_flow({link}, 100.0, [&] { first = simulator.now(); });
+  network.start_flow({link}, 100.0, [&] { second = simulator.now(); });
+  simulator.run();
+  // Both at 50 B/s until t=2, both finish together.
+  EXPECT_NEAR(first, 2.0, 1e-9);
+  EXPECT_NEAR(second, 2.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, ShortFlowFreesBandwidthForLong) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId link = network.add_link("wire", 100.0);
+  double long_done = -1;
+  network.start_flow({link}, 150.0, [&] { long_done = simulator.now(); });
+  network.start_flow({link}, 50.0, nullptr);
+  simulator.run();
+  // Phase 1: both at 50 B/s; short one finishes at t=1 having moved 50.
+  // Long flow then has 100 left at full rate: finishes at t=2.
+  EXPECT_NEAR(long_done, 2.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, BottleneckIsPathMinimum) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId fast = network.add_link("fast", 1000.0);
+  const LinkId slow = network.add_link("slow", 10.0);
+  double done_at = -1;
+  network.start_flow({fast, slow}, 100.0, [&] { done_at = simulator.now(); });
+  simulator.run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, MaxMinFairnessUnevenPaths) {
+  // Classic max-min scenario: flows A and B share link L1 (cap 10); flow B
+  // also crosses L2 (cap 4).  Max-min: B gets 4, A gets 6.
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId l1 = network.add_link("l1", 10.0);
+  const LinkId l2 = network.add_link("l2", 4.0);
+  const FlowId a = network.start_flow({l1}, 1e9, nullptr);
+  const FlowId b = network.start_flow({l1, l2}, 1e9, nullptr);
+  // Rates are recomputed synchronously on start_flow.
+  EXPECT_NEAR(network.current_rate(a), 6.0, 1e-9);
+  EXPECT_NEAR(network.current_rate(b), 4.0, 1e-9);
+}
+
+TEST(FlowNetworkTest, ZeroByteFlowCompletesImmediately) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId link = network.add_link("wire", 100.0);
+  bool done = false;
+  network.start_flow({link}, 0.0, [&] { done = true; });
+  simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(simulator.now(), 0.0);
+}
+
+TEST(FlowNetworkTest, EmptyPathFlowCompletesImmediately) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  bool done = false;
+  network.start_flow({}, 1e6, [&] { done = true; });
+  simulator.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowNetworkPropertyTest, ConservationUnderRandomTraffic) {
+  Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    Simulator simulator;
+    FlowNetwork network(simulator);
+    std::vector<LinkId> links;
+    const int link_count = 2 + static_cast<int>(rng.uniform_index(5));
+    for (int i = 0; i < link_count; ++i) {
+      links.push_back(network.add_link("l" + std::to_string(i), rng.uniform(10.0, 1000.0)));
+    }
+    int completions = 0;
+    const int flow_count = 1 + static_cast<int>(rng.uniform_index(20));
+    double total_bytes = 0;
+    for (int f = 0; f < flow_count; ++f) {
+      // Random subset path (1..3 distinct links).
+      std::vector<LinkId> path;
+      const int hops = 1 + static_cast<int>(rng.uniform_index(3));
+      for (int h = 0; h < hops; ++h) {
+        const LinkId link = links[rng.uniform_index(links.size())];
+        if (std::find(path.begin(), path.end(), link) == path.end()) path.push_back(link);
+      }
+      const double bytes = rng.uniform(1.0, 1e6);
+      total_bytes += bytes;
+      const double start = rng.uniform(0.0, 10.0);
+      simulator.schedule_at(start, [&network, path, bytes, &completions]() mutable {
+        network.start_flow(std::move(path), bytes, [&completions] { ++completions; });
+      });
+    }
+    simulator.run();
+    EXPECT_EQ(completions, flow_count);
+    EXPECT_EQ(network.active_flows(), 0u);
+    EXPECT_NEAR(network.total_bytes_delivered(), total_bytes, total_bytes * 1e-9 + 1e-3);
+  }
+}
+
+TEST(FlowNetworkPropertyTest, RatesNeverExceedLinkCapacity) {
+  Rng rng(777);
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  const LinkId a = network.add_link("a", 100.0);
+  const LinkId b = network.add_link("b", 37.0);
+  std::vector<FlowId> flows;
+  for (int f = 0; f < 12; ++f) {
+    std::vector<LinkId> path = (f % 3 == 0) ? std::vector<LinkId>{a}
+                               : (f % 3 == 1) ? std::vector<LinkId>{b}
+                                              : std::vector<LinkId>{a, b};
+    flows.push_back(network.start_flow(std::move(path), 1e9, nullptr));
+  }
+  // Sum of rates on each link must not exceed capacity (work conservation
+  // means the bottleneck is actually saturated).
+  double on_a = 0;
+  double on_b = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const double rate = network.current_rate(flows[f]);
+    EXPECT_GT(rate, 0.0);
+    if (f % 3 == 0) {
+      on_a += rate;
+    } else if (f % 3 == 1) {
+      on_b += rate;
+    } else {
+      on_a += rate;
+      on_b += rate;
+    }
+  }
+  EXPECT_LE(on_a, 100.0 * (1 + 1e-9));
+  EXPECT_LE(on_b, 37.0 * (1 + 1e-9));
+  EXPECT_NEAR(on_b, 37.0, 1e-6);  // b is saturated
+}
+
+// --- fabric -------------------------------------------------------------------------
+
+TEST(FabricTest, TransferTakesBytesOverNicBandwidth) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  net::FabricSpec spec;
+  spec.nic_bandwidth = 1000.0;
+  spec.backplane_bandwidth = 1e6;
+  spec.base_latency = 0.0;
+  net::Fabric fabric(simulator, network, spec, 3);
+  double done_at = -1;
+  fabric.transfer(0, 1, 5000.0, [&] { done_at = simulator.now(); });
+  simulator.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(FabricTest, ConvergenceBottleneckAtReceiverNic) {
+  // Three senders to one receiver: receiver NIC (1000 B/s) caps the
+  // aggregate; each 1000-byte transfer finishes at t=3.
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  net::FabricSpec spec;
+  spec.nic_bandwidth = 1000.0;
+  spec.backplane_bandwidth = 1e9;
+  spec.base_latency = 0.0;
+  net::Fabric fabric(simulator, network, spec, 4);
+  int done = 0;
+  for (net::NodeId src = 1; src <= 3; ++src) {
+    fabric.transfer(src, 0, 1000.0, [&] { ++done; });
+  }
+  simulator.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_NEAR(simulator.now(), 3.0, 1e-9);
+}
+
+TEST(FabricTest, BaseLatencyDelaysDelivery) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  net::FabricSpec spec;
+  spec.nic_bandwidth = 1000.0;
+  spec.base_latency = 0.25;
+  net::Fabric fabric(simulator, network, spec, 2);
+  double done_at = -1;
+  fabric.transfer(0, 1, 1000.0, [&] { done_at = simulator.now(); });
+  simulator.run();
+  EXPECT_NEAR(done_at, 1.25, 1e-9);
+}
+
+TEST(FabricTest, LocalTransferBypassesNetwork) {
+  Simulator simulator;
+  FlowNetwork network(simulator);
+  net::Fabric fabric(simulator, network, net::FabricSpec{}, 2);
+  bool done = false;
+  fabric.transfer(1, 1, 1e12, [&] { done = true; });
+  simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_LT(simulator.now(), 1e-3);  // only the base latency
+}
+
+}  // namespace
+}  // namespace ada::sim

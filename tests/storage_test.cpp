@@ -1,0 +1,175 @@
+// Tests for device models, file-system models, memory tracking and energy.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "storage/device.hpp"
+#include "storage/energy.hpp"
+#include "storage/filesystem_model.hpp"
+#include "storage/memory.hpp"
+
+namespace ada::storage {
+namespace {
+
+// --- devices ------------------------------------------------------------------
+
+TEST(DeviceTest, HddMatchesPaperTable4) {
+  const DeviceSpec hdd = DeviceSpec::wd_hdd_1tb();
+  EXPECT_DOUBLE_EQ(hdd.read_bandwidth, mb_per_s(126));
+  EXPECT_GT(hdd.access_latency, 1e-3);  // mechanical seek
+}
+
+TEST(DeviceTest, SsdMatchesPaperTable4) {
+  const DeviceSpec ssd = DeviceSpec::plextor_ssd_256gb();
+  EXPECT_DOUBLE_EQ(ssd.read_bandwidth, mb_per_s(3000));
+  EXPECT_DOUBLE_EQ(ssd.write_bandwidth, mb_per_s(1000));
+  EXPECT_LT(ssd.access_latency, 1e-3);
+}
+
+TEST(DeviceTest, SsdReadsFasterThanHdd) {
+  const BlockDevice hdd(DeviceSpec::wd_hdd_1tb());
+  const BlockDevice ssd(DeviceSpec::plextor_ssd_256gb());
+  const double bytes = 100 * kMB;
+  EXPECT_GT(hdd.read_time(bytes), 20.0 * ssd.read_time(bytes));
+}
+
+TEST(DeviceTest, Raid50AggregatesSpindles) {
+  const DeviceSpec raid = DeviceSpec::raid50_wd_hdd(10);
+  // 8 data spindles at 126 MB/s ~ 1 GB/s streaming reads.
+  EXPECT_NEAR(raid.read_bandwidth / 1e9, 1.008, 0.01);
+  EXPECT_LT(raid.write_bandwidth, raid.read_bandwidth);  // parity penalty
+}
+
+TEST(DeviceTest, ReadTimeScalesWithRequests) {
+  const BlockDevice hdd(DeviceSpec::wd_hdd_1tb());
+  const double one = hdd.read_time(kMB, 1);
+  const double many = hdd.read_time(kMB, 100);
+  EXPECT_GT(many, one + 98.0 * hdd.spec().access_latency);
+}
+
+// --- filesystem models ------------------------------------------------------------
+
+TEST(FsModelTest, ReadTimeDominatedByDeviceForLargeFiles) {
+  const LocalFileSystemModel ext4(FsParams::ext4(), DeviceSpec::nvme_ssd_256gb());
+  const double bytes = 800 * kMB;
+  const double fs_time = ext4.read_file_time(bytes);
+  const double raw_device = bytes / mb_per_s(3000);
+  EXPECT_GT(fs_time, raw_device);
+  EXPECT_LT(fs_time, raw_device * 1.1);  // metadata under 10% at this size
+}
+
+TEST(FsModelTest, XfsFewerExtentsThanExt4) {
+  const LocalFileSystemModel ext4(FsParams::ext4(), DeviceSpec::wd_hdd_1tb());
+  const LocalFileSystemModel xfs(FsParams::xfs(), DeviceSpec::wd_hdd_1tb());
+  const double bytes = 10 * kGB;
+  // Same device: XFS's larger extents mean fewer seeks, slightly faster.
+  EXPECT_LT(xfs.read_file_time(bytes), ext4.read_file_time(bytes));
+}
+
+TEST(FsModelTest, WritesPayJournalOverhead) {
+  const LocalFileSystemModel ext4(FsParams::ext4(), DeviceSpec::plextor_ssd_256gb());
+  const double bytes = 100 * kMB;
+  EXPECT_GT(ext4.write_file_time(bytes), bytes / mb_per_s(1000));
+}
+
+TEST(FsModelTest, ZeroByteFileCostsMetadataOnly) {
+  const LocalFileSystemModel ext4(FsParams::ext4(), DeviceSpec::plextor_ssd_256gb());
+  EXPECT_GT(ext4.read_file_time(0), 0.0);
+  EXPECT_LT(ext4.read_file_time(0), 1e-3);
+}
+
+// --- memory -------------------------------------------------------------------------
+
+TEST(MemoryTest, TracksUsageAndPeak) {
+  MemoryTracker memory(1000.0, 0.0);
+  EXPECT_TRUE(memory.allocate("a", 400).is_ok());
+  EXPECT_TRUE(memory.allocate("b", 300).is_ok());
+  EXPECT_DOUBLE_EQ(memory.in_use(), 700);
+  memory.free("a");
+  EXPECT_DOUBLE_EQ(memory.in_use(), 300);
+  EXPECT_DOUBLE_EQ(memory.peak(), 700);
+  EXPECT_DOUBLE_EQ(memory.charged("b"), 300);
+  EXPECT_DOUBLE_EQ(memory.charged("a"), 0);
+}
+
+TEST(MemoryTest, OomLatchesAndRejects) {
+  MemoryTracker memory(1000.0, 0.0);
+  EXPECT_TRUE(memory.allocate("frames", 900).is_ok());
+  const Status s = memory.allocate("more", 200);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(memory.oom_occurred());
+  // Usage unchanged by the failed allocation.
+  EXPECT_DOUBLE_EQ(memory.in_use(), 900);
+}
+
+TEST(MemoryTest, OsReserveShrinksUsable) {
+  MemoryTracker memory(1000.0, 0.10);
+  EXPECT_DOUBLE_EQ(memory.usable(), 900.0);
+  EXPECT_FALSE(memory.allocate("x", 950).is_ok());
+  EXPECT_TRUE(memory.allocate("x", 890).is_ok());
+}
+
+TEST(MemoryTest, FatNodeKillPointsMatchPaper) {
+  // Paper Section 4.3: 1,876,800 frames need 300 GB (compressed) + 979.8 GB
+  // (raw) -- killed on the 1007 GB node; ADA(protein) at the same point
+  // needs only 415.8 GB -- survives.
+  MemoryTracker xfs_node(1007 * kGB);
+  EXPECT_TRUE(xfs_node.allocate("compressed", 300 * kGB).is_ok());
+  EXPECT_FALSE(xfs_node.allocate("raw", 979.8 * kGB).is_ok());
+  EXPECT_TRUE(xfs_node.oom_occurred());
+
+  MemoryTracker ada_node(1007 * kGB);
+  EXPECT_TRUE(ada_node.allocate("protein", 415.8 * kGB).is_ok());
+  EXPECT_FALSE(ada_node.oom_occurred());
+  // ...but the 5,004,800-frame protein load (1,108.8 GB) exceeds the node.
+  MemoryTracker ada_node2(1007 * kGB);
+  EXPECT_FALSE(ada_node2.allocate("protein", 1108.8 * kGB).is_ok());
+}
+
+TEST(MemoryTest, ResetClearsCharges) {
+  MemoryTracker memory(100.0, 0.0);
+  ASSERT_TRUE(memory.allocate("x", 60).is_ok());
+  memory.reset();
+  EXPECT_DOUBLE_EQ(memory.in_use(), 0.0);
+  EXPECT_TRUE(memory.allocate("y", 90).is_ok());
+}
+
+// --- energy --------------------------------------------------------------------------
+
+TEST(EnergyTest, BaselineIntegration) {
+  EnergyMeter meter(PowerSpec::paper_node());
+  meter.record({"idle", 10.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(meter.joules(), 4000.0);  // 400 W x 10 s
+}
+
+TEST(EnergyTest, ActivityAddsPower) {
+  PowerSpec spec;
+  spec.baseline_w = 400;
+  spec.cpu_active_w = 100;
+  spec.disk_active_w = 20;
+  EnergyMeter meter(spec);
+  meter.record({"decompress", 10.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(meter.joules(), 5000.0);
+  meter.record({"retrieve", 5.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(meter.joules(), 5000.0 + 2100.0);
+  EXPECT_DOUBLE_EQ(meter.metered_seconds(), 15.0);
+}
+
+TEST(EnergyTest, MultiNodeScales) {
+  EnergyMeter meter(PowerSpec::paper_node(), 9);
+  meter.record({"idle", 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(meter.joules(), 9 * 400.0);
+}
+
+TEST(EnergyTest, PhaseAttribution) {
+  EnergyMeter meter(PowerSpec::paper_node());
+  meter.record({"render", 2.0, 0.5, 0.0});
+  meter.record({"retrieve", 1.0, 0.0, 1.0});
+  meter.record({"render", 1.0, 0.5, 0.0});
+  EXPECT_NEAR(meter.phase_joules("render"), 3.0 * (400 + 0.5 * 95), 1e-9);
+  EXPECT_NEAR(meter.phase_joules("retrieve"), 400 + 25, 1e-9);
+  EXPECT_NEAR(meter.phase_joules("render") + meter.phase_joules("retrieve"), meter.joules(), 1e-9);
+}
+
+}  // namespace
+}  // namespace ada::storage

@@ -1,0 +1,189 @@
+// Tests for the synthetic GPCR workload: exact composition, ordering,
+// dynamics statistics, and the size calibration against the paper's tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/coord_codec.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::workload {
+namespace {
+
+TEST(GpcrBuilderTest, PaperDefaultCountsExact) {
+  const GpcrSpec spec = GpcrSpec::paper_default();
+  const auto system = GpcrSystemBuilder(spec).build();
+  EXPECT_EQ(system.atom_count(), 43'520u);
+  EXPECT_EQ(system.count_category(chem::Category::kProtein), 18'500u);
+  EXPECT_EQ(system.count_category(chem::Category::kLipid), 200u * 52u);
+  // Protein fraction matches Table 2's 42.5%.
+  const double fraction = 18'500.0 / 43'520.0;
+  EXPECT_NEAR(fraction, 0.425, 0.001);
+}
+
+TEST(GpcrBuilderTest, TinyCountsExact) {
+  const GpcrSpec spec = GpcrSpec::tiny();
+  const auto system = GpcrSystemBuilder(spec).build();
+  EXPECT_EQ(system.atom_count(), spec.total_atoms);
+  EXPECT_EQ(system.count_category(chem::Category::kProtein), spec.protein_atoms);
+}
+
+TEST(GpcrBuilderTest, DeterministicAcrossBuilds) {
+  const auto a = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  const auto b = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  ASSERT_EQ(a.atom_count(), b.atom_count());
+  EXPECT_EQ(a.reference_coords(), b.reference_coords());
+  for (std::uint32_t i = 0; i < a.atom_count(); ++i) {
+    ASSERT_EQ(a.atom(i), b.atom(i)) << "atom " << i;
+  }
+}
+
+TEST(GpcrBuilderTest, CanonicalOrderingProteinFirst) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  // GROMACS file order: protein block is a single contiguous run at the front.
+  const auto protein = system.selection_for(chem::Category::kProtein);
+  ASSERT_EQ(protein.runs().size(), 1u);
+  EXPECT_EQ(protein.runs()[0].begin, 0u);
+  // MISC (everything else) is one contiguous run after it.
+  const auto misc = protein.complement(system.atom_count());
+  ASSERT_EQ(misc.runs().size(), 1u);
+  EXPECT_EQ(misc.runs()[0].end, system.atom_count());
+}
+
+TEST(GpcrBuilderTest, LigandInsertionSplitsMiscButKeepsTotals) {
+  GpcrSpec spec = GpcrSpec::tiny();
+  spec.ligand_atoms = 30;
+  const auto system = GpcrSystemBuilder(spec).build();
+  EXPECT_EQ(system.atom_count(), spec.total_atoms);
+  EXPECT_EQ(system.count_category(chem::Category::kLigand), 30u);
+  EXPECT_EQ(system.count_category(chem::Category::kProtein), spec.protein_atoms);
+}
+
+TEST(GpcrBuilderTest, WatersAreWholeMolecules) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  EXPECT_EQ(system.count_category(chem::Category::kWater) % 3, 0u);
+}
+
+TEST(GpcrBuilderTest, AtomsInsideReasonableBounds) {
+  const GpcrSpec spec = GpcrSpec::tiny();
+  const auto system = GpcrSystemBuilder(spec).build();
+  const auto& coords = system.reference_coords();
+  // Sidechain random walks can poke slightly outside; 1.5 nm slack.
+  for (std::size_t i = 0; i < coords.size(); i += 3) {
+    EXPECT_GT(coords[i], -1.5f);
+    EXPECT_LT(coords[i], spec.box_xy_nm + 1.5f);
+    EXPECT_GT(coords[i + 2], -1.5f);
+    EXPECT_LT(coords[i + 2], spec.box_z_nm + 1.5f);
+  }
+}
+
+// --- trajectory dynamics -------------------------------------------------------
+
+TEST(TrajectoryTest, FrameMetadataAdvances) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  DynamicsSpec dyn;
+  TrajectoryGenerator gen(system, dyn);
+  EXPECT_EQ(gen.frame_index(), 0u);
+  gen.next_frame();
+  EXPECT_EQ(gen.frame_index(), 1u);
+  EXPECT_EQ(gen.current_step(), dyn.md_steps_per_frame);
+  EXPECT_FLOAT_EQ(gen.current_time_ps(), dyn.time_step_ps);
+  gen.next_frame();
+  EXPECT_EQ(gen.current_step(), 2 * dyn.md_steps_per_frame);
+}
+
+TEST(TrajectoryTest, DeterministicForSameSeed) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  TrajectoryGenerator a(system, DynamicsSpec{});
+  TrajectoryGenerator b(system, DynamicsSpec{});
+  for (int f = 0; f < 3; ++f) {
+    const auto fa = a.next_frame();
+    const auto fb = b.next_frame();
+    ASSERT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin()));
+  }
+}
+
+TEST(TrajectoryTest, CategoriesHaveDistinctMobility) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  TrajectoryGenerator gen(system, DynamicsSpec{});
+  const std::vector<float> before(system.reference_coords());
+  std::span<const float> frame;
+  for (int f = 0; f < 10; ++f) frame = gen.next_frame();
+
+  auto mean_displacement = [&](chem::Category cat) {
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < system.atom_count(); ++i) {
+      if (system.category(i) != cat) continue;
+      for (std::uint32_t d = 0; d < 3; ++d) {
+        const std::size_t j = std::size_t{3} * i + d;
+        sum += std::abs(static_cast<double>(frame[j]) - static_cast<double>(before[j]));
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+
+  const double water = mean_displacement(chem::Category::kWater);
+  const double protein = mean_displacement(chem::Category::kProtein);
+  EXPECT_GT(water, 2.0 * protein) << "water " << water << " protein " << protein;
+}
+
+TEST(TrajectoryTest, OuProcessStaysBounded) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::tiny()).build();
+  TrajectoryGenerator gen(system, DynamicsSpec{});
+  std::span<const float> frame;
+  for (int f = 0; f < 200; ++f) frame = gen.next_frame();
+  const auto& ref = system.reference_coords();
+  double max_drift = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_drift = std::max(max_drift, std::abs(static_cast<double>(frame[i]) -
+                                             static_cast<double>(ref[i])));
+  }
+  EXPECT_LT(max_drift, 1.5) << "unbounded drift: " << max_drift;
+}
+
+// --- size calibration against the paper ------------------------------------------
+
+TEST(CalibrationTest, CompressedSizeMatchesPaperTable2Regime) {
+  // Paper Table 2: 626 frames == 100 MB compressed, 327 MB raw (ratio 3.27),
+  // protein subset = 139 MB decompressed (42.5% of raw).
+  // We verify per-frame sizes on a sample window of the full-size system.
+  const auto system = GpcrSystemBuilder(GpcrSpec::paper_default()).build();
+  TrajectoryGenerator gen(system, DynamicsSpec{});
+  formats::XtcWriter writer;
+  constexpr std::uint32_t kSample = 12;
+  // Skip warm-up frames so deltas reach OU steady state.
+  for (int f = 0; f < 3; ++f) gen.next_frame();
+  for (std::uint32_t f = 0; f < kSample; ++f) {
+    ASSERT_TRUE(writer.add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                                 gen.next_frame())
+                    .is_ok());
+  }
+  const double compressed_per_frame = static_cast<double>(writer.size_bytes()) / kSample;
+  const double raw_per_frame = static_cast<double>(formats::raw_frame_bytes(system.atom_count()));
+  const double ratio = raw_per_frame / compressed_per_frame;
+  // The paper's ratio is 3.27; accept the xtc-like regime.
+  EXPECT_GT(ratio, 2.6) << "ratio " << ratio;
+  EXPECT_LT(ratio, 4.0) << "ratio " << ratio;
+
+  // 626-frame file in MB, to compare against the paper's "100 MB".
+  const double mb_626 = compressed_per_frame * 626 / 1e6;
+  EXPECT_GT(mb_626, 70.0) << mb_626;
+  EXPECT_LT(mb_626, 135.0) << mb_626;
+}
+
+TEST(CalibrationTest, ProteinSubsetMatchesTable2) {
+  const auto system = GpcrSystemBuilder(GpcrSpec::paper_default()).build();
+  const auto protein = system.selection_for(chem::Category::kProtein);
+  // Protein RAW subset for 626 frames: the paper's 139 MB.
+  const double bytes =
+      static_cast<double>(formats::raw_file_bytes(static_cast<std::uint32_t>(protein.count()), 626));
+  EXPECT_NEAR(bytes / 1e6, 139.0, 1.5);
+}
+
+}  // namespace
+}  // namespace ada::workload

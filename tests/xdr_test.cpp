@@ -1,0 +1,128 @@
+// Unit tests for the XDR (RFC 1832) substrate.
+#include <gtest/gtest.h>
+
+#include "xdr/xdr.hpp"
+
+namespace ada::xdr {
+namespace {
+
+TEST(XdrTest, RoundTripScalars) {
+  XdrWriter w;
+  w.put_i32(-12345);
+  w.put_u32(0xfeedfaceu);
+  w.put_f32(1.25f);
+  w.put_f64(-6.5e100);
+
+  XdrReader r(w.bytes());
+  EXPECT_EQ(r.get_i32().value(), -12345);
+  EXPECT_EQ(r.get_u32().value(), 0xfeedfaceu);
+  EXPECT_FLOAT_EQ(r.get_f32().value(), 1.25f);
+  EXPECT_DOUBLE_EQ(r.get_f64().value(), -6.5e100);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(XdrTest, IntIsBigEndianOnWire) {
+  XdrWriter w;
+  w.put_u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+  EXPECT_EQ(w.bytes()[2], 0x03);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(XdrTest, OpaquePadsToFourBytes) {
+  XdrWriter w;
+  const std::uint8_t payload[5] = {1, 2, 3, 4, 5};
+  w.put_opaque(payload);
+  // 4 (length) + 5 (payload) + 3 (padding) = 12.
+  EXPECT_EQ(w.size(), 12u);
+  EXPECT_EQ(w.bytes()[11], 0u);
+
+  XdrReader r(w.bytes());
+  const auto out = r.get_opaque().value();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 5u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(XdrTest, FixedOpaqueHasNoLengthPrefix) {
+  XdrWriter w;
+  const std::uint8_t payload[2] = {9, 8};
+  w.put_fixed_opaque(payload);
+  EXPECT_EQ(w.size(), 4u);  // 2 payload + 2 padding
+
+  XdrReader r(w.bytes());
+  const auto out = r.get_fixed_opaque(2).value();
+  EXPECT_EQ(out[0], 9u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(XdrTest, StringRoundTrip) {
+  XdrWriter w;
+  w.put_string("bar.xtc");
+  XdrReader r(w.bytes());
+  EXPECT_EQ(r.get_string().value(), "bar.xtc");
+}
+
+TEST(XdrTest, EmptyOpaqueRoundTrip) {
+  XdrWriter w;
+  w.put_opaque({});
+  EXPECT_EQ(w.size(), 4u);
+  XdrReader r(w.bytes());
+  EXPECT_TRUE(r.get_opaque().value().empty());
+}
+
+TEST(XdrTest, TruncatedStreamIsCorruptData) {
+  XdrWriter w;
+  w.put_u32(7);
+  XdrReader r(std::span(w.bytes()).subspan(0, 2));
+  const auto result = r.get_u32();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST(XdrTest, TruncatedOpaqueBodyIsError) {
+  XdrWriter w;
+  const std::uint8_t payload[8] = {};
+  w.put_opaque(payload);
+  XdrReader r(std::span(w.bytes()).subspan(0, 6));  // length says 8, only 2 present
+  EXPECT_FALSE(r.get_opaque().is_ok());
+}
+
+TEST(XdrTest, NonzeroPaddingRejected) {
+  XdrWriter w;
+  const std::uint8_t payload[3] = {1, 2, 3};
+  w.put_opaque(payload);
+  auto bytes = w.take();
+  bytes[7] = 0xff;  // corrupt the padding byte
+  XdrReader r(bytes);
+  const auto result = r.get_opaque();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST(XdrTest, PaddingForValues) {
+  EXPECT_EQ(padding_for(0), 0u);
+  EXPECT_EQ(padding_for(1), 3u);
+  EXPECT_EQ(padding_for(2), 2u);
+  EXPECT_EQ(padding_for(3), 1u);
+  EXPECT_EQ(padding_for(4), 0u);
+}
+
+TEST(XdrTest, SequentialMixedItems) {
+  XdrWriter w;
+  for (int i = 0; i < 100; ++i) {
+    w.put_i32(i * 3 - 50);
+    w.put_f32(static_cast<float>(i) * 0.5f);
+  }
+  XdrReader r(w.bytes());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.get_i32().value(), i * 3 - 50);
+    EXPECT_FLOAT_EQ(r.get_f32().value(), static_cast<float>(i) * 0.5f);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace ada::xdr

@@ -1,0 +1,80 @@
+// ada-inspect: look inside an ADA deployment -- containers, indexes, labels,
+// and container health (fsck).
+//
+//   ada-inspect --ssd /mnt/ssd --hdd /mnt/hdd                  # list containers
+//   ada-inspect --ssd ... --hdd ... --name bar.xtc             # dump one
+//   ada-inspect --ssd ... --hdd ... --name bar.xtc --fsck      # verify
+//   ada-inspect --ssd ... --hdd ... --name bar.xtc --repair    # verify + repair
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "ada/label_store.hpp"
+#include "ada/middleware.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "plfs/fsck.hpp"
+#include "tools/tool_util.hpp"
+
+using namespace ada;
+
+namespace {
+constexpr const char* kUsage =
+    "usage: ada-inspect --ssd <dir> --hdd <dir> [--name <logical>] [--fsck] [--repair]\n";
+}
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  if (!args.has("ssd") || !args.has("hdd")) tools::die_usage(kUsage);
+
+  core::AdaConfig config;
+  config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  core::Ada middleware(
+      tools::must(plfs::PlfsMount::open(
+                      {{"ssd-fs", args.get("ssd")}, {"hdd-fs", args.get("hdd")}}),
+                  "open backends"),
+      config);
+
+  if (!args.has("name")) {
+    const auto names = tools::must(middleware.mount().list_containers(), "list containers");
+    if (names.empty()) {
+      std::printf("no containers\n");
+      return 0;
+    }
+    for (const auto& name : names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  const std::string logical = args.get("name");
+  const auto records = tools::must(middleware.mount().read_index(logical), "read index");
+  Table table({"logical offset", "length", "backend", "label", "dropping"});
+  for (const auto& r : records) {
+    table.add_row({std::to_string(r.logical_offset), format_bytes(static_cast<double>(r.length)),
+                   middleware.mount().backend(r.backend).name, r.label, r.dropping});
+  }
+  std::printf("container %s (%zu extents):\n", logical.c_str(), records.size());
+  table.print(std::cout);
+
+  const auto labels = middleware.labels(logical);
+  if (labels.is_ok()) {
+    std::printf("\nlabel file:\n%s", core::encode_label_file(labels.value()).c_str());
+  } else {
+    std::printf("\nno label file (%s)\n", labels.error().to_string().c_str());
+  }
+
+  if (args.has("fsck") || args.has("repair")) {
+    const auto report = tools::must(plfs::verify_container(middleware.mount(), logical), "fsck");
+    std::printf("\nfsck: %s (%zu broken records, %zu orphans, extents %s)\n",
+                report.clean() ? "clean" : "NOT CLEAN", report.broken_records.size(),
+                report.orphan_droppings.size(),
+                report.extents_complete ? "complete" : "INCOMPLETE");
+    if (args.has("repair") && !report.clean()) {
+      const auto actions =
+          tools::must(plfs::repair_container(middleware.mount(), logical), "repair");
+      std::printf("repaired: dropped %zu records, removed %zu orphans\n",
+                  actions.records_dropped, actions.orphans_removed);
+    }
+    return report.clean() ? 0 : 1;
+  }
+  return 0;
+}

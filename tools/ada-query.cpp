@@ -1,0 +1,66 @@
+// ada-query: the read path -- fetch a tagged subset from an ADA deployment.
+//
+//   ada-query --ssd /mnt/ssd --hdd /mnt/hdd --name bar.xtc --tag p
+//             [--out subset.raw] [--render frame.ppm --pdb system.pdb]
+//
+// Without --out/--render, prints the subset's shape.  With --render, loads
+// the structure, renders frame 0 of the subset, and writes a .ppm image.
+#include <cstdio>
+#include <string>
+
+#include "ada/middleware.hpp"
+#include "common/binary_io.hpp"
+#include "common/units.hpp"
+#include "formats/pdb.hpp"
+#include "formats/raw_traj.hpp"
+#include "tools/tool_util.hpp"
+#include "vmd/mol.hpp"
+
+using namespace ada;
+
+namespace {
+constexpr const char* kUsage =
+    "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
+    "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n";
+}
+
+int main(int argc, char** argv) {
+  const tools::Args args(argc, argv);
+  if (!args.has("ssd") || !args.has("hdd") || !args.has("name") || !args.has("tag")) {
+    tools::die_usage(kUsage);
+  }
+
+  core::AdaConfig config;
+  config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  core::Ada middleware(
+      tools::must(plfs::PlfsMount::open(
+                      {{"ssd-fs", args.get("ssd")}, {"hdd-fs", args.get("hdd")}}),
+                  "open backends"),
+      config);
+
+  const std::string logical = args.get("name");
+  const core::Tag tag = args.get("tag");
+  const auto subset = tools::must(middleware.query(logical, tag), "query");
+  const auto reader = tools::must(formats::RawTrajCatReader::open(subset), "parse subset");
+  std::printf("%s tag %s: %u frames x %u atoms, %s decompressed\n", logical.c_str(), tag.c_str(),
+              reader.frame_count(), reader.atom_count(),
+              format_bytes(static_cast<double>(subset.size())).c_str());
+
+  if (args.has("out")) {
+    tools::must_ok(write_file(args.get("out"), subset), "write subset");
+    std::printf("wrote %s\n", args.get("out").c_str());
+  }
+
+  if (args.has("render")) {
+    if (!args.has("pdb")) tools::die_usage(kUsage);
+    vmd::MolSession session(&middleware);
+    tools::must_ok(session.mol_new_file(args.get("pdb")), "mol new");
+    tools::must_ok(session.mol_addfile("/mnt/" + logical, tag), "mol addfile");
+    const auto frame = tools::must(session.render(0), "render");
+    tools::must_ok(vmd::write_ppm(args.get("render"), frame.image), "write image");
+    std::printf("rendered frame 0 (%llu atoms, %llu bonds) to %s\n",
+                static_cast<unsigned long long>(frame.stats.atoms),
+                static_cast<unsigned long long>(frame.stats.bonds), args.get("render").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Minimal flag parsing shared by the command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/strings.hpp"
+
+namespace ada::tools {
+
+/// Parses "--flag value" pairs and bare positional arguments.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[key] = argv[++i];
+        } else {
+          flags_[key] = "true";  // boolean flag
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return flags_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    const long long v = parse_int(it->second);
+    return v < 0 ? fallback : v;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Print `usage`, then exit with failure.
+[[noreturn]] inline void die_usage(const char* usage) {
+  std::fprintf(stderr, "%s", usage);
+  std::exit(2);
+}
+
+/// Unwrap or die with the error message.
+template <typename T>
+T must(Result<T> result, const char* what) {
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", what, result.error().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void must_ok(const Status& status, const char* what) {
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", what, status.error().to_string().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace ada::tools
