@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rearrangement.dir/ablation_rearrangement.cpp.o"
+  "CMakeFiles/ablation_rearrangement.dir/ablation_rearrangement.cpp.o.d"
+  "ablation_rearrangement"
+  "ablation_rearrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rearrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

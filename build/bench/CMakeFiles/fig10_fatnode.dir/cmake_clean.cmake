@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fatnode.dir/fig10_fatnode.cpp.o"
+  "CMakeFiles/fig10_fatnode.dir/fig10_fatnode.cpp.o.d"
+  "fig10_fatnode"
+  "fig10_fatnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fatnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

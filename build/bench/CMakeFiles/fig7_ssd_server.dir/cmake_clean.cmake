@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ssd_server.dir/fig7_ssd_server.cpp.o"
+  "CMakeFiles/fig7_ssd_server.dir/fig7_ssd_server.cpp.o.d"
+  "fig7_ssd_server"
+  "fig7_ssd_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ssd_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cpu_burst.dir/fig8_cpu_burst.cpp.o"
+  "CMakeFiles/fig8_cpu_burst.dir/fig8_cpu_burst.cpp.o.d"
+  "fig8_cpu_burst"
+  "fig8_cpu_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cpu_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_categorizer.dir/micro_categorizer.cpp.o"
+  "CMakeFiles/micro_categorizer.dir/micro_categorizer.cpp.o.d"
+  "micro_categorizer"
+  "micro_categorizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_categorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

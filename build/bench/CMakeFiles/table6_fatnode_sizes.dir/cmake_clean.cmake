@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_fatnode_sizes.dir/table6_fatnode_sizes.cpp.o"
+  "CMakeFiles/table6_fatnode_sizes.dir/table6_fatnode_sizes.cpp.o.d"
+  "table6_fatnode_sizes"
+  "table6_fatnode_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_fatnode_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_schema_tags.dir/custom_schema_tags.cpp.o"
+  "CMakeFiles/custom_schema_tags.dir/custom_schema_tags.cpp.o.d"
+  "custom_schema_tags"
+  "custom_schema_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_schema_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

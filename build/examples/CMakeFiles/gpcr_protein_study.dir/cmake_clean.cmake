@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpcr_protein_study.dir/gpcr_protein_study.cpp.o"
+  "CMakeFiles/gpcr_protein_study.dir/gpcr_protein_study.cpp.o.d"
+  "gpcr_protein_study"
+  "gpcr_protein_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpcr_protein_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpcr_protein_study.
+# This may be replaced when dependencies are built.

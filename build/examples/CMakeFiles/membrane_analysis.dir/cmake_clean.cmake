@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membrane_analysis.dir/membrane_analysis.cpp.o"
+  "CMakeFiles/membrane_analysis.dir/membrane_analysis.cpp.o.d"
+  "membrane_analysis"
+  "membrane_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membrane_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

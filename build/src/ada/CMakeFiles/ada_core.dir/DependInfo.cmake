@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ada/categorizer.cpp" "src/ada/CMakeFiles/ada_core.dir/categorizer.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/categorizer.cpp.o.d"
+  "/root/repo/src/ada/dispatcher.cpp" "src/ada/CMakeFiles/ada_core.dir/dispatcher.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/ada/indexer.cpp" "src/ada/CMakeFiles/ada_core.dir/indexer.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/indexer.cpp.o.d"
+  "/root/repo/src/ada/ingest_stream.cpp" "src/ada/CMakeFiles/ada_core.dir/ingest_stream.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/ingest_stream.cpp.o.d"
+  "/root/repo/src/ada/label_store.cpp" "src/ada/CMakeFiles/ada_core.dir/label_store.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/label_store.cpp.o.d"
+  "/root/repo/src/ada/middleware.cpp" "src/ada/CMakeFiles/ada_core.dir/middleware.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/middleware.cpp.o.d"
+  "/root/repo/src/ada/preprocessor.cpp" "src/ada/CMakeFiles/ada_core.dir/preprocessor.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/ada/schema_config.cpp" "src/ada/CMakeFiles/ada_core.dir/schema_config.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/schema_config.cpp.o.d"
+  "/root/repo/src/ada/vfs.cpp" "src/ada/CMakeFiles/ada_core.dir/vfs.cpp.o" "gcc" "src/ada/CMakeFiles/ada_core.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ada_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ada_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_core.dir/categorizer.cpp.o"
+  "CMakeFiles/ada_core.dir/categorizer.cpp.o.d"
+  "CMakeFiles/ada_core.dir/dispatcher.cpp.o"
+  "CMakeFiles/ada_core.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/ada_core.dir/indexer.cpp.o"
+  "CMakeFiles/ada_core.dir/indexer.cpp.o.d"
+  "CMakeFiles/ada_core.dir/ingest_stream.cpp.o"
+  "CMakeFiles/ada_core.dir/ingest_stream.cpp.o.d"
+  "CMakeFiles/ada_core.dir/label_store.cpp.o"
+  "CMakeFiles/ada_core.dir/label_store.cpp.o.d"
+  "CMakeFiles/ada_core.dir/middleware.cpp.o"
+  "CMakeFiles/ada_core.dir/middleware.cpp.o.d"
+  "CMakeFiles/ada_core.dir/preprocessor.cpp.o"
+  "CMakeFiles/ada_core.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/ada_core.dir/schema_config.cpp.o"
+  "CMakeFiles/ada_core.dir/schema_config.cpp.o.d"
+  "CMakeFiles/ada_core.dir/vfs.cpp.o"
+  "CMakeFiles/ada_core.dir/vfs.cpp.o.d"
+  "libada_core.a"
+  "libada_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/classify.cpp" "src/chem/CMakeFiles/ada_chem.dir/classify.cpp.o" "gcc" "src/chem/CMakeFiles/ada_chem.dir/classify.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/chem/CMakeFiles/ada_chem.dir/element.cpp.o" "gcc" "src/chem/CMakeFiles/ada_chem.dir/element.cpp.o.d"
+  "/root/repo/src/chem/selection.cpp" "src/chem/CMakeFiles/ada_chem.dir/selection.cpp.o" "gcc" "src/chem/CMakeFiles/ada_chem.dir/selection.cpp.o.d"
+  "/root/repo/src/chem/system.cpp" "src/chem/CMakeFiles/ada_chem.dir/system.cpp.o" "gcc" "src/chem/CMakeFiles/ada_chem.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_chem.dir/classify.cpp.o"
+  "CMakeFiles/ada_chem.dir/classify.cpp.o.d"
+  "CMakeFiles/ada_chem.dir/element.cpp.o"
+  "CMakeFiles/ada_chem.dir/element.cpp.o.d"
+  "CMakeFiles/ada_chem.dir/selection.cpp.o"
+  "CMakeFiles/ada_chem.dir/selection.cpp.o.d"
+  "CMakeFiles/ada_chem.dir/system.cpp.o"
+  "CMakeFiles/ada_chem.dir/system.cpp.o.d"
+  "libada_chem.a"
+  "libada_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

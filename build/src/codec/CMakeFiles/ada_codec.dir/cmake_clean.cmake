@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/ada_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/ada_codec.dir/coord_codec.cpp.o"
+  "CMakeFiles/ada_codec.dir/coord_codec.cpp.o.d"
+  "libada_codec.a"
+  "libada_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_common.dir/binary_io.cpp.o"
+  "CMakeFiles/ada_common.dir/binary_io.cpp.o.d"
+  "CMakeFiles/ada_common.dir/log.cpp.o"
+  "CMakeFiles/ada_common.dir/log.cpp.o.d"
+  "CMakeFiles/ada_common.dir/strings.cpp.o"
+  "CMakeFiles/ada_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ada_common.dir/table.cpp.o"
+  "CMakeFiles/ada_common.dir/table.cpp.o.d"
+  "CMakeFiles/ada_common.dir/units.cpp.o"
+  "CMakeFiles/ada_common.dir/units.cpp.o.d"
+  "libada_common.a"
+  "libada_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/pdb.cpp" "src/formats/CMakeFiles/ada_formats.dir/pdb.cpp.o" "gcc" "src/formats/CMakeFiles/ada_formats.dir/pdb.cpp.o.d"
+  "/root/repo/src/formats/raw_traj.cpp" "src/formats/CMakeFiles/ada_formats.dir/raw_traj.cpp.o" "gcc" "src/formats/CMakeFiles/ada_formats.dir/raw_traj.cpp.o.d"
+  "/root/repo/src/formats/trr_file.cpp" "src/formats/CMakeFiles/ada_formats.dir/trr_file.cpp.o" "gcc" "src/formats/CMakeFiles/ada_formats.dir/trr_file.cpp.o.d"
+  "/root/repo/src/formats/xtc_file.cpp" "src/formats/CMakeFiles/ada_formats.dir/xtc_file.cpp.o" "gcc" "src/formats/CMakeFiles/ada_formats.dir/xtc_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_formats.dir/pdb.cpp.o"
+  "CMakeFiles/ada_formats.dir/pdb.cpp.o.d"
+  "CMakeFiles/ada_formats.dir/raw_traj.cpp.o"
+  "CMakeFiles/ada_formats.dir/raw_traj.cpp.o.d"
+  "CMakeFiles/ada_formats.dir/trr_file.cpp.o"
+  "CMakeFiles/ada_formats.dir/trr_file.cpp.o.d"
+  "CMakeFiles/ada_formats.dir/xtc_file.cpp.o"
+  "CMakeFiles/ada_formats.dir/xtc_file.cpp.o.d"
+  "libada_formats.a"
+  "libada_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

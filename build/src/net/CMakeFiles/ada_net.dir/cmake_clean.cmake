@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_net.dir/fabric.cpp.o"
+  "CMakeFiles/ada_net.dir/fabric.cpp.o.d"
+  "libada_net.a"
+  "libada_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_platform.dir/constants.cpp.o"
+  "CMakeFiles/ada_platform.dir/constants.cpp.o.d"
+  "CMakeFiles/ada_platform.dir/pipeline.cpp.o"
+  "CMakeFiles/ada_platform.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ada_platform.dir/platform.cpp.o"
+  "CMakeFiles/ada_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/ada_platform.dir/workload_stats.cpp.o"
+  "CMakeFiles/ada_platform.dir/workload_stats.cpp.o.d"
+  "libada_platform.a"
+  "libada_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plfs/container.cpp" "src/plfs/CMakeFiles/ada_plfs.dir/container.cpp.o" "gcc" "src/plfs/CMakeFiles/ada_plfs.dir/container.cpp.o.d"
+  "/root/repo/src/plfs/fsck.cpp" "src/plfs/CMakeFiles/ada_plfs.dir/fsck.cpp.o" "gcc" "src/plfs/CMakeFiles/ada_plfs.dir/fsck.cpp.o.d"
+  "/root/repo/src/plfs/plfs.cpp" "src/plfs/CMakeFiles/ada_plfs.dir/plfs.cpp.o" "gcc" "src/plfs/CMakeFiles/ada_plfs.dir/plfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

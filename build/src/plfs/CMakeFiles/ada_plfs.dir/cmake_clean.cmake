@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_plfs.dir/container.cpp.o"
+  "CMakeFiles/ada_plfs.dir/container.cpp.o.d"
+  "CMakeFiles/ada_plfs.dir/fsck.cpp.o"
+  "CMakeFiles/ada_plfs.dir/fsck.cpp.o.d"
+  "CMakeFiles/ada_plfs.dir/plfs.cpp.o"
+  "CMakeFiles/ada_plfs.dir/plfs.cpp.o.d"
+  "libada_plfs.a"
+  "libada_plfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_plfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

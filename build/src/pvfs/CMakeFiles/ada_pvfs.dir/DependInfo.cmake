@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvfs/pvfs.cpp" "src/pvfs/CMakeFiles/ada_pvfs.dir/pvfs.cpp.o" "gcc" "src/pvfs/CMakeFiles/ada_pvfs.dir/pvfs.cpp.o.d"
+  "/root/repo/src/pvfs/striping.cpp" "src/pvfs/CMakeFiles/ada_pvfs.dir/striping.cpp.o" "gcc" "src/pvfs/CMakeFiles/ada_pvfs.dir/striping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ada_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ada_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ada_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_pvfs.dir/pvfs.cpp.o"
+  "CMakeFiles/ada_pvfs.dir/pvfs.cpp.o.d"
+  "CMakeFiles/ada_pvfs.dir/striping.cpp.o"
+  "CMakeFiles/ada_pvfs.dir/striping.cpp.o.d"
+  "libada_pvfs.a"
+  "libada_pvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/ada_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/ada_sim.dir/resource.cpp.o"
+  "CMakeFiles/ada_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/ada_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ada_sim.dir/simulator.cpp.o.d"
+  "libada_sim.a"
+  "libada_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/device.cpp" "src/storage/CMakeFiles/ada_storage.dir/device.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/device.cpp.o.d"
+  "/root/repo/src/storage/energy.cpp" "src/storage/CMakeFiles/ada_storage.dir/energy.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/energy.cpp.o.d"
+  "/root/repo/src/storage/filesystem_model.cpp" "src/storage/CMakeFiles/ada_storage.dir/filesystem_model.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/filesystem_model.cpp.o.d"
+  "/root/repo/src/storage/hdd_model.cpp" "src/storage/CMakeFiles/ada_storage.dir/hdd_model.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/hdd_model.cpp.o.d"
+  "/root/repo/src/storage/memory.cpp" "src/storage/CMakeFiles/ada_storage.dir/memory.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/memory.cpp.o.d"
+  "/root/repo/src/storage/ssd_model.cpp" "src/storage/CMakeFiles/ada_storage.dir/ssd_model.cpp.o" "gcc" "src/storage/CMakeFiles/ada_storage.dir/ssd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ada_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

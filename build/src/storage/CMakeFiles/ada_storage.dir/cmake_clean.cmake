@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_storage.dir/device.cpp.o"
+  "CMakeFiles/ada_storage.dir/device.cpp.o.d"
+  "CMakeFiles/ada_storage.dir/energy.cpp.o"
+  "CMakeFiles/ada_storage.dir/energy.cpp.o.d"
+  "CMakeFiles/ada_storage.dir/filesystem_model.cpp.o"
+  "CMakeFiles/ada_storage.dir/filesystem_model.cpp.o.d"
+  "CMakeFiles/ada_storage.dir/hdd_model.cpp.o"
+  "CMakeFiles/ada_storage.dir/hdd_model.cpp.o.d"
+  "CMakeFiles/ada_storage.dir/memory.cpp.o"
+  "CMakeFiles/ada_storage.dir/memory.cpp.o.d"
+  "CMakeFiles/ada_storage.dir/ssd_model.cpp.o"
+  "CMakeFiles/ada_storage.dir/ssd_model.cpp.o.d"
+  "libada_storage.a"
+  "libada_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmd/analysis.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/analysis.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/analysis.cpp.o.d"
+  "/root/repo/src/vmd/command.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/command.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/command.cpp.o.d"
+  "/root/repo/src/vmd/frame_store.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/frame_store.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/frame_store.cpp.o.d"
+  "/root/repo/src/vmd/geometry.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/geometry.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/geometry.cpp.o.d"
+  "/root/repo/src/vmd/mol.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/mol.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/mol.cpp.o.d"
+  "/root/repo/src/vmd/profiler.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/profiler.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/profiler.cpp.o.d"
+  "/root/repo/src/vmd/renderer.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/renderer.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/renderer.cpp.o.d"
+  "/root/repo/src/vmd/replay.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/replay.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/replay.cpp.o.d"
+  "/root/repo/src/vmd/select.cpp" "src/vmd/CMakeFiles/ada_vmd.dir/select.cpp.o" "gcc" "src/vmd/CMakeFiles/ada_vmd.dir/select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ada_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ada/CMakeFiles/ada_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ada_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ada_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ada_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

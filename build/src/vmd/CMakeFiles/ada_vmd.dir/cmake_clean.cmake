@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_vmd.dir/analysis.cpp.o"
+  "CMakeFiles/ada_vmd.dir/analysis.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/command.cpp.o"
+  "CMakeFiles/ada_vmd.dir/command.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/frame_store.cpp.o"
+  "CMakeFiles/ada_vmd.dir/frame_store.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/geometry.cpp.o"
+  "CMakeFiles/ada_vmd.dir/geometry.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/mol.cpp.o"
+  "CMakeFiles/ada_vmd.dir/mol.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/profiler.cpp.o"
+  "CMakeFiles/ada_vmd.dir/profiler.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/renderer.cpp.o"
+  "CMakeFiles/ada_vmd.dir/renderer.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/replay.cpp.o"
+  "CMakeFiles/ada_vmd.dir/replay.cpp.o.d"
+  "CMakeFiles/ada_vmd.dir/select.cpp.o"
+  "CMakeFiles/ada_vmd.dir/select.cpp.o.d"
+  "libada_vmd.a"
+  "libada_vmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_vmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

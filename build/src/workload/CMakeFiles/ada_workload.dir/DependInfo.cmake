@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/gpcr_builder.cpp" "src/workload/CMakeFiles/ada_workload.dir/gpcr_builder.cpp.o" "gcc" "src/workload/CMakeFiles/ada_workload.dir/gpcr_builder.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/workload/CMakeFiles/ada_workload.dir/spec.cpp.o" "gcc" "src/workload/CMakeFiles/ada_workload.dir/spec.cpp.o.d"
+  "/root/repo/src/workload/trajectory_gen.cpp" "src/workload/CMakeFiles/ada_workload.dir/trajectory_gen.cpp.o" "gcc" "src/workload/CMakeFiles/ada_workload.dir/trajectory_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ada_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

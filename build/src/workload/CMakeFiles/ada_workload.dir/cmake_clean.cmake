@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_workload.dir/gpcr_builder.cpp.o"
+  "CMakeFiles/ada_workload.dir/gpcr_builder.cpp.o.d"
+  "CMakeFiles/ada_workload.dir/spec.cpp.o"
+  "CMakeFiles/ada_workload.dir/spec.cpp.o.d"
+  "CMakeFiles/ada_workload.dir/trajectory_gen.cpp.o"
+  "CMakeFiles/ada_workload.dir/trajectory_gen.cpp.o.d"
+  "libada_workload.a"
+  "libada_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/ada_xdr.dir/xdr.cpp.o.d"
+  "libada_xdr.a"
+  "libada_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

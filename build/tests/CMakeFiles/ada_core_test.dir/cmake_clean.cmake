@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_core_test.dir/ada_core_test.cpp.o"
+  "CMakeFiles/ada_core_test.dir/ada_core_test.cpp.o.d"
+  "ada_core_test"
+  "ada_core_test.pdb"
+  "ada_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_inputs_test.dir/fuzz_inputs_test.cpp.o"
+  "CMakeFiles/fuzz_inputs_test.dir/fuzz_inputs_test.cpp.o.d"
+  "fuzz_inputs_test"
+  "fuzz_inputs_test.pdb"
+  "fuzz_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_property_test.dir/selection_property_test.cpp.o"
+  "CMakeFiles/selection_property_test.dir/selection_property_test.cpp.o.d"
+  "selection_property_test"
+  "selection_property_test.pdb"
+  "selection_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_fsck_test.dir/vfs_fsck_test.cpp.o"
+  "CMakeFiles/vfs_fsck_test.dir/vfs_fsck_test.cpp.o.d"
+  "vfs_fsck_test"
+  "vfs_fsck_test.pdb"
+  "vfs_fsck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtc_property_test.dir/xtc_property_test.cpp.o"
+  "CMakeFiles/xtc_property_test.dir/xtc_property_test.cpp.o.d"
+  "xtc_property_test"
+  "xtc_property_test.pdb"
+  "xtc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

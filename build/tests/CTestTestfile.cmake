@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/chem_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_property_test[1]_include.cmake")
+include("/root/repo/build/tests/formats_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/pvfs_test[1]_include.cmake")
+include("/root/repo/build/tests/plfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ada_core_test[1]_include.cmake")
+include("/root/repo/build/tests/vmd_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/trr_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/xtc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/select_test[1]_include.cmake")
+include("/root/repo/build/tests/device_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_inputs_test[1]_include.cmake")

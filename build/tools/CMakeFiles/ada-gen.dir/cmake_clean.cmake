@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada-gen.dir/ada-gen.cpp.o"
+  "CMakeFiles/ada-gen.dir/ada-gen.cpp.o.d"
+  "ada-gen"
+  "ada-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

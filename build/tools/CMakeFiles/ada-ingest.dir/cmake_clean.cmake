@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada-ingest.dir/ada-ingest.cpp.o"
+  "CMakeFiles/ada-ingest.dir/ada-ingest.cpp.o.d"
+  "ada-ingest"
+  "ada-ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada-ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada-inspect.dir/ada-inspect.cpp.o"
+  "CMakeFiles/ada-inspect.dir/ada-inspect.cpp.o.d"
+  "ada-inspect"
+  "ada-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

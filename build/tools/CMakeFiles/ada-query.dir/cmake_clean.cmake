@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada-query.dir/ada-query.cpp.o"
+  "CMakeFiles/ada-query.dir/ada-query.cpp.o.d"
+  "ada-query"
+  "ada-query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada-query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
