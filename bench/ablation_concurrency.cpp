@@ -83,5 +83,6 @@ int main() {
                "so up to ~3 ADA clients each keep a full NIC and makespan barely moves --\n"
                "ADA's advantage *widens* exactly where the paper's cluster would be used\n"
                "(all three compute nodes rendering at once).\n";
+  bench::obs_report();
   return 0;
 }

@@ -49,5 +49,6 @@ int main() {
                "(MISC still streams from HDDs) while keeping the protein-read gain.\n"
                "Even all-on-HDD keeps most of the turnaround win: the dominant effect is\n"
                "the pre-processing offload, not the device placement.\n";
+  bench::obs_report();
   return 0;
 }

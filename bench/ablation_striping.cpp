@@ -38,5 +38,6 @@ int main() {
                "drives) saturates the client NIC, so extra SSD nodes buy no retrieval time\n"
                "for a single reader -- the paper's 3-node SSD group pays off only under\n"
                "concurrent clients (see PvfsTest.ConcurrentClientsShareServers).\n";
+  bench::obs_report();
   return 0;
 }

@@ -7,15 +7,30 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "platform/pipeline.hpp"
 
 namespace ada::bench {
 
-/// Section banner for a harness's stdout.
+/// Section banner for a harness's stdout.  Also switches observability
+/// collection on (idempotent), so every harness accumulates the per-stage
+/// breakdown that obs_report() prints at the end of main().
 inline void banner(const std::string& title, const std::string& paper_ref) {
+  obs::set_enabled(true);
   std::cout << "\n================================================================\n"
             << title << "\n(reproduces " << paper_ref << ")\n"
             << "================================================================\n";
+}
+
+/// Print the per-stage breakdown (span timers, counters, histograms)
+/// accumulated since the first banner().  Call just before returning from
+/// main(); silent when nothing was recorded.  See docs/observability.md.
+inline void obs_report(std::ostream& os = std::cout) {
+  const obs::Snapshot snapshot = obs::capture();
+  if (snapshot.empty()) return;
+  os << "\n--- observability: pipeline stage breakdown ---\n";
+  obs::print_tables(snapshot, os);
 }
 
 inline std::string seconds_cell(const platform::ScenarioResult& r, double seconds) {

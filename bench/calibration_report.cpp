@@ -34,5 +34,6 @@ int main() {
                "class.  The figure benches use the deterministic defaults so every\n"
                "machine regenerates identical tables; this report shows how far those\n"
                "defaults sit from the current host.\n";
+  bench::obs_report();
   return 0;
 }

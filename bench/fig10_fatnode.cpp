@@ -68,5 +68,6 @@ int main() {
   energy.print(std::cout);
   std::cout << "shape check: XFS >3x ADA energy on completed runs (paper: \"more then 3x\",\n"
                ">12,500 kJ for XFS vs <5,000 kJ ADA(all) / ~2,200 kJ ADA(protein)).\n";
+  bench::obs_report();
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
   memory.print(std::cout);
   std::cout << "shape check: C-ext4 memory is >2.5x D-ADA (protein) at 5,006 frames\n"
                "(paper: \"over 2.5x\").\n";
+  bench::obs_report();
   return 0;
 }

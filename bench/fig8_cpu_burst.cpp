@@ -112,5 +112,6 @@ int main() {
 
   std::cout << "\nshape check: under the traditional path decompression is >50% of CPU\n"
                "burst time (paper Fig. 8); under ADA the decompression frames vanish.\n";
+  bench::obs_report();
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
   std::cout << "\n--- Fig. 9c: memory usage ---\n";
   memory.print(std::cout);
   std::cout << "shape check: same trend as Fig. 7c (identical data groups in memory).\n";
+  bench::obs_report();
   return 0;
 }

@@ -59,5 +59,6 @@ int main() {
                "                      5,006 -> 800/348 MB (43.5%)\n"
                "shape check: protein fraction of the compressed file stays in the 40-50%\n"
                "band and tracks the 42.5% atom fraction.\n";
+  bench::obs_report();
   return 0;
 }

@@ -28,5 +28,6 @@ int main() {
                "2,612 MB.  Raw and protein columns match by construction (43,520 atoms,\n"
                "18,500 protein); the compressed column comes from really compressing\n"
                "full-size frames with the ada3d codec.\n";
+  bench::obs_report();
   return 0;
 }

@@ -23,5 +23,6 @@ int main() {
 
   std::cout << "\npaper reference rows: 62,560 -> 10 / 13.9 / 32.7 GB;\n"
                "1,876,800 -> 300 / 415.8 / 979.8 GB; 5,004,800 -> 800 / 1,108.8 / 2,612.8 GB.\n";
+  bench::obs_report();
   return 0;
 }

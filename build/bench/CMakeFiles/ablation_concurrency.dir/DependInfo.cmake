@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
   "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
   "/root/repo/build/src/plfs/CMakeFiles/ada_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ada_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
   )
 

@@ -240,6 +240,9 @@ bench/CMakeFiles/fig8_cpu_burst.dir/fig8_cpu_burst.cpp.o: \
  /root/repo/src/codec/coord_codec.hpp /root/repo/src/ada/preprocessor.hpp \
  /root/repo/bench/bench_util.hpp /root/repo/src/common/strings.hpp \
  /root/repo/src/common/table.hpp /root/repo/src/common/units.hpp \
+ /root/repo/src/obs/export.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/platform/pipeline.hpp \
  /root/repo/src/platform/platform.hpp \
  /root/repo/src/platform/constants.hpp /root/repo/src/storage/device.hpp \

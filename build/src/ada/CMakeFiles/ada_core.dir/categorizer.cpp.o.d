@@ -147,4 +147,4 @@ src/ada/CMakeFiles/ada_core.dir/categorizer.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/check.hpp \
  /root/repo/src/chem/system.hpp /root/repo/src/chem/classify.hpp \
- /root/repo/src/chem/element.hpp
+ /root/repo/src/chem/element.hpp /root/repo/src/obs/trace.hpp

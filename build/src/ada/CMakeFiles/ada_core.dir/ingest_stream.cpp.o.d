@@ -221,4 +221,8 @@ src/ada/CMakeFiles/ada_core.dir/ingest_stream.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/plfs/plfs.hpp \
  /root/repo/src/plfs/container.hpp /root/repo/src/formats/raw_traj.hpp \
  /root/repo/src/formats/xtc_file.hpp /root/repo/src/codec/coord_codec.hpp \
- /root/repo/src/ada/label_store.hpp
+ /root/repo/src/ada/label_store.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.hpp

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
   "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
   "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ada_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ada_obs.dir/export.cpp.o"
+  "CMakeFiles/ada_obs.dir/export.cpp.o.d"
+  "CMakeFiles/ada_obs.dir/metrics.cpp.o"
+  "CMakeFiles/ada_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/ada_obs.dir/trace.cpp.o"
+  "CMakeFiles/ada_obs.dir/trace.cpp.o.d"
+  "libada_obs.a"
+  "libada_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ada_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libada_obs.a"
+)

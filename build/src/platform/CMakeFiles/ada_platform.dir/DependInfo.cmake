@@ -29,6 +29,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ada/CMakeFiles/ada_core.dir/DependInfo.cmake"
   "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
   "/root/repo/build/src/plfs/CMakeFiles/ada_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ada_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ada_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/ada_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/ada_net.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/ada_storage.dir/DependInfo.cmake"

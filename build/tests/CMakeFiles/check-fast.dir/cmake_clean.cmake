@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check-fast"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/check-fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/e2e_pipeline_test.cpp" "tests/CMakeFiles/e2e_pipeline_test.dir/e2e_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/e2e_pipeline_test.dir/e2e_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/ada_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ada_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/ada_pvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ada_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmd/CMakeFiles/ada_vmd.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ada_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ada_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ada/CMakeFiles/ada_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/ada_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ada_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ada_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/ada_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/plfs/CMakeFiles/ada_plfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ada_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -293,8 +293,22 @@ tests/CMakeFiles/pipeline_property_test.dir/pipeline_property_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/ada/ingest_stream.hpp /root/repo/src/ada/categorizer.hpp \
+ /root/repo/src/ada/tag.hpp /root/repo/src/chem/selection.hpp \
+ /root/repo/src/common/result.hpp /root/repo/src/common/check.hpp \
+ /root/repo/src/chem/system.hpp /root/repo/src/chem/classify.hpp \
+ /root/repo/src/chem/element.hpp /root/repo/src/ada/dispatcher.hpp \
+ /usr/include/c++/12/span /root/repo/src/plfs/plfs.hpp \
+ /root/repo/src/plfs/container.hpp /root/repo/src/formats/raw_traj.hpp \
+ /root/repo/src/formats/xtc_file.hpp /root/repo/src/codec/coord_codec.hpp \
+ /root/repo/src/ada/middleware.hpp /root/repo/src/ada/indexer.hpp \
+ /root/repo/src/ada/preprocessor.hpp /root/repo/src/common/rng.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -314,11 +328,15 @@ tests/CMakeFiles/pipeline_property_test.dir/pipeline_property_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/check.hpp \
- /root/repo/src/common/units.hpp /root/repo/src/platform/pipeline.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/units.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/platform/pipeline.hpp \
  /root/repo/src/platform/platform.hpp \
  /root/repo/src/platform/constants.hpp /root/repo/src/storage/device.hpp \
  /root/repo/src/storage/energy.hpp \
  /root/repo/src/storage/filesystem_model.hpp \
  /root/repo/src/platform/workload_stats.hpp \
- /root/repo/src/workload/spec.hpp
+ /root/repo/src/workload/spec.hpp \
+ /root/repo/src/workload/gpcr_builder.hpp \
+ /root/repo/src/workload/trajectory_gen.hpp

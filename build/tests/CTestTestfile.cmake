@@ -26,3 +26,5 @@ include("/root/repo/build/tests/xtc_property_test[1]_include.cmake")
 include("/root/repo/build/tests/select_test[1]_include.cmake")
 include("/root/repo/build/tests/device_model_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_inputs_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_pipeline_test[1]_include.cmake")

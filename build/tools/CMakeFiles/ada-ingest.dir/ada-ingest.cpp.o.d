@@ -230,4 +230,11 @@ tools/CMakeFiles/ada-ingest.dir/ada-ingest.cpp.o: \
  /root/repo/src/vmd/mol.hpp /root/repo/src/vmd/frame_store.hpp \
  /root/repo/src/storage/memory.hpp /root/repo/src/vmd/profiler.hpp \
  /root/repo/src/vmd/renderer.hpp /root/repo/src/vmd/geometry.hpp \
- /root/repo/tools/tool_util.hpp /root/repo/src/common/strings.hpp
+ /root/repo/tools/tool_util.hpp /usr/include/c++/12/iostream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/strings.hpp /root/repo/src/obs/export.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -227,4 +227,9 @@ tools/CMakeFiles/ada-inspect.dir/ada-inspect.cpp.o: \
  /root/repo/src/codec/coord_codec.hpp /root/repo/src/ada/preprocessor.hpp \
  /root/repo/src/common/table.hpp /root/repo/src/common/units.hpp \
  /root/repo/src/plfs/fsck.hpp /root/repo/tools/tool_util.hpp \
- /root/repo/src/common/strings.hpp
+ /root/repo/src/common/strings.hpp /root/repo/src/obs/export.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h

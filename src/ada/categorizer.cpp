@@ -1,5 +1,7 @@
 #include "ada/categorizer.hpp"
 
+#include "obs/trace.hpp"
+
 namespace ada::core {
 
 Result<chem::Selection> LabelMap::selection(const Tag& tag) const {
@@ -34,6 +36,7 @@ bool LabelMap::is_partition() const {
 
 LabelMap categorize(const chem::System& system, const TypeFn& get_type) {
   // Algorithm 1 from the paper, with `labeler` == LabelMap::groups.
+  const obs::ScopedTimer span("categorize");
   LabelMap labeler;
   labeler.atom_count = system.atom_count();
 

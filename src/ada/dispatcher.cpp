@@ -1,6 +1,22 @@
 #include "ada/dispatcher.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ada::core {
+
+namespace {
+
+// Per-tag dispatch accounting (dynamic names; registry lookup is amortized
+// over whole subsets, never per frame).
+void count_dispatched(const Tag& tag, std::size_t bytes) {
+  if (!obs::enabled()) return;
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("ingest.dispatched_bytes").add(bytes);
+  registry.counter("ingest.dispatched_bytes." + tag).add(bytes);
+}
+
+}  // namespace
 
 PlacementPolicy PlacementPolicy::active_on_ssd(std::uint32_t ssd_backend,
                                                std::uint32_t hdd_backend) {
@@ -23,10 +39,12 @@ std::uint32_t PlacementPolicy::backend_for(const Tag& tag) const {
 
 Status IoDispatcher::dispatch(const std::string& logical_name,
                               const std::map<Tag, std::vector<std::uint8_t>>& subsets) {
+  const obs::ScopedTimer span("dispatch");
   ADA_RETURN_IF_ERROR(mount_.create_container(logical_name));
   for (const auto& [tag, bytes] : subsets) {
     ADA_RETURN_IF_ERROR(
         mount_.append(logical_name, tag, policy_.backend_for(tag), bytes).status());
+    count_dispatched(tag, bytes.size());
   }
   return Status::ok();
 }
@@ -34,7 +52,10 @@ Status IoDispatcher::dispatch(const std::string& logical_name,
 Result<plfs::IndexRecord> IoDispatcher::dispatch_one(const std::string& logical_name,
                                                      const Tag& tag,
                                                      std::span<const std::uint8_t> bytes) {
-  return mount_.append(logical_name, tag, policy_.backend_for(tag), bytes);
+  const obs::ScopedTimer span("dispatch");
+  auto record = mount_.append(logical_name, tag, policy_.backend_for(tag), bytes);
+  if (record.is_ok()) count_dispatched(tag, bytes.size());
+  return record;
 }
 
 }  // namespace ada::core

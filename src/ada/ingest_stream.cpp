@@ -1,9 +1,27 @@
 #include "ada/ingest_stream.hpp"
 
+#include <utility>
+
 #include "ada/label_store.hpp"
 #include "formats/xtc_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ada::core {
+
+IngestStream::IngestStream(IngestStream&& other) noexcept
+    : dispatcher_(std::exchange(other.dispatcher_, nullptr)),
+      labels_(std::move(other.labels_)),
+      logical_name_(std::move(other.logical_name_)),
+      chunk_frames_(other.chunk_frames_),
+      writers_(std::move(other.writers_)),
+      frames_in_chunk_(other.frames_in_chunk_),
+      frames_(other.frames_),
+      chunks_(other.chunks_),
+      subset_bytes_(std::move(other.subset_bytes_)),
+      finished_(other.finished_) {
+  other.finished_ = true;  // seal the husk: add_frame/finish now reject it
+}
 
 IngestStream::IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
                            std::uint32_t chunk_frames)
@@ -34,7 +52,10 @@ void IngestStream::reset_writers() {
 
 Status IngestStream::add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
                                std::span<const float> coords) {
-  if (finished_) return failed_precondition("stream already finished");
+  if (finished_ || dispatcher_ == nullptr) {
+    return failed_precondition("stream already finished or moved-from");
+  }
+  ADA_OBS_COUNT("stream.frames", 1);
   if (coords.size() != std::size_t{3} * labels_.atom_count) {
     return invalid_argument("frame has " + std::to_string(coords.size() / 3) +
                             " atoms, label map expects " + std::to_string(labels_.atom_count));
@@ -51,9 +72,14 @@ Status IngestStream::add_frame(std::uint32_t step, float time_ps, const chem::Bo
 
 Status IngestStream::flush_chunk() {
   if (frames_in_chunk_ == 0) return Status::ok();
+  const obs::ScopedTimer span("stream_flush");
+  ADA_OBS_COUNT("stream.chunks", 1);
   for (auto& [tag, writer] : writers_) {
     const auto image = writer.finish();
     subset_bytes_[tag] += image.size();
+    if (obs::enabled()) {
+      obs::Registry::global().counter("stream.bytes." + tag).add(image.size());
+    }
     ADA_RETURN_IF_ERROR(dispatcher_->dispatch_one(logical_name_, tag, image).status());
   }
   ++chunks_;
@@ -62,7 +88,9 @@ Status IngestStream::flush_chunk() {
 }
 
 Result<StreamReport> IngestStream::finish() {
-  if (finished_) return failed_precondition("stream already finished");
+  if (finished_ || dispatcher_ == nullptr) {
+    return failed_precondition("stream already finished or moved-from");
+  }
   ADA_RETURN_IF_ERROR(flush_chunk());
   const std::string label_text = encode_label_file(labels_);
   ADA_RETURN_IF_ERROR(

@@ -37,7 +37,12 @@ class IngestStream {
   static Result<IngestStream> begin(IoDispatcher& dispatcher, LabelMap labels,
                                     std::string logical_name, std::uint32_t chunk_frames = 64);
 
-  IngestStream(IngestStream&&) = default;
+  /// Moving transfers the container handle: the source is left *sealed*
+  /// (no dispatcher, finished) so a stale add_frame()/finish() on it fails
+  /// cleanly instead of double-dispatching the label file into the
+  /// container.  (A defaulted move would copy `dispatcher_` and leave
+  /// `finished_ == false` behind -- the raw-handle double-free hazard.)
+  IngestStream(IngestStream&& other) noexcept;
   IngestStream& operator=(IngestStream&&) = delete;
 
   /// Append one decoded frame (atom order must match the label map).

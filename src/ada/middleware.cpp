@@ -5,6 +5,8 @@
 #include "ada/label_store.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ada::core {
 
@@ -33,6 +35,9 @@ Result<IngestReport> Ada::ingest(const chem::System& structure,
 Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
                                              std::span<const std::uint8_t> xtc_image,
                                              const std::string& logical_name) {
+  const obs::ScopedTimer span("ingest");
+  ADA_OBS_COUNT("ingest.calls", 1);
+  ADA_OBS_COUNT("ingest.bytes_in", xtc_image.size());
   if (!labels.is_partition()) {
     return invalid_argument("label map does not partition the atom range");
   }
@@ -102,10 +107,21 @@ Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string
 
 Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
                                              const Tag& tag) const {
+  const obs::ScopedTimer span("query");
+  ADA_OBS_COUNT("query.calls", 1);
   if (tag == kLabelFileTag || tag == kOriginalTag) {
     return invalid_argument("tag '" + tag + "' is reserved");
   }
-  return IoRetriever(mount_).retrieve(logical_name, tag);
+  auto subset = [&] {
+    const obs::ScopedTimer retrieve_span("retrieve");
+    return IoRetriever(mount_).retrieve(logical_name, tag);
+  }();
+  if (subset.is_ok() && obs::enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    registry.counter("query.bytes_out").add(subset.value().size());
+    registry.counter("query.bytes_out." + tag).add(subset.value().size());
+  }
+  return subset;
 }
 
 Result<LabelMap> Ada::labels(const std::string& logical_name) const {

@@ -3,6 +3,8 @@
 #include "common/stopwatch.hpp"
 #include "formats/raw_traj.hpp"
 #include "formats/xtc_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ada::core {
 
@@ -12,6 +14,7 @@ DataPreProcessor::DataPreProcessor(LabelMap labels) : labels_(std::move(labels))
 
 Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
     std::span<const std::uint8_t> xtc_image, PreprocessStats* stats) const {
+  const obs::ScopedTimer span("preprocess");
   std::map<Tag, formats::RawTrajWriter> writers;
   for (const auto& [tag, selection] : labels_.groups) {
     writers.emplace(tag, formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));
@@ -21,13 +24,18 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
   std::uint32_t frames = 0;
   formats::XtcReader reader(xtc_image);
   while (true) {
-    ADA_ASSIGN_OR_RETURN(auto frame, reader.next());
+    std::optional<formats::TrajFrame> frame;
+    {
+      const obs::ScopedTimer decode_span("decode");
+      ADA_ASSIGN_OR_RETURN(frame, reader.next());
+    }
     if (!frame.has_value()) break;
     if (frame->atom_count() != labels_.atom_count) {
       return corrupt_data("frame " + std::to_string(frames) + " has " +
                           std::to_string(frame->atom_count()) + " atoms, label map expects " +
                           std::to_string(labels_.atom_count));
     }
+    const obs::ScopedTimer split_span("split");
     for (auto& [tag, writer] : writers) {
       const auto subset = formats::extract_subset(frame->coords, labels_.groups.at(tag));
       ADA_RETURN_IF_ERROR(writer.add_frame(frame->step, frame->time_ps, frame->box, subset));
@@ -35,6 +43,7 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
     ++frames;
   }
   const double wall = stopwatch.elapsed_seconds();
+  ADA_OBS_COUNT("ingest.frames", frames);
 
   std::map<Tag, std::vector<std::uint8_t>> out;
   for (auto& [tag, writer] : writers) out.emplace(tag, writer.finish());

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "codec/bitstream.hpp"
+#include "obs/metrics.hpp"
 
 namespace ada::codec {
 
@@ -135,6 +136,9 @@ Result<CompressedFrame> compress(std::span<const float> coords, const CodecParam
 
   frame.payload_bits = writer.bit_count();
   frame.payload = writer.finish();
+  ADA_OBS_COUNT("codec.encode.calls", 1);
+  ADA_OBS_COUNT("codec.encode.atoms", frame.atom_count);
+  ADA_OBS_COUNT("codec.encode.bytes_out", frame.payload_bytes());
   return frame;
 }
 
@@ -177,6 +181,9 @@ Result<std::vector<float>> decompress(const CompressedFrame& frame) {
                         std::to_string(reader.bits_consumed()) + ", declared " +
                         std::to_string(frame.payload_bits));
   }
+  ADA_OBS_COUNT("codec.decode.calls", 1);
+  ADA_OBS_COUNT("codec.decode.atoms", frame.atom_count);
+  ADA_OBS_COUNT("codec.decode.bytes_in", frame.payload_bytes());
   return coords;
 }
 

@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace ada::obs {
+
+namespace {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  // Shortest stable form: integers print without a fraction.
+  char buf[40];
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  }
+  return buf;
+}
+
+std::string ns_cell(std::uint64_t ns) {
+  return format_seconds(static_cast<double>(ns) * 1e-9);
+}
+
+}  // namespace
+
+Snapshot capture() {
+  const Registry& registry = Registry::global();
+  Snapshot snapshot;
+  snapshot.counters = registry.counter_values();
+  snapshot.gauges = registry.gauge_values();
+  for (const auto& [name, histogram] : registry.histogram_entries()) {
+    Snapshot::HistogramStat stat;
+    stat.count = histogram->count();
+    stat.sum = histogram->sum();
+    stat.max = histogram->max();
+    stat.mean = histogram->mean();
+    stat.p50 = histogram->percentile(0.50);
+    stat.p90 = histogram->percentile(0.90);
+    stat.p99 = histogram->percentile(0.99);
+    snapshot.histograms.emplace(name, stat);
+  }
+  snapshot.spans = span_stats();
+  return snapshot;
+}
+
+void reset_all() {
+  Registry::global().reset();
+  reset_spans();
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + ",\"max\":" + std::to_string(h.max) +
+           ",\"mean\":" + json_number(h.mean) + ",\"p50\":" + json_number(h.p50) +
+           ",\"p90\":" + json_number(h.p90) + ",\"p99\":" + json_number(h.p99) + '}';
+  }
+  out += "},\"spans\":[";
+  first = true;
+  for (const SpanStat& span : snapshot.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":\"" + json_escape(span.path) +
+           "\",\"depth\":" + std::to_string(span.depth) +
+           ",\"calls\":" + std::to_string(span.calls) +
+           ",\"total_ns\":" + std::to_string(span.total_ns) +
+           ",\"self_ns\":" + std::to_string(span.self_ns) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void print_tables(const Snapshot& snapshot, std::ostream& os) {
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    Table table({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.add_row({name, std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.add_row({name + " (gauge)", json_number(value)});
+    }
+    os << "-- counters --\n";
+    table.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : snapshot.histograms) {
+      table.add_row({name, std::to_string(h.count), json_number(h.mean), json_number(h.p50),
+                     json_number(h.p90), json_number(h.p99), std::to_string(h.max)});
+    }
+    os << "-- histograms --\n";
+    table.print(os);
+  }
+  if (!snapshot.spans.empty()) {
+    Table table({"span", "calls", "total", "self"});
+    for (const SpanStat& span : snapshot.spans) {
+      table.add_row({std::string(static_cast<std::size_t>(span.depth) * 2, ' ') + span.name,
+                     std::to_string(span.calls), ns_cell(span.total_ns), ns_cell(span.self_ns)});
+    }
+    os << "-- spans --\n";
+    table.print(os);
+  }
+}
+
+}  // namespace ada::obs

@@ -1,0 +1,55 @@
+// Exporters: one obs snapshot -> stable JSON document or aligned text table.
+//
+// The JSON shape is versioned and documented in docs/observability.md; keys
+// are emitted in sorted order so goldens and downstream scrapers are stable
+// across runs and platforms.  The table form reuses common/table.hpp so the
+// tools and the bench harnesses report through the same renderer as the
+// paper tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ada::obs {
+
+/// Point-in-time copy of everything the registry and trace trees hold.
+struct Snapshot {
+  struct HistogramStat {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStat> histograms;
+  std::vector<SpanStat> spans;  // depth-first over the merged trace tree
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty() && spans.empty();
+  }
+};
+
+/// Capture the global registry plus every thread's trace tree.
+Snapshot capture();
+
+/// Zero every instrument and span in the process (shape is kept; references
+/// stay valid).  The bracket for before/after differential runs.
+void reset_all();
+
+/// Stable JSON document ({"version":1,"counters":{...},...}); keys sorted.
+std::string to_json(const Snapshot& snapshot);
+
+/// Aligned text tables (counters / histograms / span tree) for terminals.
+void print_tables(const Snapshot& snapshot, std::ostream& os);
+
+}  // namespace ada::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based; walk buckets until we pass it.
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = bucket_count(b);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= std::max<std::uint64_t>(rank, 1)) {
+      if (b == 0) return 0.0;
+      // Linear interpolation across the bucket's value range.
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+      const double into =
+          static_cast<double>(std::max<std::uint64_t>(rank, 1) - seen - 1) /
+          static_cast<double>(in_bucket);
+      return std::min(lo + (hi - lo) * into, static_cast<double>(max()));
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // never destroyed: outlives TLS
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+std::size_t Registry::counter_count() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauge_values() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+std::map<std::string, const Histogram*> Registry::histogram_entries() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, const Histogram*> out;
+  for (const auto& [name, histogram] : histograms_) out[name] = histogram.get();
+  return out;
+}
+
+}  // namespace ada::obs

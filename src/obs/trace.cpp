@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace ada::obs {
+
+namespace detail {
+
+struct SpanNode {
+  SpanNode(const char* span_name, SpanNode* span_parent)
+      : name(span_name), parent(span_parent) {}
+
+  const char* name;
+  SpanNode* parent;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::vector<std::unique_ptr<SpanNode>> children;  // guarded by the tree mutex
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::SpanNode;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One trace tree per recording thread.  `current` is only ever touched by
+// the owning thread; `mutex` guards every node's child list so a concurrent
+// span_stats() walk sees consistent vectors.
+struct ThreadTrace {
+  std::mutex mutex;
+  SpanNode root{"", nullptr};
+  SpanNode* current = &root;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadTrace>> trees;
+};
+
+TraceRegistry& trace_registry() {
+  static TraceRegistry* registry = new TraceRegistry();  // outlives TLS teardown
+  return *registry;
+}
+
+ThreadTrace& local_trace() {
+  // The registry owns the tree so it survives thread exit: short-lived
+  // ingest workers leave their spans behind for the final merge.
+  thread_local ThreadTrace* tls = [] {
+    auto tree = std::make_unique<ThreadTrace>();
+    ThreadTrace* raw = tree.get();
+    TraceRegistry& registry = trace_registry();
+    std::lock_guard lock(registry.mutex);
+    registry.trees.push_back(std::move(tree));
+    return raw;
+  }();
+  return *tls;
+}
+
+struct MergedSpan {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::map<std::string, MergedSpan> children;
+};
+
+void absorb(MergedSpan& merged, const SpanNode& node) {
+  merged.calls += node.calls.load(std::memory_order_relaxed);
+  merged.total_ns += node.total_ns.load(std::memory_order_relaxed);
+  for (const auto& child : node.children) absorb(merged.children[child->name], *child);
+}
+
+void emit(const std::string& prefix, int depth, const std::string& name,
+          const MergedSpan& span, std::vector<SpanStat>& out) {
+  const std::string path = prefix.empty() ? name : prefix + "/" + name;
+  std::uint64_t children_ns = 0;
+  for (const auto& [child_name, child] : span.children) children_ns += child.total_ns;
+  SpanStat stat;
+  stat.path = path;
+  stat.name = name;
+  stat.depth = depth;
+  stat.calls = span.calls;
+  stat.total_ns = span.total_ns;
+  stat.self_ns = span.total_ns > children_ns ? span.total_ns - children_ns : 0;
+  out.push_back(std::move(stat));
+  for (const auto& [child_name, child] : span.children) {
+    emit(path, depth + 1, child_name, child, out);
+  }
+}
+
+void zero(SpanNode& node) {
+  node.calls.store(0, std::memory_order_relaxed);
+  node.total_ns.store(0, std::memory_order_relaxed);
+  for (auto& child : node.children) zero(*child);
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* name) noexcept {
+  if (!enabled()) return;
+  ThreadTrace& trace = local_trace();
+  SpanNode* parent = trace.current;
+  SpanNode* node = nullptr;
+  {
+    std::lock_guard lock(trace.mutex);
+    for (const auto& child : parent->children) {
+      if (child->name == name || std::strcmp(child->name, name) == 0) {
+        node = child.get();
+        break;
+      }
+    }
+    if (node == nullptr) {
+      parent->children.push_back(std::make_unique<SpanNode>(name, parent));
+      node = parent->children.back().get();
+    }
+  }
+  trace.current = node;
+  node_ = node;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (node_ == nullptr) return;
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  node_->calls.fetch_add(1, std::memory_order_relaxed);
+  node_->total_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  local_trace().current = node_->parent;
+}
+
+std::vector<SpanStat> span_stats() {
+  MergedSpan merged_root;
+  TraceRegistry& registry = trace_registry();
+  {
+    std::lock_guard registry_lock(registry.mutex);
+    for (const auto& tree : registry.trees) {
+      std::lock_guard tree_lock(tree->mutex);
+      absorb(merged_root, tree->root);
+    }
+  }
+  std::vector<SpanStat> out;
+  for (const auto& [name, span] : merged_root.children) emit("", 0, name, span, out);
+  return out;
+}
+
+void reset_spans() {
+  TraceRegistry& registry = trace_registry();
+  std::lock_guard registry_lock(registry.mutex);
+  for (const auto& tree : registry.trees) {
+    std::lock_guard tree_lock(tree->mutex);
+    zero(tree->root);
+  }
+}
+
+}  // namespace ada::obs

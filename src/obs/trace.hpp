@@ -1,0 +1,62 @@
+// RAII timing spans that nest into a per-thread trace tree.
+//
+// A ScopedTimer opens a span on construction and closes it on destruction;
+// spans opened while another is live on the same thread become its children,
+// so the aggregate forms a calls/time tree ("ingest" -> "preprocess" ->
+// "decode") mirroring the paper's Fig. 8 flame graph, but collected live on
+// the functional plane instead of post-hoc.
+//
+// Each thread owns its tree, so recording never contends across threads;
+// span_stats() merges every thread's tree by path into one aggregate.  Node
+// counters are atomics and child lists are mutated under a per-tree mutex,
+// so a merge taken concurrently with recording is race-free (it sees a
+// consistent-per-node, possibly slightly stale view).
+//
+// Span names must be string literals (or otherwise outlive the process):
+// nodes keep the pointer, not a copy, to keep the open/close path cheap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ada::obs {
+
+namespace detail {
+struct SpanNode;
+}
+
+/// Times a region of code as a span named `name` under the thread's
+/// currently open span.  No-op (one relaxed load) while obs is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  detail::SpanNode* node_ = nullptr;  // null when disabled at entry
+  std::uint64_t start_ns_ = 0;
+};
+
+/// One aggregated span, merged across threads, in depth-first order.
+struct SpanStat {
+  std::string path;  // "ingest/preprocess/decode"
+  std::string name;  // "decode"
+  int depth = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;  // total_ns minus the children's total_ns
+};
+
+/// Merge every thread's trace tree into one path-keyed aggregate,
+/// depth-first.  Safe to call while other threads are still recording.
+std::vector<SpanStat> span_stats();
+
+/// Zero all recorded spans (tree shape and open spans are kept).  Call
+/// between measured runs, not while measured work is in flight.
+void reset_spans();
+
+}  // namespace ada::obs

@@ -4,6 +4,8 @@
 #include <filesystem>
 
 #include "common/binary_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fs = std::filesystem;
 
@@ -76,6 +78,14 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
   if (backend_id >= backend_count()) {
     return invalid_argument("backend " + std::to_string(backend_id) + " out of range");
   }
+  const obs::ScopedTimer span("plfs_append");
+  ADA_OBS_COUNT("plfs.append.calls", 1);
+  ADA_OBS_COUNT("plfs.append.bytes", bytes.size());
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("plfs.append.bytes." + backends_[backend_id].name)
+        .add(bytes.size());
+  }
   ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
 
   IndexRecord record;
@@ -95,6 +105,7 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
 }
 
 Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& logical_name) const {
+  const obs::ScopedTimer span("plfs_read");
   ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
   if (!is_complete(records)) {
     return corrupt_data("container " + logical_name + " has holes or overlapping extents");
@@ -115,11 +126,14 @@ Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& log
                dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
                dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
   }
+  ADA_OBS_COUNT("plfs.read.calls", 1);
+  ADA_OBS_COUNT("plfs.read.bytes", out.size());
   return out;
 }
 
 Result<std::vector<std::uint8_t>> PlfsMount::read_label(const std::string& logical_name,
                                                         const std::string& label) const {
+  const obs::ScopedTimer span("plfs_read");
   ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
   std::erase_if(records, [&](const IndexRecord& r) { return r.label != label; });
   std::sort(records.begin(), records.end(),
@@ -137,6 +151,8 @@ Result<std::vector<std::uint8_t>> PlfsMount::read_label(const std::string& logic
                dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
                dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
   }
+  ADA_OBS_COUNT("plfs.read.calls", 1);
+  ADA_OBS_COUNT("plfs.read.bytes", out.size());
   return out;
 }
 

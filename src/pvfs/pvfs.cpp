@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
+
 namespace ada::pvfs {
 
 PvfsModel::PvfsModel(sim::Simulator& simulator, net::Fabric& fabric, std::string name,
@@ -49,6 +51,13 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
   ADA_CHECK(bytes >= 0.0);
   const double lookup =
       write ? metadata_params_.create_latency : metadata_params_.lookup_latency;
+  if (write) {
+    ADA_OBS_COUNT("pvfs.write.calls", 1);
+    ADA_OBS_COUNT("pvfs.write.bytes", bytes);
+  } else {
+    ADA_OBS_COUNT("pvfs.read.calls", 1);
+    ADA_OBS_COUNT("pvfs.read.bytes", bytes);
+  }
   metadata_.submit(lookup, [this, bytes, client, write, on_complete = std::move(on_complete)]() mutable {
     const auto distribution = layout_.distribution(static_cast<std::uint64_t>(bytes));
     auto remaining = std::make_shared<std::uint32_t>(0);
@@ -56,7 +65,9 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
       if (distribution[s] == 0) continue;
       ++*remaining;
+      ADA_OBS_OBSERVE("pvfs.stripe.server_bytes", distribution[s]);
     }
+    ADA_OBS_OBSERVE("pvfs.stripe.fanout", *remaining);
     if (*remaining == 0) {
       if (*done) simulator_.schedule_after(0.0, *done);
       return;

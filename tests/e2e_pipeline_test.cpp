@@ -1,0 +1,200 @@
+// End-to-end differential harness for the observability layer.
+//
+// Runs the full GPCR pipeline (generate -> ingest -> query) twice -- once
+// with metrics collection off, once with it on -- and proves the data path
+// is byte-identical either way: instrumentation may observe the pipeline
+// but never perturb it.  The metrics-on run is then reconciled against
+// ground truth: every byte the dispatcher accounted for is a byte the PLFS
+// containers actually hold, and the frame counters match the generator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ada/middleware.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kFrames = 5;
+
+class E2ePipelineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/ada_e2e_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    fs::remove_all(root_);
+    system_ = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+    workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+    formats::XtcWriter writer;
+    for (std::uint32_t f = 0; f < kFrames; ++f) {
+      ADA_CHECK(writer
+                    .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(),
+                               gen.next_frame())
+                    .is_ok());
+    }
+    xtc_ = writer.take();
+    obs::reset_all();
+    obs::set_enabled(false);
+  }
+
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset_all();
+    fs::remove_all(root_);
+  }
+
+  Ada make_ada(const std::string& subdir) {
+    AdaConfig config;
+    config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    const std::string base = root_ + "/" + subdir;
+    return Ada(
+        plfs::PlfsMount::open({{"ssd", base + "/ssd"}, {"hdd", base + "/hdd"}}).value(),
+        config);
+  }
+
+  // One complete pipeline pass: ingest the prepared trajectory into a fresh
+  // deployment under `subdir`, then query every data tag back.
+  std::map<Tag, std::vector<std::uint8_t>> run_pipeline(const std::string& subdir,
+                                                        IngestReport* report_out = nullptr) {
+    Ada ada = make_ada(subdir);
+    const auto report = ada.ingest(system_, xtc_, "gpcr.xtc");
+    ADA_CHECK(report.is_ok());
+    if (report_out != nullptr) *report_out = report.value();
+    std::map<Tag, std::vector<std::uint8_t>> subsets;
+    for (const Tag& tag : {kProteinTag, kMiscTag}) {
+      auto subset = ada.query("gpcr.xtc", tag);
+      ADA_CHECK(subset.is_ok());
+      subsets[tag] = std::move(subset).value();
+    }
+    return subsets;
+  }
+
+  std::string root_;
+  chem::System system_;
+  std::vector<std::uint8_t> xtc_;
+};
+
+TEST_F(E2ePipelineTest, MetricsOnAndOffProduceByteIdenticalSubsets) {
+  // Pass 1: metrics hard off.
+  obs::set_enabled(false);
+  IngestReport report_off;
+  const auto subsets_off = run_pipeline("off", &report_off);
+  // Nothing may have been recorded.
+  const obs::Snapshot off_snapshot = obs::capture();
+  for (const auto& [name, value] : off_snapshot.counters) {
+    EXPECT_EQ(value, 0u) << "metrics-off run recorded counter " << name;
+  }
+  for (const auto& span : off_snapshot.spans) {
+    EXPECT_EQ(span.calls, 0u) << "metrics-off run recorded span " << span.path;
+  }
+
+  // Pass 2: metrics on, identical input, fresh deployment.
+  obs::reset_all();
+  obs::set_enabled(true);
+  IngestReport report_on;
+  const auto subsets_on = run_pipeline("on", &report_on);
+  obs::set_enabled(false);
+
+  // The observer must not perturb the observed: identical bytes both ways.
+  ASSERT_EQ(subsets_off.size(), subsets_on.size());
+  for (const auto& [tag, bytes_off] : subsets_off) {
+    ASSERT_TRUE(subsets_on.count(tag)) << tag;
+    EXPECT_EQ(bytes_off, subsets_on.at(tag)) << "tag " << tag << " differs with metrics on";
+  }
+  // And identical reports.
+  EXPECT_EQ(report_off.preprocess.frames, report_on.preprocess.frames);
+  EXPECT_EQ(report_off.preprocess.subset_bytes, report_on.preprocess.subset_bytes);
+  EXPECT_EQ(report_off.backend_of_tag, report_on.backend_of_tag);
+}
+
+TEST_F(E2ePipelineTest, CountersReconcileWithContainerGroundTruth) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  Ada ada = make_ada("recon");
+  const auto report = ada.ingest(system_, xtc_, "gpcr.xtc").value();
+
+  const obs::Registry& registry = obs::Registry::global();
+
+  // Frames counted == frames generated (== frames reported).
+  EXPECT_EQ(registry.counter_value("ingest.frames"), kFrames);
+  EXPECT_EQ(report.preprocess.frames, kFrames);
+
+  // Every dispatched byte is accounted per tag, and the per-tag counters
+  // sum to the total.
+  std::uint64_t per_tag_sum = 0;
+  for (const Tag& tag : {kProteinTag, kMiscTag, kLabelFileTag}) {
+    per_tag_sum += registry.counter_value("ingest.dispatched_bytes." + tag);
+  }
+  const std::uint64_t dispatched = registry.counter_value("ingest.dispatched_bytes");
+  EXPECT_EQ(per_tag_sum, dispatched);
+
+  // Dispatched bytes == bytes the PLFS layer appended == bytes the
+  // containers hold on disk (per tag and in total).
+  EXPECT_EQ(dispatched, registry.counter_value("plfs.append.bytes"));
+  std::uint64_t on_disk = 0;
+  for (const Tag& tag : {kProteinTag, kMiscTag, kLabelFileTag}) {
+    const std::uint64_t label_bytes = ada.subset_bytes("gpcr.xtc", tag).value();
+    EXPECT_EQ(registry.counter_value("ingest.dispatched_bytes." + tag), label_bytes) << tag;
+    on_disk += label_bytes;
+  }
+  EXPECT_EQ(dispatched, on_disk);
+
+  // The data tags reconcile with the preprocessor's report too.
+  for (const auto& [tag, bytes] : report.preprocess.subset_bytes) {
+    EXPECT_EQ(registry.counter_value("ingest.dispatched_bytes." + tag), bytes) << tag;
+  }
+
+  // The read path accounts what it returns.
+  const auto protein = ada.query("gpcr.xtc", kProteinTag).value();
+  EXPECT_EQ(registry.counter_value("query.bytes_out"), protein.size());
+  EXPECT_EQ(registry.counter_value("query.bytes_out." + kProteinTag), protein.size());
+  obs::set_enabled(false);
+}
+
+TEST_F(E2ePipelineTest, StageSpansAndJsonCoverThePipeline) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  run_pipeline("spans");
+  const obs::Snapshot snapshot = obs::capture();
+  obs::set_enabled(false);
+
+  // The span tree contains each pipeline stage, correctly nested.
+  auto span_calls = [&](const std::string& path) -> std::uint64_t {
+    for (const auto& span : snapshot.spans) {
+      if (span.path == path) return span.calls;
+    }
+    return 0;
+  };
+  EXPECT_EQ(span_calls("categorize"), 1u);  // runs before ingest: its own root
+  EXPECT_EQ(span_calls("ingest"), 1u);
+  EXPECT_EQ(span_calls("ingest/preprocess"), 1u);
+  EXPECT_EQ(span_calls("ingest/preprocess/decode"), kFrames + 1);  // +1 EOF probe
+  EXPECT_EQ(span_calls("ingest/preprocess/split"), kFrames);
+  EXPECT_GE(span_calls("ingest/dispatch"), 1u);
+  EXPECT_EQ(span_calls("query"), 2u);
+  EXPECT_EQ(span_calls("query/retrieve"), 2u);
+
+  // The JSON document carries the acceptance-criteria names verbatim.
+  const std::string json = obs::to_json(snapshot);
+  for (const char* needle :
+       {"\"version\":1", "\"ingest.frames\":", "\"ingest.bytes_in\":",
+        "\"ingest.dispatched_bytes.p\":", "\"codec.decode.atoms\":",
+        "\"path\":\"ingest/preprocess/decode\"", "\"path\":\"ingest/dispatch\"",
+        "\"path\":\"query/retrieve\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "JSON missing " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace ada::core

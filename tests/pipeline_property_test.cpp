@@ -1,11 +1,20 @@
 // Property tests over the scenario pipelines: invariants that must hold for
 // any workload size on any platform, independent of calibration constants.
+// The tail section covers the functional ingest pipeline: IngestStream's
+// chunk-flush bookkeeping for arbitrary (chunk_frames, frames) pairs.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "ada/ingest_stream.hpp"
+#include "ada/middleware.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "platform/pipeline.hpp"
 #include "platform/platform.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
 
 namespace ada::platform {
 namespace {
@@ -146,3 +155,61 @@ TEST(PipelinePropertyTest, StripeOverrideNeverHelpsBeyondFull) {
 
 }  // namespace
 }  // namespace ada::platform
+
+// --- streaming ingest chunking --------------------------------------------------------
+
+namespace ada::core {
+namespace {
+
+// For any chunk size, the number of flushed chunks must bracket the frame
+// count: every chunk but the last is full, the last holds at least one
+// frame.  Checked both on the StreamReport and on the obs counters the
+// flush path maintains (stream.frames / stream.chunks).
+TEST(StreamChunkPropertyTest, FlushCountersBracketFrameCount) {
+  namespace fs = std::filesystem;
+  const std::string root = testing::TempDir() + "/ada_stream_prop";
+  fs::remove_all(root);
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto labels = categorize_protein_misc(system);
+
+  AdaConfig config;
+  config.placement = PlacementPolicy::active_on_ssd(0, 1);
+  Ada ada(plfs::PlfsMount::open({{"ssd", root + "/ssd"}, {"hdd", root + "/hdd"}}).value(),
+          config);
+
+  obs::Registry& registry = obs::Registry::global();
+  obs::set_enabled(true);
+  Rng rng(2026);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto chunk_frames = static_cast<std::uint32_t>(1 + rng.uniform_index(9));
+    const auto frames = static_cast<std::uint32_t>(1 + rng.uniform_index(25));
+    const std::string name = "trial" + std::to_string(trial) + ".xtc";
+
+    const std::uint64_t frames_before = registry.counter_value("stream.frames");
+    const std::uint64_t chunks_before = registry.counter_value("stream.chunks");
+
+    auto stream = ada.begin_stream(labels, name, chunk_frames).value();
+    workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+    for (std::uint32_t f = 0; f < frames; ++f) {
+      ASSERT_TRUE(stream
+                      .add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                                 gen.next_frame())
+                      .is_ok());
+    }
+    const auto report = stream.finish().value();
+
+    ASSERT_EQ(report.frames, frames) << "chunk_frames=" << chunk_frames;
+    const std::uint64_t chunks = report.chunks;
+    EXPECT_GE(chunks * chunk_frames, frames) << "chunk_frames=" << chunk_frames;
+    EXPECT_GT(frames, (chunks - 1) * chunk_frames) << "chunk_frames=" << chunk_frames;
+
+    // The instrumentation saw exactly what the report claims.
+    EXPECT_EQ(registry.counter_value("stream.frames") - frames_before, frames);
+    EXPECT_EQ(registry.counter_value("stream.chunks") - chunks_before, chunks);
+  }
+  obs::set_enabled(false);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ada::core

@@ -176,6 +176,43 @@ TEST_F(VfsFsckTest, StreamRejectsAfterFinishAndBadFrames) {
   EXPECT_FALSE(stream.finish().is_ok());
 }
 
+TEST_F(VfsFsckTest, MovedFromStreamIsSealedAndMoveTargetFinishes) {
+  // Regression: the move constructor must seal the source.  A defaulted
+  // move would leave the husk with a live dispatcher_ and finished_ ==
+  // false, so a stale finish() on it would dispatch a second label file
+  // into the container.
+  const auto labels = categorize_protein_misc(system_);
+  auto stream = ada_->begin_stream(labels, "moved.xtc", /*chunk_frames=*/4).value();
+  workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(stream
+                    .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(),
+                               gen.next_frame())
+                    .is_ok());
+  }
+
+  IngestStream moved = std::move(stream);
+  // The husk rejects everything; it must not touch the container.
+  EXPECT_FALSE(stream.add_frame(3, 3.0f, system_.box(), gen.next_frame()).is_ok());
+  EXPECT_FALSE(stream.finish().is_ok());
+
+  // The move target carries on: buffered frames, counters, and the
+  // container handle all travelled.
+  ASSERT_TRUE(moved
+                  .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(),
+                             gen.next_frame())
+                  .is_ok());
+  const auto report = moved.finish().value();
+  EXPECT_EQ(report.frames, 4u);
+  EXPECT_EQ(report.chunks, 1u);
+
+  // Exactly one label file landed; the subset reads back whole.
+  EXPECT_EQ(ada_->labels("moved.xtc").value(), labels);
+  const auto protein = ada_->query("moved.xtc", kProteinTag).value();
+  const auto reader = formats::RawTrajCatReader::open(protein).value();
+  EXPECT_EQ(reader.frame_count(), 4u);
+}
+
 TEST_F(VfsFsckTest, StreamValidation) {
   const auto labels = categorize_protein_misc(system_);
   EXPECT_FALSE(ada_->begin_stream(labels, "bad.xtc", 0).is_ok());

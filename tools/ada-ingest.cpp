@@ -2,10 +2,14 @@
 //
 //   ada-ingest --pdb system.pdb --xtc traj.xtc --ssd /mnt/ssd --hdd /mnt/hdd
 //              [--name bar.xtc] [--schema rules.txt] [--keep-original]
+//              [--metrics[=json]]
 //
 // Categorizes with Algorithm 1 (protein/MISC by default, or a schema file),
 // decompresses once, splits into tagged subsets, and dispatches them to the
-// two backend file systems.
+// two backend file systems.  With --metrics, prints the observability
+// report (per-stage timers, per-tag byte counters) after the ingest;
+// --metrics=json emits the stable JSON document on stdout (the summary
+// moves to stderr).  See docs/observability.md.
 #include <cstdio>
 #include <string>
 
@@ -22,7 +26,8 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-ingest --pdb <file> --xtc <file> --ssd <dir> --hdd <dir>\n"
-    "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n";
+    "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
+    "                  [--metrics[=json]]\n";
 }
 
 int main(int argc, char** argv) {
@@ -30,6 +35,8 @@ int main(int argc, char** argv) {
   if (!args.has("pdb") || !args.has("xtc") || !args.has("ssd") || !args.has("hdd")) {
     tools::die_usage(kUsage);
   }
+  tools::metrics_begin(args);
+  std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   const auto structure = tools::must(formats::read_pdb_file(args.get("pdb")), "read pdb");
   const auto xtc = tools::must(read_file(args.get("xtc")), "read xtc");
@@ -58,16 +65,17 @@ int main(int argc, char** argv) {
 
   const auto report =
       tools::must(middleware.ingest_with_labels(labels, xtc, logical), "ingest");
-  std::printf("ingested %s: %u frames, %u atoms, %s compressed input\n", logical.c_str(),
-              report.preprocess.frames, report.preprocess.atoms,
-              format_bytes(static_cast<double>(report.preprocess.compressed_bytes)).c_str());
+  std::fprintf(report_out, "ingested %s: %u frames, %u atoms, %s compressed input\n",
+               logical.c_str(), report.preprocess.frames, report.preprocess.atoms,
+               format_bytes(static_cast<double>(report.preprocess.compressed_bytes)).c_str());
   for (const auto& [tag, bytes] : report.preprocess.subset_bytes) {
-    std::printf("  tag %-8s %8llu atoms  %10s -> backend %u\n", tag.c_str(),
-                static_cast<unsigned long long>(report.preprocess.subset_atoms.at(tag)),
-                format_bytes(static_cast<double>(bytes)).c_str(),
-                report.backend_of_tag.at(tag));
+    std::fprintf(report_out, "  tag %-8s %8llu atoms  %10s -> backend %u\n", tag.c_str(),
+                 static_cast<unsigned long long>(report.preprocess.subset_atoms.at(tag)),
+                 format_bytes(static_cast<double>(bytes)).c_str(),
+                 report.backend_of_tag.at(tag));
   }
-  std::printf("decompression took %.3f s on this storage node (paid once)\n",
-              report.preprocess.decompress_wall_seconds);
+  std::fprintf(report_out, "decompression took %.3f s on this storage node (paid once)\n",
+               report.preprocess.decompress_wall_seconds);
+  tools::metrics_end(args);
   return 0;
 }

@@ -2,9 +2,13 @@
 //
 //   ada-query --ssd /mnt/ssd --hdd /mnt/hdd --name bar.xtc --tag p
 //             [--out subset.raw] [--render frame.ppm --pdb system.pdb]
+//             [--metrics[=json]]
 //
 // Without --out/--render, prints the subset's shape.  With --render, loads
 // the structure, renders frame 0 of the subset, and writes a .ppm image.
+// With --metrics, prints the observability report after the query;
+// --metrics=json emits the stable JSON document on stdout (the summary
+// moves to stderr).  See docs/observability.md.
 #include <cstdio>
 #include <string>
 
@@ -21,7 +25,8 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
-    "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n";
+    "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
+    "                 [--metrics[=json]]\n";
 }
 
 int main(int argc, char** argv) {
@@ -29,6 +34,8 @@ int main(int argc, char** argv) {
   if (!args.has("ssd") || !args.has("hdd") || !args.has("name") || !args.has("tag")) {
     tools::die_usage(kUsage);
   }
+  tools::metrics_begin(args);
+  std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   core::AdaConfig config;
   config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
@@ -42,13 +49,13 @@ int main(int argc, char** argv) {
   const core::Tag tag = args.get("tag");
   const auto subset = tools::must(middleware.query(logical, tag), "query");
   const auto reader = tools::must(formats::RawTrajCatReader::open(subset), "parse subset");
-  std::printf("%s tag %s: %u frames x %u atoms, %s decompressed\n", logical.c_str(), tag.c_str(),
-              reader.frame_count(), reader.atom_count(),
-              format_bytes(static_cast<double>(subset.size())).c_str());
+  std::fprintf(report_out, "%s tag %s: %u frames x %u atoms, %s decompressed\n", logical.c_str(),
+               tag.c_str(), reader.frame_count(), reader.atom_count(),
+               format_bytes(static_cast<double>(subset.size())).c_str());
 
   if (args.has("out")) {
     tools::must_ok(write_file(args.get("out"), subset), "write subset");
-    std::printf("wrote %s\n", args.get("out").c_str());
+    std::fprintf(report_out, "wrote %s\n", args.get("out").c_str());
   }
 
   if (args.has("render")) {
@@ -58,9 +65,10 @@ int main(int argc, char** argv) {
     tools::must_ok(session.mol_addfile("/mnt/" + logical, tag), "mol addfile");
     const auto frame = tools::must(session.render(0), "render");
     tools::must_ok(vmd::write_ppm(args.get("render"), frame.image), "write image");
-    std::printf("rendered frame 0 (%llu atoms, %llu bonds) to %s\n",
-                static_cast<unsigned long long>(frame.stats.atoms),
-                static_cast<unsigned long long>(frame.stats.bonds), args.get("render").c_str());
+    std::fprintf(report_out, "rendered frame 0 (%llu atoms, %llu bonds) to %s\n",
+                 static_cast<unsigned long long>(frame.stats.atoms),
+                 static_cast<unsigned long long>(frame.stats.bonds), args.get("render").c_str());
   }
+  tools::metrics_end(args);
   return 0;
 }

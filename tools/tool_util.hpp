@@ -3,16 +3,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/result.hpp"
 #include "common/strings.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace ada::tools {
 
-/// Parses "--flag value" pairs and bare positional arguments.
+/// Parses "--flag value", "--flag=value" pairs and bare positional arguments.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -20,7 +23,10 @@ class Args {
       const std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         const std::string key = arg.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+          flags_[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
           flags_[key] = argv[++i];
         } else {
           flags_[key] = "true";  // boolean flag
@@ -51,6 +57,30 @@ class Args {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// Shared --metrics[=json] handling.  Call metrics_begin before the
+/// instrumented work (it turns collection on) and metrics_end after it;
+/// "--metrics" prints aligned tables, "--metrics=json" the stable JSON
+/// document (docs/observability.md).
+inline void metrics_begin(const Args& args) {
+  if (!args.has("metrics")) return;
+  obs::reset_all();
+  obs::set_enabled(true);
+}
+
+inline void metrics_end(const Args& args, std::ostream& os = std::cout) {
+  if (!args.has("metrics")) return;
+  const obs::Snapshot snapshot = obs::capture();
+  if (args.get("metrics") == "json") {
+    os << obs::to_json(snapshot) << "\n";
+  } else {
+    obs::print_tables(snapshot, os);
+  }
+}
+
+/// True when the human-readable report should move to stderr so stdout
+/// carries nothing but the machine-readable JSON document.
+inline bool metrics_json_only(const Args& args) { return args.get("metrics") == "json"; }
 
 /// Print `usage`, then exit with failure.
 [[noreturn]] inline void die_usage(const char* usage) {
