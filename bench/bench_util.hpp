@@ -7,8 +7,10 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 #include "platform/pipeline.hpp"
 
 namespace ada::bench {
@@ -31,6 +33,35 @@ inline void obs_report(std::ostream& os = std::cout) {
   if (snapshot.empty()) return;
   os << "\n--- observability: pipeline stage breakdown ---\n";
   obs::print_tables(snapshot, os);
+}
+
+/// Parse --trace=<file> from a harness's argv and, when present, switch the
+/// request-timeline recorder on.  Returns the output path ("" when absent);
+/// pass it to trace_report() before returning from main().
+inline std::string trace_flag(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) path = arg.substr(8);
+  }
+  if (!path.empty()) {
+    obs::reset_events();
+    obs::set_trace_enabled(true);
+  }
+  return path;
+}
+
+/// Write the recorded timeline as Chrome trace JSON (no-op for "").  The
+/// merged functional + sim-time lanes load in Perfetto and feed ada-trace.
+inline void trace_report(const std::string& path, std::ostream& os = std::cout) {
+  if (path.empty()) return;
+  obs::set_trace_enabled(false);
+  const Status status = obs::write_chrome_json(path);
+  if (!status.is_ok()) {
+    os << "cannot write trace " << path << ": " << status.error().to_string() << "\n";
+    return;
+  }
+  os << "wrote trace " << path << " (load in Perfetto or analyse with ada-trace)\n";
 }
 
 inline std::string seconds_cell(const platform::ScenarioResult& r, double seconds) {

@@ -15,7 +15,8 @@
 
 using namespace ada;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_flag(argc, argv);
   const auto plat = platform::Platform::fat_node();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -69,5 +70,6 @@ int main() {
   std::cout << "shape check: XFS >3x ADA energy on completed runs (paper: \"more then 3x\",\n"
                ">12,500 kJ for XFS vs <5,000 kJ ADA(all) / ~2,200 kJ ADA(protein)).\n";
   bench::obs_report();
+  bench::trace_report(trace_path);
   return 0;
 }

@@ -15,7 +15,8 @@
 using namespace ada;
 using platform::Scenario;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_flag(argc, argv);
   const auto plat = platform::Platform::ssd_server();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -64,5 +65,6 @@ int main() {
   std::cout << "shape check: C-ext4 memory is >2.5x D-ADA (protein) at 5,006 frames\n"
                "(paper: \"over 2.5x\").\n";
   bench::obs_report();
+  bench::trace_report(trace_path);
   return 0;
 }

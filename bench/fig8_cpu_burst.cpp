@@ -53,7 +53,8 @@ vmd::PhaseProfiler modeled_profile(const platform::ScenarioResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_flag(argc, argv);
   bench::banner("Fig. 8: CPU burst time comparison (flame graphs)", "paper Fig. 8");
 
   // --- modeled plane: the pipelines behind Fig. 7 at 5,006 frames -------------
@@ -113,5 +114,6 @@ int main() {
   std::cout << "\nshape check: under the traditional path decompression is >50% of CPU\n"
                "burst time (paper Fig. 8); under ADA the decompression frames vanish.\n";
   bench::obs_report();
+  bench::trace_report(trace_path);
   return 0;
 }

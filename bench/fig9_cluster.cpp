@@ -15,7 +15,8 @@
 
 using namespace ada;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_flag(argc, argv);
   const auto plat = platform::Platform::small_cluster();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -63,5 +64,6 @@ int main() {
   memory.print(std::cout);
   std::cout << "shape check: same trend as Fig. 7c (identical data groups in memory).\n";
   bench::obs_report();
+  bench::trace_report(trace_path);
   return 0;
 }

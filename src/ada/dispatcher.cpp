@@ -1,5 +1,6 @@
 #include "ada/dispatcher.hpp"
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -40,8 +41,10 @@ std::uint32_t PlacementPolicy::backend_for(const Tag& tag) const {
 Status IoDispatcher::dispatch(const std::string& logical_name,
                               const std::map<Tag, std::vector<std::uint8_t>>& subsets) {
   const obs::ScopedTimer span("dispatch");
+  const obs::TraceSpan trace("dispatch");
   ADA_RETURN_IF_ERROR(mount_.create_container(logical_name));
   for (const auto& [tag, bytes] : subsets) {
+    const obs::TraceSpan subset_trace("dispatch.subset", tag);
     ADA_RETURN_IF_ERROR(
         mount_.append(logical_name, tag, policy_.backend_for(tag), bytes).status());
     count_dispatched(tag, bytes.size());
@@ -53,6 +56,7 @@ Result<plfs::IndexRecord> IoDispatcher::dispatch_one(const std::string& logical_
                                                      const Tag& tag,
                                                      std::span<const std::uint8_t> bytes) {
   const obs::ScopedTimer span("dispatch");
+  const obs::TraceSpan trace("dispatch", tag);
   auto record = mount_.append(logical_name, tag, policy_.backend_for(tag), bytes);
   if (record.is_ok()) count_dispatched(tag, bytes.size());
   return record;

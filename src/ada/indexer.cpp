@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/binary_io.hpp"
+#include "obs/events.hpp"
 
 namespace ada::core {
 
@@ -44,6 +45,7 @@ Result<std::vector<Tag>> Indexer::tags(const std::string& logical_name) const {
 
 Result<std::vector<std::uint8_t>> IoRetriever::retrieve(const std::string& logical_name,
                                                         const Tag& tag) const {
+  const obs::TraceSpan trace("plfs_read", tag);
   Indexer indexer(mount_);
   // The indexer resolves paths; the retriever performs the reads.
   ADA_ASSIGN_OR_RETURN(const auto locations, indexer.locate(logical_name, tag));
@@ -55,6 +57,7 @@ Result<std::vector<std::uint8_t>> IoRetriever::retrieve(const std::string& logic
     }
     out.insert(out.end(), bytes.begin(), bytes.end());
   }
+  obs::trace_counter("plfs.read.bytes", out.size());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include "ada/label_store.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -36,8 +37,10 @@ Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
                                              std::span<const std::uint8_t> xtc_image,
                                              const std::string& logical_name) {
   const obs::ScopedTimer span("ingest");
+  const obs::TraceSpan trace("ingest", logical_name);
   ADA_OBS_COUNT("ingest.calls", 1);
   ADA_OBS_COUNT("ingest.bytes_in", xtc_image.size());
+  obs::trace_counter("ingest.bytes_in", xtc_image.size());
   if (!labels.is_partition()) {
     return invalid_argument("label map does not partition the atom range");
   }
@@ -108,12 +111,14 @@ Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string
 Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
                                              const Tag& tag) const {
   const obs::ScopedTimer span("query");
+  const obs::TraceSpan trace("query", tag);
   ADA_OBS_COUNT("query.calls", 1);
   if (tag == kLabelFileTag || tag == kOriginalTag) {
     return invalid_argument("tag '" + tag + "' is reserved");
   }
   auto subset = [&] {
     const obs::ScopedTimer retrieve_span("retrieve");
+    const obs::TraceSpan retrieve_trace("retrieve", tag);
     return IoRetriever(mount_).retrieve(logical_name, tag);
   }();
   if (subset.is_ok() && obs::enabled()) {

@@ -3,6 +3,7 @@
 #include "common/stopwatch.hpp"
 #include "formats/raw_traj.hpp"
 #include "formats/xtc_file.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -15,6 +16,7 @@ DataPreProcessor::DataPreProcessor(LabelMap labels) : labels_(std::move(labels))
 Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
     std::span<const std::uint8_t> xtc_image, PreprocessStats* stats) const {
   const obs::ScopedTimer span("preprocess");
+  const obs::TraceSpan trace("preprocess");
   std::map<Tag, formats::RawTrajWriter> writers;
   for (const auto& [tag, selection] : labels_.groups) {
     writers.emplace(tag, formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));
@@ -27,6 +29,7 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
     std::optional<formats::TrajFrame> frame;
     {
       const obs::ScopedTimer decode_span("decode");
+      const obs::TraceSpan decode_trace("decode");
       ADA_ASSIGN_OR_RETURN(frame, reader.next());
     }
     if (!frame.has_value()) break;
@@ -36,6 +39,7 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
                           std::to_string(labels_.atom_count));
     }
     const obs::ScopedTimer split_span("split");
+    const obs::TraceSpan split_trace("split");
     for (auto& [tag, writer] : writers) {
       const auto subset = formats::extract_subset(frame->coords, labels_.groups.at(tag));
       ADA_RETURN_IF_ERROR(writer.add_frame(frame->step, frame->time_ps, frame->box, subset));

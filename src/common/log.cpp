@@ -6,6 +6,7 @@ namespace ada {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogPrefixHook g_prefix_hook = nullptr;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -21,11 +22,14 @@ const char* level_tag(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
+void set_log_prefix_hook(LogPrefixHook hook) { g_prefix_hook = hook; }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& message) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[ada %s] %s\n", level_tag(level), message.c_str());
+  std::string prefix = std::string("[ada ") + level_tag(level);
+  if (g_prefix_hook != nullptr) g_prefix_hook(prefix);
+  std::fprintf(stderr, "%s] %s\n", prefix.c_str(), message.c_str());
 }
 }  // namespace detail
 

@@ -16,6 +16,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Optional prefix decorator, appended after the level tag.  The obs layer
+/// installs one at static init that adds the active trace id when tracing is
+/// enabled, so log lines can be joined with exported timelines.  (A hook
+/// keeps the dependency one-way: ada_common must not link ada_obs.)
+using LogPrefixHook = void (*)(std::string& prefix);
+void set_log_prefix_hook(LogPrefixHook hook);
+
 namespace detail {
 void log_write(LogLevel level, const std::string& message);
 }

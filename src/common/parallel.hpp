@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/events.hpp"
+
 namespace ada {
 
 /// Run every task, using up to `threads` workers (0 = hardware concurrency).
@@ -27,8 +29,13 @@ inline void parallel_run(std::vector<std::function<void()>> tasks, unsigned thre
     for (auto& task : tasks) task();
     return;
   }
+  // Workers adopt the submitting thread's trace context so spans opened
+  // inside a task join the caller's trace instead of starting orphan ones.
+  obs::TraceContext submit_context;
+  if (obs::trace_enabled()) submit_context = obs::current_context();
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    const obs::ScopedTraceContext adopt(submit_context);
     while (true) {
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= tasks.size()) return;

@@ -1,5 +1,7 @@
 #include "net/fabric.hpp"
 
+#include "obs/events.hpp"
+
 namespace ada::net {
 
 Fabric::Fabric(sim::Simulator& simulator, sim::FlowNetwork& network, FabricSpec spec,
@@ -13,6 +15,13 @@ Fabric::Fabric(sim::Simulator& simulator, sim::FlowNetwork& network, FabricSpec 
     tx_.push_back(network_.add_link("node" + std::to_string(n) + ".tx", spec_.nic_bandwidth));
     rx_.push_back(network_.add_link("node" + std::to_string(n) + ".rx", spec_.nic_bandwidth));
   }
+  trace_lanes_.assign(node_count, 0);
+}
+
+std::uint32_t Fabric::trace_lane(NodeId src) {
+  std::uint32_t& lane = trace_lanes_.at(src);
+  if (lane == 0) lane = obs::register_lane("fabric.node" + std::to_string(src) + ".tx");
+  return lane;
 }
 
 std::vector<sim::LinkId> Fabric::path(NodeId src, NodeId dst) const {
@@ -25,16 +34,31 @@ sim::FlowId Fabric::transfer(NodeId src, NodeId dst, double bytes,
                              std::function<void()> on_complete) {
   // Setup latency is modeled as a deferred flow start.
   auto route = path(src, dst);
+  // The transfer span covers setup latency plus flow time on the source
+  // node's lane; the submitter's context ties it to the requesting trace.
+  std::uint64_t span = 0;
+  std::uint32_t lane = 0;
+  obs::TraceContext ctx;
+  if (obs::trace_enabled()) {
+    ctx = obs::current_context();
+    lane = trace_lane(src);
+    span = obs::sim_begin(lane, "xfer", simulator_.now(), ctx,
+                          static_cast<std::uint64_t>(bytes));
+  }
+  auto done = [this, lane, span, ctx, on_complete = std::move(on_complete)]() {
+    obs::sim_end(lane, "xfer", simulator_.now(), span, ctx);
+    if (on_complete) on_complete();
+  };
   // For zero-latency correctness the flow itself carries the bytes; the base
   // latency shifts its start.
   sim::FlowId placeholder = 0;
   if (spec_.base_latency <= 0.0) {
-    return network_.start_flow(std::move(route), bytes, std::move(on_complete));
+    return network_.start_flow(std::move(route), bytes, std::move(done));
   }
   simulator_.schedule_after(spec_.base_latency,
                             [this, route = std::move(route), bytes,
-                             on_complete = std::move(on_complete)]() mutable {
-                              network_.start_flow(std::move(route), bytes, std::move(on_complete));
+                             done = std::move(done)]() mutable {
+                              network_.start_flow(std::move(route), bytes, std::move(done));
                             });
   return placeholder;
 }

@@ -49,12 +49,15 @@ class Fabric {
   sim::LinkId backplane() const noexcept { return backplane_; }
 
  private:
+  std::uint32_t trace_lane(NodeId src);
+
   sim::Simulator& simulator_;
   sim::FlowNetwork& network_;
   FabricSpec spec_;
   std::vector<sim::LinkId> tx_;
   std::vector<sim::LinkId> rx_;
   sim::LinkId backplane_;
+  std::vector<std::uint32_t> trace_lanes_;  // per-source-node, lazily registered
 };
 
 }  // namespace ada::net

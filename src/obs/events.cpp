@@ -1,0 +1,347 @@
+#include "obs/events.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace ada::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::size_t> g_default_capacity{8192};
+
+// TraceContext is trivially constructible/destructible, so this TLS slot
+// costs a plain load on access.
+thread_local TraceContext tls_context;
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process trace epoch: wall timestamps are relative to it so traces start
+/// near t=0 regardless of machine uptime.
+std::uint64_t wall_now_ns() noexcept {
+  static const std::uint64_t epoch = steady_ns();
+  return steady_ns() - epoch;
+}
+
+std::uint64_t sim_ns(double sim_seconds) noexcept {
+  if (sim_seconds < 0.0) return 0;
+  return static_cast<std::uint64_t>(sim_seconds * 1e9);
+}
+
+void pack_tag(const char (&tag)[16], std::uint64_t& lo, std::uint64_t& hi) noexcept {
+  std::uint8_t bytes[16];
+  std::memcpy(bytes, tag, 16);
+  lo = hi = 0;
+  for (int i = 0; i < 8; ++i) lo |= std::uint64_t{bytes[i]} << (8 * i);
+  for (int i = 0; i < 8; ++i) hi |= std::uint64_t{bytes[8 + i]} << (8 * i);
+}
+
+void unpack_tag(std::uint64_t lo, std::uint64_t hi, char (&tag)[16]) noexcept {
+  for (int i = 0; i < 8; ++i) tag[i] = static_cast<char>((lo >> (8 * i)) & 0xff);
+  for (int i = 0; i < 8; ++i) tag[8 + i] = static_cast<char>((hi >> (8 * i)) & 0xff);
+  tag[15] = '\0';  // defensive: the packed form is always NUL-padded anyway
+}
+
+}  // namespace
+
+namespace detail {
+
+// One seqlock slot.  Every payload field is a relaxed atomic so a snapshot
+// taken concurrently with recording is data-race-free (TSan-clean); the
+// sequence word lets the reader detect and skip slots caught mid-write or
+// already overwritten by a newer generation.
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};  // 2*i+1 while writing event i, 2*i+2 once stable
+  std::atomic<std::uint64_t> ts_ns{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> span_id{0};
+  std::atomic<std::uint64_t> parent_span{0};
+  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> tag_lo{0};
+  std::atomic<std::uint64_t> tag_hi{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> misc{0};  // lane << 8 | phase
+};
+
+class EventRing {
+ public:
+  EventRing(std::size_t capacity, std::uint32_t thread_index)
+      : slots_(capacity), mask_(capacity - 1), thread_index_(thread_index) {}
+
+  /// Single producer: only the owning thread records.
+  void record(RawEvent::Phase phase, const char* name, std::uint64_t ts,
+              std::uint32_t lane, std::uint64_t trace_id, std::uint64_t span_id,
+              std::uint64_t parent, std::uint64_t value, const char (&tag)[16]) noexcept {
+    const std::uint64_t i = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[i & mask_];
+    slot.seq.store(2 * i + 1, std::memory_order_release);
+    slot.ts_ns.store(ts, std::memory_order_relaxed);
+    slot.trace_id.store(trace_id, std::memory_order_relaxed);
+    slot.span_id.store(span_id, std::memory_order_relaxed);
+    slot.parent_span.store(parent, std::memory_order_relaxed);
+    slot.value.store(value, std::memory_order_relaxed);
+    std::uint64_t lo = 0, hi = 0;
+    pack_tag(tag, lo, hi);
+    slot.tag_lo.store(lo, std::memory_order_relaxed);
+    slot.tag_hi.store(hi, std::memory_order_relaxed);
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.misc.store((std::uint64_t{lane} << 8) | static_cast<std::uint64_t>(phase),
+                    std::memory_order_relaxed);
+    slot.seq.store(2 * i + 2, std::memory_order_release);
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  void snapshot(std::vector<RawEvent>& out) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t floor = floor_.load(std::memory_order_acquire);
+    const std::uint64_t capacity = mask_ + 1;
+    std::uint64_t start = head > capacity ? head - capacity : 0;
+    if (floor > start) start = floor;
+    for (std::uint64_t i = start; i < head; ++i) {
+      const Slot& slot = slots_[i & mask_];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 != 2 * i + 2) continue;  // mid-write or already overwritten
+      RawEvent event;
+      event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      event.span_id = slot.span_id.load(std::memory_order_relaxed);
+      event.parent_span = slot.parent_span.load(std::memory_order_relaxed);
+      event.value = slot.value.load(std::memory_order_relaxed);
+      const std::uint64_t lo = slot.tag_lo.load(std::memory_order_relaxed);
+      const std::uint64_t hi = slot.tag_hi.load(std::memory_order_relaxed);
+      const char* name = slot.name.load(std::memory_order_relaxed);
+      const std::uint64_t misc = slot.misc.load(std::memory_order_relaxed);
+      const std::uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+      if (s2 != s1) continue;  // overwritten while copying
+      unpack_tag(lo, hi, event.tag);
+      event.name = name != nullptr ? name : "";
+      event.lane = static_cast<std::uint32_t>(misc >> 8);
+      event.phase = static_cast<RawEvent::Phase>(misc & 0xff);
+      event.thread = thread_index_;
+      out.push_back(event);
+    }
+  }
+
+  void forget() noexcept {
+    floor_.store(head_.load(std::memory_order_acquire), std::memory_order_release);
+  }
+
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t floor = floor_.load(std::memory_order_acquire);
+    const std::uint64_t capacity = mask_ + 1;
+    const std::uint64_t since_reset = head > floor ? head - floor : 0;
+    return since_reset > capacity ? since_reset - capacity : 0;
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::uint32_t thread_index_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> floor_{0};  // reset_events() watermark
+};
+
+}  // namespace detail
+
+namespace {
+
+struct RingRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<detail::EventRing>> rings;
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry* registry = new RingRegistry();  // outlives TLS teardown
+  return *registry;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// The calling thread's ring, created on first *enabled* record.  The
+/// registry owns it so short-lived workers leave their events behind.
+detail::EventRing& local_ring() {
+  thread_local detail::EventRing* tls = [] {
+    RingRegistry& registry = ring_registry();
+    std::lock_guard lock(registry.mutex);
+    auto ring = std::make_unique<detail::EventRing>(
+        round_up_pow2(g_default_capacity.load(std::memory_order_relaxed)),
+        static_cast<std::uint32_t>(registry.rings.size()));
+    detail::EventRing* raw = ring.get();
+    registry.rings.push_back(std::move(ring));
+    return raw;
+  }();
+  return *tls;
+}
+
+struct LaneRegistry {
+  std::mutex mutex;
+  std::vector<std::string> labels;  // lane id = index + 1 (0 is the functional plane)
+};
+
+LaneRegistry& lane_registry() {
+  static LaneRegistry* registry = new LaneRegistry();
+  return *registry;
+}
+
+// Log-line join hook: when tracing is on and a trace is in flight, log
+// prefixes carry "trace=<trace>/<span>" so logs and timelines can be joined
+// offline.  Installed once at static init; a no-op while tracing is off.
+void trace_log_prefix(std::string& out) {
+  if (!trace_enabled()) return;
+  const TraceContext context = current_context();
+  if (!context.active()) return;
+  out += " trace=" + std::to_string(context.trace_id) + "/" + std::to_string(context.span_id);
+}
+
+[[maybe_unused]] const bool g_log_hook_installed = [] {
+  set_log_prefix_hook(&trace_log_prefix);
+  return true;
+}();
+
+}  // namespace
+
+bool trace_enabled() noexcept { return g_trace_enabled.load(std::memory_order_relaxed); }
+void set_trace_enabled(bool on) noexcept {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceContext current_context() noexcept { return tls_context; }
+void set_current_context(const TraceContext& context) noexcept { tls_context = context; }
+
+void TraceSpan::open(const char* name, std::string_view tag) noexcept {
+  if (!trace_enabled()) return;  // the single relaxed load on the disabled path
+  saved_ = tls_context;
+  TraceContext context = saved_;
+  if (context.trace_id == 0) {
+    context.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!tag.empty()) context.set_tag(tag);
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t parent = context.span_id;
+  context.span_id = span_id_;
+  tls_context = context;
+  detail::EventRing& ring = local_ring();
+  ring.record(RawEvent::Phase::kBegin, name, wall_now_ns(), 0, context.trace_id, span_id_,
+              parent, 0, context.tag);
+  ring_ = &ring;
+  name_ = name;
+}
+
+TraceSpan::~TraceSpan() {
+  if (ring_ == nullptr) return;
+  // Record the end even if tracing was just switched off: an unbalanced
+  // begin would corrupt every later pairing on this lane.
+  const TraceContext context = tls_context;
+  ring_->record(RawEvent::Phase::kEnd, name_, wall_now_ns(), 0, context.trace_id, span_id_,
+                saved_.span_id, 0, context.tag);
+  tls_context = saved_;
+}
+
+void trace_instant(const char* name, std::uint64_t value) noexcept {
+  if (!trace_enabled()) return;
+  const TraceContext context = tls_context;
+  local_ring().record(RawEvent::Phase::kInstant, name, wall_now_ns(), 0, context.trace_id,
+                      context.span_id, context.span_id, value, context.tag);
+}
+
+void trace_counter(const char* name, std::uint64_t value) noexcept {
+  if (!trace_enabled()) return;
+  const TraceContext context = tls_context;
+  local_ring().record(RawEvent::Phase::kCounter, name, wall_now_ns(), 0, context.trace_id,
+                      context.span_id, context.span_id, value, context.tag);
+}
+
+std::uint32_t register_lane(const std::string& label) {
+  LaneRegistry& registry = lane_registry();
+  std::lock_guard lock(registry.mutex);
+  registry.labels.push_back(label);
+  return static_cast<std::uint32_t>(registry.labels.size());
+}
+
+std::uint64_t sim_begin(std::uint32_t lane, const char* name, double sim_seconds,
+                        const TraceContext& context, std::uint64_t value) noexcept {
+  if (!trace_enabled()) return 0;
+  const std::uint64_t span = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  local_ring().record(RawEvent::Phase::kBegin, name, sim_ns(sim_seconds), lane,
+                      context.trace_id, span, context.span_id, value, context.tag);
+  return span;
+}
+
+void sim_end(std::uint32_t lane, const char* name, double sim_seconds,
+             std::uint64_t span_id, const TraceContext& context) noexcept {
+  if (span_id == 0) return;  // begin was skipped: stay balanced
+  local_ring().record(RawEvent::Phase::kEnd, name, sim_ns(sim_seconds), lane,
+                      context.trace_id, span_id, context.span_id, 0, context.tag);
+}
+
+void sim_counter(std::uint32_t lane, const char* name, double sim_seconds,
+                 std::uint64_t value) noexcept {
+  if (!trace_enabled()) return;
+  static constexpr char kNoTag[16] = {};
+  local_ring().record(RawEvent::Phase::kCounter, name, sim_ns(sim_seconds), lane, 0, 0, 0,
+                      value, kNoTag);
+}
+
+std::vector<RawEvent> snapshot_events() {
+  std::vector<RawEvent> out;
+  RingRegistry& registry = ring_registry();
+  std::lock_guard lock(registry.mutex);
+  for (const auto& ring : registry.rings) ring->snapshot(out);
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> lane_labels() {
+  std::vector<std::pair<std::uint32_t, std::string>> out;
+  LaneRegistry& registry = lane_registry();
+  std::lock_guard lock(registry.mutex);
+  out.reserve(registry.labels.size());
+  for (std::size_t i = 0; i < registry.labels.size(); ++i) {
+    out.emplace_back(static_cast<std::uint32_t>(i + 1), registry.labels[i]);
+  }
+  return out;
+}
+
+void set_default_ring_capacity(std::size_t events) {
+  g_default_capacity.store(events < 8 ? 8 : events, std::memory_order_relaxed);
+}
+
+std::size_t ring_count() noexcept {
+  RingRegistry& registry = ring_registry();
+  std::lock_guard lock(registry.mutex);
+  return registry.rings.size();
+}
+
+std::uint64_t events_dropped() noexcept {
+  std::uint64_t total = 0;
+  RingRegistry& registry = ring_registry();
+  std::lock_guard lock(registry.mutex);
+  for (const auto& ring : registry.rings) total += ring->dropped();
+  return total;
+}
+
+void reset_events() {
+  RingRegistry& registry = ring_registry();
+  {
+    std::lock_guard lock(registry.mutex);
+    for (const auto& ring : registry.rings) ring->forget();
+  }
+  g_next_trace_id.store(1, std::memory_order_relaxed);
+  g_next_span_id.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace ada::obs

@@ -1,0 +1,406 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <span>
+
+#include "common/binary_io.hpp"
+
+namespace ada::obs {
+
+namespace {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Chrome timestamps are microseconds; three decimals keep the recorder's
+/// nanosecond resolution without floating-point noise in goldens.
+std::string ts_us_field(std::uint64_t ts_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ts_ns / 1000,
+                static_cast<unsigned>(ts_ns % 1000));
+  return buf;
+}
+
+char phase_char(RawEvent::Phase phase) {
+  switch (phase) {
+    case RawEvent::Phase::kBegin: return 'B';
+    case RawEvent::Phase::kEnd: return 'E';
+    case RawEvent::Phase::kInstant: return 'i';
+    case RawEvent::Phase::kCounter: return 'C';
+  }
+  return 'i';
+}
+
+void append_metadata(std::string& out, std::uint32_t pid, std::uint64_t tid, bool has_tid,
+                     const char* meta_name, const std::string& display) {
+  out += "{\"name\":\"";
+  out += meta_name;
+  out += "\",\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (has_tid) out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"args\":{\"name\":\"" + json_escape(display) + "\"}},\n";
+}
+
+// ---- minimal JSON reader (only what Chrome traces need) --------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    JsonValue value;
+    ADA_RETURN_IF_ERROR(parse_value(value));
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  Status parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      }
+      case 't':
+      case 'f': return parse_literal(out, c == 't');
+      case 'n':
+        if (!consume("null")) return fail("bad literal");
+        out.kind = JsonValue::Kind::kNull;
+        return Status::ok();
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      ADA_RETURN_IF_ERROR(parse_string(key));
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':' in object");
+      ++pos_;
+      JsonValue value;
+      ADA_RETURN_IF_ERROR(parse_value(value));
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::ok();
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::ok();
+    }
+    while (true) {
+      JsonValue value;
+      ADA_RETURN_IF_ERROR(parse_value(value));
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::ok();
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Traces only carry control characters escaped this way; map the
+          // BMP code point to UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return Status::ok();
+  }
+
+  Status parse_literal(JsonValue& out, bool value) {
+    if (!consume(value ? "true" : "false")) return fail("bad literal");
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = value;
+    return Status::ok();
+  }
+
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Error fail(const char* what) const {
+    return corrupt_data(std::string("trace JSON: ") + what + " at byte " + std::to_string(pos_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t as_u64(const JsonValue* value) {
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) return 0;
+  return value->number <= 0.0 ? 0 : static_cast<std::uint64_t>(value->number);
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<RawEvent>& events,
+                           const std::vector<std::pair<std::uint32_t, std::string>>& lanes) {
+  // Stable sort: per-ring record order already has B before E at equal
+  // timestamps, so ties keep that order.
+  std::vector<RawEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const RawEvent& a, const RawEvent& b) {
+    const std::uint32_t pid_a = a.lane == 0 ? kFunctionalPid : kSimPid;
+    const std::uint32_t pid_b = b.lane == 0 ? kFunctionalPid : kSimPid;
+    const std::uint64_t tid_a = a.lane == 0 ? a.thread : a.lane;
+    const std::uint64_t tid_b = b.lane == 0 ? b.thread : b.lane;
+    if (pid_a != pid_b) return pid_a < pid_b;
+    if (tid_a != tid_b) return tid_a < tid_b;
+    return a.ts_ns < b.ts_ns;
+  });
+
+  std::string out = "{\"traceEvents\":[\n";
+  append_metadata(out, kFunctionalPid, 0, false, "process_name", "functional (wall clock)");
+  std::set<std::uint32_t> threads;
+  bool any_sim = false;
+  for (const RawEvent& event : sorted) {
+    if (event.lane == 0) threads.insert(event.thread);
+    else any_sim = true;
+  }
+  for (const std::uint32_t thread : threads) {
+    append_metadata(out, kFunctionalPid, thread, true, "thread_name",
+                    "thread " + std::to_string(thread));
+  }
+  if (any_sim || !lanes.empty()) {
+    append_metadata(out, kSimPid, 0, false, "process_name", "simulated (sim time)");
+  }
+  for (const auto& [lane, label] : lanes) {
+    append_metadata(out, kSimPid, lane, true, "thread_name", label);
+  }
+
+  bool first = true;
+  for (const RawEvent& event : sorted) {
+    if (!first) out += ",\n";
+    first = false;
+    const std::uint32_t pid = event.lane == 0 ? kFunctionalPid : kSimPid;
+    const std::uint64_t tid = event.lane == 0 ? event.thread : event.lane;
+    const char ph = phase_char(event.phase);
+    out += "{\"name\":\"" + json_escape(event.name) + "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":" + ts_us_field(event.ts_ns) + ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(tid);
+    if (ph == 'i') out += ",\"s\":\"t\"";
+    out += ",\"args\":{";
+    if (ph == 'C') {
+      // Counter tracks plot every numeric arg; keep them to the value.
+      out += "\"value\":" + std::to_string(event.value);
+    } else {
+      out += "\"trace\":" + std::to_string(event.trace_id) +
+             ",\"span\":" + std::to_string(event.span_id) +
+             ",\"parent\":" + std::to_string(event.parent_span) + ",\"tag\":\"" +
+             json_escape(event.tag) + "\"";
+      if (event.value != 0) out += ",\"value\":" + std::to_string(event.value);
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+std::string capture_chrome_json() { return to_chrome_json(snapshot_events(), lane_labels()); }
+
+Status write_chrome_json(const std::string& path) {
+  const std::string json = capture_chrome_json();
+  return write_file(path, std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(json.data()), json.size()));
+}
+
+Result<std::vector<ExportEvent>> parse_chrome_json(
+    std::string_view json, std::vector<std::pair<std::uint64_t, std::string>>* lane_names) {
+  JsonReader reader(json);
+  ADA_ASSIGN_OR_RETURN(const JsonValue root, reader.parse());
+  const JsonValue* array = &root;
+  if (root.kind == JsonValue::Kind::kObject) {
+    array = root.find("traceEvents");
+    if (array == nullptr) return corrupt_data("trace JSON: missing traceEvents");
+  }
+  if (array->kind != JsonValue::Kind::kArray) {
+    return corrupt_data("trace JSON: traceEvents is not an array");
+  }
+
+  std::vector<ExportEvent> out;
+  out.reserve(array->array.size());
+  for (const JsonValue& row : array->array) {
+    if (row.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = row.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string.empty()) continue;
+    const char phase = ph->string[0];
+    const JsonValue* name = row.find("name");
+    const JsonValue* args = row.find("args");
+    const std::uint32_t pid = static_cast<std::uint32_t>(as_u64(row.find("pid")));
+    const std::uint64_t tid = as_u64(row.find("tid"));
+    if (phase == 'M') {
+      if (lane_names != nullptr && pid == kSimPid && name != nullptr &&
+          name->string == "thread_name" && args != nullptr) {
+        const JsonValue* label = args->find("name");
+        if (label != nullptr && label->kind == JsonValue::Kind::kString) {
+          lane_names->emplace_back(tid, label->string);
+        }
+      }
+      continue;
+    }
+    if (phase != 'B' && phase != 'E' && phase != 'i' && phase != 'C') continue;
+    ExportEvent event;
+    event.name = name != nullptr ? name->string : "";
+    event.ph = phase;
+    const JsonValue* ts = row.find("ts");
+    event.ts_us = ts != nullptr && ts->kind == JsonValue::Kind::kNumber ? ts->number : 0.0;
+    event.pid = pid;
+    event.tid = tid;
+    if (args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      event.trace_id = as_u64(args->find("trace"));
+      event.span_id = as_u64(args->find("span"));
+      event.parent_span = as_u64(args->find("parent"));
+      event.value = as_u64(args->find("value"));
+      const JsonValue* tag = args->find("tag");
+      if (tag != nullptr && tag->kind == JsonValue::Kind::kString) event.tag = tag->string;
+    }
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+}  // namespace ada::obs

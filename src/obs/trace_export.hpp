@@ -1,0 +1,64 @@
+// Chrome trace-event JSON export/import for the event recorder.
+//
+// Output loads directly in Perfetto or chrome://tracing.  Two "processes"
+// render the two planes: pid 1 is the functional plane (wall clock, one tid
+// per recording thread), pid 2 is the simulated plane (sim time, one tid
+// per registered lane).  Field ordering inside every JSON object is fixed so
+// golden tests can compare strings byte-for-byte.
+//
+// The parser accepts any Chrome trace emitted by this exporter (and the
+// common subset produced by other tools): a top-level object with a
+// "traceEvents" array, or a bare event array.  ada-trace uses it to merge,
+// filter, and analyse traces offline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/events.hpp"
+
+namespace ada::obs {
+
+/// Chrome pid of the functional (wall-clock) plane.
+inline constexpr std::uint32_t kFunctionalPid = 1;
+/// Chrome pid of the simulated (sim-time) plane.
+inline constexpr std::uint32_t kSimPid = 2;
+
+/// One trace event in exported/parsed form.  `ts_us` is Chrome's microsecond
+/// timestamp (fractional part keeps nanosecond precision).
+struct ExportEvent {
+  std::string name;
+  char ph = 'i';  // B, E, i, C (metadata M events are consumed, not surfaced)
+  double ts_us = 0.0;
+  std::uint32_t pid = kFunctionalPid;
+  std::uint64_t tid = 0;
+  std::string tag;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t value = 0;
+};
+
+/// Serialise recorder events (plus lane labels for track naming) to Chrome
+/// trace JSON.  Events are stably sorted by (pid, tid, ts) -- per-ring
+/// record order breaks ties -- so output is deterministic for goldens.
+std::string to_chrome_json(const std::vector<RawEvent>& events,
+                           const std::vector<std::pair<std::uint32_t, std::string>>& lanes);
+
+/// Snapshot the live recorder and serialise it.
+std::string capture_chrome_json();
+
+/// Snapshot the live recorder and write the JSON to `path`.
+Status write_chrome_json(const std::string& path);
+
+/// Parse Chrome trace JSON back into events.  Metadata rows ("ph":"M") feed
+/// `lane_names` (pid-2 tid -> label) and are not returned as events.
+Result<std::vector<ExportEvent>> parse_chrome_json(
+    std::string_view json,
+    std::vector<std::pair<std::uint64_t, std::string>>* lane_names = nullptr);
+
+}  // namespace ada::obs

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/binary_io.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +80,7 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
     return invalid_argument("backend " + std::to_string(backend_id) + " out of range");
   }
   const obs::ScopedTimer span("plfs_append");
+  const obs::TraceSpan trace("plfs_append", label);
   ADA_OBS_COUNT("plfs.append.calls", 1);
   ADA_OBS_COUNT("plfs.append.bytes", bytes.size());
   if (obs::enabled()) {
@@ -106,6 +108,7 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
 
 Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& logical_name) const {
   const obs::ScopedTimer span("plfs_read");
+  const obs::TraceSpan trace("plfs_read");
   ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
   if (!is_complete(records)) {
     return corrupt_data("container " + logical_name + " has holes or overlapping extents");
@@ -134,6 +137,7 @@ Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& log
 Result<std::vector<std::uint8_t>> PlfsMount::read_label(const std::string& logical_name,
                                                         const std::string& label) const {
   const obs::ScopedTimer span("plfs_read");
+  const obs::TraceSpan trace("plfs_read", label);
   ADA_ASSIGN_OR_RETURN(auto records, read_index(logical_name));
   std::erase_if(records, [&](const IndexRecord& r) { return r.label != label; });
   std::sort(records.begin(), records.end(),

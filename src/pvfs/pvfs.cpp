@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace ada::pvfs {
@@ -28,6 +29,15 @@ PvfsModel::PvfsModel(sim::Simulator& simulator, net::Fabric& fabric, std::string
     links_.push_back(ServerLinks{network.add_link(base + ".disk_rd", read_bw),
                                  network.add_link(base + ".disk_wr", write_bw)});
   }
+  stripe_lanes_.assign(servers_.size(), 0);
+}
+
+std::uint32_t PvfsModel::stripe_lane(std::uint32_t server) {
+  std::uint32_t& lane = stripe_lanes_.at(server);
+  if (lane == 0) {
+    lane = obs::register_lane(name_ + ".s" + std::to_string(servers_[server].node) + ".stripe");
+  }
+  return lane;
 }
 
 double PvfsModel::aggregate_disk_read_bandwidth() const {
@@ -58,7 +68,9 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
     ADA_OBS_COUNT("pvfs.read.calls", 1);
     ADA_OBS_COUNT("pvfs.read.bytes", bytes);
   }
-  metadata_.submit(lookup, [this, bytes, client, write, on_complete = std::move(on_complete)]() mutable {
+  const obs::TraceContext ctx = obs::trace_enabled() ? obs::current_context() : obs::TraceContext{};
+  metadata_.submit(lookup, [this, bytes, client, write, ctx,
+                            on_complete = std::move(on_complete)]() mutable {
     const auto distribution = layout_.distribution(static_cast<std::uint64_t>(bytes));
     auto remaining = std::make_shared<std::uint32_t>(0);
     auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
@@ -91,11 +103,22 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
       // delays the flow start.
       const double start_delay = servers_[s].device.access_latency;
       const double server_bytes = static_cast<double>(distribution[s]);
-      simulator_.schedule_after(start_delay, [this, path = std::move(path), server_bytes, remaining,
+      const char* stripe_name = write ? "stripe_write" : "stripe_read";
+      simulator_.schedule_after(start_delay, [this, s, ctx, stripe_name,
+                                              path = std::move(path), server_bytes, remaining,
                                               done]() mutable {
-        fabric_.network().start_flow(std::move(path), server_bytes, [remaining, done]() {
-          if (--*remaining == 0 && *done) (*done)();
-        });
+        // The stripe span opens when the flow actually starts (after the
+        // device access latency) and closes when its last byte lands.
+        const std::uint64_t span =
+            obs::trace_enabled()
+                ? obs::sim_begin(stripe_lane(s), stripe_name, simulator_.now(), ctx,
+                                 static_cast<std::uint64_t>(server_bytes))
+                : 0;
+        fabric_.network().start_flow(
+            std::move(path), server_bytes, [this, s, ctx, stripe_name, span, remaining, done]() {
+              obs::sim_end(stripe_lanes_[s], stripe_name, simulator_.now(), span, ctx);
+              if (--*remaining == 0 && *done) (*done)();
+            });
       });
     }
   });

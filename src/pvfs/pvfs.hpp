@@ -65,6 +65,7 @@ class PvfsModel {
 
   void start_striped(double bytes, net::NodeId client, bool write,
                      std::function<void()> on_complete);
+  std::uint32_t stripe_lane(std::uint32_t server);
 
   sim::Simulator& simulator_;
   net::Fabric& fabric_;
@@ -74,6 +75,7 @@ class PvfsModel {
   sim::FcfsResource metadata_;
   MetadataParams metadata_params_;
   StripeLayout layout_;
+  std::vector<std::uint32_t> stripe_lanes_;  // per-server, lazily registered
 };
 
 }  // namespace ada::pvfs

@@ -2,9 +2,21 @@
 
 namespace ada::sim {
 
+std::uint32_t FcfsResource::trace_lane() {
+  if (trace_lane_ == 0) trace_lane_ = obs::register_lane(name_);
+  return trace_lane_;
+}
+
 void FcfsResource::submit(SimTime service_time, std::function<void()> on_done) {
   ADA_CHECK(service_time >= 0.0);
-  queue_.push_back(Request{service_time, std::move(on_done)});
+  Request request{service_time, std::move(on_done), obs::TraceContext{}};
+  if (obs::trace_enabled()) {
+    // Requests carry the submitter's trace so the serve span -- which may
+    // start much later, after the queue drains -- still joins that trace.
+    request.ctx = obs::current_context();
+    obs::sim_counter(trace_lane(), "queue_length", simulator_.now(), queue_.size() + 1);
+  }
+  queue_.push_back(std::move(request));
   if (!busy_) start_next();
 }
 
@@ -17,11 +29,17 @@ void FcfsResource::start_next() {
   Request request = std::move(queue_.front());
   queue_.pop_front();
   busy_time_ += request.service_time;
-  simulator_.schedule_after(request.service_time, [this, fn = std::move(request.on_done)]() {
-    ++completed_;
-    if (fn) fn();
-    start_next();
-  });
+  const std::uint64_t span =
+      obs::trace_enabled()
+          ? obs::sim_begin(trace_lane(), "serve", simulator_.now(), request.ctx)
+          : 0;
+  simulator_.schedule_after(
+      request.service_time, [this, span, ctx = request.ctx, fn = std::move(request.on_done)]() {
+        obs::sim_end(trace_lane_, "serve", simulator_.now(), span, ctx);
+        ++completed_;
+        if (fn) fn();
+        start_next();
+      });
 }
 
 }  // namespace ada::sim

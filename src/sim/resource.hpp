@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/events.hpp"
 #include "sim/simulator.hpp"
 
 namespace ada::sim {
@@ -34,9 +35,11 @@ class FcfsResource {
   struct Request {
     SimTime service_time;
     std::function<void()> on_done;
+    obs::TraceContext ctx;  // submitter's trace, replayed when service runs
   };
 
   void start_next();
+  std::uint32_t trace_lane();
 
   Simulator& simulator_;
   std::string name_;
@@ -44,6 +47,7 @@ class FcfsResource {
   bool busy_ = false;
   double busy_time_ = 0.0;
   std::uint64_t completed_ = 0;
+  std::uint32_t trace_lane_ = 0;  // lazily registered event-recorder lane
 };
 
 }  // namespace ada::sim

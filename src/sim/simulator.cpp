@@ -1,11 +1,18 @@
 #include "sim/simulator.hpp"
 
+#include "obs/events.hpp"
+
 namespace ada::sim {
 
 void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   ADA_CHECK(t >= now_);
   ADA_CHECK(fn != nullptr);
   queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+std::uint32_t Simulator::trace_lane() {
+  if (trace_lane_ == 0) trace_lane_ = obs::register_lane("sim.engine");
+  return trace_lane_;
 }
 
 void Simulator::execute_next() {
@@ -19,27 +26,44 @@ void Simulator::execute_next() {
 }
 
 void Simulator::run() {
+  const std::uint64_t span = obs::trace_enabled()
+                                 ? obs::sim_begin(trace_lane(), "sim.run", now_,
+                                                  obs::current_context(), pending_events())
+                                 : 0;
   while (!queue_.empty()) execute_next();
+  obs::sim_end(trace_lane_, "sim.run", now_, span, obs::current_context());
 }
 
 bool Simulator::run_until(SimTime deadline) {
+  const std::uint64_t span = obs::trace_enabled()
+                                 ? obs::sim_begin(trace_lane(), "sim.run_until", now_,
+                                                  obs::current_context(), pending_events())
+                                 : 0;
+  bool drained = true;
   while (!queue_.empty()) {
     if (queue_.top().time > deadline) {
       now_ = deadline;
-      return false;
+      drained = false;
+      break;
     }
     execute_next();
   }
-  return true;
+  obs::sim_end(trace_lane_, "sim.run_until", now_, span, obs::current_context());
+  return drained;
 }
 
 bool Simulator::run_while_pending(const std::function<bool()>& predicate) {
-  if (predicate()) return true;
-  while (!queue_.empty()) {
+  const std::uint64_t span = obs::trace_enabled()
+                                 ? obs::sim_begin(trace_lane(), "sim.run_while_pending", now_,
+                                                  obs::current_context(), pending_events())
+                                 : 0;
+  bool satisfied = predicate();
+  while (!satisfied && !queue_.empty()) {
     execute_next();
-    if (predicate()) return true;
+    satisfied = predicate();
   }
-  return false;
+  obs::sim_end(trace_lane_, "sim.run_while_pending", now_, span, obs::current_context());
+  return satisfied;
 }
 
 }  // namespace ada::sim

@@ -64,11 +64,13 @@ class Simulator {
   };
 
   void execute_next();
+  std::uint32_t trace_lane();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint32_t trace_lane_ = 0;  // lazily registered event-recorder lane
 };
 
 }  // namespace ada::sim

@@ -8,16 +8,21 @@
 // containers actually hold, and the frame counters match the generator.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "ada/middleware.hpp"
 #include "formats/raw_traj.hpp"
 #include "formats/xtc_file.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "workload/gpcr_builder.hpp"
 #include "workload/trajectory_gen.hpp"
 
@@ -51,6 +56,8 @@ class E2ePipelineTest : public testing::Test {
   void TearDown() override {
     obs::set_enabled(false);
     obs::reset_all();
+    obs::set_trace_enabled(false);
+    obs::reset_events();
     fs::remove_all(root_);
   }
 
@@ -194,6 +201,65 @@ TEST_F(E2ePipelineTest, StageSpansAndJsonCoverThePipeline) {
         "\"path\":\"query/retrieve\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << "JSON missing " << needle;
   }
+}
+
+TEST_F(E2ePipelineTest, TracingOnAndOffProduceByteIdenticalSubsets) {
+  // Pass 1: tracing hard off -- the recorder must stay empty.
+  obs::set_trace_enabled(false);
+  obs::reset_events();
+  IngestReport report_off;
+  const auto subsets_off = run_pipeline("trace_off", &report_off);
+  EXPECT_TRUE(obs::snapshot_events().empty()) << "tracing-off run recorded events";
+
+  // Pass 2: tracing on, identical input, fresh deployment.
+  obs::set_trace_enabled(true);
+  IngestReport report_on;
+  const auto subsets_on = run_pipeline("trace_on", &report_on);
+  obs::set_trace_enabled(false);
+
+  // The observer must not perturb the observed: identical bytes both ways.
+  ASSERT_EQ(subsets_off.size(), subsets_on.size());
+  for (const auto& [tag, bytes_off] : subsets_off) {
+    ASSERT_TRUE(subsets_on.count(tag)) << tag;
+    EXPECT_EQ(bytes_off, subsets_on.at(tag)) << "tag " << tag << " differs with tracing on";
+  }
+  EXPECT_EQ(report_off.preprocess.frames, report_on.preprocess.frames);
+  EXPECT_EQ(report_off.preprocess.subset_bytes, report_on.preprocess.subset_bytes);
+  EXPECT_EQ(report_off.backend_of_tag, report_on.backend_of_tag);
+
+  // The traced run produced a coherent timeline: per trace id, begin and
+  // end events pair exactly (same span ids, equal counts).
+  const auto events = obs::snapshot_events();
+  ASSERT_FALSE(events.empty());
+  std::map<std::uint64_t, std::multiset<std::uint64_t>> begins_by_trace;
+  std::map<std::uint64_t, std::multiset<std::uint64_t>> ends_by_trace;
+  for (const obs::RawEvent& event : events) {
+    if (event.phase == obs::RawEvent::Phase::kBegin) {
+      begins_by_trace[event.trace_id].insert(event.span_id);
+    } else if (event.phase == obs::RawEvent::Phase::kEnd) {
+      ends_by_trace[event.trace_id].insert(event.span_id);
+    }
+  }
+  ASSERT_FALSE(begins_by_trace.empty());
+  EXPECT_EQ(begins_by_trace, ends_by_trace) << "begin/end events unbalanced per trace id";
+
+  // Ingest and the two queries are separate requests: >= 3 distinct traces,
+  // and the pipeline stages all show up.
+  EXPECT_GE(begins_by_trace.size(), 3u);
+  std::set<std::string> names;
+  for (const obs::RawEvent& event : events) names.insert(event.name);
+  for (const char* stage :
+       {"ingest", "preprocess", "decode", "split", "dispatch", "plfs_append", "query",
+        "retrieve", "plfs_read"}) {
+    EXPECT_TRUE(names.count(stage)) << "missing stage " << stage;
+  }
+
+  // The export is valid Chrome JSON and parses back to the same event count
+  // (metadata rows aside).
+  const std::string json = obs::capture_chrome_json();
+  const auto parsed = obs::parse_chrome_json(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().size(), events.size());
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 // ada-gen: generate a synthetic GPCR dataset (.pdb + .xtc [+ .trr]) on disk.
 //
 //   ada-gen --out data/ --frames 100 [--size tiny|paper] [--ligand N]
-//           [--seed S] [--trr]
+//           [--seed S] [--trr] [--metrics[=json]]
 //
 // Produces data/system.pdb and data/traj.xtc (and data/traj.trr with --trr),
-// ready for ada-ingest or plain mini-VMD loading.
+// ready for ada-ingest or plain mini-VMD loading.  With --metrics, prints
+// the observability report (compression counters, stage timers) after
+// generation; --metrics=json emits the stable JSON document on stdout (the
+// summary moves to stderr).  See docs/observability.md.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -24,7 +27,7 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-gen --out <dir> [--frames N] [--size tiny|paper] [--ligand N]\n"
-    "               [--seed S] [--trr]\n"
+    "               [--seed S] [--trr] [--metrics[=json]]\n"
     "  generates a synthetic GPCR membrane system (system.pdb) and an\n"
     "  OU-dynamics trajectory (traj.xtc; traj.trr with --trr)\n";
 }
@@ -32,6 +35,8 @@ constexpr const char* kUsage =
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (!args.has("out")) tools::die_usage(kUsage);
+  tools::metrics_begin(args);
+  std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
   const std::string out = args.get("out");
   const auto frames = static_cast<std::uint32_t>(args.get_int("frames", 50));
   const std::string size = args.get("size", "tiny");
@@ -68,16 +73,17 @@ int main(int argc, char** argv) {
   tools::must_ok(write_file(out + "/traj.xtc", xtc.bytes()), "write traj.xtc");
   if (want_trr) tools::must_ok(write_file(out + "/traj.trr", trr.bytes()), "write traj.trr");
 
-  std::printf("wrote %s/system.pdb (%u atoms, %u protein)\n", out.c_str(), system.atom_count(),
+  std::fprintf(report_out, "wrote %s/system.pdb (%u atoms, %u protein)\n", out.c_str(), system.atom_count(),
               system.count_category(chem::Category::kProtein));
-  std::printf("wrote %s/traj.xtc (%u frames, %s compressed, %s raw)\n", out.c_str(), frames,
+  std::fprintf(report_out, "wrote %s/traj.xtc (%u frames, %s compressed, %s raw)\n", out.c_str(), frames,
               format_bytes(static_cast<double>(xtc.size_bytes())).c_str(),
               format_bytes(static_cast<double>(
                                formats::raw_file_bytes(system.atom_count(), frames)))
                   .c_str());
   if (want_trr) {
-    std::printf("wrote %s/traj.trr (%s)\n", out.c_str(),
-                format_bytes(static_cast<double>(trr.size_bytes())).c_str());
+    std::fprintf(report_out, "wrote %s/traj.trr (%s)\n", out.c_str(),
+                 format_bytes(static_cast<double>(trr.size_bytes())).c_str());
   }
+  tools::metrics_end(args);
   return 0;
 }

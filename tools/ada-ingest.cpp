@@ -2,14 +2,16 @@
 //
 //   ada-ingest --pdb system.pdb --xtc traj.xtc --ssd /mnt/ssd --hdd /mnt/hdd
 //              [--name bar.xtc] [--schema rules.txt] [--keep-original]
-//              [--metrics[=json]]
+//              [--metrics[=json]] [--trace out.json]
 //
 // Categorizes with Algorithm 1 (protein/MISC by default, or a schema file),
 // decompresses once, splits into tagged subsets, and dispatches them to the
 // two backend file systems.  With --metrics, prints the observability
 // report (per-stage timers, per-tag byte counters) after the ingest;
 // --metrics=json emits the stable JSON document on stdout (the summary
-// moves to stderr).  See docs/observability.md.
+// moves to stderr).  With --trace=<file>, records a request timeline and
+// writes Chrome trace JSON for Perfetto / ada-trace.  See
+// docs/observability.md.
 #include <cstdio>
 #include <string>
 
@@ -27,7 +29,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-ingest --pdb <file> --xtc <file> --ssd <dir> --hdd <dir>\n"
     "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
-    "                  [--metrics[=json]]\n";
+    "                  [--metrics[=json]] [--trace <out.json>]\n";
 }
 
 int main(int argc, char** argv) {
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
     tools::die_usage(kUsage);
   }
   tools::metrics_begin(args);
+  tools::trace_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   const auto structure = tools::must(formats::read_pdb_file(args.get("pdb")), "read pdb");
@@ -76,6 +79,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(report_out, "decompression took %.3f s on this storage node (paid once)\n",
                report.preprocess.decompress_wall_seconds);
+  tools::trace_end(args);
   tools::metrics_end(args);
   return 0;
 }

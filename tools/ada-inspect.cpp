@@ -5,6 +5,10 @@
 //   ada-inspect --ssd ... --hdd ... --name bar.xtc             # dump one
 //   ada-inspect --ssd ... --hdd ... --name bar.xtc --fsck      # verify
 //   ada-inspect --ssd ... --hdd ... --name bar.xtc --repair    # verify + repair
+//
+// With --metrics, prints the observability report (index/label read
+// counters) before exiting; --metrics=json emits the stable JSON document
+// on stdout (the report moves to stderr).  See docs/observability.md.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -20,12 +24,16 @@ using namespace ada;
 
 namespace {
 constexpr const char* kUsage =
-    "usage: ada-inspect --ssd <dir> --hdd <dir> [--name <logical>] [--fsck] [--repair]\n";
+    "usage: ada-inspect --ssd <dir> --hdd <dir> [--name <logical>] [--fsck] [--repair]\n"
+    "                   [--metrics[=json]]\n";
 }
 
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (!args.has("ssd") || !args.has("hdd")) tools::die_usage(kUsage);
+  tools::metrics_begin(args);
+  std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
+  std::ostream& table_out = tools::metrics_json_only(args) ? std::cerr : std::cout;
 
   core::AdaConfig config;
   config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
@@ -38,10 +46,12 @@ int main(int argc, char** argv) {
   if (!args.has("name")) {
     const auto names = tools::must(middleware.mount().list_containers(), "list containers");
     if (names.empty()) {
-      std::printf("no containers\n");
+      std::fprintf(report_out, "no containers\n");
+      tools::metrics_end(args);
       return 0;
     }
-    for (const auto& name : names) std::printf("%s\n", name.c_str());
+    for (const auto& name : names) std::fprintf(report_out, "%s\n", name.c_str());
+    tools::metrics_end(args);
     return 0;
   }
 
@@ -52,29 +62,31 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(r.logical_offset), format_bytes(static_cast<double>(r.length)),
                    middleware.mount().backend(r.backend).name, r.label, r.dropping});
   }
-  std::printf("container %s (%zu extents):\n", logical.c_str(), records.size());
-  table.print(std::cout);
+  std::fprintf(report_out, "container %s (%zu extents):\n", logical.c_str(), records.size());
+  table.print(table_out);
 
   const auto labels = middleware.labels(logical);
   if (labels.is_ok()) {
-    std::printf("\nlabel file:\n%s", core::encode_label_file(labels.value()).c_str());
+    std::fprintf(report_out, "\nlabel file:\n%s", core::encode_label_file(labels.value()).c_str());
   } else {
-    std::printf("\nno label file (%s)\n", labels.error().to_string().c_str());
+    std::fprintf(report_out, "\nno label file (%s)\n", labels.error().to_string().c_str());
   }
 
   if (args.has("fsck") || args.has("repair")) {
     const auto report = tools::must(plfs::verify_container(middleware.mount(), logical), "fsck");
-    std::printf("\nfsck: %s (%zu broken records, %zu orphans, extents %s)\n",
+    std::fprintf(report_out, "\nfsck: %s (%zu broken records, %zu orphans, extents %s)\n",
                 report.clean() ? "clean" : "NOT CLEAN", report.broken_records.size(),
                 report.orphan_droppings.size(),
                 report.extents_complete ? "complete" : "INCOMPLETE");
     if (args.has("repair") && !report.clean()) {
       const auto actions =
           tools::must(plfs::repair_container(middleware.mount(), logical), "repair");
-      std::printf("repaired: dropped %zu records, removed %zu orphans\n",
-                  actions.records_dropped, actions.orphans_removed);
+      std::fprintf(report_out, "repaired: dropped %zu records, removed %zu orphans\n",
+                   actions.records_dropped, actions.orphans_removed);
     }
+    tools::metrics_end(args);
     return report.clean() ? 0 : 1;
   }
+  tools::metrics_end(args);
   return 0;
 }

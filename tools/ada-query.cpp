@@ -2,13 +2,15 @@
 //
 //   ada-query --ssd /mnt/ssd --hdd /mnt/hdd --name bar.xtc --tag p
 //             [--out subset.raw] [--render frame.ppm --pdb system.pdb]
-//             [--metrics[=json]]
+//             [--metrics[=json]] [--trace out.json]
 //
 // Without --out/--render, prints the subset's shape.  With --render, loads
 // the structure, renders frame 0 of the subset, and writes a .ppm image.
 // With --metrics, prints the observability report after the query;
 // --metrics=json emits the stable JSON document on stdout (the summary
-// moves to stderr).  See docs/observability.md.
+// moves to stderr).  With --trace=<file>, records a request timeline and
+// writes Chrome trace JSON for Perfetto / ada-trace.  See
+// docs/observability.md.
 #include <cstdio>
 #include <string>
 
@@ -26,7 +28,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
     "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
-    "                 [--metrics[=json]]\n";
+    "                 [--metrics[=json]] [--trace <out.json>]\n";
 }
 
 int main(int argc, char** argv) {
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
     tools::die_usage(kUsage);
   }
   tools::metrics_begin(args);
+  tools::trace_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   core::AdaConfig config;
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(frame.stats.atoms),
                  static_cast<unsigned long long>(frame.stats.bonds), args.get("render").c_str());
   }
+  tools::trace_end(args);
   tools::metrics_end(args);
   return 0;
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the fast test tier, then smoke the
+# end-to-end tracing pipeline (ada-gen -> ada-ingest --trace -> ada-query
+# --trace -> ada-trace).  Exits non-zero on the first failure.
+#
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j
+
+echo "== unit tier (ctest -L unit) =="
+ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
+
+echo "== tracing tier (ctest -L check-trace) =="
+ctest --test-dir "$BUILD_DIR" -L check-trace --output-on-failure -j "$(nproc)"
+
+echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BUILD_DIR/tools/ada-gen" --out "$WORK/gen" --size tiny --frames 4 >/dev/null
+"$BUILD_DIR/tools/ada-ingest" --pdb "$WORK/gen/system.pdb" --xtc "$WORK/gen/traj.xtc" \
+    --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --trace "$WORK/ingest_trace.json" >/dev/null
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --tag p --trace "$WORK/query_trace.json" --out "$WORK/protein.raw" >/dev/null
+
+for trace in "$WORK/ingest_trace.json" "$WORK/query_trace.json"; do
+    [ -s "$trace" ] || { echo "FAIL: $trace missing or empty" >&2; exit 1; }
+    grep -q '"traceEvents"' "$trace" || { echo "FAIL: $trace is not Chrome trace JSON" >&2; exit 1; }
+done
+
+REPORT="$("$BUILD_DIR/tools/ada-trace" "$WORK/ingest_trace.json" "$WORK/query_trace.json")"
+echo "$REPORT" | grep -q 'critical path' || {
+    echo "FAIL: ada-trace reported no critical path" >&2
+    echo "$REPORT" >&2
+    exit 1
+}
+
+echo "tier-1 gate: OK"

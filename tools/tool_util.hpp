@@ -10,8 +10,10 @@
 
 #include "common/result.hpp"
 #include "common/strings.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 
 namespace ada::tools {
 
@@ -81,6 +83,36 @@ inline void metrics_end(const Args& args, std::ostream& os = std::cout) {
 /// True when the human-readable report should move to stderr so stdout
 /// carries nothing but the machine-readable JSON document.
 inline bool metrics_json_only(const Args& args) { return args.get("metrics") == "json"; }
+
+/// Shared --trace=<file> handling.  Call trace_begin before the instrumented
+/// work (it turns the event recorder on) and trace_end after it to write the
+/// Chrome trace JSON, loadable in Perfetto / chrome://tracing and analyzable
+/// with ada-trace.
+inline void trace_begin(const Args& args) {
+  if (!args.has("trace")) return;
+  obs::reset_events();
+  obs::set_trace_enabled(true);
+}
+
+inline void trace_end(const Args& args) {
+  if (!args.has("trace")) return;
+  obs::set_trace_enabled(false);
+  const std::string path = args.get("trace");
+  if (path.empty() || path == "true") {
+    std::fprintf(stderr, "error: --trace needs a file name (--trace=out.json)\n");
+    std::exit(2);
+  }
+  const Status status = obs::write_chrome_json(path);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: cannot write trace %s: %s\n", path.c_str(),
+                 status.error().to_string().c_str());
+    std::exit(1);
+  }
+  if (const std::uint64_t dropped = obs::events_dropped(); dropped != 0) {
+    std::fprintf(stderr, "note: trace ring dropped %llu oldest events\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+}
 
 /// Print `usage`, then exit with failure.
 [[noreturn]] inline void die_usage(const char* usage) {
