@@ -1,8 +1,11 @@
 #include "ada/ingest_stream.hpp"
 
+#include <functional>
 #include <utility>
+#include <vector>
 
 #include "ada/label_store.hpp"
+#include "common/parallel.hpp"
 #include "formats/xtc_file.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -15,6 +18,7 @@ IngestStream::IngestStream(IngestStream&& other) noexcept
       labels_(std::move(other.labels_)),
       logical_name_(std::move(other.logical_name_)),
       chunk_frames_(other.chunk_frames_),
+      threads_(other.threads_),
       writers_(std::move(other.writers_)),
       frames_in_chunk_(other.frames_in_chunk_),
       frames_(other.frames_),
@@ -25,22 +29,25 @@ IngestStream::IngestStream(IngestStream&& other) noexcept
 }
 
 IngestStream::IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
-                           std::uint32_t chunk_frames)
+                           std::uint32_t chunk_frames, unsigned threads)
     : dispatcher_(&dispatcher),
       labels_(std::move(labels)),
       logical_name_(std::move(logical_name)),
-      chunk_frames_(chunk_frames) {
+      chunk_frames_(chunk_frames),
+      threads_(threads) {
   reset_writers();
 }
 
 Result<IngestStream> IngestStream::begin(IoDispatcher& dispatcher, LabelMap labels,
-                                         std::string logical_name, std::uint32_t chunk_frames) {
+                                         std::string logical_name, std::uint32_t chunk_frames,
+                                         unsigned threads) {
   if (!labels.is_partition()) {
     return invalid_argument("label map does not partition the atom range");
   }
   if (chunk_frames == 0) return invalid_argument("chunk_frames must be positive");
   ADA_RETURN_IF_ERROR(dispatcher.mount().create_container(logical_name));
-  return IngestStream(dispatcher, std::move(labels), std::move(logical_name), chunk_frames);
+  return IngestStream(dispatcher, std::move(labels), std::move(logical_name), chunk_frames,
+                      threads);
 }
 
 void IngestStream::reset_writers() {
@@ -61,9 +68,33 @@ Status IngestStream::add_frame(std::uint32_t step, float time_ps, const chem::Bo
     return invalid_argument("frame has " + std::to_string(coords.size() / 3) +
                             " atoms, label map expects " + std::to_string(labels_.atom_count));
   }
-  for (auto& [tag, writer] : writers_) {
-    const auto subset = formats::extract_subset(coords, labels_.groups.at(tag));
-    ADA_RETURN_IF_ERROR(writer.add_frame(step, time_ps, box, subset));
+  const unsigned budget = threads_ != 0 ? threads_ : ThreadPool::shared().worker_count() + 1;
+  if (budget > 1 && writers_.size() > 1) {
+    // Frame-level tag fan-out on the shared pool: every task owns exactly
+    // one writer, so each per-tag byte stream is identical to the serial
+    // one and only the extraction work runs concurrently.
+    std::vector<Status> statuses(writers_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(writers_.size());
+    std::size_t i = 0;
+    for (auto& [tag, writer] : writers_) {
+      const chem::Selection& selection = labels_.groups.at(tag);
+      formats::RawTrajWriter* w = &writer;
+      tasks.push_back([w, &selection, &statuses, i, step, time_ps, &box, coords] {
+        const auto subset = formats::extract_subset(coords, selection);
+        statuses[i] = w->add_frame(step, time_ps, box, subset);
+      });
+      ++i;
+    }
+    parallel_run(std::move(tasks), threads_);
+    for (const Status& status : statuses) {
+      ADA_RETURN_IF_ERROR(status);
+    }
+  } else {
+    for (auto& [tag, writer] : writers_) {
+      const auto subset = formats::extract_subset(coords, labels_.groups.at(tag));
+      ADA_RETURN_IF_ERROR(writer.add_frame(step, time_ps, box, subset));
+    }
   }
   ++frames_;
   ++frames_in_chunk_;

@@ -33,9 +33,14 @@ struct StreamReport {
 class IngestStream {
  public:
   /// Create the container and start streaming.  `labels` must partition the
-  /// atom range; `chunk_frames` bounds the data lost on a crash.
+  /// atom range; `chunk_frames` bounds the data lost on a crash.  `threads`
+  /// is the per-frame split budget: with more than one, each frame's
+  /// per-tag subset extraction fans out to the shared thread pool (every
+  /// writer is touched by exactly one task, so the per-tag byte streams are
+  /// identical to the serial ones).
   static Result<IngestStream> begin(IoDispatcher& dispatcher, LabelMap labels,
-                                    std::string logical_name, std::uint32_t chunk_frames = 64);
+                                    std::string logical_name, std::uint32_t chunk_frames = 64,
+                                    unsigned threads = 1);
 
   /// Moving transfers the container handle: the source is left *sealed*
   /// (no dispatcher, finished) so a stale add_frame()/finish() on it fails
@@ -58,7 +63,7 @@ class IngestStream {
 
  private:
   IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
-               std::uint32_t chunk_frames);
+               std::uint32_t chunk_frames, unsigned threads);
 
   void reset_writers();
   Status flush_chunk();
@@ -67,6 +72,7 @@ class IngestStream {
   LabelMap labels_;
   std::string logical_name_;
   std::uint32_t chunk_frames_;
+  unsigned threads_ = 1;
   std::map<Tag, formats::RawTrajWriter> writers_;
   std::uint32_t frames_in_chunk_ = 0;
   std::uint32_t frames_ = 0;

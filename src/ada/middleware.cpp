@@ -1,6 +1,7 @@
 #include "ada/middleware.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "ada/label_store.hpp"
 #include "common/parallel.hpp"
@@ -12,19 +13,26 @@
 namespace ada::core {
 
 Ada::Ada(plfs::PlfsMount mount, AdaConfig config)
-    : mount_(std::move(mount)), config_(std::move(config)), dispatcher_(mount_, config_.placement) {}
+    : mount_(std::move(mount)), config_(std::move(config)), dispatcher_(mount_, config_.placement) {
+  target_apps_upper_.reserve(config_.target_apps.size());
+  for (const std::string& app : config_.target_apps) target_apps_upper_.push_back(to_upper(app));
+  target_extensions_upper_.reserve(config_.target_extensions.size());
+  for (const std::string& extension : config_.target_extensions) {
+    target_extensions_upper_.push_back(to_upper(extension));
+  }
+}
 
 bool Ada::should_intercept(const std::string& path, const std::string& app_id) const {
   const std::string app = to_upper(app_id);
-  const bool app_matches =
-      std::any_of(config_.target_apps.begin(), config_.target_apps.end(),
-                  [&](const std::string& target) { return to_upper(target) == app; });
-  if (!app_matches) return false;
+  if (std::find(target_apps_upper_.begin(), target_apps_upper_.end(), app) ==
+      target_apps_upper_.end()) {
+    return false;
+  }
   const auto dot = path.rfind('.');
   if (dot == std::string::npos) return false;
   const std::string extension = to_upper(path.substr(dot));
-  return std::any_of(config_.target_extensions.begin(), config_.target_extensions.end(),
-                     [&](const std::string& e) { return to_upper(e) == extension; });
+  return std::find(target_extensions_upper_.begin(), target_extensions_upper_.end(), extension) !=
+         target_extensions_upper_.end();
 }
 
 Result<IngestReport> Ada::ingest(const chem::System& structure,
@@ -47,7 +55,8 @@ Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
   DataPreProcessor preprocessor(labels);
   IngestReport report;
   report.logical_name = logical_name;
-  ADA_ASSIGN_OR_RETURN(const auto subsets, preprocessor.split(xtc_image, &report.preprocess));
+  ADA_ASSIGN_OR_RETURN(const auto subsets,
+                       preprocessor.split(xtc_image, &report.preprocess, config_.threads));
 
   ADA_RETURN_IF_ERROR(dispatcher_.dispatch(logical_name, subsets));
   for (const auto& [tag, bytes] : subsets) {
@@ -79,14 +88,18 @@ std::vector<Result<IngestReport>> Ada::ingest_batch(const chem::System& structur
       phases.size(), Result<IngestReport>(internal_error("not executed")));
 
   // Duplicate names would race on the same container: reject up front.
-  for (std::size_t i = 0; i < phases.size(); ++i) {
-    for (std::size_t j = i + 1; j < phases.size(); ++j) {
-      if (phases[i].logical_name == phases[j].logical_name) {
-        const auto error =
-            invalid_argument("duplicate phase name: " + phases[i].logical_name);
-        for (auto& r : results) r = error;
-        return results;
-      }
+  // Sort a name index so the check is O(n log n), not the n^2 nested scan.
+  std::vector<std::size_t> by_name(phases.size());
+  std::iota(by_name.begin(), by_name.end(), std::size_t{0});
+  std::sort(by_name.begin(), by_name.end(), [&](std::size_t a, std::size_t b) {
+    return phases[a].logical_name < phases[b].logical_name;
+  });
+  for (std::size_t k = 1; k < by_name.size(); ++k) {
+    if (phases[by_name[k - 1]].logical_name == phases[by_name[k]].logical_name) {
+      const auto error =
+          invalid_argument("duplicate phase name: " + phases[by_name[k]].logical_name);
+      for (auto& r : results) r = error;
+      return results;
     }
   }
 
@@ -99,13 +112,13 @@ std::vector<Result<IngestReport>> Ada::ingest_batch(const chem::System& structur
       results[i] = ingest_with_labels(labels, phases[i].xtc_image, phases[i].logical_name);
     });
   }
-  parallel_run(std::move(tasks), threads);
+  parallel_run(std::move(tasks), threads != 0 ? threads : config_.threads);
   return results;
 }
 
 Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string& logical_name,
                                        std::uint32_t chunk_frames) {
-  return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames);
+  return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames, config_.threads);
 }
 
 Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
@@ -122,9 +135,22 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
     return IoRetriever(mount_).retrieve(logical_name, tag);
   }();
   if (subset.is_ok() && obs::enabled()) {
-    obs::Registry& registry = obs::Registry::global();
-    registry.counter("query.bytes_out").add(subset.value().size());
-    registry.counter("query.bytes_out." + tag).add(subset.value().size());
+    static obs::Counter& total = obs::Registry::global().counter("query.bytes_out");
+    total.add(subset.value().size());
+    obs::Counter* per_tag = nullptr;
+    {
+      // Registry handles are stable for the life of the process, so each
+      // tag pays the "query.bytes_out.<tag>" string build exactly once.
+      const std::lock_guard<std::mutex> lock(query_counter_mutex_);
+      auto it = query_bytes_counters_.find(tag);
+      if (it == query_bytes_counters_.end()) {
+        it = query_bytes_counters_
+                 .emplace(tag, &obs::Registry::global().counter("query.bytes_out." + tag))
+                 .first;
+      }
+      per_tag = it->second;
+    }
+    per_tag->add(subset.value().size());
   }
   return subset;
 }

@@ -1,6 +1,11 @@
 #include "ada/preprocessor.hpp"
 
+#include <atomic>
+#include <functional>
+
+#include "common/parallel.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "formats/raw_traj.hpp"
 #include "formats/xtc_file.hpp"
 #include "obs/events.hpp"
@@ -14,6 +19,13 @@ DataPreProcessor::DataPreProcessor(LabelMap labels) : labels_(std::move(labels))
 }
 
 Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
+    std::span<const std::uint8_t> xtc_image, PreprocessStats* stats, unsigned threads) const {
+  const unsigned budget = threads != 0 ? threads : ThreadPool::shared().worker_count() + 1;
+  if (budget <= 1) return split_serial(xtc_image, stats);
+  return split_parallel(xtc_image, stats, budget, threads);
+}
+
+Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split_serial(
     std::span<const std::uint8_t> xtc_image, PreprocessStats* stats) const {
   const obs::ScopedTimer span("preprocess");
   const obs::TraceSpan trace("preprocess");
@@ -57,6 +69,137 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split(
     stats->atoms = labels_.atom_count;
     stats->compressed_bytes = xtc_image.size();
     stats->decompress_wall_seconds = wall;
+    stats->subset_bytes.clear();
+    stats->subset_atoms.clear();
+    for (const auto& [tag, image] : out) {
+      stats->subset_bytes[tag] = image.size();
+      stats->subset_atoms[tag] = labels_.groups.at(tag).count();
+    }
+  }
+  return out;
+}
+
+Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split_parallel(
+    std::span<const std::uint8_t> xtc_image, PreprocessStats* stats, unsigned budget,
+    unsigned threads) const {
+  const obs::ScopedTimer span("preprocess");
+  const obs::TraceSpan trace("preprocess");
+  Stopwatch stopwatch;
+
+  // Stage 1: header-only boundary scan -- frame extents, no decompression.
+  std::vector<formats::XtcFrameExtent> extents;
+  {
+    const obs::ScopedTimer scan_span("scan");
+    const obs::TraceSpan scan_trace("scan");
+    ADA_ASSIGN_OR_RETURN(extents, formats::scan_xtc_extents(xtc_image));
+  }
+  const auto frames = static_cast<std::uint32_t>(extents.size());
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    if (extents[f].atom_count != labels_.atom_count) {
+      return corrupt_data("frame " + std::to_string(f) + " has " +
+                          std::to_string(extents[f].atom_count) + " atoms, label map expects " +
+                          std::to_string(labels_.atom_count));
+    }
+  }
+  const unsigned workers = static_cast<unsigned>(std::min<std::uint32_t>(budget, frames));
+  if (workers <= 1) return split_serial(xtc_image, stats);
+
+  // Stage 2: fan frame ranges out to the pool.  More ranges than workers so
+  // stealing can rebalance frames whose coordinate blocks decode unevenly.
+  const std::uint32_t range_count = std::min(frames, workers * 4u);
+  const std::uint32_t chunk = (frames + range_count - 1) / range_count;
+  struct RangeShard {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;  // exclusive
+    std::map<Tag, formats::RawTrajWriter> writers;
+    Status status;
+  };
+  std::vector<RangeShard> shards;
+  for (std::uint32_t first = 0; first < frames; first += chunk) {
+    RangeShard shard;
+    shard.first = first;
+    shard.last = std::min(frames, first + chunk);
+    for (const auto& [tag, selection] : labels_.groups) {
+      shard.writers.emplace(tag,
+                            formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  std::atomic<std::uint64_t> decode_busy_ns{0};
+  auto run_range = [&](RangeShard& shard) -> Status {
+    const obs::ScopedTimer range_span("split_range");
+    const obs::TraceSpan range_trace("split_range");
+    const Stopwatch busy;
+    const std::size_t begin_offset = extents[shard.first].offset;
+    const std::size_t end_offset = extents[shard.last - 1].offset + extents[shard.last - 1].size;
+    formats::XtcReader reader(xtc_image.subspan(begin_offset, end_offset - begin_offset));
+    for (std::uint32_t f = shard.first; f < shard.last; ++f) {
+      std::optional<formats::TrajFrame> frame;
+      {
+        const obs::ScopedTimer decode_span("decode");
+        const obs::TraceSpan decode_trace("decode");
+        ADA_ASSIGN_OR_RETURN(frame, reader.next());
+      }
+      if (!frame.has_value()) return corrupt_data("frame " + std::to_string(f) + " missing");
+      if (frame->atom_count() != labels_.atom_count) {
+        return corrupt_data("frame " + std::to_string(f) + " has " +
+                            std::to_string(frame->atom_count()) + " atoms, label map expects " +
+                            std::to_string(labels_.atom_count));
+      }
+      const obs::ScopedTimer split_span("split");
+      const obs::TraceSpan split_trace("split");
+      for (auto& [tag, writer] : shard.writers) {
+        const auto subset = formats::extract_subset(frame->coords, labels_.groups.at(tag));
+        ADA_RETURN_IF_ERROR(writer.add_frame(frame->step, frame->time_ps, frame->box, subset));
+      }
+    }
+    if (obs::enabled()) {
+      decode_busy_ns.fetch_add(static_cast<std::uint64_t>(busy.elapsed_seconds() * 1e9),
+                               std::memory_order_relaxed);
+    }
+    return Status::ok();
+  };
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards.size());
+  for (auto& shard : shards) {
+    tasks.push_back([&run_range, &shard] { shard.status = run_range(shard); });
+  }
+  parallel_run(std::move(tasks), threads);
+
+  // First failure in frame order wins, mirroring the serial path.
+  for (const auto& shard : shards) {
+    ADA_RETURN_IF_ERROR(shard.status);
+  }
+  ADA_OBS_COUNT("ingest.frames", frames);
+  ADA_OBS_COUNT("preprocess.ranges", shards.size());
+  ADA_OBS_COUNT("preprocess.decode_busy_ns", decode_busy_ns.load(std::memory_order_relaxed));
+
+  // Stage 3: ordered merge -- concatenate the shards' frame sections in
+  // range order, byte-identical to one serial writer.
+  std::map<Tag, std::vector<std::uint8_t>> out;
+  {
+    const obs::ScopedTimer merge_span("merge");
+    const obs::TraceSpan merge_trace("merge");
+    const Stopwatch merge_busy;
+    for (const auto& [tag, selection] : labels_.groups) {
+      std::vector<std::vector<std::uint8_t>> images;
+      images.reserve(shards.size());
+      for (auto& shard : shards) images.push_back(shard.writers.at(tag).finish());
+      ADA_ASSIGN_OR_RETURN(
+          auto merged,
+          formats::merge_raw_images(static_cast<std::uint32_t>(selection.count()), images));
+      out.emplace(tag, std::move(merged));
+    }
+    ADA_OBS_COUNT("preprocess.merge_busy_ns", merge_busy.elapsed_seconds() * 1e9);
+  }
+
+  if (stats != nullptr) {
+    stats->frames = frames;
+    stats->atoms = labels_.atom_count;
+    stats->compressed_bytes = xtc_image.size();
+    stats->decompress_wall_seconds = stopwatch.elapsed_seconds();
     stats->subset_bytes.clear();
     stats->subset_atoms.clear();
     for (const auto& [tag, image] : out) {

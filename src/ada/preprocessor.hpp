@@ -5,6 +5,13 @@
 // LabelMap drives the split of every frame into per-tag RAW subsets.  The
 // output subsets are *decompressed* -- that is ADA's central trade: spend
 // storage-node CPU once at ingest so compute nodes never decompress again.
+//
+// Every XTC frame is a self-delimiting XDR item that decodes independently,
+// so split() can fan frame ranges out to the shared thread pool: a cheap
+// header-only boundary scan produces the frame extents, each worker decodes
+// its range into thread-local per-tag shard writers, and an ordered merge
+// concatenates the shards -- byte-identical to the serial path (locked down
+// by the e2e differential harness and the parallel-split property test).
 #pragma once
 
 #include <cstdint>
@@ -37,10 +44,21 @@ class DataPreProcessor {
 
   /// Decompress an XTC image and split it into per-tag RAW trajectory
   /// images.  Every frame must carry exactly the label map's atom count.
+  /// `threads` is the concurrency budget: 1 (the default) decodes serially
+  /// on the calling thread; 0 uses every shared-pool worker; N > 1 fans
+  /// frame ranges out to at most N concurrent workers.  The output images
+  /// are byte-identical for every thread count.
   Result<std::map<Tag, std::vector<std::uint8_t>>> split(
-      std::span<const std::uint8_t> xtc_image, PreprocessStats* stats = nullptr) const;
+      std::span<const std::uint8_t> xtc_image, PreprocessStats* stats = nullptr,
+      unsigned threads = 1) const;
 
  private:
+  Result<std::map<Tag, std::vector<std::uint8_t>>> split_serial(
+      std::span<const std::uint8_t> xtc_image, PreprocessStats* stats) const;
+  Result<std::map<Tag, std::vector<std::uint8_t>>> split_parallel(
+      std::span<const std::uint8_t> xtc_image, PreprocessStats* stats, unsigned budget,
+      unsigned threads) const;
+
   LabelMap labels_;
 };
 

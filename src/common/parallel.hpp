@@ -2,51 +2,28 @@
 //
 // ADA's storage-node pre-processing is embarrassingly parallel across
 // trajectory files (one .pdb guides multiple .xtc phases, each ingested
-// independently).  parallel_run executes a batch of independent tasks over
-// a bounded set of worker threads; exceptions are not used in this codebase
-// (Result<> carries failures), so tasks communicate through their captures.
+// independently) and, since the frame-parallel pipeline, across the frames
+// inside each file.  parallel_run executes a batch of independent tasks on
+// the shared persistent work-stealing pool (common/thread_pool.hpp) --
+// nothing spawns per-batch threads anymore.  Exceptions are not used in
+// this codebase (Result<> carries failures), so tasks communicate through
+// their captures.
 #pragma once
 
-#include <atomic>
 #include <functional>
-#include <thread>
 #include <vector>
 
-#include "obs/events.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ada {
 
-/// Run every task, using up to `threads` workers (0 = hardware concurrency).
-/// Blocks until all tasks finish.  Tasks must be independent; they run in
-/// unspecified order on unspecified threads.
+/// Run every task, using up to `threads` concurrent workers (0 = one per
+/// pool worker plus the caller).  Blocks until all tasks finish.  Tasks must
+/// be independent; they run in unspecified order on unspecified threads, and
+/// adopt the submitting thread's trace context (spans opened inside a task
+/// join the caller's trace).
 inline void parallel_run(std::vector<std::function<void()>> tasks, unsigned threads = 0) {
-  if (tasks.empty()) return;
-  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(hw, tasks.size()));
-  if (workers <= 1) {
-    for (auto& task : tasks) task();
-    return;
-  }
-  // Workers adopt the submitting thread's trace context so spans opened
-  // inside a task join the caller's trace instead of starting orphan ones.
-  obs::TraceContext submit_context;
-  if (obs::trace_enabled()) submit_context = obs::current_context();
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    const obs::ScopedTraceContext adopt(submit_context);
-    while (true) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= tasks.size()) return;
-      tasks[index]();
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();  // the calling thread participates
-  for (auto& thread : pool) thread.join();
+  ThreadPool::shared().run_batch(std::move(tasks), threads);
 }
 
 }  // namespace ada

@@ -1,6 +1,7 @@
 #include "formats/raw_traj.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "common/binary_io.hpp"
 
@@ -78,6 +79,36 @@ Result<std::vector<TrajFrame>> RawTrajReader::read_all() const {
     frames.push_back(std::move(f));
   }
   return frames;
+}
+
+Result<std::vector<std::uint8_t>> merge_raw_images(
+    std::uint32_t atom_count, std::span<const std::vector<std::uint8_t>> shards) {
+  std::uint64_t total_frames = 0;
+  std::size_t total_bytes = 16;
+  for (const auto& shard : shards) {
+    ADA_ASSIGN_OR_RETURN(const RawTrajReader reader, RawTrajReader::open(shard));
+    if (reader.atom_count() != atom_count) {
+      return corrupt_data("raw shard has " + std::to_string(reader.atom_count()) +
+                          " atoms, merge expects " + std::to_string(atom_count));
+    }
+    total_frames += reader.frame_count();
+    total_bytes += shard.size() - 16;
+  }
+  if (total_frames > std::numeric_limits<std::uint32_t>::max()) {
+    return out_of_range("merged raw trajectory exceeds the u32 frame count");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(total_bytes);
+  ByteWriter header;
+  header.put_bytes(kRawMagic);
+  header.put_u32_le(atom_count);
+  header.put_u32_le(static_cast<std::uint32_t>(total_frames));
+  const auto& header_bytes = header.bytes();
+  out.insert(out.end(), header_bytes.begin(), header_bytes.end());
+  for (const auto& shard : shards) {
+    out.insert(out.end(), shard.begin() + 16, shard.end());
+  }
+  return out;
 }
 
 Result<RawTrajCatReader> RawTrajCatReader::open(std::span<const std::uint8_t> data) {

@@ -81,6 +81,16 @@ class RawTrajReader {
   std::uint32_t frame_count_;
 };
 
+/// Ordered merge of RAW shard images (the parallel split's per-range
+/// outputs): one image whose frame section is the shards' frame sections
+/// concatenated in input order.  Because the header is fixed-size and every
+/// frame is a self-contained record, the merge is byte-identical to a single
+/// writer fed the same frames serially -- the invariant the frame-parallel
+/// ingest pipeline is locked to.  Shards with zero frames are legal and
+/// contribute nothing; every shard must carry `atom_count`.
+Result<std::vector<std::uint8_t>> merge_raw_images(
+    std::uint32_t atom_count, std::span<const std::vector<std::uint8_t>> shards);
+
 /// Reader over a *concatenation* of RAW images (what a chunked/streaming
 /// ingest stores: one dropping per chunk, each a self-describing RAW file).
 /// Presents the segments as one logical trajectory with random access.

@@ -122,6 +122,49 @@ Result<std::vector<XtcIndexEntry>> build_xtc_index(std::span<const std::uint8_t>
   return index;
 }
 
+namespace {
+
+std::uint32_t load_u32_be(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) | (std::uint32_t{p[2]} << 8) |
+         std::uint32_t{p[3]};
+}
+
+// Fixed-size prelude of every frame: magic, natoms, step, time, box (9),
+// codec magic, precision, min_quantum (3), full_bits (3), small_bits,
+// payload_bits (2) -- 24 XDR words before the counted opaque payload.
+constexpr std::size_t kXtcPreludeBytes = 24 * 4;
+constexpr std::size_t kXtcCodecMagicOffset = 13 * 4;
+
+}  // namespace
+
+Result<std::vector<XtcFrameExtent>> scan_xtc_extents(std::span<const std::uint8_t> data) {
+  std::vector<XtcFrameExtent> extents;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < kXtcPreludeBytes + 4) {
+      return corrupt_data("truncated xtc frame header at offset " + std::to_string(pos));
+    }
+    const auto magic = static_cast<std::int32_t>(load_u32_be(data.data() + pos));
+    if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic: " + std::to_string(magic));
+    const std::uint32_t codec_magic = load_u32_be(data.data() + pos + kXtcCodecMagicOffset);
+    if (codec_magic != kAda3dMagic) {
+      return corrupt_data("unsupported xtc coordinate codec: " + std::to_string(codec_magic));
+    }
+    const std::size_t payload = load_u32_be(data.data() + pos + kXtcPreludeBytes);
+    const std::size_t size = kXtcPreludeBytes + 4 + payload + xdr::padding_for(payload);
+    if (data.size() - pos < size) {
+      return corrupt_data("truncated xtc frame payload at offset " + std::to_string(pos));
+    }
+    XtcFrameExtent extent;
+    extent.offset = pos;
+    extent.size = size;
+    extent.atom_count = load_u32_be(data.data() + pos + 4);
+    extents.push_back(extent);
+    pos += size;
+  }
+  return extents;
+}
+
 Result<TrajFrame> read_xtc_frame_at(std::span<const std::uint8_t> data, std::size_t offset) {
   if (offset >= data.size()) return out_of_range("xtc frame offset beyond image");
   XtcReader reader(data.subspan(offset));

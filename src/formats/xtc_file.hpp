@@ -90,6 +90,21 @@ struct XtcIndexEntry {
 
 Result<std::vector<XtcIndexEntry>> build_xtc_index(std::span<const std::uint8_t> data);
 
+/// One frame's extent within a compressed XTC image, from the header-only
+/// boundary scan (no coordinate decompression).
+struct XtcFrameExtent {
+  std::size_t offset = 0;        // byte offset of the frame within the image
+  std::size_t size = 0;          // encoded bytes: prelude + padded payload
+  std::uint32_t atom_count = 0;  // from the frame header
+};
+
+/// Walk the XDR frame headers of an XTC image and return every frame's
+/// extent.  Reads four words per frame (magic, atom count, codec magic,
+/// payload length) and never touches the compressed coordinate block, so
+/// the scan is cheap enough to run up front before fanning frame-range
+/// decode tasks out to the thread pool.
+Result<std::vector<XtcFrameExtent>> scan_xtc_extents(std::span<const std::uint8_t> data);
+
 /// Decode exactly one frame at an indexed offset.
 Result<TrajFrame> read_xtc_frame_at(std::span<const std::uint8_t> data, std::size_t offset);
 

@@ -61,9 +61,10 @@ class E2ePipelineTest : public testing::Test {
     fs::remove_all(root_);
   }
 
-  Ada make_ada(const std::string& subdir) {
+  Ada make_ada(const std::string& subdir, unsigned threads = 1) {
     AdaConfig config;
     config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    config.threads = threads;
     const std::string base = root_ + "/" + subdir;
     return Ada(
         plfs::PlfsMount::open({{"ssd", base + "/ssd"}, {"hdd", base + "/hdd"}}).value(),
@@ -73,8 +74,9 @@ class E2ePipelineTest : public testing::Test {
   // One complete pipeline pass: ingest the prepared trajectory into a fresh
   // deployment under `subdir`, then query every data tag back.
   std::map<Tag, std::vector<std::uint8_t>> run_pipeline(const std::string& subdir,
-                                                        IngestReport* report_out = nullptr) {
-    Ada ada = make_ada(subdir);
+                                                        IngestReport* report_out = nullptr,
+                                                        unsigned threads = 1) {
+    Ada ada = make_ada(subdir, threads);
     const auto report = ada.ingest(system_, xtc_, "gpcr.xtc");
     ADA_CHECK(report.is_ok());
     if (report_out != nullptr) *report_out = report.value();
@@ -201,6 +203,47 @@ TEST_F(E2ePipelineTest, StageSpansAndJsonCoverThePipeline) {
         "\"path\":\"query/retrieve\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << "JSON missing " << needle;
   }
+}
+
+TEST_F(E2ePipelineTest, ParallelIngestMatchesSerialAcrossThreadCounts) {
+  // Whole-pipeline differential over the thread budget: the frame-parallel
+  // decode must leave every queried subset -- and the ingest report -- byte-
+  // identical to the serial deployment, including with the full observability
+  // stack (metrics + tracing) watching the parallel path.
+  obs::set_enabled(false);
+  IngestReport serial_report;
+  const auto serial = run_pipeline("threads1", &serial_report, /*threads=*/1);
+
+  for (const unsigned threads : {2u, 8u}) {
+    IngestReport report;
+    const auto subsets =
+        run_pipeline("threads" + std::to_string(threads), &report, threads);
+    ASSERT_EQ(serial.size(), subsets.size());
+    for (const auto& [tag, bytes] : serial) {
+      ASSERT_TRUE(subsets.count(tag)) << tag;
+      EXPECT_EQ(bytes, subsets.at(tag)) << "tag " << tag << " @ " << threads << " threads";
+    }
+    EXPECT_EQ(serial_report.preprocess.frames, report.preprocess.frames);
+    EXPECT_EQ(serial_report.preprocess.subset_bytes, report.preprocess.subset_bytes);
+    EXPECT_EQ(serial_report.preprocess.subset_atoms, report.preprocess.subset_atoms);
+    EXPECT_EQ(serial_report.backend_of_tag, report.backend_of_tag);
+  }
+
+  // Once more with the observers on: instrumentation may watch the parallel
+  // pipeline but never perturb it.
+  obs::reset_all();
+  obs::set_enabled(true);
+  obs::set_trace_enabled(true);
+  IngestReport observed_report;
+  const auto observed = run_pipeline("threads2_observed", &observed_report, /*threads=*/2);
+  obs::set_trace_enabled(false);
+  obs::set_enabled(false);
+  ASSERT_EQ(serial.size(), observed.size());
+  for (const auto& [tag, bytes] : serial) {
+    EXPECT_EQ(bytes, observed.at(tag)) << "tag " << tag << " differs with observers on";
+  }
+  EXPECT_EQ(serial_report.preprocess.subset_bytes, observed_report.preprocess.subset_bytes);
+  obs::reset_events();
 }
 
 TEST_F(E2ePipelineTest, TracingOnAndOffProduceByteIdenticalSubsets) {

@@ -1,0 +1,239 @@
+// Property tests for the frame-parallel ingest pipeline.
+//
+// The pipeline's contract is byte-identity: for ANY frame count and ANY
+// thread budget, the parallel scan -> decode ranges -> ordered merge path
+// must produce exactly the bytes of the serial decode loop.  These tests
+// drive that invariant over randomized frame/thread combinations (including
+// the degenerate ones: zero frames, one frame, more threads than frames),
+// and pin down the two pieces the pipeline is built from -- the header-only
+// frame-boundary scanner and the RAW shard merge -- against their serial
+// ground truths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ada/categorizer.hpp"
+#include "ada/middleware.hpp"
+#include "ada/preprocessor.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Deterministic XTC image over the tiny GPCR system; returns the image and
+// the steps it wrote (for the scanner cross-check).
+std::vector<std::uint8_t> make_xtc(const chem::System& system, std::uint32_t frames,
+                                   std::vector<std::uint32_t>* steps = nullptr) {
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  formats::XtcWriter writer;
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    // Evaluate in sequence: next_frame() advances the step/time counters.
+    const std::uint32_t step = gen.current_step();
+    const float time_ps = gen.current_time_ps();
+    const auto coords = gen.next_frame();
+    if (steps != nullptr) steps->push_back(step);
+    EXPECT_TRUE(writer.add_frame(step, time_ps, system.box(), coords).is_ok());
+  }
+  return writer.take();
+}
+
+TEST(ParallelIngestTest, SplitByteIdenticalToSerialForAnyFrameAndThreadCount) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const DataPreProcessor preprocessor(categorize_protein_misc(system));
+
+  for (const std::uint32_t frames : {0u, 1u, 2u, 3u, 7u, 16u}) {
+    const auto xtc = make_xtc(system, frames);
+    PreprocessStats serial_stats;
+    const auto serial = preprocessor.split(xtc, &serial_stats, 1);
+    ASSERT_TRUE(serial.is_ok()) << frames << " frames";
+
+    // Budgets: 0 = every pool worker, plus caps below/at/above the frame
+    // count (19 > 16 covers threads > frames for every case here).
+    for (const unsigned threads : {0u, 2u, 3u, 8u, 19u}) {
+      PreprocessStats stats;
+      const auto parallel = preprocessor.split(xtc, &stats, threads);
+      ASSERT_TRUE(parallel.is_ok()) << frames << " frames @ " << threads << " threads";
+      EXPECT_EQ(serial.value(), parallel.value())
+          << frames << " frames @ " << threads << " threads: subsets differ";
+      EXPECT_EQ(serial_stats.frames, stats.frames);
+      EXPECT_EQ(serial_stats.atoms, stats.atoms);
+      EXPECT_EQ(serial_stats.compressed_bytes, stats.compressed_bytes);
+      EXPECT_EQ(serial_stats.subset_bytes, stats.subset_bytes);
+      EXPECT_EQ(serial_stats.subset_atoms, stats.subset_atoms);
+    }
+  }
+}
+
+TEST(ParallelIngestTest, ScannerExtentsMatchReaderPositions) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  for (const std::uint32_t frames : {0u, 1u, 5u, 11u}) {
+    std::vector<std::uint32_t> steps;
+    const auto xtc = make_xtc(system, frames, &steps);
+    const auto extents = formats::scan_xtc_extents(xtc);
+    ASSERT_TRUE(extents.is_ok()) << frames << " frames";
+    ASSERT_EQ(extents.value().size(), frames);
+
+    // The scanner's extents must tile the image exactly as the decoding
+    // reader walks it, and each extent must decode to the frame it claims.
+    formats::XtcReader reader(xtc);
+    std::size_t expected_offset = 0;
+    for (std::uint32_t f = 0; f < frames; ++f) {
+      const auto& extent = extents.value()[f];
+      EXPECT_EQ(extent.offset, expected_offset) << "frame " << f;
+      EXPECT_EQ(extent.atom_count, system.atom_count()) << "frame " << f;
+      ASSERT_TRUE(reader.skip().value()) << "frame " << f;
+      EXPECT_EQ(extent.offset + extent.size, reader.position()) << "frame " << f;
+      expected_offset = reader.position();
+
+      const auto decoded = formats::read_xtc_frame_at(xtc, extent.offset);
+      ASSERT_TRUE(decoded.is_ok()) << "frame " << f;
+      EXPECT_EQ(decoded.value().step, steps[f]) << "frame " << f;
+    }
+    EXPECT_EQ(expected_offset, xtc.size());
+  }
+}
+
+TEST(ParallelIngestTest, ScannerRejectsCorruptImages) {
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto xtc = make_xtc(system, 2);
+
+  // Truncations at every structural boundary: mid-prelude, mid-payload.
+  for (const std::size_t keep : {std::size_t{1}, std::size_t{50}, std::size_t{99},
+                                 xtc.size() - 1}) {
+    const std::vector<std::uint8_t> cut(xtc.begin(), xtc.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(formats::scan_xtc_extents(cut).is_ok()) << "kept " << keep << " bytes";
+  }
+
+  auto bad_magic = xtc;
+  bad_magic[0] ^= 0xFF;  // frame magic is the first big-endian word
+  EXPECT_FALSE(formats::scan_xtc_extents(bad_magic).is_ok());
+
+  auto bad_codec = xtc;
+  bad_codec[52] ^= 0xFF;  // codec magic is word 13 of the prelude
+  EXPECT_FALSE(formats::scan_xtc_extents(bad_codec).is_ok());
+}
+
+TEST(ParallelIngestTest, MergedShardsEqualOneSerialWriter) {
+  // Shard layouts over 7 frames, including empty shards at each position.
+  const std::vector<std::vector<std::uint32_t>> layouts = {
+      {7}, {3, 4}, {0, 7}, {7, 0}, {2, 0, 5}, {1, 1, 1, 4}, {0, 0, 7, 0}};
+  constexpr std::uint32_t kAtoms = 5;
+  chem::Box box;
+
+  for (const auto& layout : layouts) {
+    formats::RawTrajWriter combined(kAtoms);
+    std::vector<std::vector<std::uint8_t>> shards;
+    std::uint32_t frame = 0;
+    for (const std::uint32_t count : layout) {
+      formats::RawTrajWriter shard(kAtoms);
+      for (std::uint32_t f = 0; f < count; ++f, ++frame) {
+        std::vector<float> coords(kAtoms * 3);
+        for (std::size_t i = 0; i < coords.size(); ++i) {
+          coords[i] = static_cast<float>(frame) + static_cast<float>(i) * 0.25f;
+        }
+        ASSERT_TRUE(shard.add_frame(frame, static_cast<float>(frame), box, coords).is_ok());
+        ASSERT_TRUE(combined.add_frame(frame, static_cast<float>(frame), box, coords).is_ok());
+      }
+      shards.push_back(shard.finish());
+    }
+    const auto merged = formats::merge_raw_images(kAtoms, shards);
+    ASSERT_TRUE(merged.is_ok());
+    EXPECT_EQ(merged.value(), combined.finish()) << layout.size() << " shards";
+  }
+}
+
+TEST(ParallelIngestTest, MergeRejectsMismatchedShards) {
+  chem::Box box;
+  formats::RawTrajWriter five(5);
+  formats::RawTrajWriter six(6);
+  const std::vector<float> c5(15, 1.0f);
+  const std::vector<float> c6(18, 1.0f);
+  ASSERT_TRUE(five.add_frame(0, 0.0f, box, c5).is_ok());
+  ASSERT_TRUE(six.add_frame(0, 0.0f, box, c6).is_ok());
+  std::vector<std::vector<std::uint8_t>> shards;
+  shards.push_back(five.finish());
+  shards.push_back(six.finish());
+  EXPECT_FALSE(formats::merge_raw_images(5, shards).is_ok());
+
+  std::vector<std::vector<std::uint8_t>> garbage;
+  garbage.push_back({0x00, 0x01, 0x02});
+  EXPECT_FALSE(formats::merge_raw_images(5, garbage).is_ok());
+}
+
+TEST(ParallelIngestTest, AtomMismatchErrorsMatchSerial) {
+  // A frame whose header disagrees with the label map must fail with the
+  // SAME message on both paths -- the parallel validator reports the global
+  // frame index, not a range-local one.
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const DataPreProcessor preprocessor(categorize_protein_misc(system));
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+
+  formats::XtcWriter writer;
+  ASSERT_TRUE(writer
+                  .add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                             gen.next_frame())
+                  .is_ok());
+  // Frame 1 carries one atom too many.
+  const std::vector<float> bogus((system.atom_count() + 1) * 3, 0.5f);
+  ASSERT_TRUE(writer.add_frame(1, 1.0f, system.box(), bogus).is_ok());
+  const auto xtc = writer.take();
+
+  const auto serial = preprocessor.split(xtc, nullptr, 1);
+  ASSERT_FALSE(serial.is_ok());
+  for (const unsigned threads : {0u, 2u, 8u}) {
+    const auto parallel = preprocessor.split(xtc, nullptr, threads);
+    ASSERT_FALSE(parallel.is_ok()) << threads << " threads";
+    EXPECT_EQ(serial.error().to_string(), parallel.error().to_string())
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelIngestTest, StreamedIngestByteIdenticalAcrossThreadCounts) {
+  // IngestStream's per-frame tag fan-out must leave every tag's chunked
+  // byte stream exactly as the serial loop writes it.
+  const std::string root = testing::TempDir() + "/ada_parallel_stream";
+  fs::remove_all(root);
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto labels = categorize_protein_misc(system);
+  constexpr std::uint32_t kFrames = 10;
+
+  std::map<unsigned, std::map<Tag, std::vector<std::uint8_t>>> by_threads;
+  std::map<unsigned, StreamReport> reports;
+  for (const unsigned threads : {1u, 4u}) {
+    AdaConfig config;
+    config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    config.threads = threads;
+    const std::string base = root + "/t" + std::to_string(threads);
+    Ada ada(plfs::PlfsMount::open({{"ssd", base + "/ssd"}, {"hdd", base + "/hdd"}}).value(),
+            config);
+    auto stream = ada.begin_stream(labels, "gpcr.xtc", /*chunk_frames=*/3).value();
+    workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+    for (std::uint32_t f = 0; f < kFrames; ++f) {
+      ASSERT_TRUE(stream
+                      .add_frame(gen.current_step(), gen.current_time_ps(), system.box(),
+                                 gen.next_frame())
+                      .is_ok());
+    }
+    reports[threads] = stream.finish().value();
+    for (const Tag& tag : {kProteinTag, kMiscTag}) {
+      by_threads[threads][tag] = ada.query("gpcr.xtc", tag).value();
+    }
+  }
+  EXPECT_EQ(by_threads.at(1), by_threads.at(4));
+  EXPECT_EQ(reports.at(1).frames, reports.at(4).frames);
+  EXPECT_EQ(reports.at(1).chunks, reports.at(4).chunks);
+  EXPECT_EQ(reports.at(1).subset_bytes, reports.at(4).subset_bytes);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ada::core

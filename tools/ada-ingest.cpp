@@ -2,11 +2,13 @@
 //
 //   ada-ingest --pdb system.pdb --xtc traj.xtc --ssd /mnt/ssd --hdd /mnt/hdd
 //              [--name bar.xtc] [--schema rules.txt] [--keep-original]
-//              [--metrics[=json]] [--trace out.json]
+//              [--threads N] [--metrics[=json]] [--trace out.json]
 //
 // Categorizes with Algorithm 1 (protein/MISC by default, or a schema file),
 // decompresses once, splits into tagged subsets, and dispatches them to the
-// two backend file systems.  With --metrics, prints the observability
+// two backend file systems.  --threads=N fans frame decode out to the
+// shared work-stealing pool (0 = every pool worker, 1 = serial; the output
+// images are byte-identical either way).  With --metrics, prints the observability
 // report (per-stage timers, per-tag byte counters) after the ingest;
 // --metrics=json emits the stable JSON document on stdout (the summary
 // moves to stderr).  With --trace=<file>, records a request timeline and
@@ -29,7 +31,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-ingest --pdb <file> --xtc <file> --ssd <dir> --hdd <dir>\n"
     "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
-    "                  [--metrics[=json]] [--trace <out.json>]\n";
+    "                  [--threads <n>] [--metrics[=json]] [--trace <out.json>]\n";
 }
 
 int main(int argc, char** argv) {
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   core::AdaConfig config;
   config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
   config.keep_original = args.has("keep-original");
+  config.threads = static_cast<unsigned>(args.get_int("threads", 1));
   core::Ada middleware(
       tools::must(plfs::PlfsMount::open(
                       {{"ssd-fs", args.get("ssd")}, {"hdd-fs", args.get("hdd")}}),

@@ -19,13 +19,19 @@ ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
 echo "== tracing tier (ctest -L check-trace) =="
 ctest --test-dir "$BUILD_DIR" -L check-trace --output-on-failure -j "$(nproc)"
 
+echo "== frame-parallel ingest (ThreadPool + ParallelIngest suites) =="
+ctest --test-dir "$BUILD_DIR" -R 'ThreadPool|ParallelIngest' --output-on-failure -j "$(nproc)"
+
+echo "== perf tier smoke (ctest -L check-perf) =="
+ctest --test-dir "$BUILD_DIR" -L check-perf --output-on-failure
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
 "$BUILD_DIR/tools/ada-gen" --out "$WORK/gen" --size tiny --frames 4 >/dev/null
 "$BUILD_DIR/tools/ada-ingest" --pdb "$WORK/gen/system.pdb" --xtc "$WORK/gen/traj.xtc" \
-    --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc --threads 2 \
     --trace "$WORK/ingest_trace.json" >/dev/null
 "$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
     --tag p --trace "$WORK/query_trace.json" --out "$WORK/protein.raw" >/dev/null
