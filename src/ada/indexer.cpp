@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "common/binary_io.hpp"
+#include "common/crc32c.hpp"
+#include "common/retry.hpp"
 #include "obs/events.hpp"
+#include "obs/metrics.hpp"
 
 namespace ada::core {
 
@@ -27,6 +30,9 @@ Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_
     location.host_path =
         mount_.backend(record.backend).host_root + "/" + logical_name + "/" + record.dropping;
     location.bytes = record.length;
+    location.physical_offset = record.physical_offset;
+    location.crc32c = record.crc32c;
+    location.has_crc = record.has_checksum();
     out.push_back(std::move(location));
   }
   return out;
@@ -51,11 +57,19 @@ Result<std::vector<std::uint8_t>> IoRetriever::retrieve(const std::string& logic
   ADA_ASSIGN_OR_RETURN(const auto locations, indexer.locate(logical_name, tag));
   std::vector<std::uint8_t> out;
   for (const DatasetLocation& location : locations) {
-    ADA_ASSIGN_OR_RETURN(const auto bytes, read_file(location.host_path));
-    if (bytes.size() != location.bytes) {
+    ADA_ASSIGN_OR_RETURN(const auto bytes,
+                         retry_sync("retrieve_dropping", mount_.retry_policy(), [&] {
+                           return plfs::read_dropping_file(location.host_path);
+                         }));
+    if (bytes.size() < location.physical_offset + location.bytes) {
       return corrupt_data("dropping " + location.host_path + " size mismatch");
     }
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    const auto* extent = bytes.data() + location.physical_offset;
+    if (location.has_crc && crc32c(extent, location.bytes) != location.crc32c) {
+      ADA_OBS_COUNT("plfs.crc_mismatch", 1);
+      return corrupt_data("checksum mismatch on " + location.host_path);
+    }
+    out.insert(out.end(), extent, extent + location.bytes);
   }
   obs::trace_counter("plfs.read.bytes", out.size());
   return out;

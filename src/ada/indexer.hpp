@@ -22,6 +22,9 @@ struct DatasetLocation {
   std::string backend_name;
   std::string host_path;   // resolvable host path of the dropping
   std::uint64_t bytes = 0;
+  std::uint64_t physical_offset = 0;  // extent offset inside the dropping
+  std::uint32_t crc32c = 0;           // stored extent checksum
+  bool has_crc = false;               // false for legacy v1 index records
 };
 
 class Indexer {
@@ -44,7 +47,9 @@ class IoRetriever {
   explicit IoRetriever(const plfs::PlfsMount& mount) : mount_(mount) {}
 
   /// Fetch the full subset image for `tag` (POSIX reads on the droppings the
-  /// indexer located).
+  /// indexer located).  Reads are retried under the mount's retry policy and
+  /// every extent is verified against its stored CRC32C -- a mismatch is a
+  /// typed kCorruptData error, never silently served bytes.
   Result<std::vector<std::uint8_t>> retrieve(const std::string& logical_name,
                                              const Tag& tag) const;
 

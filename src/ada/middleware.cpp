@@ -155,6 +155,36 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
   return subset;
 }
 
+std::vector<std::uint8_t> Ada::PartialQuery::concat() const {
+  std::vector<std::uint8_t> out;
+  std::size_t total = 0;
+  for (const auto& [tag, bytes] : subsets) total += bytes.size();
+  out.reserve(total);
+  for (const auto& [tag, bytes] : subsets) out.insert(out.end(), bytes.begin(), bytes.end());
+  return out;
+}
+
+Result<Ada::PartialQuery> Ada::query_degraded(const std::string& logical_name) const {
+  const obs::ScopedTimer span("query");
+  const obs::TraceSpan trace("query_degraded", logical_name);
+  ADA_OBS_COUNT("query.degraded.calls", 1);
+  // Only an unreadable index is fatal: with no tag list there is nothing to
+  // degrade to.
+  ADA_ASSIGN_OR_RETURN(const auto tag_list, tags(logical_name));
+  PartialQuery out;
+  for (const Tag& tag : tag_list) {
+    auto subset = query(logical_name, tag);
+    if (subset.is_ok()) {
+      out.subsets.emplace(tag, std::move(subset).value());
+    } else {
+      ADA_OBS_COUNT("query.degraded.failed_tags", 1);
+      out.failed.push_back(TagFailure{tag, subset.error()});
+    }
+  }
+  if (out.partial()) ADA_OBS_COUNT("query.degraded.partial", 1);
+  return out;
+}
+
 Result<LabelMap> Ada::labels(const std::string& logical_name) const {
   ADA_ASSIGN_OR_RETURN(const auto bytes, IoRetriever(mount_).retrieve(logical_name, kLabelFileTag));
   return decode_label_file(std::string(bytes.begin(), bytes.end()));

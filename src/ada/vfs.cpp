@@ -89,6 +89,15 @@ Result<std::vector<std::uint8_t>> VfsShim::read(const std::string& path,
   return passthrough_read(path);
 }
 
+Result<Ada::PartialQuery> VfsShim::read_degraded(const std::string& path,
+                                                 const std::string& app_id) const {
+  const std::string logical = basename_of(path);
+  if (!ada_->has_dataset(logical) || !ada_->should_intercept(path, app_id)) {
+    return failed_precondition("degraded read of a non-ADA path: " + path);
+  }
+  return ada_->query_degraded(logical);
+}
+
 Status VfsShim::set_guide(const std::string& pdb_logical_name) {
   if (structures_.count(pdb_logical_name) == 0) {
     return not_found("no structure registered as " + pdb_logical_name);

@@ -43,6 +43,12 @@ class VfsShim {
   Result<std::vector<std::uint8_t>> read(const std::string& path, const std::string& app_id,
                                          const std::optional<Tag>& tag = std::nullopt) const;
 
+  /// Degraded read of an ADA dataset: the surviving subsets plus a typed
+  /// failure per lost tag (Ada::query_degraded semantics).  Non-ADA paths
+  /// fail with kFailedPrecondition -- passthrough reads have no partial mode.
+  Result<Ada::PartialQuery> read_degraded(const std::string& path,
+                                          const std::string& app_id) const;
+
   /// Explicitly bind future .xtc ingests to the structure registered under
   /// `pdb_logical_name` (overrides most-recent pairing).
   Status set_guide(const std::string& pdb_logical_name);

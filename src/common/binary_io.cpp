@@ -121,10 +121,10 @@ Result<std::string> ByteReader::get_string_le() {
 Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "rb"), &std::fclose);
   if (!f) return not_found("cannot open " + path);
-  std::fseek(f.get(), 0, SEEK_END);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) return io_error("fseek failed on " + path);
   const long size = std::ftell(f.get());
   if (size < 0) return io_error("ftell failed on " + path);
-  std::fseek(f.get(), 0, SEEK_SET);
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) return io_error("fseek failed on " + path);
   std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
   if (size > 0 && std::fread(data.data(), 1, data.size(), f.get()) != data.size()) {
     return io_error("short read on " + path);
@@ -133,10 +133,26 @@ Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
 }
 
 Status write_file(const std::string& path, std::span<const std::uint8_t> data) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(std::fopen(path.c_str(), "wb"), &std::fclose);
+  // Close explicitly: stdio buffers writes, so a full disk or failed flush
+  // surfaces at fflush/fclose -- swallowing their return values turns a
+  // short write into a reported success.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) return io_error("cannot create " + path);
-  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f.get()) != data.size()) {
-    return io_error("short write on " + path);
+  const bool wrote =
+      data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote) return io_error("short write on " + path);
+  if (!flushed || !closed) return io_error("flush/close failed on " + path);
+  return Status::ok();
+}
+
+Status write_file_atomic(const std::string& path, std::span<const std::uint8_t> data) {
+  const std::string tmp = path + ".tmp";
+  ADA_RETURN_IF_ERROR(write_file(tmp, data));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_error("rename " + tmp + " -> " + path + " failed");
   }
   return Status::ok();
 }

@@ -98,7 +98,13 @@ class ByteReader {
 /// Read an entire file into memory.
 Result<std::vector<std::uint8_t>> read_file(const std::string& path);
 
-/// Write (create/truncate) an entire file.
+/// Write (create/truncate) an entire file.  Flush/close failures are
+/// reported (a buffered short write must not look like success).
 Status write_file(const std::string& path, std::span<const std::uint8_t> data);
+
+/// Crash-safe replacement: write to `path + ".tmp"`, then rename over
+/// `path`.  Readers see either the old or the new content, never a torn
+/// mix -- used for PLFS index rewrites.
+Status write_file_atomic(const std::string& path, std::span<const std::uint8_t> data);
 
 }  // namespace ada

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) checksums for on-disk extent integrity.
+//
+// Used by the PLFS container index (plfs/container.hpp) to detect silent
+// corruption: every extent's checksum is computed at append time, stored in
+// the index record, and verified on every read and by plfs::fsck.  The
+// Castagnoli polynomial (0x1EDC6F41, reflected 0x82F63B78) is the iSCSI /
+// ext4 / RocksDB choice; this is the byte-at-a-time table variant --
+// plenty for extents that are about to hit a disk anyway.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ada {
+
+/// CRC32C of `size` bytes starting at `data`.  Pass a previous crc to
+/// continue an incremental computation; 0 starts a fresh one.
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t crc = 0) noexcept;
+
+inline std::uint32_t crc32c(const std::vector<std::uint8_t>& bytes,
+                            std::uint32_t crc = 0) noexcept {
+  return crc32c(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace ada

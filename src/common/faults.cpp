@@ -1,0 +1,275 @@
+#include "common/faults.hpp"
+
+#include <atomic>
+#include <charconv>
+
+#include "obs/metrics.hpp"
+
+namespace ada::fault {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+double parse_double(std::string_view text, bool* ok) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  *ok = ec == std::errc{} && ptr == text.data() + text.size();
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text, bool* ok) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  *ok = ec == std::errc{} && ptr == text.data() + text.size();
+  return value;
+}
+
+std::vector<std::string_view> split_fields(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const auto pos = text.find(sep);
+    if (pos == std::string_view::npos) {
+      out.push_back(text);
+      return out;
+    }
+    out.push_back(text.substr(0, pos));
+    text.remove_prefix(pos + 1);
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+Error Outcome::to_error(std::string_view site) const {
+  return Error(error, "injected fault at " + std::string(site));
+}
+
+Schedule Schedule::fail_nth(std::uint64_t n) {
+  Schedule s;
+  s.trigger = Trigger::kNth;
+  s.nth = n;
+  return s;
+}
+
+Schedule Schedule::fail_every(std::uint64_t n) {
+  Schedule s;
+  s.trigger = Trigger::kEveryNth;
+  s.nth = n;
+  return s;
+}
+
+Schedule Schedule::fail_probability(double p, std::uint64_t seed) {
+  Schedule s;
+  s.trigger = Trigger::kProbability;
+  s.probability = p;
+  s.seed = seed;
+  return s;
+}
+
+Schedule Schedule::down_window(std::uint64_t first_hit, std::uint64_t last_hit) {
+  Schedule s;
+  s.trigger = Trigger::kWindow;
+  s.window_begin = first_hit;
+  s.window_end = last_hit;
+  s.error = ErrorCode::kUnavailable;
+  return s;
+}
+
+Schedule Schedule::torn_write(double surviving_fraction, std::uint64_t n) {
+  Schedule s;
+  s.trigger = Trigger::kNth;
+  s.nth = n;
+  s.effect = Outcome::Kind::kTorn;
+  s.fraction = surviving_fraction;
+  return s;
+}
+
+Schedule Schedule::corrupt_read(std::uint64_t n, double position) {
+  Schedule s;
+  s.trigger = Trigger::kNth;
+  s.nth = n;
+  s.effect = Outcome::Kind::kCorrupt;
+  s.fraction = position;
+  return s;
+}
+
+Schedule Schedule::latency_spike(double seconds, double p, std::uint64_t seed) {
+  Schedule s;
+  s.trigger = Trigger::kProbability;
+  s.probability = p;
+  s.seed = seed;
+  s.effect = Outcome::Kind::kDelay;
+  s.delay_seconds = seconds;
+  return s;
+}
+
+Result<Schedule> parse_schedule(std::string_view spec) {
+  const auto fields = split_fields(spec, ':');
+  const std::string_view kind = fields[0];
+  bool ok = true;
+  const auto field_u64 = [&](std::size_t i, std::uint64_t fallback) {
+    if (fields.size() <= i) return fallback;
+    bool field_ok = false;
+    const std::uint64_t v = parse_u64(fields[i], &field_ok);
+    ok = ok && field_ok;
+    return v;
+  };
+  const auto field_double = [&](std::size_t i, double fallback) {
+    if (fields.size() <= i) return fallback;
+    bool field_ok = false;
+    const double v = parse_double(fields[i], &field_ok);
+    ok = ok && field_ok;
+    return v;
+  };
+
+  Schedule schedule;
+  if (kind == "nth") {
+    if (fields.size() != 2) return invalid_argument("nth:<k> takes one field: " + std::string(spec));
+    schedule = Schedule::fail_nth(field_u64(1, 1));
+  } else if (kind == "every") {
+    if (fields.size() != 2) return invalid_argument("every:<k> takes one field: " + std::string(spec));
+    schedule = Schedule::fail_every(field_u64(1, 1));
+  } else if (kind == "prob") {
+    if (fields.size() < 2 || fields.size() > 3) {
+      return invalid_argument("prob:<p>[:<seed>] : " + std::string(spec));
+    }
+    schedule = Schedule::fail_probability(field_double(1, 0.0), field_u64(2, 0x5eed));
+  } else if (kind == "down") {
+    if (fields.size() != 3) return invalid_argument("down:<a>:<b> : " + std::string(spec));
+    schedule = Schedule::down_window(field_u64(1, 1), field_u64(2, 1));
+  } else if (kind == "torn") {
+    if (fields.size() < 2 || fields.size() > 3) {
+      return invalid_argument("torn:<frac>[:<k>] : " + std::string(spec));
+    }
+    schedule = Schedule::torn_write(field_double(1, 0.5), field_u64(2, 1));
+  } else if (kind == "corrupt") {
+    if (fields.size() > 2) return invalid_argument("corrupt[:<k>] : " + std::string(spec));
+    schedule = Schedule::corrupt_read(field_u64(1, 1));
+  } else if (kind == "delay") {
+    if (fields.size() < 2 || fields.size() > 3) {
+      return invalid_argument("delay:<seconds>[:<p>] : " + std::string(spec));
+    }
+    schedule = Schedule::latency_spike(field_double(1, 0.0), field_double(2, 1.0));
+  } else {
+    return invalid_argument("unknown fault schedule kind: " + std::string(spec));
+  }
+  if (!ok) return invalid_argument("bad fault schedule field in: " + std::string(spec));
+  if (schedule.trigger == Schedule::Trigger::kNth && schedule.nth == 0) {
+    return invalid_argument("hit numbers are 1-based: " + std::string(spec));
+  }
+  if (schedule.probability < 0.0 || schedule.probability > 1.0) {
+    return invalid_argument("probability out of [0,1]: " + std::string(spec));
+  }
+  if (schedule.fraction < 0.0 || schedule.fraction > 1.0) {
+    return invalid_argument("fraction out of [0,1]: " + std::string(spec));
+  }
+  return schedule;
+}
+
+Injector& Injector::global() {
+  static Injector* injector = new Injector();  // never destroyed: sites may fire at exit
+  return *injector;
+}
+
+void Injector::update_enabled_locked() {
+  g_enabled.store(!arms_.empty(), std::memory_order_relaxed);
+}
+
+void Injector::arm(const std::string& site, const Schedule& schedule) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Arm arm;
+  arm.schedule = schedule;
+  arm.rng = Rng(schedule.seed);
+  arms_[site] = std::move(arm);
+  update_enabled_locked();
+}
+
+Status Injector::arm_spec(std::string_view spec) {
+  for (const std::string_view entry : split_fields(spec, ',')) {
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return invalid_argument("fault spec entry needs site=schedule: " + std::string(entry));
+    }
+    ADA_ASSIGN_OR_RETURN(const Schedule schedule, parse_schedule(entry.substr(eq + 1)));
+    arm(std::string(entry.substr(0, eq)), schedule);
+  }
+  return Status::ok();
+}
+
+void Injector::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  arms_.erase(site);
+  update_enabled_locked();
+}
+
+void Injector::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  arms_.clear();
+  update_enabled_locked();
+}
+
+Outcome Injector::hit(std::string_view site) {
+  Outcome outcome;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++evaluations_;
+    const auto it = arms_.find(site);
+    if (it == arms_.end()) return outcome;
+    Arm& arm = it->second;
+    const std::uint64_t hit_number = ++arm.hit_count;
+    const Schedule& s = arm.schedule;
+    if (s.max_fires != 0 && arm.fire_count >= s.max_fires) return outcome;
+
+    bool fires = false;
+    switch (s.trigger) {
+      case Schedule::Trigger::kNth: fires = hit_number == s.nth; break;
+      case Schedule::Trigger::kEveryNth: fires = s.nth != 0 && hit_number % s.nth == 0; break;
+      case Schedule::Trigger::kProbability: fires = arm.rng.uniform() < s.probability; break;
+      case Schedule::Trigger::kWindow:
+        fires = hit_number >= s.window_begin && hit_number <= s.window_end;
+        break;
+      case Schedule::Trigger::kAlways: fires = true; break;
+    }
+    if (!fires) return outcome;
+    ++arm.fire_count;
+    outcome.kind = s.effect;
+    outcome.error = s.error;
+    outcome.delay_seconds = s.delay_seconds;
+    outcome.fraction = s.fraction;
+  }
+  // Fired faults are rare and cold: dynamic counter names are fine here.
+  ADA_OBS_COUNT("fault.injected", 1);
+  if (obs::enabled()) {
+    obs::Registry::global().counter("fault.injected." + std::string(site)).add(1);
+  }
+  return outcome;
+}
+
+std::uint64_t Injector::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = arms_.find(site);
+  return it == arms_.end() ? 0 : it->second.hit_count;
+}
+
+std::uint64_t Injector::fired(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = arms_.find(site);
+  return it == arms_.end() ? 0 : it->second.fire_count;
+}
+
+std::uint64_t Injector::evaluations() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+std::vector<std::string> Injector::armed_sites() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(arms_.size());
+  for (const auto& [site, arm] : arms_) out.push_back(site);
+  return out;
+}
+
+}  // namespace ada::fault

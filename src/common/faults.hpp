@@ -1,0 +1,178 @@
+// Deterministic fault-injection plane for the storage/PVFS/PLFS stack.
+//
+// Failure is a first-class, testable input: every I/O layer exposes named
+// injection points ("plfs.write_dropping", "pvfs.stripe_read", ...) and asks
+// the global Injector what should happen at each hit.  Tests and CLIs arm
+// *schedules* -- deterministic rules (fail the Nth hit, fail with seeded
+// probability, a server-down window, a latency spike, a torn write, a bit
+// flip) -- so a failing run reproduces exactly from its seed.
+//
+// The disabled path mirrors the tracing/metrics pattern (obs/events.hpp):
+// with nothing armed, an injection point is ONE relaxed atomic load and
+// nothing else -- no lock, no map lookup, no allocation.  The chaos and
+// robustness suites (tests/fault_injection_test.cpp,
+// tests/chaos_pipeline_test.cpp) and docs/robustness.md document the
+// schedule grammar and site inventory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace ada::fault {
+
+/// True iff at least one site is armed.  One relaxed load; the hot-path
+/// guard every injection point checks first.
+bool enabled() noexcept;
+
+/// What an armed schedule decided for one hit of an injection point.
+struct Outcome {
+  enum class Kind : std::uint8_t {
+    kNone,     // proceed normally
+    kError,    // the operation fails with `error`
+    kTorn,     // write only `fraction` of the bytes, then REPORT SUCCESS
+    kCorrupt,  // flip one byte at relative position `fraction`, report success
+    kDelay,    // add `delay_seconds` of latency, then proceed
+  };
+
+  Kind kind = Kind::kNone;
+  ErrorCode error = ErrorCode::kIoError;
+  double delay_seconds = 0.0;  // kDelay
+  double fraction = 0.5;       // kTorn: surviving prefix; kCorrupt: flip position
+
+  bool fired() const noexcept { return kind != Kind::kNone; }
+
+  /// Error for kError outcomes ("injected fault at <site>").
+  Error to_error(std::string_view site) const;
+};
+
+/// When a schedule triggers, and with what effect.  Hit numbering is
+/// 1-based and per-site; the per-site Rng (probability trigger, jitter) is
+/// seeded at arm time, so the fault sequence is a pure function of
+/// (schedule, seed, hit count).
+struct Schedule {
+  enum class Trigger : std::uint8_t {
+    kNth,          // exactly hit #nth
+    kEveryNth,     // hits nth, 2*nth, ...
+    kProbability,  // each hit independently with `probability`
+    kWindow,       // every hit in [window_begin, window_end] (server down)
+    kAlways,       // every hit
+  };
+
+  Trigger trigger = Trigger::kAlways;
+  Outcome::Kind effect = Outcome::Kind::kError;
+  ErrorCode error = ErrorCode::kIoError;
+  std::uint64_t nth = 1;
+  double probability = 1.0;
+  std::uint64_t window_begin = 1;
+  std::uint64_t window_end = UINT64_MAX;
+  std::uint64_t seed = 0x5eed;
+  double delay_seconds = 0.0;
+  double fraction = 0.5;
+  std::uint64_t max_fires = 0;  // 0 = unlimited
+
+  // Factories for the common shapes (schedule grammar in docs/robustness.md).
+  static Schedule fail_nth(std::uint64_t n);
+  static Schedule fail_every(std::uint64_t n);
+  static Schedule fail_probability(double p, std::uint64_t seed);
+  static Schedule down_window(std::uint64_t first_hit, std::uint64_t last_hit);
+  static Schedule torn_write(double surviving_fraction, std::uint64_t n = 1);
+  static Schedule corrupt_read(std::uint64_t n = 1, double position = 0.5);
+  static Schedule latency_spike(double seconds, double p = 1.0,
+                                std::uint64_t seed = 0x5eed);
+};
+
+/// Parse one schedule spec:
+///   nth:<k>            error on hit k (once)
+///   every:<k>          error on every k-th hit
+///   prob:<p>[:<seed>]  error each hit with probability p
+///   down:<a>:<b>       error on every hit in [a, b]
+///   torn:<f>[:<k>]     torn write on hit k: fraction f survives, reported OK
+///   corrupt[:<k>]      one-byte flip on hit k, reported OK
+///   delay:<s>[:<p>]    latency spike of s seconds, each hit with prob p
+Result<Schedule> parse_schedule(std::string_view spec);
+
+/// The process-wide injection-point registry.
+class Injector {
+ public:
+  static Injector& global();
+
+  /// Arm `schedule` at `site`, replacing any previous arm (hit count resets).
+  void arm(const std::string& site, const Schedule& schedule);
+
+  /// Arm from "site=spec[,site=spec...]" (the --faults CLI grammar).
+  Status arm_spec(std::string_view spec);
+
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Evaluate one hit of `site`.  Armed sites advance their hit counter and
+  /// apply their schedule; unarmed sites return kNone.  Counts
+  /// `fault.injected` / `fault.injected.<site>` obs counters on fire.
+  Outcome hit(std::string_view site);
+
+  /// Hits recorded at `site` since it was armed (0 if unarmed).
+  std::uint64_t hits(const std::string& site) const;
+  /// Faults fired at `site` since it was armed (0 if unarmed).
+  std::uint64_t fired(const std::string& site) const;
+  /// Times the slow path (any armed-site evaluation) ran; stays 0 while
+  /// disarmed -- how the tests pin down the zero-overhead disabled path.
+  std::uint64_t evaluations() const noexcept;
+
+  std::vector<std::string> armed_sites() const;
+
+ private:
+  struct Arm {
+    Schedule schedule;
+    Rng rng{0};
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+  };
+
+  Injector() = default;
+  void update_enabled_locked();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Arm, std::less<>> arms_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Hot-path helper: one relaxed load when nothing is armed.
+inline Outcome hit(std::string_view site) {
+  if (!enabled()) return Outcome{};
+  return Injector::global().hit(site);
+}
+
+/// For sites whose only meaningful outcome is failure: ok or the injected
+/// error (torn/corrupt/delay outcomes are reported as plain errors too, so
+/// error-only call sites never silently drop an armed effect).
+inline Status check(std::string_view site) {
+  if (!enabled()) return Status::ok();
+  const Outcome outcome = Injector::global().hit(site);
+  if (!outcome.fired() || outcome.kind == Outcome::Kind::kDelay) return Status::ok();
+  return outcome.to_error(site);
+}
+
+/// RAII arm/disarm of one site (tests).
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, const Schedule& schedule) : site_(std::move(site)) {
+    Injector::global().arm(site_, schedule);
+  }
+  ~ScopedFault() { Injector::global().disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace ada::fault

@@ -26,6 +26,8 @@ enum class ErrorCode {
   kUnsupported,
   kResourceExhausted,
   kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -41,6 +43,8 @@ constexpr const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
@@ -136,6 +140,8 @@ inline Error io_error(std::string m) { return Error(ErrorCode::kIoError, std::mo
 inline Error unsupported(std::string m) { return Error(ErrorCode::kUnsupported, std::move(m)); }
 inline Error resource_exhausted(std::string m) { return Error(ErrorCode::kResourceExhausted, std::move(m)); }
 inline Error failed_precondition(std::string m) { return Error(ErrorCode::kFailedPrecondition, std::move(m)); }
+inline Error unavailable(std::string m) { return Error(ErrorCode::kUnavailable, std::move(m)); }
+inline Error deadline_exceeded(std::string m) { return Error(ErrorCode::kDeadlineExceeded, std::move(m)); }
 inline Error internal_error(std::string m) { return Error(ErrorCode::kInternal, std::move(m)); }
 
 /// Propagate an error from an expression producing Status.

@@ -39,7 +39,8 @@ double loaded_bytes(Scenario scenario, const WorkloadSizes& sizes) {
 
 /// Cluster retrieval: run the striped-PVFS DES and return elapsed seconds.
 double cluster_retrieval_seconds(const ClusterConfig& cluster, Scenario scenario,
-                                 const WorkloadSizes& sizes, const PipelineOptions& options) {
+                                 const WorkloadSizes& sizes, const PipelineOptions& options,
+                                 std::size_t* io_errors) {
   sim::Simulator simulator;
   sim::FlowNetwork network(simulator);
   const unsigned nodes = cluster.compute_nodes + cluster.hdd_storage_nodes + cluster.ssd_storage_nodes;
@@ -62,7 +63,10 @@ double cluster_retrieval_seconds(const ClusterConfig& cluster, Scenario scenario
   const net::NodeId client = 0;
 
   int outstanding = 0;
-  auto on_done = [&outstanding] { --outstanding; };
+  auto on_done = [&outstanding, io_errors](const Status& status) {
+    if (!status.is_ok() && io_errors != nullptr) ++*io_errors;
+    --outstanding;
+  };
 
   // Instances are built per scenario; unused ones cost nothing.
   std::optional<pvfs::PvfsModel> hybrid;
@@ -170,7 +174,8 @@ ScenarioResult run_scenario(const Platform& platform, Scenario scenario,
       retrieve_base = platform.local_fs->read_file_time(bytes_in);
       break;
     case Platform::Kind::kCluster:
-      retrieve_base = cluster_retrieval_seconds(*platform.cluster, scenario, sizes, options);
+      retrieve_base =
+          cluster_retrieval_seconds(*platform.cluster, scenario, sizes, options, &result.io_errors);
       break;
   }
 

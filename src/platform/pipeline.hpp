@@ -52,6 +52,10 @@ struct ScenarioResult {
 
   double energy_joules = 0;
 
+  /// Stripe operations that failed for good in the DES (after retries).
+  /// Non-zero only when fault injection is armed on the pvfs.* sites.
+  std::size_t io_errors = 0;
+
   std::vector<PhaseResult> phases;
 };
 

@@ -8,12 +8,13 @@
 namespace ada::plfs {
 
 namespace {
-constexpr std::uint8_t kIndexMagic[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '1'};
+constexpr std::uint8_t kIndexMagicV1[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '1'};
+constexpr std::uint8_t kIndexMagicV2[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '2'};
 }
 
 std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) {
   ByteWriter w;
-  w.put_bytes(kIndexMagic);
+  w.put_bytes(kIndexMagicV2);
   w.put_u32_le(static_cast<std::uint32_t>(records.size()));
   for (const IndexRecord& r : records) {
     w.put_u64_le(r.logical_offset);
@@ -22,12 +23,17 @@ std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) 
     w.put_string_le(r.label);
     w.put_string_le(r.dropping);
     w.put_u64_le(r.physical_offset);
+    w.put_u32_le(r.crc32c);
+    w.put_u8(r.flags);
   }
   return w.take();
 }
 
 Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> image) {
-  if (image.size() < 12 || std::memcmp(image.data(), kIndexMagic, 8) != 0) {
+  bool v2 = false;
+  if (image.size() >= 12 && std::memcmp(image.data(), kIndexMagicV2, 8) == 0) {
+    v2 = true;
+  } else if (image.size() < 12 || std::memcmp(image.data(), kIndexMagicV1, 8) != 0) {
     return corrupt_data("bad plfs index magic");
   }
   ByteReader r(image.subspan(8));
@@ -42,6 +48,10 @@ Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> imag
     ADA_ASSIGN_OR_RETURN(record.label, r.get_string_le());
     ADA_ASSIGN_OR_RETURN(record.dropping, r.get_string_le());
     ADA_ASSIGN_OR_RETURN(record.physical_offset, r.get_u64_le());
+    if (v2) {
+      ADA_ASSIGN_OR_RETURN(record.crc32c, r.get_u32_le());
+      ADA_ASSIGN_OR_RETURN(record.flags, r.get_u8());
+    }
     records.push_back(std::move(record));
   }
   if (!r.at_end()) return corrupt_data("trailing bytes after plfs index records");

@@ -19,20 +19,35 @@ namespace ada::plfs {
 
 /// One logical extent of a container.
 struct IndexRecord {
+  /// flags bits (v2 index format).
+  static constexpr std::uint8_t kHasChecksum = 0x01;
+
   std::uint64_t logical_offset = 0;  // position in the logical file
   std::uint64_t length = 0;
   std::uint32_t backend = 0;         // which backend holds the dropping
   std::string label;                 // data-subset tag ("p", "m", ... or "")
   std::string dropping;              // dropping file name within the container dir
   std::uint64_t physical_offset = 0; // offset inside the dropping file
+  std::uint32_t crc32c = 0;          // extent checksum (valid iff kHasChecksum)
+  std::uint8_t flags = 0;
+
+  bool has_checksum() const noexcept { return (flags & kHasChecksum) != 0; }
+  void set_checksum(std::uint32_t crc) noexcept {
+    crc32c = crc;
+    flags |= kHasChecksum;
+  }
 
   friend bool operator==(const IndexRecord&, const IndexRecord&) = default;
 };
 
 /// Serialize an index to its on-disk image (little-endian, magic-prefixed).
+/// Writes the v2 format ("PLFSIDX2"), which adds a per-record CRC32C
+/// checksum + flags byte.
 std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records);
 
-/// Parse an on-disk index image.
+/// Parse an on-disk index image.  Accepts both v2 ("PLFSIDX2") and legacy
+/// v1 ("PLFSIDX1") images; v1 records decode with no checksum (readers then
+/// skip verification for those extents).
 Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> image);
 
 /// Logical file size implied by an index (max extent end).

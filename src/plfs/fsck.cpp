@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/binary_io.hpp"
+#include "common/crc32c.hpp"
 
 namespace ada::plfs {
 
@@ -27,6 +28,21 @@ Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string&
     }
     if (broken) {
       report.broken_records.push_back(record);
+      continue;
+    }
+    // Full-length dropping: verify the extent's stored checksum (v1 records
+    // carry none and are treated as intact).
+    bool checksum_bad = false;
+    if (record.has_checksum()) {
+      const std::string path =
+          mount.dropping_host_path(record.backend, logical_name, record.dropping);
+      ADA_ASSIGN_OR_RETURN(const auto bytes, read_file(path));
+      const std::uint32_t actual =
+          crc32c(bytes.data() + record.physical_offset, record.length);
+      checksum_bad = actual != record.crc32c;
+    }
+    if (checksum_bad) {
+      report.checksum_bad_records.push_back(record);
     } else {
       intact.push_back(record);
     }
@@ -39,7 +55,8 @@ Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string&
     }
   }
 
-  report.extents_complete = report.broken_records.empty() && is_complete(records);
+  report.extents_complete = report.broken_records.empty() &&
+                            report.checksum_bad_records.empty() && is_complete(records);
   return report;
 }
 
@@ -48,13 +65,26 @@ Result<RepairActions> repair_container(PlfsMount& mount, const std::string& logi
   RepairActions actions;
   if (report.clean()) return actions;
 
-  if (!report.broken_records.empty()) {
+  // Quarantine checksum-bad droppings before touching the index, so a
+  // failure mid-repair never leaves a bad extent referenced and unmarked.
+  for (const IndexRecord& record : report.checksum_bad_records) {
+    const std::string path =
+        mount.dropping_host_path(record.backend, logical_name, record.dropping);
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    if (ec) return io_error("cannot quarantine " + record.dropping + ": " + ec.message());
+    ++actions.extents_quarantined;
+  }
+
+  if (!report.broken_records.empty() || !report.checksum_bad_records.empty()) {
     ADA_ASSIGN_OR_RETURN(auto records, mount.read_index(logical_name));
-    const auto is_broken = [&](const IndexRecord& record) {
+    const auto is_bad = [&](const IndexRecord& record) {
       return std::find(report.broken_records.begin(), report.broken_records.end(), record) !=
-             report.broken_records.end();
+                 report.broken_records.end() ||
+             std::find(report.checksum_bad_records.begin(), report.checksum_bad_records.end(),
+                       record) != report.checksum_bad_records.end();
     };
-    std::erase_if(records, is_broken);
+    std::erase_if(records, is_bad);
     ADA_RETURN_IF_ERROR(mount.rewrite_index(logical_name, records));
     actions.records_dropped = report.broken_records.size();
   }

@@ -20,6 +20,10 @@ struct VerifyReport {
   /// record's extent.
   std::vector<IndexRecord> broken_records;
 
+  /// Index records whose dropping bytes exist at full length but fail the
+  /// stored CRC32C (silent corruption: bit flip, torn rewrite).
+  std::vector<IndexRecord> checksum_bad_records;
+
   /// Files inside container directories that no index record references.
   /// (backend id, file name)
   std::vector<std::pair<std::uint32_t, std::string>> orphan_droppings;
@@ -28,7 +32,8 @@ struct VerifyReport {
   bool extents_complete = false;
 
   bool clean() const noexcept {
-    return broken_records.empty() && orphan_droppings.empty() && extents_complete;
+    return broken_records.empty() && checksum_bad_records.empty() &&
+           orphan_droppings.empty() && extents_complete;
   }
 };
 
@@ -38,12 +43,16 @@ Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string&
 struct RepairActions {
   std::size_t records_dropped = 0;
   std::size_t orphans_removed = 0;
+  /// Checksum-bad droppings set aside as "<name>.quarantined" (kept on disk
+  /// for forensics, never deleted or served) and dropped from the index.
+  std::size_t extents_quarantined = 0;
 };
 
-/// Repair in place: rewrite the index without broken records and delete
-/// orphan droppings.  Data whose droppings are intact is never modified.
-/// Extent completeness is *not* restored (lost extents stay lost) -- the
-/// report tells the caller what is gone.
+/// Repair in place: rewrite the index without broken records, quarantine
+/// checksum-bad droppings, and delete orphan droppings.  Data whose
+/// droppings are intact is never modified.  Extent completeness is *not*
+/// restored (lost extents stay lost) -- the report tells the caller what is
+/// gone.
 Result<RepairActions> repair_container(PlfsMount& mount, const std::string& logical_name);
 
 }  // namespace ada::plfs

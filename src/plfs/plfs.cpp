@@ -1,9 +1,14 @@
 #include "plfs/plfs.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "common/binary_io.hpp"
+#include "common/crc32c.hpp"
+#include "common/faults.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -14,10 +19,87 @@ namespace ada::plfs {
 
 namespace {
 constexpr const char* kIndexFile = "index.plfs";
+constexpr const char* kQuarantineSuffix = ".quarantined";
+
+// Fault-injection sites (docs/robustness.md).
+constexpr const char* kSiteWriteDropping = "plfs.write_dropping";
+constexpr const char* kSiteReadDropping = "plfs.read_dropping";
+constexpr const char* kSiteWriteIndex = "plfs.write_index";
+constexpr const char* kSiteReadIndex = "plfs.read_index";
 
 bool valid_logical_name(const std::string& name) {
   if (name.empty() || name == "." || name == "..") return false;
   return name.find('/') == std::string::npos && name.find('\0') == std::string::npos;
+}
+
+bool is_quarantined_name(const std::string& name) {
+  return name.size() > std::strlen(kQuarantineSuffix) &&
+         name.ends_with(kQuarantineSuffix);
+}
+
+std::size_t flip_position(std::size_t size, double fraction) {
+  if (size == 0) return 0;
+  const auto pos = static_cast<std::size_t>(static_cast<double>(size) * fraction);
+  return pos < size ? pos : size - 1;
+}
+
+/// Write one dropping file under the write_dropping fault site.  Torn and
+/// corrupt outcomes REPORT SUCCESS -- that is the point: the stored CRC is
+/// computed over the intended bytes, so the damage is caught on read.
+Status write_dropping_bytes(const std::string& path, std::span<const std::uint8_t> bytes) {
+  const fault::Outcome outcome = fault::hit(kSiteWriteDropping);
+  switch (outcome.kind) {
+    case fault::Outcome::Kind::kError:
+      return outcome.to_error(kSiteWriteDropping);
+    case fault::Outcome::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double>(outcome.delay_seconds));
+      break;
+    case fault::Outcome::Kind::kTorn: {
+      const auto keep = static_cast<std::size_t>(
+          static_cast<double>(bytes.size()) * outcome.fraction);
+      return write_file(path, bytes.subspan(0, keep));
+    }
+    case fault::Outcome::Kind::kCorrupt: {
+      std::vector<std::uint8_t> damaged(bytes.begin(), bytes.end());
+      if (!damaged.empty()) damaged[flip_position(damaged.size(), outcome.fraction)] ^= 0x01;
+      return write_file(path, damaged);
+    }
+    case fault::Outcome::Kind::kNone:
+      break;
+  }
+  return write_file(path, bytes);
+}
+
+}  // namespace
+
+/// Read one dropping file under the read_dropping fault site.  A corrupt
+/// outcome flips one byte of the returned buffer (simulated media error);
+/// checksum verification downstream must catch it.
+Result<std::vector<std::uint8_t>> read_dropping_file(const std::string& path) {
+  const fault::Outcome outcome = fault::hit(kSiteReadDropping);
+  if (outcome.kind == fault::Outcome::Kind::kError) {
+    return outcome.to_error(kSiteReadDropping);
+  }
+  if (outcome.kind == fault::Outcome::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(outcome.delay_seconds));
+  }
+  ADA_ASSIGN_OR_RETURN(auto data, read_file(path));
+  if (outcome.kind == fault::Outcome::Kind::kCorrupt && !data.empty()) {
+    data[flip_position(data.size(), outcome.fraction)] ^= 0x01;
+  }
+  return data;
+}
+
+namespace {
+/// Checksum-verify one extent slice against its index record.
+Status verify_extent_checksum(const IndexRecord& record,
+                              std::span<const std::uint8_t> slice) {
+  if (!record.has_checksum()) return Status::ok();  // v1 record: nothing stored
+  const std::uint32_t actual = crc32c(slice.data(), slice.size());
+  if (actual == record.crc32c) return Status::ok();
+  ADA_OBS_COUNT("plfs.crc_mismatch", 1);
+  return corrupt_data("checksum mismatch on " + record.dropping + ": stored " +
+                      std::to_string(record.crc32c) + ", computed " + std::to_string(actual));
 }
 }  // namespace
 
@@ -62,13 +144,17 @@ bool PlfsMount::container_exists(const std::string& logical_name) const {
 
 Status PlfsMount::write_index(const std::string& logical_name,
                               const std::vector<IndexRecord>& records) const {
-  return write_file(index_path(logical_name), encode_index(records));
+  // The index is replaced atomically (tmp + rename); an injected fault here
+  // models a crash before the rename, so readers keep the previous index.
+  ADA_RETURN_IF_ERROR(fault::check(kSiteWriteIndex));
+  return write_file_atomic(index_path(logical_name), encode_index(records));
 }
 
 Result<std::vector<IndexRecord>> PlfsMount::read_index(const std::string& logical_name) const {
   if (!container_exists(logical_name)) {
     return not_found("container " + logical_name + " does not exist");
   }
+  ADA_RETURN_IF_ERROR(fault::check(kSiteReadIndex));
   ADA_ASSIGN_OR_RETURN(const auto image, read_file(index_path(logical_name)));
   return decode_index(image);
 }
@@ -98,12 +184,30 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
   record.dropping = "dropping." + (label.empty() ? std::string("data") : label) + "." +
                     std::to_string(records.size());
   record.physical_offset = 0;  // one dropping file per append
+  record.set_checksum(crc32c(bytes.data(), bytes.size()));
 
   const std::string path = container_dir(backend_id, logical_name) + "/" + record.dropping;
-  ADA_RETURN_IF_ERROR(write_file(path, bytes));
+  ADA_RETURN_IF_ERROR(retry_sync("plfs_write_dropping", retry_policy_,
+                                 [&] { return write_dropping_bytes(path, bytes); }));
   records.push_back(record);
   ADA_RETURN_IF_ERROR(write_index(logical_name, records));
   return record;
+}
+
+Result<std::vector<std::uint8_t>> PlfsMount::read_extent(const std::string& logical_name,
+                                                         const IndexRecord& record) const {
+  const std::string path = container_dir(record.backend, logical_name) + "/" + record.dropping;
+  ADA_ASSIGN_OR_RETURN(
+      const auto dropping,
+      retry_sync("plfs_read_dropping", retry_policy_, [&] { return read_dropping_file(path); }));
+  if (dropping.size() < record.physical_offset + record.length) {
+    return corrupt_data("dropping " + record.dropping + " shorter than its index record");
+  }
+  std::vector<std::uint8_t> slice(
+      dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
+      dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
+  ADA_RETURN_IF_ERROR(verify_extent_checksum(record, slice));
+  return slice;
 }
 
 Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& logical_name) const {
@@ -120,14 +224,8 @@ Result<std::vector<std::uint8_t>> PlfsMount::read_logical(const std::string& log
   std::vector<std::uint8_t> out;
   out.reserve(logical_size(records));
   for (const IndexRecord& record : records) {
-    const std::string path = container_dir(record.backend, logical_name) + "/" + record.dropping;
-    ADA_ASSIGN_OR_RETURN(const auto dropping, read_file(path));
-    if (dropping.size() < record.physical_offset + record.length) {
-      return corrupt_data("dropping " + record.dropping + " shorter than its index record");
-    }
-    out.insert(out.end(),
-               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
-               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
+    ADA_ASSIGN_OR_RETURN(const auto slice, read_extent(logical_name, record));
+    out.insert(out.end(), slice.begin(), slice.end());
   }
   ADA_OBS_COUNT("plfs.read.calls", 1);
   ADA_OBS_COUNT("plfs.read.bytes", out.size());
@@ -146,14 +244,8 @@ Result<std::vector<std::uint8_t>> PlfsMount::read_label(const std::string& logic
             });
   std::vector<std::uint8_t> out;
   for (const IndexRecord& record : records) {
-    const std::string path = container_dir(record.backend, logical_name) + "/" + record.dropping;
-    ADA_ASSIGN_OR_RETURN(const auto dropping, read_file(path));
-    if (dropping.size() < record.physical_offset + record.length) {
-      return corrupt_data("dropping " + record.dropping + " shorter than its index record");
-    }
-    out.insert(out.end(),
-               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset),
-               dropping.begin() + static_cast<std::ptrdiff_t>(record.physical_offset + record.length));
+    ADA_ASSIGN_OR_RETURN(const auto slice, read_extent(logical_name, record));
+    out.insert(out.end(), slice.begin(), slice.end());
   }
   ADA_OBS_COUNT("plfs.read.calls", 1);
   ADA_OBS_COUNT("plfs.read.bytes", out.size());
@@ -197,7 +289,7 @@ Result<std::vector<std::string>> PlfsMount::list_dropping_files(
   if (!fs::is_directory(dir)) return out;  // backend never got this container
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name == kIndexFile) continue;
+    if (name == kIndexFile || is_quarantined_name(name)) continue;
     out.push_back(name);
   }
   if (ec) return io_error("cannot list " + dir + ": " + ec.message());

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/retry.hpp"
 #include "plfs/container.hpp"
 
 namespace ada::plfs {
@@ -27,6 +28,12 @@ struct Backend {
   std::string name;       // e.g. "ssd-pvfs"
   std::string host_root;  // host directory that stands in for the mount point
 };
+
+/// Fault-aware read of one dropping file by host path: evaluates the
+/// "plfs.read_dropping" injection site (errors, latency, simulated media
+/// corruption) before/after the real read.  Shared by PlfsMount and the ADA
+/// I/O retriever so both read paths see the same faults.
+Result<std::vector<std::uint8_t>> read_dropping_file(const std::string& host_path);
 
 class PlfsMount {
  public:
@@ -44,8 +51,15 @@ class PlfsMount {
 
   bool container_exists(const std::string& logical_name) const;
 
+  /// Retry policy for dropping reads/writes (transient injected or real I/O
+  /// errors).  Defaults to 4 attempts with millisecond backoff.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
+
   /// Append `bytes` to the logical file, storing the dropping on `backend_id`
-  /// tagged with `label`.  Returns the index record it created.
+  /// tagged with `label`.  Returns the index record it created.  The extent's
+  /// CRC32C is computed over the intended bytes and stored in the record, so
+  /// a torn or corrupted write is caught at read time.
   Result<IndexRecord> append(const std::string& logical_name, const std::string& label,
                              std::uint32_t backend_id, std::span<const std::uint8_t> bytes);
 
@@ -76,7 +90,7 @@ class PlfsMount {
                                  const std::string& dropping) const;
 
   /// Dropping file names physically present in one backend's container dir
-  /// (excludes the index file).
+  /// (excludes the index file and "*.quarantined" files set aside by fsck).
   Result<std::vector<std::string>> list_dropping_files(std::uint32_t backend_id,
                                                        const std::string& logical_name) const;
 
@@ -93,7 +107,12 @@ class PlfsMount {
   Status write_index(const std::string& logical_name,
                      const std::vector<IndexRecord>& records) const;
 
+  /// One extent's bytes, retried and checksum-verified.
+  Result<std::vector<std::uint8_t>> read_extent(const std::string& logical_name,
+                                                const IndexRecord& record) const;
+
   std::vector<Backend> backends_;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace ada::plfs

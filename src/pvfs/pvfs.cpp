@@ -1,11 +1,30 @@
 #include "pvfs/pvfs.hpp"
 
 #include <memory>
+#include <utility>
 
+#include "common/faults.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 
 namespace ada::pvfs {
+
+namespace {
+// Fault-injection sites (docs/robustness.md).  The generic site fires for
+// any stripe of this direction; the cached per-server variants
+// ("pvfs.stripe_read.s<node>") model one sick server.
+constexpr const char* kSiteMetadata = "pvfs.metadata";
+constexpr const char* kSiteStripeRead = "pvfs.stripe_read";
+constexpr const char* kSiteStripeWrite = "pvfs.stripe_write";
+
+/// Evaluate the generic then the per-server site; first fired outcome wins.
+fault::Outcome stripe_outcome(const char* generic_site, const std::string& server_site) {
+  if (!fault::enabled()) return fault::Outcome{};
+  fault::Outcome outcome = fault::Injector::global().hit(generic_site);
+  if (!outcome.fired()) outcome = fault::Injector::global().hit(server_site);
+  return outcome;
+}
+}  // namespace
 
 PvfsModel::PvfsModel(sim::Simulator& simulator, net::Fabric& fabric, std::string name,
                      std::vector<IoServer> servers, net::NodeId metadata_node,
@@ -30,6 +49,18 @@ PvfsModel::PvfsModel(sim::Simulator& simulator, net::Fabric& fabric, std::string
                                  network.add_link(base + ".disk_wr", write_bw)});
   }
   stripe_lanes_.assign(servers_.size(), 0);
+  read_sites_.reserve(servers_.size());
+  write_sites_.reserve(servers_.size());
+  for (const IoServer& server : servers_) {
+    const std::string suffix = ".s" + std::to_string(server.node);
+    read_sites_.push_back(std::string(kSiteStripeRead) + suffix);
+    write_sites_.push_back(std::string(kSiteStripeWrite) + suffix);
+  }
+}
+
+void PvfsModel::set_retry_policy(const RetryPolicy& policy) {
+  retry_policy_ = policy;
+  retry_rng_ = Rng(policy.seed);
 }
 
 std::uint32_t PvfsModel::stripe_lane(std::uint32_t server) {
@@ -48,19 +79,107 @@ double PvfsModel::aggregate_disk_read_bandwidth() const {
   return total;
 }
 
-void PvfsModel::read_file(double bytes, net::NodeId client, std::function<void()> on_complete) {
+void PvfsModel::read_file(double bytes, net::NodeId client, Completion on_complete) {
   start_striped(bytes, client, /*write=*/false, std::move(on_complete));
 }
 
-void PvfsModel::write_file(double bytes, net::NodeId client, std::function<void()> on_complete) {
+void PvfsModel::write_file(double bytes, net::NodeId client, Completion on_complete) {
   start_striped(bytes, client, /*write=*/true, std::move(on_complete));
 }
 
+void PvfsModel::finish_stripe(const std::shared_ptr<OpState>& state, Status status) {
+  if (!status.is_ok() && state->status.is_ok()) state->status = std::move(status);
+  if (--state->remaining == 0 && state->done) state->done(state->status);
+}
+
+void PvfsModel::fail_stripe(std::shared_ptr<OpState> state, StripeTask task,
+                            obs::TraceContext ctx, int attempt, Error error) {
+  const std::uint32_t s = task.server;
+  if (is_transient(error.code()) && attempt < retry_policy_.max_attempts) {
+    const double backoff = retry_policy_.backoff_for(attempt, retry_rng_);
+    const double elapsed = simulator_.now() - state->start_time;
+    if (retry_policy_.op_timeout_s <= 0.0 ||
+        elapsed + backoff < retry_policy_.op_timeout_s) {
+      ADA_OBS_COUNT("retry.pvfs.stripe", 1);
+      // The backoff wait renders as a "stripe_retry" span on the server lane.
+      const std::uint64_t span =
+          obs::trace_enabled()
+              ? obs::sim_begin(stripe_lane(s), "stripe_retry", simulator_.now(), ctx,
+                               static_cast<std::uint64_t>(attempt))
+              : 0;
+      simulator_.schedule_after(
+          backoff, [this, s, ctx, span, state = std::move(state), task = std::move(task),
+                    attempt]() mutable {
+            obs::sim_end(stripe_lanes_[s], "stripe_retry", simulator_.now(), span, ctx);
+            start_stripe(std::move(state), std::move(task), ctx, attempt + 1);
+          });
+      return;
+    }
+    ADA_OBS_COUNT("retry.pvfs.stripe.exhausted", 1);
+    finish_stripe(state, deadline_exceeded(
+                             name_ + " stripe on s" + std::to_string(servers_[s].node) +
+                             " exceeded " + std::to_string(retry_policy_.op_timeout_s) +
+                             "s: " + error.to_string()));
+    return;
+  }
+  if (is_transient(error.code())) {
+    ADA_OBS_COUNT("retry.pvfs.stripe.exhausted", 1);
+    finish_stripe(state, unavailable(name_ + " stripe on s" +
+                                     std::to_string(servers_[s].node) + " failed after " +
+                                     std::to_string(attempt) + " attempt(s): " +
+                                     error.to_string()));
+    return;
+  }
+  finish_stripe(state, std::move(error));
+}
+
+void PvfsModel::start_stripe(std::shared_ptr<OpState> state, StripeTask task,
+                             obs::TraceContext ctx, int attempt) {
+  const std::uint32_t s = task.server;
+  const char* generic_site = task.write ? kSiteStripeWrite : kSiteStripeRead;
+  const std::string& server_site = task.write ? write_sites_[s] : read_sites_[s];
+  const fault::Outcome outcome = stripe_outcome(generic_site, server_site);
+  double extra_delay = 0.0;
+  if (outcome.fired()) {
+    if (outcome.kind == fault::Outcome::Kind::kDelay) {
+      extra_delay = outcome.delay_seconds;
+    } else {
+      // A performance model moves no real bytes, so torn/corrupt collapse
+      // to a failed stripe; the functional plane (plfs) models the silent
+      // versions.
+      fail_stripe(std::move(state), std::move(task), ctx, attempt,
+                  outcome.to_error(server_site));
+      return;
+    }
+  }
+  // Per-stripe seek overhead: the device access latency delays the flow
+  // start (charged per attempt -- a retry seeks again).
+  const double start_delay = servers_[s].device.access_latency + extra_delay;
+  const double server_bytes = task.bytes;
+  const char* stripe_name = task.write ? "stripe_write" : "stripe_read";
+  simulator_.schedule_after(start_delay, [this, s, ctx, stripe_name, server_bytes,
+                                          state = std::move(state),
+                                          task = std::move(task)]() mutable {
+    // The stripe span opens when the flow actually starts (after the
+    // device access latency) and closes when its last byte lands.
+    const std::uint64_t span =
+        obs::trace_enabled()
+            ? obs::sim_begin(stripe_lane(s), stripe_name, simulator_.now(), ctx,
+                             static_cast<std::uint64_t>(server_bytes))
+            : 0;
+    std::vector<sim::LinkId> path = task.path;  // keep the task for retries
+    fabric_.network().start_flow(
+        std::move(path), server_bytes, [this, s, ctx, stripe_name, span, state]() {
+          obs::sim_end(stripe_lanes_[s], stripe_name, simulator_.now(), span, ctx);
+          finish_stripe(state, Status::ok());
+        });
+  });
+}
+
 void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
-                              std::function<void()> on_complete) {
+                              Completion on_complete) {
   ADA_CHECK(bytes >= 0.0);
-  const double lookup =
-      write ? metadata_params_.create_latency : metadata_params_.lookup_latency;
+  double lookup = write ? metadata_params_.create_latency : metadata_params_.lookup_latency;
   if (write) {
     ADA_OBS_COUNT("pvfs.write.calls", 1);
     ADA_OBS_COUNT("pvfs.write.bytes", bytes);
@@ -68,58 +187,53 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
     ADA_OBS_COUNT("pvfs.read.calls", 1);
     ADA_OBS_COUNT("pvfs.read.bytes", bytes);
   }
+  // Metadata-server fault site: a fired error fails the whole op before any
+  // stripe starts (no retry -- the MDS round trip is one RPC here).
+  const fault::Outcome meta = fault::hit(kSiteMetadata);
+  if (meta.fired() && meta.kind != fault::Outcome::Kind::kDelay) {
+    simulator_.schedule_after(0.0, [on_complete = std::move(on_complete),
+                                    error = meta.to_error(kSiteMetadata)]() mutable {
+      if (on_complete) on_complete(std::move(error));
+    });
+    return;
+  }
+  if (meta.kind == fault::Outcome::Kind::kDelay) lookup += meta.delay_seconds;
   const obs::TraceContext ctx = obs::trace_enabled() ? obs::current_context() : obs::TraceContext{};
   metadata_.submit(lookup, [this, bytes, client, write, ctx,
                             on_complete = std::move(on_complete)]() mutable {
     const auto distribution = layout_.distribution(static_cast<std::uint64_t>(bytes));
-    auto remaining = std::make_shared<std::uint32_t>(0);
-    auto done = std::make_shared<std::function<void()>>(std::move(on_complete));
+    auto state = std::make_shared<OpState>();
+    state->done = std::move(on_complete);
+    state->start_time = simulator_.now();
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
       if (distribution[s] == 0) continue;
-      ++*remaining;
+      ++state->remaining;
       ADA_OBS_OBSERVE("pvfs.stripe.server_bytes", distribution[s]);
     }
-    ADA_OBS_OBSERVE("pvfs.stripe.fanout", *remaining);
-    if (*remaining == 0) {
-      if (*done) simulator_.schedule_after(0.0, *done);
+    ADA_OBS_OBSERVE("pvfs.stripe.fanout", state->remaining);
+    if (state->remaining == 0) {
+      if (state->done) {
+        simulator_.schedule_after(0.0, [state]() { state->done(Status::ok()); });
+      }
       return;
     }
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
       if (distribution[s] == 0) continue;
       // Path: disk stage + network stage.  For reads the data moves
       // server->client; for writes client->server with the disk stage last.
-      std::vector<sim::LinkId> path;
+      StripeTask task;
+      task.server = s;
+      task.bytes = static_cast<double>(distribution[s]);
+      task.write = write;
       if (write) {
-        path = fabric_.path(client, servers_[s].node);
-        path.push_back(links_[s].disk_write);
+        task.path = fabric_.path(client, servers_[s].node);
+        task.path.push_back(links_[s].disk_write);
       } else {
-        path.push_back(links_[s].disk_read);
+        task.path.push_back(links_[s].disk_read);
         const auto net_path = fabric_.path(servers_[s].node, client);
-        path.insert(path.end(), net_path.begin(), net_path.end());
+        task.path.insert(task.path.end(), net_path.begin(), net_path.end());
       }
-      // Per-stripe seek overhead: charge the device access latency once per
-      // stripe as an equivalent byte deficit is negligible for streaming
-      // HDDs reading 64 KiB units contiguously; instead the access latency
-      // delays the flow start.
-      const double start_delay = servers_[s].device.access_latency;
-      const double server_bytes = static_cast<double>(distribution[s]);
-      const char* stripe_name = write ? "stripe_write" : "stripe_read";
-      simulator_.schedule_after(start_delay, [this, s, ctx, stripe_name,
-                                              path = std::move(path), server_bytes, remaining,
-                                              done]() mutable {
-        // The stripe span opens when the flow actually starts (after the
-        // device access latency) and closes when its last byte lands.
-        const std::uint64_t span =
-            obs::trace_enabled()
-                ? obs::sim_begin(stripe_lane(s), stripe_name, simulator_.now(), ctx,
-                                 static_cast<std::uint64_t>(server_bytes))
-                : 0;
-        fabric_.network().start_flow(
-            std::move(path), server_bytes, [this, s, ctx, stripe_name, span, remaining, done]() {
-              obs::sim_end(stripe_lanes_[s], stripe_name, simulator_.now(), span, ctx);
-              if (--*remaining == 0 && *done) (*done)();
-            });
-      });
+      start_stripe(state, std::move(task), ctx, /*attempt=*/1);
     }
   });
 }

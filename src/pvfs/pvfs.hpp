@@ -13,10 +13,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
+#include "common/retry.hpp"
 #include "net/fabric.hpp"
+#include "obs/events.hpp"
 #include "pvfs/striping.hpp"
 #include "sim/resource.hpp"
 #include "storage/device.hpp"
@@ -50,12 +54,33 @@ class PvfsModel {
   /// network limits -- a sanity metric for tests and reports.
   double aggregate_disk_read_bandwidth() const;
 
+  /// Completion of a file operation.  Without armed faults the status is
+  /// always OK; with faults, stripe errors that survive the retry policy
+  /// surface here as a typed error (first failure wins).
+  using Completion = std::function<void(Status)>;
+
+  /// Retry policy for stripe flows: failed stripes are retried on the
+  /// *simulated* clock with exponential backoff + jitter, so retries cost
+  /// sim time and appear as "stripe_retry" spans on the server lanes.
+  /// `op_timeout_s` bounds the whole file op in sim seconds.
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const noexcept { return retry_policy_; }
+
   /// Read a striped file of `bytes` into `client`; `on_complete` fires after
-  /// the metadata lookup and every stripe flow finish.
-  void read_file(double bytes, net::NodeId client, std::function<void()> on_complete);
+  /// the metadata lookup and every stripe flow finish (or fails for good).
+  void read_file(double bytes, net::NodeId client, Completion on_complete);
 
   /// Write a striped file of `bytes` from `client`.
-  void write_file(double bytes, net::NodeId client, std::function<void()> on_complete);
+  void write_file(double bytes, net::NodeId client, Completion on_complete);
+
+  // Status-less completions (callers that predate the fault plane; a no-arg
+  // lambda binds here and unresolvable failures are dropped).
+  void read_file(double bytes, net::NodeId client, std::function<void()> on_complete) {
+    read_file(bytes, client, discard_status(std::move(on_complete)));
+  }
+  void write_file(double bytes, net::NodeId client, std::function<void()> on_complete) {
+    write_file(bytes, client, discard_status(std::move(on_complete)));
+  }
 
  private:
   struct ServerLinks {
@@ -63,8 +88,34 @@ class PvfsModel {
     sim::LinkId disk_write;
   };
 
-  void start_striped(double bytes, net::NodeId client, bool write,
-                     std::function<void()> on_complete);
+  /// One in-flight file operation (shared by its stripe flows).
+  struct OpState {
+    std::uint32_t remaining = 0;
+    Status status;        // first stripe failure, sticky
+    Completion done;
+    double start_time = 0.0;  // sim time at dispatch (op timeout basis)
+  };
+
+  /// One stripe's work, kept so a retry can re-launch the same flow.
+  struct StripeTask {
+    std::uint32_t server = 0;
+    double bytes = 0.0;
+    bool write = false;
+    std::vector<sim::LinkId> path;
+  };
+
+  static Completion discard_status(std::function<void()> f) {
+    return [f = std::move(f)](const Status&) {
+      if (f) f();
+    };
+  }
+
+  void start_striped(double bytes, net::NodeId client, bool write, Completion on_complete);
+  void start_stripe(std::shared_ptr<OpState> state, StripeTask task,
+                    obs::TraceContext ctx, int attempt);
+  void fail_stripe(std::shared_ptr<OpState> state, StripeTask task,
+                   obs::TraceContext ctx, int attempt, Error error);
+  void finish_stripe(const std::shared_ptr<OpState>& state, Status status);
   std::uint32_t stripe_lane(std::uint32_t server);
 
   sim::Simulator& simulator_;
@@ -76,6 +127,10 @@ class PvfsModel {
   MetadataParams metadata_params_;
   StripeLayout layout_;
   std::vector<std::uint32_t> stripe_lanes_;  // per-server, lazily registered
+  std::vector<std::string> read_sites_;      // per-server fault sites, cached
+  std::vector<std::string> write_sites_;
+  RetryPolicy retry_policy_;
+  Rng retry_rng_{0x7e7};
 };
 
 }  // namespace ada::pvfs

@@ -1,9 +1,21 @@
 #include "storage/device.hpp"
 
 #include "common/check.hpp"
+#include "common/faults.hpp"
 #include "common/units.hpp"
 
 namespace ada::storage {
+
+namespace {
+// Latency-spike injection: a kDelay outcome at these sites adds its
+// delay_seconds to the modeled service time (a degraded spindle, a
+// controller hiccup).  Other outcome kinds are meaningless for a pure
+// timing model and are ignored here; arm the pvfs.* sites for errors.
+double injected_delay(const char* site) {
+  const fault::Outcome outcome = fault::hit(site);
+  return outcome.kind == fault::Outcome::Kind::kDelay ? outcome.delay_seconds : 0.0;
+}
+}  // namespace
 
 DeviceSpec DeviceSpec::wd_hdd_1tb() {
   return DeviceSpec{"WD-1TB-HDD", mb_per_s(126), mb_per_s(126), 8.5e-3};
@@ -34,12 +46,14 @@ DeviceSpec DeviceSpec::raid50_wd_hdd(unsigned disks) {
 
 double BlockDevice::read_time(double bytes, std::uint64_t requests) const {
   ADA_CHECK(bytes >= 0.0);
-  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.read_bandwidth;
+  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.read_bandwidth +
+         injected_delay("storage.device.read");
 }
 
 double BlockDevice::write_time(double bytes, std::uint64_t requests) const {
   ADA_CHECK(bytes >= 0.0);
-  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.write_bandwidth;
+  return static_cast<double>(requests) * spec_.access_latency + bytes / spec_.write_bandwidth +
+         injected_delay("storage.device.write");
 }
 
 }  // namespace ada::storage

@@ -31,7 +31,9 @@ struct DeviceSpec {
   static DeviceSpec raid50_wd_hdd(unsigned disks = 10);
 };
 
-/// Stateless timing model over a DeviceSpec.
+/// Stateless timing model over a DeviceSpec.  The "storage.device.read" /
+/// "storage.device.write" fault-injection sites (common/faults.hpp) can add
+/// latency spikes to the modeled time.
 class BlockDevice {
  public:
   explicit BlockDevice(DeviceSpec spec) : spec_(std::move(spec)) {}

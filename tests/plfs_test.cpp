@@ -1,9 +1,13 @@
-// Tests for the PLFS container layer: index codec, container lifecycle,
-// multi-backend droppings, label reads.
+// Tests for the PLFS container layer: index codec (v1/v2), container
+// lifecycle, multi-backend droppings, label reads, extent checksums, and the
+// fault-injected retry paths.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
+#include "common/binary_io.hpp"
+#include "common/crc32c.hpp"
+#include "common/faults.hpp"
 #include "plfs/container.hpp"
 #include "plfs/plfs.hpp"
 
@@ -59,6 +63,36 @@ TEST(IndexCodecTest, LogicalSizeAndCompleteness) {
   EXPECT_FALSE(is_complete(records));
   std::vector<IndexRecord> overlapping = {{0, 100, 0, "p", "a", 0}, {50, 100, 1, "m", "b", 0}};
   EXPECT_FALSE(is_complete(overlapping));
+}
+
+TEST(IndexCodecTest, V2RoundTripsChecksums) {
+  IndexRecord checked = {0, 5, 0, "p", "d0", 0};
+  checked.set_checksum(0xDEADBEEF);
+  const IndexRecord unchecked = {5, 3, 1, "m", "d1", 0};  // no checksum flag
+  const auto decoded = decode_index(encode_index({checked, unchecked})).value();
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_TRUE(decoded[0].has_checksum());
+  EXPECT_EQ(decoded[0].crc32c, 0xDEADBEEFu);
+  EXPECT_FALSE(decoded[1].has_checksum());
+}
+
+TEST(IndexCodecTest, LegacyV1ImageDecodesWithoutChecksums) {
+  // Hand-build a "PLFSIDX1" image: the pre-checksum record layout.
+  ByteWriter w;
+  const std::uint8_t magic[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '1'};
+  w.put_bytes(magic);
+  w.put_u32_le(1);
+  w.put_u64_le(0);          // logical_offset
+  w.put_u64_le(11);         // length
+  w.put_u32_le(1);          // backend
+  w.put_string_le("p");     // label
+  w.put_string_le("d.p.0"); // dropping
+  w.put_u64_le(0);          // physical_offset
+  const auto decoded = decode_index(w.take()).value();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].length, 11u);
+  EXPECT_EQ(decoded[0].dropping, "d.p.0");
+  EXPECT_FALSE(decoded[0].has_checksum()) << "v1 records carry no checksum";
 }
 
 // --- mount ------------------------------------------------------------------------
@@ -176,6 +210,111 @@ TEST_F(PlfsMountTest, EmptyContainerReadsEmpty) {
   ASSERT_TRUE(mount_->create_container("bar").is_ok());
   EXPECT_TRUE(mount_->read_logical("bar").value().empty());
   EXPECT_TRUE(mount_->read_index("bar").value().empty());
+}
+
+// --- extent checksums --------------------------------------------------------------
+
+TEST_F(PlfsMountTest, AppendStoresExtentChecksum) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const auto payload = bytes_of("checksummed payload");
+  ASSERT_TRUE(mount_->append("bar", "p", 0, payload).is_ok());
+  const auto records = mount_->read_index("bar").value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].has_checksum());
+  EXPECT_EQ(records[0].crc32c, crc32c(payload.data(), payload.size()));
+}
+
+TEST_F(PlfsMountTest, BitFlipOnDiskCaughtByRead) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const auto record = mount_->append("bar", "p", 0, bytes_of("precious bytes")).value();
+  const std::string path = root_ + "/mnt1/bar/" + record.dropping;
+  auto bytes = read_file(path).value();
+  bytes[3] ^= 0x08;  // length unchanged: only the checksum can see this
+  ASSERT_TRUE(write_file(path, bytes).is_ok());
+
+  const auto read = mount_->read_label("bar", "p");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.error().code(), ErrorCode::kCorruptData);
+  EXPECT_FALSE(mount_->read_logical("bar").is_ok());
+}
+
+// --- fault injection + retries -----------------------------------------------------
+
+TEST_F(PlfsMountTest, TornWriteReportsSuccessButReadCatchesIt) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  // The torn write itself MUST report success -- that is the failure mode
+  // being modeled (silent short write).  The read side is the detector.
+  const fault::ScopedFault torn("plfs.write_dropping", fault::Schedule::torn_write(0.5, 1));
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("0123456789abcdef")).is_ok());
+  const auto read = mount_->read_label("bar", "p");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(PlfsMountTest, CorruptReadNeverServesBadBytes) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const auto payload = bytes_of("the one true payload");
+  ASSERT_TRUE(mount_->append("bar", "p", 0, payload).is_ok());
+  // An in-flight corruption on every read attempt: the checksum must turn
+  // it into a typed error, not silently different bytes.
+  const fault::ScopedFault corrupt("plfs.read_dropping",
+                                   []() {
+                                     fault::Schedule s = fault::Schedule::corrupt_read(1);
+                                     s.trigger = fault::Schedule::Trigger::kAlways;
+                                     return s;
+                                   }());
+  const auto read = mount_->read_label("bar", "p");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.error().code(), ErrorCode::kCorruptData);
+}
+
+TEST_F(PlfsMountTest, WriteRetriesThroughTransientFault) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  const fault::ScopedFault flaky("plfs.write_dropping", fault::Schedule::fail_nth(1));
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("survives a retry")).is_ok());
+  EXPECT_EQ(fault::Injector::global().hits("plfs.write_dropping"), 2u);
+  const auto p = mount_->read_label("bar", "p").value();
+  EXPECT_EQ(std::string(p.begin(), p.end()), "survives a retry");
+}
+
+TEST_F(PlfsMountTest, ReadRetriesThroughTransientFault) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("flaky read")).is_ok());
+  const fault::ScopedFault flaky("plfs.read_dropping", fault::Schedule::fail_nth(1));
+  const auto p = mount_->read_label("bar", "p").value();
+  EXPECT_EQ(std::string(p.begin(), p.end()), "flaky read");
+  EXPECT_EQ(fault::Injector::global().fired("plfs.read_dropping"), 1u);
+}
+
+TEST_F(PlfsMountTest, RetryExhaustionSurfacesTypedError) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  RetryPolicy fast;
+  fast.max_attempts = 2;
+  fast.initial_backoff_s = 1e-4;
+  mount_->set_retry_policy(fast);
+  const fault::ScopedFault down("plfs.write_dropping", fault::Schedule::down_window(1, 100));
+  const auto result = mount_->append("bar", "p", 0, bytes_of("never lands"));
+  ASSERT_FALSE(result.is_ok());
+  // down: windows inject kUnavailable (a down server) -- transient, so the
+  // retry loop runs to exhaustion and surfaces the last injected error.
+  EXPECT_EQ(result.error().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(fault::Injector::global().hits("plfs.write_dropping"), 2u);
+}
+
+TEST_F(PlfsMountTest, FailedIndexWriteLeavesOldIndexIntact) {
+  ASSERT_TRUE(mount_->create_container("bar").is_ok());
+  ASSERT_TRUE(mount_->append("bar", "p", 0, bytes_of("first")).is_ok());
+  {
+    // Crash-before-rename on the next index update: the append fails, the
+    // previous index generation stays readable (atomic tmp+rename).
+    const fault::ScopedFault crash("plfs.write_index", fault::Schedule::fail_nth(1));
+    EXPECT_FALSE(mount_->append("bar", "m", 1, bytes_of("second")).is_ok());
+  }
+  const auto records = mount_->read_index("bar").value();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].label, "p");
+  const auto p = mount_->read_label("bar", "p").value();
+  EXPECT_EQ(std::string(p.begin(), p.end()), "first");
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
-// Tests for stripe layout arithmetic and the PVFS performance model.
+// Tests for stripe layout arithmetic, the PVFS performance model, and the
+// fault-injected client retry path (retries on the simulated clock).
 #include <gtest/gtest.h>
 
+#include "common/faults.hpp"
 #include "common/units.hpp"
 #include "pvfs/pvfs.hpp"
 #include "pvfs/striping.hpp"
+#include "storage/device.hpp"
 
 namespace ada::pvfs {
 namespace {
@@ -172,6 +175,104 @@ TEST(PvfsTest, ConcurrentClientsShareServers) {
   EXPECT_EQ(done, 2);
   // Two concurrent 378 MB reads over 756 MB/s of disks: ~1 s total.
   EXPECT_NEAR(last, 1.0, 0.1);
+}
+
+// --- fault injection + retries -------------------------------------------------
+
+TEST(PvfsFaultTest, StripeRetrySucceedsAndCostsSimTime) {
+  fault::Injector::global().disarm_all();
+  double clean_time = 0;
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+    fs.read_file(100 * kMB, 0, [&] { clean_time = fx.simulator.now(); });
+    fx.simulator.run();
+  }
+  {
+    ClusterFixture fx;
+    PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+    // One transient stripe failure: the client retries on the sim clock and
+    // the op still succeeds, strictly later than the clean run.  The backoff
+    // must exceed the clean transfer time -- a small backoff hides inside
+    // the saturated client NIC (the other stripes keep it busy).
+    RetryPolicy policy;
+    policy.initial_backoff_s = 0.05;
+    policy.jitter_fraction = 0.0;
+    fs.set_retry_policy(policy);
+    const fault::ScopedFault flaky("pvfs.stripe_read", fault::Schedule::fail_nth(1));
+    Status final_status = io_error("never completed");
+    double faulty_time = 0;
+    fs.read_file(100 * kMB, 0, [&](Status s) {
+      final_status = std::move(s);
+      faulty_time = fx.simulator.now();
+    });
+    fx.simulator.run();
+    EXPECT_TRUE(final_status.is_ok()) << final_status.to_string();
+    EXPECT_GT(faulty_time, clean_time) << "retry backoff + re-seek must cost sim time";
+    EXPECT_EQ(fault::Injector::global().fired("pvfs.stripe_read"), 1u);
+  }
+}
+
+TEST(PvfsFaultTest, DownServerExhaustsRetriesWithUnavailable) {
+  fault::Injector::global().disarm_all();
+  ClusterFixture fx;
+  PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+  // Server node 6's stripes fail on every attempt: retries exhaust and the
+  // op completes with a typed kUnavailable, not a hang or a silent success.
+  const fault::ScopedFault down_server("pvfs.stripe_read.s6",
+                                       fault::Schedule::down_window(1, 1000));
+  Status final_status = Status::ok();
+  bool completed = false;
+  fs.read_file(100 * kMB, 0, [&](Status s) {
+    final_status = std::move(s);
+    completed = true;
+  });
+  fx.simulator.run();
+  ASSERT_TRUE(completed);
+  ASSERT_FALSE(final_status.is_ok());
+  EXPECT_EQ(final_status.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(PvfsFaultTest, MetadataFaultFailsWholeOpTyped) {
+  fault::Injector::global().disarm_all();
+  ClusterFixture fx;
+  PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+  const fault::ScopedFault meta("pvfs.metadata", fault::Schedule::fail_nth(1));
+  Status final_status = Status::ok();
+  fs.read_file(100 * kMB, 0, [&](Status s) { final_status = std::move(s); });
+  fx.simulator.run();
+  ASSERT_FALSE(final_status.is_ok());
+  EXPECT_EQ(final_status.error().code(), ErrorCode::kIoError);
+  EXPECT_EQ(fault::Injector::global().hits("pvfs.metadata"), 1u);
+}
+
+TEST(PvfsFaultTest, OpTimeoutConvertsToDeadlineExceeded) {
+  fault::Injector::global().disarm_all();
+  ClusterFixture fx;
+  PvfsModel fs(fx.simulator, fx.fabric, "ssd", ssd_servers(), 3);
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_s = 0.5;
+  policy.op_timeout_s = 1.0;  // backoffs overshoot the deadline quickly
+  fs.set_retry_policy(policy);
+  const fault::ScopedFault down("pvfs.stripe_read", fault::Schedule::down_window(1, 100000));
+  Status final_status = Status::ok();
+  fs.read_file(100 * kMB, 0, [&](Status s) { final_status = std::move(s); });
+  fx.simulator.run();
+  ASSERT_FALSE(final_status.is_ok());
+  EXPECT_EQ(final_status.error().code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(PvfsFaultTest, DeviceDelayFaultStretchesAccessTime) {
+  fault::Injector::global().disarm_all();
+  const storage::BlockDevice device(storage::DeviceSpec::plextor_ssd_256gb());
+  const double clean_read = device.read_time(1 * kMB);
+  const double clean_write = device.write_time(1 * kMB);
+  const fault::ScopedFault slow("storage.device.read",
+                                fault::Schedule::latency_spike(0.25));
+  EXPECT_NEAR(device.read_time(1 * kMB), clean_read + 0.25, 1e-9);
+  EXPECT_NEAR(device.write_time(1 * kMB), clean_write, 1e-12)
+      << "write site is independent of the read site";
 }
 
 }  // namespace

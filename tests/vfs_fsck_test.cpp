@@ -315,5 +315,104 @@ TEST_F(VfsFsckTest, VerifyMissingContainerFails) {
   EXPECT_FALSE(plfs::repair_container(ada_->mount(), "nope").is_ok());
 }
 
+// --- checksums + quarantine -----------------------------------------------------------
+
+TEST_F(VfsFsckTest, ChecksumBadExtentQuarantinedOthersSurvive) {
+  ASSERT_TRUE(ada_->ingest(system_, make_xtc(2), "bar.xtc").is_ok());
+  const auto misc_before = ada_->query("bar.xtc", kMiscTag).value();
+
+  // Flip one byte in the middle of the protein dropping: length is intact,
+  // so only the checksum can catch it.
+  const auto locations = Indexer(ada_->mount()).locate("bar.xtc", kProteinTag).value();
+  ASSERT_FALSE(locations.empty());
+  auto bytes = read_file(locations[0].host_path).value();
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(write_file(locations[0].host_path, bytes).is_ok());
+
+  // The read path refuses to serve the corrupt extent (never corrupt bytes).
+  const auto corrupt = ada_->query("bar.xtc", kProteinTag);
+  ASSERT_FALSE(corrupt.is_ok());
+  EXPECT_EQ(corrupt.error().code(), ErrorCode::kCorruptData);
+
+  // fsck pins the damage to exactly that extent.
+  auto report = plfs::verify_container(ada_->mount(), "bar.xtc").value();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.broken_records.empty()) << "length is intact, only the CRC differs";
+  ASSERT_EQ(report.checksum_bad_records.size(), 1u);
+  EXPECT_EQ(report.checksum_bad_records[0].label, kProteinTag);
+
+  // Repair quarantines the bad dropping (kept for forensics) and drops it
+  // from the index; the other tag is untouched, byte for byte.
+  const auto actions = plfs::repair_container(ada_->mount(), "bar.xtc").value();
+  EXPECT_EQ(actions.extents_quarantined, 1u);
+  EXPECT_EQ(actions.records_dropped, 0u);
+  EXPECT_FALSE(fs::exists(locations[0].host_path));
+  EXPECT_TRUE(fs::exists(locations[0].host_path + ".quarantined"));
+
+  report = plfs::verify_container(ada_->mount(), "bar.xtc").value();
+  EXPECT_TRUE(report.checksum_bad_records.empty());
+  EXPECT_TRUE(report.orphan_droppings.empty()) << "quarantined files are not orphans";
+  EXPECT_FALSE(ada_->query("bar.xtc", kProteinTag).is_ok());
+  EXPECT_EQ(ada_->query("bar.xtc", kMiscTag).value(), misc_before);
+}
+
+TEST_F(VfsFsckTest, RepairIsIdempotentAfterQuarantine) {
+  ASSERT_TRUE(ada_->ingest(system_, make_xtc(1), "bar.xtc").is_ok());
+  const auto locations = Indexer(ada_->mount()).locate("bar.xtc", kProteinTag).value();
+  auto bytes = read_file(locations[0].host_path).value();
+  bytes[0] ^= 0x01;
+  ASSERT_TRUE(write_file(locations[0].host_path, bytes).is_ok());
+
+  ASSERT_EQ(plfs::repair_container(ada_->mount(), "bar.xtc").value().extents_quarantined, 1u);
+  const auto again = plfs::repair_container(ada_->mount(), "bar.xtc").value();
+  EXPECT_EQ(again.extents_quarantined, 0u);
+  EXPECT_EQ(again.orphans_removed, 0u);
+  EXPECT_TRUE(fs::exists(locations[0].host_path + ".quarantined"));
+}
+
+// --- degraded queries ------------------------------------------------------------------
+
+TEST_F(VfsFsckTest, DegradedQueryReturnsAllSubsetsWhenHealthy) {
+  ASSERT_TRUE(ada_->ingest(system_, make_xtc(2), "bar.xtc").is_ok());
+  const auto partial = ada_->query_degraded("bar.xtc").value();
+  EXPECT_FALSE(partial.partial());
+  EXPECT_EQ(partial.subsets.size(), 2u);  // m + p
+  const std::uint64_t m = ada_->subset_bytes("bar.xtc", "m").value();
+  const std::uint64_t p = ada_->subset_bytes("bar.xtc", "p").value();
+  EXPECT_EQ(partial.concat().size(), m + p);
+}
+
+TEST_F(VfsFsckTest, DegradedQueryFlagsLostTagAndServesSurvivors) {
+  ASSERT_TRUE(ada_->ingest(system_, make_xtc(2), "bar.xtc").is_ok());
+  const auto misc = ada_->query("bar.xtc", kMiscTag).value();
+  const auto locations = Indexer(ada_->mount()).locate("bar.xtc", kProteinTag).value();
+  fs::remove(locations[0].host_path);
+
+  const auto partial = ada_->query_degraded("bar.xtc").value();
+  EXPECT_TRUE(partial.partial());
+  ASSERT_EQ(partial.failed.size(), 1u);
+  EXPECT_EQ(partial.failed[0].tag, kProteinTag);
+  ASSERT_EQ(partial.subsets.size(), 1u);
+  EXPECT_EQ(partial.subsets.at(kMiscTag), misc);
+  EXPECT_EQ(partial.concat(), misc);
+}
+
+TEST_F(VfsFsckTest, DegradedReadThroughShim) {
+  VfsShim shim(*ada_, root_ + "/host");
+  const std::string pdb = formats::write_pdb(system_);
+  ASSERT_TRUE(shim.write("foo.pdb", "vmd",
+                         std::span(reinterpret_cast<const std::uint8_t*>(pdb.data()), pdb.size()))
+                  .is_ok());
+  ASSERT_TRUE(shim.write("bar.xtc", "vmd", make_xtc(1)).is_ok());
+  EXPECT_FALSE(shim.read_degraded("foo.pdb", "vmd").is_ok()) << "passthrough has no partial mode";
+  const auto partial = shim.read_degraded("bar.xtc", "vmd").value();
+  EXPECT_FALSE(partial.partial());
+  EXPECT_EQ(partial.concat(), shim.read("bar.xtc", "vmd").value());
+}
+
+TEST_F(VfsFsckTest, DegradedQueryFailsOnlyWhenIndexUnreadable) {
+  EXPECT_FALSE(ada_->query_degraded("nope.xtc").is_ok());
+}
+
 }  // namespace
 }  // namespace ada::core

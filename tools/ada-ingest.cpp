@@ -31,7 +31,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-ingest --pdb <file> --xtc <file> --ssd <dir> --hdd <dir>\n"
     "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
-    "                  [--threads <n>] [--metrics[=json]] [--trace <out.json>]\n";
+    "                  [--threads <n>] [--metrics[=json]] [--trace <out.json>]\n"
+    "                  [--faults site=spec[,site=spec...]]\n";
 }
 
 int main(int argc, char** argv) {
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   }
   tools::metrics_begin(args);
   tools::trace_begin(args);
+  tools::faults_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   const auto structure = tools::must(formats::read_pdb_file(args.get("pdb")), "read pdb");

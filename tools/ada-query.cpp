@@ -11,6 +11,12 @@
 // moves to stderr).  With --trace=<file>, records a request timeline and
 // writes Chrome trace JSON for Perfetto / ada-trace.  See
 // docs/observability.md.
+//
+// With --degraded (tag optional), queries every tag and reports the
+// survivors plus a typed failure per lost tag instead of failing outright:
+// exit 0 when every tag was served, 2 when the result is partial, 1 when
+// nothing could be resolved.  With --faults site=spec[,...], arms the
+// deterministic fault injector before the query (docs/robustness.md).
 #include <cstdio>
 #include <string>
 
@@ -28,16 +34,19 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
     "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
-    "                 [--metrics[=json]] [--trace <out.json>]\n";
+    "                 [--metrics[=json]] [--trace <out.json>]\n"
+    "                 [--faults site=spec[,site=spec...]] [--degraded]\n";
 }
 
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
-  if (!args.has("ssd") || !args.has("hdd") || !args.has("name") || !args.has("tag")) {
+  if (!args.has("ssd") || !args.has("hdd") || !args.has("name") ||
+      (!args.has("tag") && !args.has("degraded"))) {
     tools::die_usage(kUsage);
   }
   tools::metrics_begin(args);
   tools::trace_begin(args);
+  tools::faults_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
 
   core::AdaConfig config;
@@ -49,6 +58,34 @@ int main(int argc, char** argv) {
       config);
 
   const std::string logical = args.get("name");
+
+  if (args.has("degraded")) {
+    const auto partial = tools::must(middleware.query_degraded(logical), "degraded query");
+    std::size_t served_bytes = 0;
+    for (const auto& [tag, bytes] : partial.subsets) {
+      std::fprintf(report_out, "  tag %-8s %10s served\n", tag.c_str(),
+                   format_bytes(static_cast<double>(bytes.size())).c_str());
+      served_bytes += bytes.size();
+    }
+    for (const auto& failure : partial.failed) {
+      std::fprintf(report_out, "  tag %-8s LOST: %s\n", failure.tag.c_str(),
+                   failure.error.to_string().c_str());
+    }
+    std::fprintf(report_out, "%s degraded read: %zu/%zu tags served, %s\n", logical.c_str(),
+                 partial.subsets.size(), partial.subsets.size() + partial.failed.size(),
+                 format_bytes(static_cast<double>(served_bytes)).c_str());
+    if (partial.partial()) {
+      std::fprintf(report_out, "PARTIAL RESULT: %zu tag(s) unreadable\n", partial.failed.size());
+    }
+    if (args.has("out")) {
+      tools::must_ok(write_file(args.get("out"), partial.concat()), "write surviving subsets");
+      std::fprintf(report_out, "wrote %s (surviving tags, tag order)\n", args.get("out").c_str());
+    }
+    tools::trace_end(args);
+    tools::metrics_end(args);
+    return partial.partial() ? 2 : 0;
+  }
+
   const core::Tag tag = args.get("tag");
   const auto subset = tools::must(middleware.query(logical, tag), "query");
   const auto reader = tools::must(formats::RawTrajCatReader::open(subset), "parse subset");

@@ -25,6 +25,9 @@ ctest --test-dir "$BUILD_DIR" -R 'ThreadPool|ParallelIngest' --output-on-failure
 echo "== perf tier smoke (ctest -L check-perf) =="
 ctest --test-dir "$BUILD_DIR" -L check-perf --output-on-failure
 
+echo "== chaos tier (ctest -L chaos, fast seed budget) =="
+ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -45,6 +48,24 @@ REPORT="$("$BUILD_DIR/tools/ada-trace" "$WORK/ingest_trace.json" "$WORK/query_tr
 echo "$REPORT" | grep -q 'critical path' || {
     echo "FAIL: ada-trace reported no critical path" >&2
     echo "$REPORT" >&2
+    exit 1
+}
+
+echo "== robustness smoke: --faults arming + --degraded partial results =="
+# Healthy degraded query serves every tag (exit 0).
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --degraded >/dev/null
+# A transient fault is absorbed by the retry path (still exit 0).
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --degraded --faults "plfs.read_dropping=nth:1" >/dev/null
+# A down backend degrades to an explicit partial result (exit 2), never junk.
+set +e
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --degraded --faults "plfs.read_dropping=down:1:1000" >/dev/null
+DEGRADED_EXIT=$?
+set -e
+[ "$DEGRADED_EXIT" -eq 2 ] || {
+    echo "FAIL: degraded query under a down backend should exit 2, got $DEGRADED_EXIT" >&2
     exit 1
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.hpp"
 #include "common/result.hpp"
 #include "common/strings.hpp"
 #include "obs/events.hpp"
@@ -111,6 +112,25 @@ inline void trace_end(const Args& args) {
   if (const std::uint64_t dropped = obs::events_dropped(); dropped != 0) {
     std::fprintf(stderr, "note: trace ring dropped %llu oldest events\n",
                  static_cast<unsigned long long>(dropped));
+  }
+}
+
+/// Shared --faults=site=spec[,site=spec...] handling: arms the process-global
+/// fault injector before the instrumented work.  Spec grammar is
+/// docs/robustness.md (nth:<k>, every:<k>, prob:<p>[:<seed>], down:<a>:<b>,
+/// torn:<f>[:<k>], corrupt[:<k>], delay:<s>[:<p>]).  Faults stay armed for
+/// the life of the process -- these tools run one request and exit.
+inline void faults_begin(const Args& args) {
+  if (!args.has("faults")) return;
+  const std::string spec = args.get("faults");
+  if (spec.empty() || spec == "true") {
+    std::fprintf(stderr, "error: --faults needs site=spec[,site=spec...]\n");
+    std::exit(2);
+  }
+  const Status status = fault::Injector::global().arm_spec(spec);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: bad --faults spec: %s\n", status.error().to_string().c_str());
+    std::exit(2);
   }
 }
 
