@@ -1,0 +1,210 @@
+// Query cache: cold vs warm read throughput on the GPCR synthetic workload.
+//
+// Ingests one trajectory into a scratch deployment, then times repeated
+// per-tag queries through two middlewares over the same backends: one with
+// the subset cache off (every round pays the full retrieve -- dropping
+// reads, CRC verification, extent concatenation) and one with it armed
+// (rounds after the first are shard-locked LRU hits).  Every warm subset is
+// checked byte-identical to its cold counterpart before any timing is
+// reported, and the JSON records the warm-over-cold speedup -- the number
+// docs/performance.md quotes.  Emits BENCH_query.json.
+//
+//   query_cache [--size tiny|paper] [--frames N] [--rounds N]
+//               [--cache BYTES] [--out BENCH_query.json] [--smoke]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ada/middleware.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "formats/xtc_file.hpp"
+#include "obs/metrics.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+using namespace ada;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Plane {
+  double wall_s = 0;
+  double queries_per_s = 0;
+  double bytes_per_s = 0;
+};
+
+void emit_plane(std::ostream& os, const char* name, const Plane& plane) {
+  os << "  \"" << name << "\": {\"wall_s\": " << plane.wall_s
+     << ", \"queries_per_s\": " << plane.queries_per_s
+     << ", \"bytes_per_s\": " << plane.bytes_per_s << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string size = "paper";
+  std::uint32_t frames = 64;
+  unsigned rounds = 32;
+  std::uint64_t cache_bytes = 256u << 20;
+  std::string out_path = "BENCH_query.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> std::string {
+      if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+      return "";
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (!value("--size").empty()) {
+      size = value("--size");
+    } else if (!value("--frames").empty()) {
+      frames = static_cast<std::uint32_t>(parse_int(value("--frames")));
+    } else if (!value("--rounds").empty()) {
+      rounds = static_cast<unsigned>(parse_int(value("--rounds")));
+    } else if (!value("--cache").empty()) {
+      cache_bytes = static_cast<std::uint64_t>(parse_int(value("--cache")));
+    } else if (!value("--out").empty()) {
+      out_path = value("--out");
+    }
+  }
+  if (smoke) {
+    size = "tiny";
+    frames = 8;
+    rounds = 8;
+  }
+  if (rounds < 2) rounds = 2;  // round 0 is the warm plane's priming read
+
+  std::cout << "================================================================\n"
+            << "Query cache: cold vs warm repeated-subset reads\n"
+            << "(GPCR synthetic workload, " << size << " system, " << frames << " frames, "
+            << rounds << " rounds)\n"
+            << "================================================================\n";
+
+  const auto spec =
+      size == "tiny" ? workload::GpcrSpec::tiny() : workload::GpcrSpec::paper_default();
+  const auto system = workload::GpcrSystemBuilder(spec).build();
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  formats::XtcWriter writer;
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    if (!writer
+             .add_frame(gen.current_step(), gen.current_time_ps(), system.box(), gen.next_frame())
+             .is_ok()) {
+      std::cerr << "frame generation failed\n";
+      return 1;
+    }
+  }
+  const auto xtc = writer.take();
+
+  obs::set_enabled(false);
+  const std::string root = (fs::temp_directory_path() / "ada_bench_query_cache").string();
+  fs::remove_all(root);
+
+  core::AdaConfig cold_config;
+  cold_config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  core::AdaConfig warm_config = cold_config;
+  warm_config.cache_bytes = cache_bytes;
+
+  auto mount = [&] {
+    return plfs::PlfsMount::open({{"ssd", root + "/ssd"}, {"hdd", root + "/hdd"}});
+  };
+  auto cold_mount = mount();
+  auto warm_mount = mount();
+  if (!cold_mount.is_ok() || !warm_mount.is_ok()) {
+    std::cerr << "cannot open scratch backends under " << root << "\n";
+    return 1;
+  }
+  core::Ada cold(std::move(cold_mount).value(), cold_config);
+  core::Ada warm(std::move(warm_mount).value(), warm_config);
+
+  const auto ingest = cold.ingest(system, xtc, "bar.xtc");
+  if (!ingest.is_ok()) {
+    std::cerr << "ingest failed: " << ingest.error().to_string() << "\n";
+    return 1;
+  }
+  const auto tags_result = cold.tags("bar.xtc");
+  if (!tags_result.is_ok() || tags_result.value().empty()) {
+    std::cerr << "no tags to query\n";
+    return 1;
+  }
+  const std::vector<core::Tag> tags = tags_result.value();
+
+  // Correctness gate before any timing: warm bytes == cold bytes per tag
+  // (this also primes the warm middleware's cache).
+  std::map<core::Tag, std::vector<std::uint8_t>> reference;
+  std::uint64_t subset_bytes_total = 0;
+  for (const core::Tag& tag : tags) {
+    const auto cold_subset = cold.query("bar.xtc", tag);
+    const auto warm_subset = warm.query("bar.xtc", tag);
+    if (!cold_subset.is_ok() || !warm_subset.is_ok() ||
+        cold_subset.value() != warm_subset.value()) {
+      std::cerr << "cached and uncached reads differ for tag " << tag << "\n";
+      return 1;
+    }
+    subset_bytes_total += cold_subset.value().size();
+    reference[tag] = cold_subset.value();
+  }
+
+  // One timing loop for both planes: `rounds` full sweeps over every tag.
+  auto run_plane = [&](core::Ada& middleware) -> Plane {
+    const Stopwatch wall;
+    std::uint64_t queries = 0;
+    std::uint64_t bytes = 0;
+    for (unsigned round = 0; round < rounds; ++round) {
+      for (const core::Tag& tag : tags) {
+        const auto subset = middleware.query("bar.xtc", tag);
+        if (!subset.is_ok() || subset.value().size() != reference[tag].size()) {
+          std::cerr << "query failed mid-plane for tag " << tag << "\n";
+          std::exit(1);
+        }
+        ++queries;
+        bytes += subset.value().size();
+      }
+    }
+    Plane plane;
+    plane.wall_s = wall.elapsed_seconds();
+    plane.queries_per_s = static_cast<double>(queries) / plane.wall_s;
+    plane.bytes_per_s = static_cast<double>(bytes) / plane.wall_s;
+    return plane;
+  };
+
+  const Plane cold_plane = run_plane(cold);
+  const Plane warm_plane = run_plane(warm);
+  const double speedup = warm_plane.wall_s > 0 ? cold_plane.wall_s / warm_plane.wall_s : 0;
+
+  std::printf("\n  plane      wall(s)   queries/s     bytes/s\n");
+  std::printf("  cold    %10.4f  %10.1f  %10.3e\n", cold_plane.wall_s, cold_plane.queries_per_s,
+              cold_plane.bytes_per_s);
+  std::printf("  warm    %10.4f  %10.1f  %10.3e\n", warm_plane.wall_s, warm_plane.queries_per_s,
+              warm_plane.bytes_per_s);
+  std::printf("  warm-over-cold speedup: %.2fx\n", speedup);
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"query_cache\",\n"
+       << "  \"schema_version\": 1,\n"
+       << "  \"workload\": {\"system\": \"gpcr\", \"size\": \"" << size
+       << "\", \"atoms\": " << system.atom_count() << ", \"frames\": " << frames
+       << ", \"tags\": " << tags.size() << ", \"subset_bytes\": " << subset_bytes_total << "},\n"
+       << "  \"config\": {\"cache_bytes\": " << cache_bytes << ", \"rounds\": " << rounds
+       << "},\n";
+  emit_plane(json, "cold", cold_plane);
+  json << ",\n";
+  emit_plane(json, "warm", warm_plane);
+  json << ",\n  \"speedup\": " << speedup << "\n}\n";
+  json.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  fs::remove_all(root);
+  return 0;
+}

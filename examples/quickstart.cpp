@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   // 2. ADA over an SSD-backed and an HDD-backed file system (host dirs here).
   core::AdaConfig config;
   config.placement = core::PlacementPolicy::active_on_ssd(/*ssd=*/0, /*hdd=*/1);
+  // Re-running the example re-ingests bar.xtc; without this, the second run
+  // would fail with already_exists (replacing a live dataset is opt-in).
+  config.overwrite = true;
   core::Ada middleware(
       plfs::PlfsMount::open({{"ssd-fs", root + "/mnt_ssd"}, {"hdd-fs", root + "/mnt_hdd"}})
           .value(),

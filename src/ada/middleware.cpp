@@ -20,6 +20,7 @@ Ada::Ada(plfs::PlfsMount mount, AdaConfig config)
   for (const std::string& extension : config_.target_extensions) {
     target_extensions_upper_.push_back(to_upper(extension));
   }
+  if (config_.cache_bytes != 0) cache_ = std::make_unique<QueryCache>(config_.cache_bytes);
 }
 
 bool Ada::should_intercept(const std::string& path, const std::string& app_id) const {
@@ -28,9 +29,10 @@ bool Ada::should_intercept(const std::string& path, const std::string& app_id) c
       target_apps_upper_.end()) {
     return false;
   }
-  const auto dot = path.rfind('.');
-  if (dot == std::string::npos) return false;
-  const std::string extension = to_upper(path.substr(dot));
+  // Extension of the basename only: "/runs.2026/traj" has none, and the dot
+  // in the directory component must never be parsed as one.
+  const std::string extension = to_upper(path_extension(path));
+  if (extension.empty()) return false;
   return std::find(target_extensions_upper_.begin(), target_extensions_upper_.end(), extension) !=
          target_extensions_upper_.end();
 }
@@ -52,13 +54,54 @@ Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
   if (!labels.is_partition()) {
     return invalid_argument("label map does not partition the atom range");
   }
+
+  // Re-ingesting a live dataset must never append duplicate subsets (and a
+  // second label file) onto its container.  Without overwrite, fail up front
+  // -- before any decompression work; with it, stage the replacement in a
+  // sibling container and swap it in atomically once fully written, so
+  // concurrent queries see the old dataset or the new one, never a mix.
+  std::string target = logical_name;
+  const bool replacing = mount_.container_exists(logical_name);
+  if (replacing) {
+    if (!config_.overwrite) {
+      return already_exists("dataset " + logical_name +
+                            " already exists (set AdaConfig::overwrite to replace it)");
+    }
+    target = logical_name + ".overwrite.tmp";
+    if (mount_.container_exists(target)) {
+      ADA_RETURN_IF_ERROR(mount_.remove_container(target));  // crash leftover
+    }
+  }
+
+  auto result = ingest_into(labels, xtc_image, target);
+  if (replacing) {
+    if (!result.is_ok()) {
+      if (mount_.container_exists(target)) (void)mount_.remove_container(target);
+      return result;
+    }
+    result.value().logical_name = logical_name;  // the dataset, not the staging name
+    const Status swapped = mount_.replace_container(target, logical_name);
+    if (!swapped.is_ok()) {
+      if (mount_.container_exists(target)) (void)mount_.remove_container(target);
+      return swapped.error();
+    }
+  }
+  // The mutation generation already fences stale entries; the explicit drop
+  // frees their memory immediately.
+  if (result.is_ok() && cache_ != nullptr) cache_->invalidate(logical_name);
+  return result;
+}
+
+Result<IngestReport> Ada::ingest_into(const LabelMap& labels,
+                                      std::span<const std::uint8_t> xtc_image,
+                                      const std::string& container_name) {
   DataPreProcessor preprocessor(labels);
   IngestReport report;
-  report.logical_name = logical_name;
+  report.logical_name = container_name;
   ADA_ASSIGN_OR_RETURN(const auto subsets,
                        preprocessor.split(xtc_image, &report.preprocess, config_.threads));
 
-  ADA_RETURN_IF_ERROR(dispatcher_.dispatch(logical_name, subsets));
+  ADA_RETURN_IF_ERROR(dispatcher_.dispatch(container_name, subsets));
   for (const auto& [tag, bytes] : subsets) {
     report.backend_of_tag[tag] = dispatcher_.policy().backend_for(tag);
   }
@@ -68,13 +111,14 @@ Result<IngestReport> Ada::ingest_with_labels(const LabelMap& labels,
   const std::string label_text = encode_label_file(labels);
   ADA_RETURN_IF_ERROR(
       dispatcher_
-          .dispatch_one(logical_name, kLabelFileTag,
+          .dispatch_one(container_name, kLabelFileTag,
                         std::span(reinterpret_cast<const std::uint8_t*>(label_text.data()),
                                   label_text.size()))
           .status());
 
   if (config_.keep_original) {
-    ADA_RETURN_IF_ERROR(dispatcher_.dispatch_one(logical_name, kOriginalTag, xtc_image).status());
+    ADA_RETURN_IF_ERROR(
+        dispatcher_.dispatch_one(container_name, kOriginalTag, xtc_image).status());
   }
   return report;
 }
@@ -121,6 +165,26 @@ Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string
   return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames, config_.threads);
 }
 
+void Ada::count_query_bytes(const Tag& tag, std::size_t bytes) const {
+  if (!obs::enabled()) return;
+  static obs::Counter& total = obs::Registry::global().counter("query.bytes_out");
+  total.add(bytes);
+  obs::Counter* per_tag = nullptr;
+  {
+    // Registry handles are stable for the life of the process, so each
+    // tag pays the "query.bytes_out.<tag>" string build exactly once.
+    const std::lock_guard<std::mutex> lock(query_counter_mutex_);
+    auto it = query_bytes_counters_.find(tag);
+    if (it == query_bytes_counters_.end()) {
+      it = query_bytes_counters_
+               .emplace(tag, &obs::Registry::global().counter("query.bytes_out." + tag))
+               .first;
+    }
+    per_tag = it->second;
+  }
+  per_tag->add(bytes);
+}
+
 Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
                                              const Tag& tag) const {
   const obs::ScopedTimer span("query");
@@ -129,28 +193,31 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
   if (tag == kLabelFileTag || tag == kOriginalTag) {
     return invalid_argument("tag '" + tag + "' is reserved");
   }
+  // The generation is observed BEFORE any read: a write racing the retrieve
+  // below leaves the filled entry detectably stale instead of poisoning
+  // later lookups with bytes from the middle of a mutation.
+  std::uint64_t generation = 0;
+  if (cache_ != nullptr) {
+    generation = mount_.mutation_generation(logical_name);
+    const obs::TraceSpan lookup_trace("cache_lookup", tag);
+    if (const QueryCache::Image hit = cache_->lookup(logical_name, tag, generation)) {
+      count_query_bytes(tag, hit->size());
+      return *hit;  // copy out; the shared image itself stays immutable
+    }
+  }
   auto subset = [&] {
     const obs::ScopedTimer retrieve_span("retrieve");
     const obs::TraceSpan retrieve_trace("retrieve", tag);
     return IoRetriever(mount_).retrieve(logical_name, tag);
   }();
-  if (subset.is_ok() && obs::enabled()) {
-    static obs::Counter& total = obs::Registry::global().counter("query.bytes_out");
-    total.add(subset.value().size());
-    obs::Counter* per_tag = nullptr;
-    {
-      // Registry handles are stable for the life of the process, so each
-      // tag pays the "query.bytes_out.<tag>" string build exactly once.
-      const std::lock_guard<std::mutex> lock(query_counter_mutex_);
-      auto it = query_bytes_counters_.find(tag);
-      if (it == query_bytes_counters_.end()) {
-        it = query_bytes_counters_
-                 .emplace(tag, &obs::Registry::global().counter("query.bytes_out." + tag))
-                 .first;
-      }
-      per_tag = it->second;
+  if (subset.is_ok()) {
+    if (cache_ != nullptr) {
+      // Fill only from this CRC-verified read (IoRetriever checks every
+      // extent): a faulted read errors out above and never lands here.
+      const obs::TraceSpan fill_trace("cache_fill", tag);
+      cache_->insert(logical_name, tag, generation, subset.value());
     }
-    per_tag->add(subset.value().size());
+    count_query_bytes(tag, subset.value().size());
   }
   return subset;
 }

@@ -1,0 +1,170 @@
+#include "ada/query_cache.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace ada::core {
+
+namespace {
+
+std::string make_key(const std::string& logical_name, const Tag& tag) {
+  std::string key;
+  key.reserve(logical_name.size() + 1 + tag.size());
+  key += logical_name;
+  key += '\0';
+  key += tag;
+  return key;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(std::uint64_t budget_bytes, std::size_t shard_count)
+    : budget_(budget_bytes) {
+  if (shard_count == 0) shard_count = 1;
+  shard_budget_ = budget_ / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+QueryCache::Shard& QueryCache::shard_of(const std::string& logical_name) {
+  return *shards_[std::hash<std::string>{}(logical_name) % shards_.size()];
+}
+
+void QueryCache::publish_bytes() const {
+  if (!obs::enabled()) return;
+  static obs::Gauge& gauge = obs::Registry::global().gauge("cache.bytes");
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  gauge.set(static_cast<double>(total));
+}
+
+QueryCache::Image QueryCache::lookup(const std::string& logical_name, const Tag& tag,
+                                     std::uint64_t generation) {
+  Shard& shard = shard_of(logical_name);
+  Image image;
+  bool stale = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.by_key.find(make_key(logical_name, tag));
+    if (it != shard.by_key.end()) {
+      if (it->second->generation == generation) {
+        // Hit: move to the front of the LRU and hand out a reference.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        image = it->second->image;
+      } else {
+        // The container mutated since this entry was filled: the bytes may
+        // no longer match disk.  Drop, report a miss.
+        stale = true;
+        shard.bytes -= it->second->image->size();
+        shard.lru.erase(it->second);
+        shard.by_key.erase(it);
+      }
+    }
+  }
+  if (image != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ADA_OBS_COUNT("cache.hits", 1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ADA_OBS_COUNT("cache.misses", 1);
+    if (stale) {
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      ADA_OBS_COUNT("cache.invalidations", 1);
+      publish_bytes();
+    }
+  }
+  return image;
+}
+
+void QueryCache::evict_for(Shard& shard, std::uint64_t needed) {
+  while (!shard.lru.empty() && shard.bytes + needed > shard_budget_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.image->size();
+    shard.by_key.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    ADA_OBS_COUNT("cache.evictions", 1);
+  }
+}
+
+void QueryCache::insert(const std::string& logical_name, const Tag& tag,
+                        std::uint64_t generation, std::vector<std::uint8_t> bytes) {
+  const std::uint64_t size = bytes.size();
+  if (size > shard_budget_) return;  // would evict the whole shard for one entry
+  Entry entry;
+  entry.key = make_key(logical_name, tag);
+  entry.logical_name = logical_name;
+  entry.generation = generation;
+  entry.image = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  Shard& shard = shard_of(logical_name);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.by_key.find(entry.key);
+    if (it != shard.by_key.end()) {
+      // Replace in place (a concurrent query of the same key, or a refill
+      // after invalidation).  Readers of the old image keep their reference.
+      shard.bytes -= it->second->image->size();
+      shard.lru.erase(it->second);
+      shard.by_key.erase(it);
+    }
+    evict_for(shard, size);
+    shard.lru.push_front(std::move(entry));
+    shard.by_key[shard.lru.front().key] = shard.lru.begin();
+    shard.bytes += size;
+  }
+  publish_bytes();
+}
+
+void QueryCache::invalidate(const std::string& logical_name) {
+  Shard& shard = shard_of(logical_name);
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->logical_name == logical_name) {
+        shard.bytes -= it->image->size();
+        shard.by_key.erase(it->key);
+        it = shard.lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (dropped != 0) {
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    ADA_OBS_COUNT("cache.invalidations", dropped);
+    publish_bytes();
+  }
+}
+
+void QueryCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->by_key.clear();
+    shard->bytes = 0;
+  }
+  publish_bytes();
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.bytes += shard->bytes;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace ada::core

@@ -16,9 +16,10 @@ std::string basename_of(const std::string& path) {
 }
 
 bool has_extension(const std::string& path, const char* extension) {
-  const auto dot = path.rfind('.');
-  if (dot == std::string::npos) return false;
-  return to_upper(path.substr(dot)) == to_upper(extension);
+  // Extension of the basename only (common/strings.hpp), shared with
+  // Ada::should_intercept: a dot in a directory component ("/runs.2026/x")
+  // must never be parsed as the extension.
+  return to_upper(path_extension(path)) == to_upper(extension);
 }
 
 }  // namespace
@@ -74,9 +75,17 @@ Result<std::vector<std::uint8_t>> VfsShim::read(const std::string& path,
   if (ada_->has_dataset(logical) && ada_->should_intercept(path, app_id)) {
     if (tag.has_value()) return ada_->query(logical, *tag);
     // Untagged read of an ADA dataset: every user subset, in tag order (the
-    // ADA(all) retrieval the paper benchmarks).
+    // ADA(all) retrieval the paper benchmarks).  Pre-size via the indexer so
+    // the concatenation never reallocates mid-copy (the same fix
+    // Ada::PartialQuery::concat applies).
     ADA_ASSIGN_OR_RETURN(const auto tags, ada_->tags(logical));
+    std::uint64_t total = 0;
+    for (const Tag& t : tags) {
+      ADA_ASSIGN_OR_RETURN(const auto bytes, ada_->subset_bytes(logical, t));
+      total += bytes;
+    }
     std::vector<std::uint8_t> out;
+    out.reserve(total);
     for (const Tag& t : tags) {
       ADA_ASSIGN_OR_RETURN(const auto subset, ada_->query(logical, t));
       out.insert(out.end(), subset.begin(), subset.end());

@@ -54,6 +54,16 @@ std::string to_upper(std::string_view s) {
   return out;
 }
 
+std::string_view path_extension(std::string_view path) {
+  const auto slash = path.rfind('/');
+  const std::string_view basename =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const auto dot = basename.rfind('.');
+  // npos: no extension; 0: a dotfile, whose leading dot is part of the name.
+  if (dot == std::string_view::npos || dot == 0) return {};
+  return basename.substr(dot);
+}
+
 std::string pad_left(std::string_view s, std::size_t width) {
   if (s.size() >= width) return std::string(s);
   return std::string(width - s.size(), ' ') + std::string(s);

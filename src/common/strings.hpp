@@ -22,6 +22,12 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// ASCII upper-case copy.
 std::string to_upper(std::string_view s);
 
+/// File extension of the path's *basename*, including the leading dot
+/// ("/data/traj.xtc" -> ".xtc").  Empty when the basename has none: a dot in
+/// a directory component ("/runs.2026/traj") is never an extension, and a
+/// leading dot ("/.hidden") marks a dotfile, not an extension.
+std::string_view path_extension(std::string_view path);
+
 /// Left-pad with spaces to `width` (no-op if already wider).
 std::string pad_left(std::string_view s, std::size_t width);
 

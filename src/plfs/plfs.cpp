@@ -142,8 +142,23 @@ bool PlfsMount::container_exists(const std::string& logical_name) const {
   return valid_logical_name(logical_name) && fs::exists(index_path(logical_name));
 }
 
+void PlfsMount::bump_generation(const std::string& logical_name) const {
+  const std::lock_guard<std::mutex> lock(clock_->mutex);
+  ++clock_->generation[logical_name];
+}
+
+std::uint64_t PlfsMount::mutation_generation(const std::string& logical_name) const {
+  const std::lock_guard<std::mutex> lock(clock_->mutex);
+  const auto it = clock_->generation.find(logical_name);
+  return it == clock_->generation.end() ? 0 : it->second;
+}
+
 Status PlfsMount::write_index(const std::string& logical_name,
                               const std::vector<IndexRecord>& records) const {
+  // Bump first: if the write fails (or tears before the atomic rename) the
+  // container is treated as mutated anyway -- caches re-read instead of
+  // trusting entries recorded before the attempt.
+  bump_generation(logical_name);
   // The index is replaced atomically (tmp + rename); an injected fault here
   // models a crash before the rename, so readers keep the previous index.
   ADA_RETURN_IF_ERROR(fault::check(kSiteWriteIndex));
@@ -266,10 +281,31 @@ Status PlfsMount::remove_container(const std::string& logical_name) {
   if (!container_exists(logical_name)) {
     return not_found("container " + logical_name + " does not exist");
   }
+  bump_generation(logical_name);
   for (std::uint32_t b = 0; b < backend_count(); ++b) {
     std::error_code ec;
     fs::remove_all(container_dir(b, logical_name), ec);
     if (ec) return io_error("cannot remove container on backend " + backends_[b].name);
+  }
+  return Status::ok();
+}
+
+Status PlfsMount::replace_container(const std::string& from, const std::string& to) {
+  if (!valid_logical_name(to)) return invalid_argument("bad logical name: " + to);
+  if (!container_exists(from)) {
+    return not_found("staging container " + from + " does not exist");
+  }
+  bump_generation(from);
+  bump_generation(to);
+  for (std::uint32_t b = 0; b < backend_count(); ++b) {
+    std::error_code ec;
+    fs::remove_all(container_dir(b, to), ec);
+    if (ec) return io_error("cannot remove old container on backend " + backends_[b].name);
+    fs::rename(container_dir(b, from), container_dir(b, to), ec);
+    if (ec) {
+      return io_error("cannot swap container into place on backend " + backends_[b].name +
+                      ": " + ec.message());
+    }
   }
   return Status::ok();
 }

@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,6 +83,21 @@ class PlfsMount {
   /// Delete the container from every backend.
   Status remove_container(const std::string& logical_name);
 
+  /// Atomically replace container `to` with container `from` (a directory
+  /// rename per backend): `from` ceases to exist, `to` carries its contents.
+  /// The staging container `from` must exist; a pre-existing `to` is removed
+  /// first.  Used by the overwrite ingest path to swap a fully written
+  /// staging container into place.
+  Status replace_container(const std::string& from, const std::string& to);
+
+  /// Monotonic per-container mutation generation.  Bumped by every index
+  /// write (create, append, rewrite/repair) and by container removal or
+  /// replacement -- conservatively *before* the mutation is attempted, so a
+  /// failed write can only cause a spurious cache miss, never staleness.
+  /// Query-side caches (ada/query_cache.hpp) validate entries against it.
+  /// Shared across copies/moves of this mount (one clock per open()).
+  std::uint64_t mutation_generation(const std::string& logical_name) const;
+
   /// Containers present (by index files on backend 0).
   Result<std::vector<std::string>> list_containers() const;
 
@@ -100,12 +118,21 @@ class PlfsMount {
                        const std::vector<IndexRecord>& records);
 
  private:
-  explicit PlfsMount(std::vector<Backend> backends) : backends_(std::move(backends)) {}
+  /// Per-container mutation generations, shared by every copy of the mount
+  /// (fsck tooling operating on a copy still advances the same clock).
+  struct MutationClock {
+    std::mutex mutex;
+    std::map<std::string, std::uint64_t> generation;
+  };
+
+  explicit PlfsMount(std::vector<Backend> backends)
+      : backends_(std::move(backends)), clock_(std::make_shared<MutationClock>()) {}
 
   std::string container_dir(std::uint32_t backend_id, const std::string& logical_name) const;
   std::string index_path(const std::string& logical_name) const;
   Status write_index(const std::string& logical_name,
                      const std::vector<IndexRecord>& records) const;
+  void bump_generation(const std::string& logical_name) const;
 
   /// One extent's bytes, retried and checksum-verified.
   Result<std::vector<std::uint8_t>> read_extent(const std::string& logical_name,
@@ -113,6 +140,7 @@ class PlfsMount {
 
   std::vector<Backend> backends_;
   RetryPolicy retry_policy_;
+  std::shared_ptr<MutationClock> clock_;
 };
 
 }  // namespace ada::plfs

@@ -294,6 +294,12 @@ TEST_F(AdaMiddlewareTest, InterceptDecision) {
   EXPECT_FALSE(ada_->should_intercept("/data/bar.xtc", "gromacs"));
   EXPECT_FALSE(ada_->should_intercept("/data/notes.txt", "vmd"));
   EXPECT_FALSE(ada_->should_intercept("no_extension", "vmd"));
+  // The extension comes from the basename only: a dot in a directory
+  // component is not an extension, and a dotfile's leading dot is part of
+  // its name (regression for the full-path rfind('.') parse).
+  EXPECT_FALSE(ada_->should_intercept("/runs.2026/traj", "vmd"));
+  EXPECT_TRUE(ada_->should_intercept("/runs.2026/traj.xtc", "vmd"));
+  EXPECT_FALSE(ada_->should_intercept("/data/.xtc", "vmd"));
 }
 
 TEST_F(AdaMiddlewareTest, IngestThenQueryRoundTrip) {

@@ -132,6 +132,11 @@ class ChaosPipelineTest : public testing::Test {
   std::unique_ptr<Ada> open_ada(const std::string& run) {
     AdaConfig config;
     config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    // The chaos tier runs with the query cache armed: a fault-injected read
+    // must never populate it (fills happen only after CRC verification), and
+    // fsck repairs must invalidate it -- a stale or corrupt cached subset
+    // would show up as a differential failure below.
+    config.cache_bytes = 64u << 20;
     RetryPolicy fast;  // keep injected-retry wall time negligible
     fast.max_attempts = 3;
     fast.initial_backoff_s = 1e-4;
@@ -174,14 +179,18 @@ TEST_F(ChaosPipelineTest, SeededFaultSweepNeverCorruptsSilently) {
     // (ingest.error() is typed by construction; nothing to assert beyond
     // reaching here without a check failure.)
 
-    // --- per-tag queries under fault ------------------------------------
+    // --- per-tag queries under fault (twice: the second may be a cache
+    // hit, and a hit is only legal if the first read verified clean) -------
     for (const auto& [tag, expected] : truth) {
-      const auto subset = ada->query("bar.xtc", tag);
-      if (subset.is_ok()) {
-        EXPECT_EQ(subset.value(), expected)
-            << "tag " << tag << " served DIFFERENT bytes under fault";
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const auto subset = ada->query("bar.xtc", tag);
+        if (subset.is_ok()) {
+          EXPECT_EQ(subset.value(), expected)
+              << "tag " << tag << " served DIFFERENT bytes under fault (attempt " << attempt
+              << ")";
+        }
+        // else: typed error -- acceptable under an armed schedule.
       }
-      // else: typed error -- acceptable under an armed schedule.
     }
 
     // --- degraded query: survivors must be byte-identical, losses flagged

@@ -2,7 +2,7 @@
 //
 //   ada-query --ssd /mnt/ssd --hdd /mnt/hdd --name bar.xtc --tag p
 //             [--out subset.raw] [--render frame.ppm --pdb system.pdb]
-//             [--metrics[=json]] [--trace out.json]
+//             [--metrics[=json]] [--trace out.json] [--cache bytes]
 //
 // Without --out/--render, prints the subset's shape.  With --render, loads
 // the structure, renders frame 0 of the subset, and writes a .ppm image.
@@ -34,7 +34,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
     "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
-    "                 [--metrics[=json]] [--trace <out.json>]\n"
+    "                 [--metrics[=json]] [--trace <out.json>] [--cache <bytes>]\n"
     "                 [--faults site=spec[,site=spec...]] [--degraded]\n";
 }
 
@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
 
   core::AdaConfig config;
   config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  // --cache=<bytes> arms the query-side subset cache (0 = off, the default:
+  // the cached and uncached read paths are byte-identical, the cache only
+  // short-circuits repeated reads within this process's lifetime).
+  config.cache_bytes = static_cast<std::uint64_t>(args.get_int("cache", 0));
   core::Ada middleware(
       tools::must(plfs::PlfsMount::open(
                       {{"ssd-fs", args.get("ssd")}, {"hdd-fs", args.get("hdd")}}),

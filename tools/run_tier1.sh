@@ -28,6 +28,9 @@ ctest --test-dir "$BUILD_DIR" -L check-perf --output-on-failure
 echo "== chaos tier (ctest -L chaos, fast seed budget) =="
 ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure -j "$(nproc)"
 
+echo "== query-cache tier (ctest -L check-cache) =="
+ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L check-cache --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -48,6 +51,16 @@ REPORT="$("$BUILD_DIR/tools/ada-trace" "$WORK/ingest_trace.json" "$WORK/query_tr
 echo "$REPORT" | grep -q 'critical path' || {
     echo "FAIL: ada-trace reported no critical path" >&2
     echo "$REPORT" >&2
+    exit 1
+}
+
+echo "== cache differential smoke: --cache serves byte-identical subsets =="
+# Same query with the subset cache armed (64 MiB): the output file must be
+# byte-identical to the uncached read above.
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --tag p --cache 67108864 --out "$WORK/protein_cached.raw" >/dev/null
+cmp "$WORK/protein.raw" "$WORK/protein_cached.raw" || {
+    echo "FAIL: cached query served different bytes than the uncached query" >&2
     exit 1
 }
 
