@@ -1,12 +1,30 @@
-// Micro-benchmarks: the ada3d coordinate codec (google-benchmark).
+// Micro-benchmarks: the ada3d coordinate codec (google-benchmark), plus the
+// v1-vs-v2 stream comparison behind BENCH_codec.json.
 //
 // Measures compression/decompression throughput and reports the achieved
 // ratio as a counter -- the numbers behind the CpuRates.decompress_bps
 // constant and the Table 1/2 size calibration.
+//
+// With --out=FILE (optionally --frames N / --atoms N), skips google-benchmark
+// and instead encodes the same generated trajectory as a v1 and a v2 XTC
+// stream, reporting per-version compression ratio (raw float32 bytes over
+// stream bytes) and single-thread decode throughput (decoded bytes per
+// second per core) as JSON.  Exits non-zero unless v2 compresses strictly
+// better than v1 and both streams decode back to identical frames -- the
+// check `ctest -L check-range` runs as codec_compare_smoke.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "codec/coord_codec.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "formats/xtc_file.hpp"
 #include "workload/gpcr_builder.hpp"
 #include "workload/trajectory_gen.hpp"
 
@@ -90,4 +108,137 @@ void BM_CodecHostileInput(benchmark::State& state) {
 }
 BENCHMARK(BM_CodecHostileInput);
 
+// --- v1 vs v2 stream comparison (BENCH_codec.json) -----------------------------
+
+struct StreamStats {
+  std::size_t stream_bytes = 0;
+  double ratio = 0;         // raw float32 bytes / stream bytes
+  double decode_bps = 0;    // decoded bytes per second, single thread (per core)
+  std::vector<formats::TrajFrame> decoded;
+};
+
+StreamStats measure_stream(codec::CodecVersion version, const chem::System& system,
+                           std::uint32_t frames, unsigned decode_rounds) {
+  workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+  formats::XtcWriter writer({}, version);
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    const auto coords = gen.next_frame();
+    auto status = writer.add_frame(gen.current_step(), gen.current_time_ps(), system.box(), coords);
+    if (!status.is_ok()) {
+      std::cerr << "encode failed: " << status.error().to_string() << "\n";
+      std::exit(1);
+    }
+  }
+  const auto image = writer.take();
+
+  StreamStats stats;
+  stats.stream_bytes = image.size();
+  const double raw_bytes =
+      static_cast<double>(frames) * static_cast<double>(system.atom_count()) * 12.0;
+  stats.ratio = raw_bytes / static_cast<double>(image.size());
+
+  // Single-thread decode throughput: B/s of *decoded output* per core, the
+  // unit CpuRates and docs/performance.md use.  A warm-up pass keeps the
+  // first-touch page faults out of the timed rounds.
+  auto decoded = formats::read_all_xtc(image);
+  if (!decoded.is_ok()) {
+    std::cerr << "decode failed: " << decoded.error().to_string() << "\n";
+    std::exit(1);
+  }
+  Stopwatch timer;
+  for (unsigned round = 0; round < decode_rounds; ++round) {
+    auto pass = formats::read_all_xtc(image);
+    if (!pass.is_ok()) std::exit(1);
+    benchmark::DoNotOptimize(pass);
+  }
+  const double wall_s = timer.elapsed_seconds();
+  stats.decode_bps = raw_bytes * decode_rounds / (wall_s > 0 ? wall_s : 1e-9);
+  stats.decoded = std::move(decoded).value();
+  return stats;
+}
+
+int compare_streams(const std::string& out_path, std::uint32_t frames, const std::string& size,
+                    unsigned decode_rounds) {
+  const auto spec =
+      size == "paper" ? workload::GpcrSpec::paper_default() : workload::GpcrSpec::tiny();
+  const auto system = workload::GpcrSystemBuilder(spec).build();
+  const auto v1 = measure_stream(codec::CodecVersion::kV1, system, frames, decode_rounds);
+  const auto v2 = measure_stream(codec::CodecVersion::kV2, system, frames, decode_rounds);
+
+  // Differential gate: both codec generations must reconstruct the exact
+  // same frames (same quantization grid) before any number is reported.
+  if (v1.decoded.size() != v2.decoded.size()) {
+    std::cerr << "FAIL: v1 decoded " << v1.decoded.size() << " frames, v2 " << v2.decoded.size()
+              << "\n";
+    return 1;
+  }
+  for (std::size_t f = 0; f < v1.decoded.size(); ++f) {
+    if (v1.decoded[f].coords != v2.decoded[f].coords) {
+      std::cerr << "FAIL: v1/v2 decode divergence at frame " << f << "\n";
+      return 1;
+    }
+  }
+
+  std::printf("codec compare (%s, %u frames x %u atoms):\n", size.c_str(), frames,
+              system.atom_count());
+  std::printf("  v1: %8zu stream bytes, ratio %.3f, decode %.1f MB/s/core\n", v1.stream_bytes,
+              v1.ratio, v1.decode_bps / 1e6);
+  std::printf("  v2: %8zu stream bytes, ratio %.3f, decode %.1f MB/s/core\n", v2.stream_bytes,
+              v2.ratio, v2.decode_bps / 1e6);
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"workload\": {\"size\": \"" << size << "\", \"frames\": " << frames
+       << ", \"atoms\": " << system.atom_count() << "},\n"
+       << "  \"v1\": {\"stream_bytes\": " << v1.stream_bytes << ", \"ratio\": " << v1.ratio
+       << ", \"decode_bps_per_core\": " << v1.decode_bps << "},\n"
+       << "  \"v2\": {\"stream_bytes\": " << v2.stream_bytes << ", \"ratio\": " << v2.ratio
+       << ", \"decode_bps_per_core\": " << v2.decode_bps << "},\n"
+       << "  \"v2_over_v1_ratio\": " << (v2.ratio / v1.ratio) << "\n}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (v2.ratio <= v1.ratio) {
+    std::cerr << "FAIL: v2 ratio " << v2.ratio << " does not beat v1 ratio " << v1.ratio << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
+
+// Custom main: the --out= comparison mode bypasses google-benchmark; any
+// other invocation behaves exactly like benchmark_main.
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::uint32_t frames = 32;
+  std::string size = "tiny";
+  unsigned decode_rounds = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& flag) -> std::string {
+      if (arg.rfind(flag + "=", 0) == 0) return arg.substr(flag.size() + 1);
+      return "";
+    };
+    if (!value("--out").empty()) {
+      out_path = value("--out");
+    } else if (!value("--frames").empty()) {
+      frames = static_cast<std::uint32_t>(ada::parse_int(value("--frames")));
+    } else if (!value("--size").empty()) {
+      size = value("--size");
+    } else if (!value("--rounds").empty()) {
+      decode_rounds = static_cast<unsigned>(ada::parse_int(value("--rounds")));
+    }
+  }
+  if (!out_path.empty()) return compare_streams(out_path, frames, size, decode_rounds);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

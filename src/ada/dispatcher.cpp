@@ -1,5 +1,9 @@
 #include "ada/dispatcher.hpp"
 
+#include <optional>
+#include <vector>
+
+#include "formats/raw_traj.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -15,6 +19,18 @@ void count_dispatched(const Tag& tag, std::size_t bytes) {
   obs::Registry& registry = obs::Registry::global();
   registry.counter("ingest.dispatched_bytes").add(bytes);
   registry.counter("ingest.dispatched_bytes." + tag).add(bytes);
+}
+
+// Frame table for one extent, or nullopt when disabled, the label is
+// reserved (label files and kept originals are not RAW trajectories), or the
+// payload does not parse as a RAW image.  A missing table only costs range
+// queries their fast path -- it must never fail the ingest.
+std::optional<std::vector<std::uint64_t>> frame_table_for(bool enabled, const Tag& tag,
+                                                          std::span<const std::uint8_t> bytes) {
+  if (!enabled || tag == kLabelFileTag || tag == kOriginalTag) return std::nullopt;
+  auto offsets = formats::scan_raw_frame_offsets(bytes);
+  if (!offsets.is_ok()) return std::nullopt;
+  return std::move(offsets).value();
 }
 
 }  // namespace
@@ -45,8 +61,11 @@ Status IoDispatcher::dispatch(const std::string& logical_name,
   ADA_RETURN_IF_ERROR(mount_.create_container(logical_name));
   for (const auto& [tag, bytes] : subsets) {
     const obs::TraceSpan subset_trace("dispatch.subset", tag);
-    ADA_RETURN_IF_ERROR(
-        mount_.append(logical_name, tag, policy_.backend_for(tag), bytes).status());
+    const auto table = frame_table_for(frame_tables_, tag, bytes);
+    ADA_RETURN_IF_ERROR(mount_
+                            .append(logical_name, tag, policy_.backend_for(tag), bytes,
+                                    table.has_value() ? &*table : nullptr)
+                            .status());
     count_dispatched(tag, bytes.size());
   }
   return Status::ok();
@@ -57,7 +76,9 @@ Result<plfs::IndexRecord> IoDispatcher::dispatch_one(const std::string& logical_
                                                      std::span<const std::uint8_t> bytes) {
   const obs::ScopedTimer span("dispatch");
   const obs::TraceSpan trace("dispatch", tag);
-  auto record = mount_.append(logical_name, tag, policy_.backend_for(tag), bytes);
+  const auto table = frame_table_for(frame_tables_, tag, bytes);
+  auto record = mount_.append(logical_name, tag, policy_.backend_for(tag), bytes,
+                              table.has_value() ? &*table : nullptr);
   if (record.is_ok()) count_dispatched(tag, bytes.size());
   return record;
 }

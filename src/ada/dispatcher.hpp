@@ -34,8 +34,12 @@ struct PlacementPolicy {
 
 class IoDispatcher {
  public:
-  IoDispatcher(plfs::PlfsMount& mount, PlacementPolicy policy)
-      : mount_(mount), policy_(std::move(policy)) {}
+  /// `frame_tables`: populate a per-extent frame table (byte offset of every
+  /// RAW frame inside the extent) on each dispatched subset, enabling the
+  /// frame-range query fast path.  Reserved labels and non-RAW payloads are
+  /// skipped; a failed scan never fails the dispatch.
+  IoDispatcher(plfs::PlfsMount& mount, PlacementPolicy policy, bool frame_tables = true)
+      : mount_(mount), policy_(std::move(policy)), frame_tables_(frame_tables) {}
 
   const PlacementPolicy& policy() const noexcept { return policy_; }
   plfs::PlfsMount& mount() noexcept { return mount_; }
@@ -51,6 +55,7 @@ class IoDispatcher {
  private:
   plfs::PlfsMount& mount_;
   PlacementPolicy policy_;
+  bool frame_tables_;
 };
 
 }  // namespace ada::core

@@ -23,7 +23,7 @@ Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_
             });
   std::vector<DatasetLocation> out;
   out.reserve(records.size());
-  for (const plfs::IndexRecord& record : records) {
+  for (plfs::IndexRecord& record : records) {
     DatasetLocation location;
     location.backend = record.backend;
     location.backend_name = mount_.backend(record.backend).name;
@@ -33,6 +33,8 @@ Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_
     location.physical_offset = record.physical_offset;
     location.crc32c = record.crc32c;
     location.has_crc = record.has_checksum();
+    location.has_frame_table = record.has_frame_table();
+    location.frame_offsets = std::move(record.frame_offsets);
     out.push_back(std::move(location));
   }
   return out;
@@ -57,22 +59,28 @@ Result<std::vector<std::uint8_t>> IoRetriever::retrieve(const std::string& logic
   ADA_ASSIGN_OR_RETURN(const auto locations, indexer.locate(logical_name, tag));
   std::vector<std::uint8_t> out;
   for (const DatasetLocation& location : locations) {
-    ADA_ASSIGN_OR_RETURN(const auto bytes,
-                         retry_sync("retrieve_dropping", mount_.retry_policy(), [&] {
-                           return plfs::read_dropping_file(location.host_path);
-                         }));
-    if (bytes.size() < location.physical_offset + location.bytes) {
-      return corrupt_data("dropping " + location.host_path + " size mismatch");
-    }
-    const auto* extent = bytes.data() + location.physical_offset;
-    if (location.has_crc && crc32c(extent, location.bytes) != location.crc32c) {
-      ADA_OBS_COUNT("plfs.crc_mismatch", 1);
-      return corrupt_data("checksum mismatch on " + location.host_path);
-    }
-    out.insert(out.end(), extent, extent + location.bytes);
+    ADA_ASSIGN_OR_RETURN(const auto extent, retrieve_extent(location));
+    out.insert(out.end(), extent.begin(), extent.end());
   }
   obs::trace_counter("plfs.read.bytes", out.size());
   return out;
+}
+
+Result<std::vector<std::uint8_t>> IoRetriever::retrieve_extent(
+    const DatasetLocation& location) const {
+  ADA_ASSIGN_OR_RETURN(const auto bytes,
+                       retry_sync("retrieve_dropping", mount_.retry_policy(), [&] {
+                         return plfs::read_dropping_file(location.host_path);
+                       }));
+  if (bytes.size() < location.physical_offset + location.bytes) {
+    return corrupt_data("dropping " + location.host_path + " size mismatch");
+  }
+  const auto* extent = bytes.data() + location.physical_offset;
+  if (location.has_crc && crc32c(extent, location.bytes) != location.crc32c) {
+    ADA_OBS_COUNT("plfs.crc_mismatch", 1);
+    return corrupt_data("checksum mismatch on " + location.host_path);
+  }
+  return std::vector<std::uint8_t>(extent, extent + location.bytes);
 }
 
 }  // namespace ada::core

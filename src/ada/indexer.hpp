@@ -25,6 +25,10 @@ struct DatasetLocation {
   std::uint64_t physical_offset = 0;  // extent offset inside the dropping
   std::uint32_t crc32c = 0;           // stored extent checksum
   bool has_crc = false;               // false for legacy v1 index records
+  /// Byte offset of each decoded frame inside the extent (valid iff
+  /// `has_frame_table`): the index-side half of frame-range addressing.
+  std::vector<std::uint64_t> frame_offsets;
+  bool has_frame_table = false;  // false for records ingested without tables
 };
 
 class Indexer {
@@ -52,6 +56,11 @@ class IoRetriever {
   /// typed kCorruptData error, never silently served bytes.
   Result<std::vector<std::uint8_t>> retrieve(const std::string& logical_name,
                                              const Tag& tag) const;
+
+  /// Fetch one located extent's bytes (same retry + CRC discipline as
+  /// retrieve()).  The frame-range fast path uses this to read only the
+  /// extents a block of frames actually touches.
+  Result<std::vector<std::uint8_t>> retrieve_extent(const DatasetLocation& location) const;
 
  private:
   const plfs::PlfsMount& mount_;

@@ -4,8 +4,10 @@
 #include <numeric>
 
 #include "ada/label_store.hpp"
+#include "common/binary_io.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
+#include "formats/raw_traj.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -13,7 +15,9 @@
 namespace ada::core {
 
 Ada::Ada(plfs::PlfsMount mount, AdaConfig config)
-    : mount_(std::move(mount)), config_(std::move(config)), dispatcher_(mount_, config_.placement) {
+    : mount_(std::move(mount)),
+      config_(std::move(config)),
+      dispatcher_(mount_, config_.placement, config_.frame_tables) {
   target_apps_upper_.reserve(config_.target_apps.size());
   for (const std::string& app : config_.target_apps) target_apps_upper_.push_back(to_upper(app));
   target_extensions_upper_.reserve(config_.target_extensions.size());
@@ -220,6 +224,210 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
     count_query_bytes(tag, subset.value().size());
   }
   return subset;
+}
+
+namespace {
+
+// Frames per cached range block: large enough to amortize per-entry cache
+// bookkeeping, small enough that a sparse stride never drags whole subsets
+// into the budget.
+constexpr std::uint64_t kFrameBlock = 32;
+
+// Cache-key tag for one frame block.  '\x01' cannot appear in a label (the
+// label file is line-oriented text), so block entries can never collide with
+// whole-subset entries; both carry the logical name, so invalidation and
+// generation fencing cover them identically.
+std::string block_tag(const Tag& tag, std::uint64_t block) {
+  return tag + '\x01' + std::to_string(block);
+}
+
+// True iff the extent is one canonical RawTrajWriter image -- a 16-byte
+// header followed by fixed-size frames placed exactly where its frame table
+// says.  `frame_bytes` accumulates the uniform frame size across extents
+// (0 = not yet known).  Anything else (legacy records without tables,
+// concatenated segments, lying tables) routes the query down the
+// slice-the-full-subset fallback, so a malformed table can never cause an
+// out-of-bounds slice.
+bool canonical_extent(const DatasetLocation& location, std::uint64_t& frame_bytes) {
+  if (!location.has_frame_table) return false;
+  const auto& table = location.frame_offsets;
+  if (table.empty()) return location.bytes == 16;  // header-only extent, zero frames
+  if (table.front() != 16) return false;
+  std::uint64_t span = 0;
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    if (table[i] <= table[i - 1]) return false;
+    const std::uint64_t gap = table[i] - table[i - 1];
+    if (span == 0) {
+      span = gap;
+    } else if (gap != span) {
+      return false;
+    }
+  }
+  if (table.back() >= location.bytes) return false;
+  const std::uint64_t last = location.bytes - table.back();
+  if (span == 0) span = last;  // single-frame extent
+  if (last != span) return false;
+  if (span < 44 || (span - 44) % 12 != 0) return false;  // RAW frame shape
+  if ((span - 44) / 12 > std::numeric_limits<std::uint32_t>::max()) return false;
+  if (location.bytes != 16 + table.size() * span) return false;
+  if (frame_bytes == 0) frame_bytes = span;
+  return frame_bytes == span;
+}
+
+// The RAW header (magic | atoms | frames) of a range result.
+void append_raw_header(std::vector<std::uint8_t>& out, std::uint32_t atoms,
+                       std::uint32_t frames) {
+  ByteWriter header;
+  header.put_bytes(formats::kRawMagic);
+  header.put_u32_le(atoms);
+  header.put_u32_le(frames);
+  const auto& bytes = header.bytes();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+// Global frame indices a range selects out of `total` frames.
+std::vector<std::uint64_t> select_frames(const FrameRange& range, std::uint64_t total) {
+  std::vector<std::uint64_t> picked;
+  const std::uint64_t limit = std::min<std::uint64_t>(range.end, total);
+  for (std::uint64_t g = range.begin; g < limit; g += range.stride) picked.push_back(g);
+  return picked;
+}
+
+// Fallback slicer: cut the selected frames out of a full (possibly
+// concatenated) subset image.  Byte-identical to the fast path by
+// construction -- both emit header + verbatim frame records.
+Result<std::vector<std::uint8_t>> slice_raw_frames(std::span<const std::uint8_t> image,
+                                                   const FrameRange& range) {
+  ADA_ASSIGN_OR_RETURN(const auto cat, formats::RawTrajCatReader::open(image));
+  ADA_ASSIGN_OR_RETURN(const auto offsets, formats::scan_raw_frame_offsets(image));
+  const std::uint64_t frame_bytes = formats::raw_frame_bytes(cat.atom_count());
+  const auto picked = select_frames(range, offsets.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + picked.size() * frame_bytes);
+  append_raw_header(out, cat.atom_count(), static_cast<std::uint32_t>(picked.size()));
+  for (const std::uint64_t g : picked) {
+    if (offsets[g] + frame_bytes > image.size()) {
+      return corrupt_data("frame " + std::to_string(g) + " overruns the subset image");
+    }
+    const auto* frame = image.data() + offsets[g];
+    out.insert(out.end(), frame, frame + frame_bytes);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, const Tag& tag,
+                                             const FrameRange& range) const {
+  const obs::ScopedTimer span("query");
+  const obs::TraceSpan trace("query_range", tag);
+  ADA_OBS_COUNT("query.calls", 1);
+  ADA_OBS_COUNT("query.range.calls", 1);
+  if (tag == kLabelFileTag || tag == kOriginalTag) {
+    return invalid_argument("tag '" + tag + "' is reserved");
+  }
+  if (range.stride == 0) return invalid_argument("frame stride must be positive");
+
+  // Same fencing discipline as the whole-subset path: the generation is
+  // observed BEFORE any read, so a racing write leaves filled blocks
+  // detectably stale.
+  std::uint64_t generation = 0;
+  if (cache_ != nullptr) generation = mount_.mutation_generation(logical_name);
+
+  ADA_ASSIGN_OR_RETURN(const auto locations, Indexer(mount_).locate(logical_name, tag));
+
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t total_frames = 0;
+  std::vector<std::uint64_t> first_frame(locations.size(), 0);
+  bool fast = true;
+  for (std::size_t i = 0; i < locations.size() && fast; ++i) {
+    first_frame[i] = total_frames;
+    fast = canonical_extent(locations[i], frame_bytes);
+    total_frames += locations[i].frame_offsets.size();
+  }
+  if (!fast || total_frames == 0) {
+    // Fallback covers containers ingested without frame tables and any
+    // non-canonical extent: fetch the whole subset (through the subset cache
+    // when armed) and slice.  A zero-frame dataset also lands here -- the
+    // atom count then comes from the stored RAW header, which the index
+    // cannot supply.
+    ADA_OBS_COUNT("query.range.fallback", 1);
+    ADA_ASSIGN_OR_RETURN(const auto full, query(logical_name, tag));
+    auto sliced = slice_raw_frames(full, range);
+    if (sliced.is_ok()) count_query_bytes(tag, sliced.value().size());
+    return sliced;
+  }
+
+  const auto atoms = static_cast<std::uint32_t>((frame_bytes - 44) / 12);
+  const auto picked = select_frames(range, total_frames);
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + picked.size() * frame_bytes);
+  append_raw_header(out, atoms, static_cast<std::uint32_t>(picked.size()));
+
+  // Extent images fetched this query: a run of uncached blocks reads each
+  // dropping at most once.
+  std::map<std::size_t, std::vector<std::uint8_t>> fetched;
+  const IoRetriever retriever(mount_);
+  // Owning extent of global frame `g`: last extent whose first frame is
+  // <= g (ties from zero-frame extents resolve to the later, owning one).
+  const auto extent_of = [&](std::uint64_t g) {
+    std::size_t lo = 0;
+    std::size_t hi = locations.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (first_frame[mid] <= g) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  std::uint64_t current_block = std::numeric_limits<std::uint64_t>::max();
+  QueryCache::Image cached;              // keeps a cache hit alive while sliced
+  std::vector<std::uint8_t> local;       // block assembled from extents
+  const std::vector<std::uint8_t>* block = nullptr;
+  for (const std::uint64_t g : picked) {
+    const std::uint64_t b = g / kFrameBlock;
+    if (b != current_block) {
+      current_block = b;
+      block = nullptr;
+      cached = nullptr;
+      if (cache_ != nullptr) cached = cache_->lookup(logical_name, block_tag(tag, b), generation);
+      if (cached != nullptr) {
+        block = cached.get();
+      } else {
+        const std::uint64_t lo_frame = b * kFrameBlock;
+        const std::uint64_t hi_frame = std::min(lo_frame + kFrameBlock, total_frames);
+        local.clear();
+        local.reserve((hi_frame - lo_frame) * frame_bytes);
+        for (std::uint64_t f = lo_frame; f < hi_frame; ++f) {
+          const std::size_t e = extent_of(f);
+          auto it = fetched.find(e);
+          if (it == fetched.end()) {
+            // CRC-verified, retried extent read -- the only bytes that may
+            // land in the cache below.
+            ADA_ASSIGN_OR_RETURN(auto bytes, retriever.retrieve_extent(locations[e]));
+            it = fetched.emplace(e, std::move(bytes)).first;
+          }
+          // canonical_extent proved offset + frame_bytes <= extent length.
+          const std::uint64_t off = locations[e].frame_offsets[f - first_frame[e]];
+          const auto* frame = it->second.data() + off;
+          local.insert(local.end(), frame, frame + frame_bytes);
+        }
+        if (cache_ != nullptr) {
+          cache_->insert(logical_name, block_tag(tag, b), generation, local);
+        }
+        block = &local;
+      }
+    }
+    const std::uint64_t off = (g - b * kFrameBlock) * frame_bytes;
+    const auto* frame = block->data() + off;
+    out.insert(out.end(), frame, frame + frame_bytes);
+  }
+  count_query_bytes(tag, out.size());
+  return out;
 }
 
 std::vector<std::uint8_t> Ada::PartialQuery::concat() const {

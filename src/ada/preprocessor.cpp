@@ -106,8 +106,21 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split_paralle
 
   // Stage 2: fan frame ranges out to the pool.  More ranges than workers so
   // stealing can rebalance frames whose coordinate blocks decode unevenly.
+  // Ranges may only begin at self-contained frames (any v1 frame, or a v2
+  // keyframe): a predicted frame can't be the first one a worker decodes.
+  // For v1 streams every frame qualifies, so the boundaries land exactly
+  // where the old fixed-chunk split put them.
   const std::uint32_t range_count = std::min(frames, workers * 4u);
   const std::uint32_t chunk = (frames + range_count - 1) / range_count;
+  std::vector<std::uint32_t> starts{0};
+  std::uint32_t next_target = chunk;
+  for (std::uint32_t f = 1; f < frames; ++f) {
+    if (extents[f].intra && f >= next_target) {
+      starts.push_back(f);
+      next_target = f + chunk;
+    }
+  }
+  if (starts.size() <= 1) return split_serial(xtc_image, stats);
   struct RangeShard {
     std::uint32_t first = 0;
     std::uint32_t last = 0;  // exclusive
@@ -115,10 +128,10 @@ Result<std::map<Tag, std::vector<std::uint8_t>>> DataPreProcessor::split_paralle
     Status status;
   };
   std::vector<RangeShard> shards;
-  for (std::uint32_t first = 0; first < frames; first += chunk) {
+  for (std::size_t i = 0; i < starts.size(); ++i) {
     RangeShard shard;
-    shard.first = first;
-    shard.last = std::min(frames, first + chunk);
+    shard.first = starts[i];
+    shard.last = i + 1 < starts.size() ? starts[i + 1] : frames;
     for (const auto& [tag, selection] : labels_.groups) {
       shard.writers.emplace(tag,
                             formats::RawTrajWriter(static_cast<std::uint32_t>(selection.count())));

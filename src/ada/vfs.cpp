@@ -70,10 +70,17 @@ Status VfsShim::write(const std::string& path, const std::string& app_id,
 
 Result<std::vector<std::uint8_t>> VfsShim::read(const std::string& path,
                                                 const std::string& app_id,
-                                                const std::optional<Tag>& tag) const {
+                                                const std::optional<Tag>& tag,
+                                                const std::optional<FrameRange>& frames) const {
+  if (frames.has_value() && !tag.has_value()) {
+    return invalid_argument("frame-range read requires a tag: " + path);
+  }
   const std::string logical = basename_of(path);
   if (ada_->has_dataset(logical) && ada_->should_intercept(path, app_id)) {
-    if (tag.has_value()) return ada_->query(logical, *tag);
+    if (tag.has_value()) {
+      return frames.has_value() ? ada_->query(logical, *tag, *frames)
+                                : ada_->query(logical, *tag);
+    }
     // Untagged read of an ADA dataset: every user subset, in tag order (the
     // ADA(all) retrieval the paper benchmarks).  Pre-size via the indexer so
     // the concatenation never reallocates mid-copy (the same fix

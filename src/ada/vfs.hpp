@@ -39,9 +39,14 @@ class VfsShim {
 
   /// Read a whole file.  With a tag, the read resolves through ADA's indexer
   /// to the decompressed subset; without one, an ADA dataset reads back every
-  /// subset's bytes in label order, and non-ADA paths pass through.
+  /// subset's bytes in label order, and non-ADA paths pass through.  With
+  /// `frames`, only the selected frames of the tagged subset are returned
+  /// (Ada frame-range query); a frame selection requires a tag -- the
+  /// untagged concatenation has no single frame axis.
   Result<std::vector<std::uint8_t>> read(const std::string& path, const std::string& app_id,
-                                         const std::optional<Tag>& tag = std::nullopt) const;
+                                         const std::optional<Tag>& tag = std::nullopt,
+                                         const std::optional<FrameRange>& frames =
+                                             std::nullopt) const;
 
   /// Degraded read of an ADA dataset: the surviving subsets plus a typed
   /// failure per lost tag (Ada::query_degraded semantics).  Non-ADA paths

@@ -15,6 +15,11 @@ namespace {
 // Quantized coordinates must stay well inside int32 so deltas cannot overflow.
 constexpr std::int64_t kMaxQuantum = std::int64_t{1} << 30;
 
+// Predicted-frame large records store one 32-bit zigzag residual per
+// dimension: residuals of grid values in (-2^30, 2^30) against predictors
+// clamped to the same range always fit.
+constexpr unsigned kResidualFullBits = 32;
+
 struct QuantizedFrame {
   std::vector<std::int32_t> q;  // xyz triplets, grid units
   std::int32_t mins[3];
@@ -54,24 +59,37 @@ unsigned atom_delta_bits(const std::int32_t* prev, const std::int32_t* cur) {
   return needed;
 }
 
-}  // namespace
+/// Exact cost minimization over the candidate small-record width k given a
+/// histogram of per-atom field widths: an atom whose widest field fits in k
+/// bits costs 1 + 3k, otherwise 1 + large_sum (its three large fields).
+struct WidthChoice {
+  unsigned k = 0;
+  std::uint64_t cost = 0;
+};
 
-Result<CompressedFrame> compress(std::span<const float> coords, const CodecParams& params,
-                                 PerAtomCost* per_atom) {
-  if (coords.size() % 3 != 0) return invalid_argument("coords length not divisible by 3");
-  if (!(params.precision > 0.0f)) return invalid_argument("precision must be positive");
-
-  CompressedFrame frame;
-  frame.atom_count = static_cast<std::uint32_t>(coords.size() / 3);
-  frame.precision = params.precision;
-  if (per_atom != nullptr) {
-    per_atom->bits.clear();
-    per_atom->bits.reserve(frame.atom_count);
+WidthChoice choose_small_bits(const std::array<std::uint32_t, 33>& width_histogram,
+                              unsigned large_sum, unsigned max_k) {
+  WidthChoice best;
+  best.cost = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned k = 0; k <= max_k; ++k) {
+    std::uint64_t fitting = 0;
+    std::uint64_t overflowing = 0;
+    for (unsigned w = 0; w <= 32; ++w) {
+      (w <= k ? fitting : overflowing) += width_histogram[w];
+    }
+    const std::uint64_t cost = fitting * (1 + 3ull * k) + overflowing * (1 + large_sum);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.k = k;
+    }
   }
-  if (frame.atom_count == 0) return frame;
+  return best;
+}
 
-  ADA_ASSIGN_OR_RETURN(const QuantizedFrame qf, quantize(coords, params.precision));
-
+/// The v1 record layout: first atom absolute, then per-atom flag + either
+/// small zigzag deltas or absolute frame-box-relative fields.  Shared by v1
+/// frames and v2 keyframes, so the two are bit-identical by construction.
+void encode_intra(const QuantizedFrame& qf, CompressedFrame& frame, PerAtomCost* per_atom) {
   unsigned full_sum = 0;
   for (int d = 0; d < 3; ++d) {
     frame.min_quantum[d] = qf.mins[d];
@@ -80,27 +98,11 @@ Result<CompressedFrame> compress(std::span<const float> coords, const CodecParam
     full_sum += frame.full_bits[d];
   }
 
-  // Histogram of per-atom delta widths, then exact cost minimization over the
-  // candidate small-record width k: an atom whose widest delta fits in k bits
-  // costs 1 + 3k, otherwise 1 + full_sum.
   std::array<std::uint32_t, 33> width_histogram{};
   for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
     width_histogram[atom_delta_bits(&qf.q[3 * (i - 1)], &qf.q[3 * i])] += 1;
   }
-  unsigned best_k = 0;
-  std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
-  for (unsigned k = 0; k <= 31; ++k) {
-    std::uint64_t fitting = 0;
-    std::uint64_t overflowing = 0;
-    for (unsigned w = 0; w <= 32; ++w) {
-      (w <= k ? fitting : overflowing) += width_histogram[w];
-    }
-    const std::uint64_t cost = fitting * (1 + 3ull * k) + overflowing * (1 + full_sum);
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_k = k;
-    }
-  }
+  const unsigned best_k = choose_small_bits(width_histogram, full_sum, 31).k;
   frame.small_bits = static_cast<std::uint8_t>(best_k);
 
   BitWriter writer;
@@ -136,29 +138,40 @@ Result<CompressedFrame> compress(std::span<const float> coords, const CodecParam
 
   frame.payload_bits = writer.bit_count();
   frame.payload = writer.finish();
-  ADA_OBS_COUNT("codec.encode.calls", 1);
-  ADA_OBS_COUNT("codec.encode.atoms", frame.atom_count);
-  ADA_OBS_COUNT("codec.encode.bytes_out", frame.payload_bytes());
-  return frame;
 }
 
-Result<std::vector<float>> decompress(const CompressedFrame& frame) {
-  std::vector<float> coords(static_cast<std::size_t>(frame.atom_count) * 3);
-  if (frame.atom_count == 0) return coords;
-  if (!(frame.precision > 0.0f)) return corrupt_data("compressed frame has invalid precision");
+/// Sanity checks that must pass before sizing any allocation off the header:
+/// a frame that lies about atom_count or payload_bits is rejected here with
+/// at most payload.size()-proportional work.
+Status check_payload_plausible(const CompressedFrame& frame, std::uint64_t min_bits) {
+  if (frame.payload_bits > 8ull * frame.payload.size()) {
+    return corrupt_data("payload_bits exceeds payload size");
+  }
+  if (frame.payload_bits < min_bits) {
+    return corrupt_data("payload too small for declared atom count");
+  }
+  return Status::ok();
+}
+
+/// Decode the v1/intra record layout back to exact grid positions.  Working
+/// in the integer domain (not floats) keeps prediction contexts lossless.
+Result<std::vector<std::int32_t>> decode_intra_quanta(const CompressedFrame& frame) {
   for (int d = 0; d < 3; ++d) {
     if (frame.full_bits[d] > 32) return corrupt_data("invalid full_bits");
   }
   if (frame.small_bits > 31) return corrupt_data("invalid small_bits");
+  // Atoms 1..n-1 cost at least their flag bit each.
+  ADA_RETURN_IF_ERROR(check_payload_plausible(
+      frame, frame.atom_count > 1 ? frame.atom_count - 1 : 0));
 
+  std::vector<std::int32_t> quanta(static_cast<std::size_t>(frame.atom_count) * 3);
   BitReader reader(frame.payload);
-  const float inv_precision = 1.0f / frame.precision;
   std::int32_t prev[3];
   for (int d = 0; d < 3; ++d) {
     ADA_ASSIGN_OR_RETURN(const std::uint32_t rel, reader.get_bits(frame.full_bits[d]));
     prev[d] = static_cast<std::int32_t>(
         static_cast<std::int64_t>(frame.min_quantum[d]) + rel);
-    coords[static_cast<std::size_t>(d)] = static_cast<float>(prev[d]) * inv_precision;
+    quanta[static_cast<std::size_t>(d)] = prev[d];
   }
   for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
     ADA_ASSIGN_OR_RETURN(const bool large, reader.get_bit());
@@ -172,8 +185,7 @@ Result<std::vector<float>> decompress(const CompressedFrame& frame) {
         value = prev[d] + zigzag_decode(zz);
       }
       prev[d] = value;
-      coords[3 * static_cast<std::size_t>(i) + static_cast<std::size_t>(d)] =
-          static_cast<float>(value) * inv_precision;
+      quanta[3 * static_cast<std::size_t>(i) + static_cast<std::size_t>(d)] = value;
     }
   }
   if (reader.bits_consumed() != frame.payload_bits) {
@@ -181,6 +193,268 @@ Result<std::vector<float>> decompress(const CompressedFrame& frame) {
                         std::to_string(reader.bits_consumed()) + ", declared " +
                         std::to_string(frame.payload_bits));
   }
+  return quanta;
+}
+
+std::vector<float> quanta_to_floats(std::span<const std::int32_t> quanta, float precision) {
+  std::vector<float> coords(quanta.size());
+  const float inv_precision = 1.0f / precision;
+  const std::int32_t* q = quanta.data();
+  float* out = coords.data();
+  for (std::size_t i = 0; i < quanta.size(); ++i) {
+    out[i] = static_cast<float>(q[i]) * inv_precision;
+  }
+  return coords;
+}
+
+/// Linear two-frame extrapolation, clamped into the valid grid so the
+/// residual always fits a 32-bit zigzag field.  Encoder and decoder must
+/// share this exactly.
+inline std::int32_t predict_linear(std::int32_t p1, std::int32_t p2) noexcept {
+  constexpr std::int64_t lim = kMaxQuantum - 1;
+  const std::int64_t p = 2 * static_cast<std::int64_t>(p1) - p2;
+  return static_cast<std::int32_t>(std::clamp(p, -lim, lim));
+}
+
+struct PredictorPlan {
+  Predictor predictor = Predictor::kIntra;
+  std::vector<std::int32_t> residuals;  // xyz triplets, quantized grid units
+  unsigned best_k = 0;
+  std::uint64_t cost = 0;
+};
+
+PredictorPlan plan_predicted(Predictor predictor, const QuantizedFrame& qf,
+                             const PredictionContext& ctx) {
+  PredictorPlan plan;
+  plan.predictor = predictor;
+  const std::size_t values = qf.q.size();
+  plan.residuals.resize(values);
+  std::array<std::uint32_t, 33> width_histogram{};
+  for (std::size_t i = 0; i < values; i += 3) {
+    unsigned width = 0;
+    for (std::size_t d = 0; d < 3; ++d) {
+      const std::int32_t predicted =
+          predictor == Predictor::kLinear
+              ? predict_linear(ctx.prev1[i + d], ctx.prev2[i + d])
+              : ctx.prev1[i + d];
+      const std::int32_t residual = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(qf.q[i + d]) - predicted);
+      plan.residuals[i + d] = residual;
+      width = std::max(width, bits_needed(zigzag_encode(residual)));
+    }
+    width_histogram[width] += 1;
+  }
+  const WidthChoice choice =
+      choose_small_bits(width_histogram, 3 * kResidualFullBits, kResidualFullBits);
+  plan.best_k = choice.k;
+  plan.cost = choice.cost;
+  return plan;
+}
+
+void encode_predicted(const QuantizedFrame& qf, const PredictorPlan& plan, CompressedFrame& frame,
+                      PerAtomCost* per_atom) {
+  frame.predictor = plan.predictor;
+  frame.small_bits = static_cast<std::uint8_t>(plan.best_k);
+  for (int d = 0; d < 3; ++d) {
+    // min_quantum is informational for predicted frames; full_bits records
+    // the large-field width so the header stays self-describing.
+    frame.min_quantum[d] = qf.mins[d];
+    frame.full_bits[d] = static_cast<std::uint8_t>(kResidualFullBits);
+  }
+  BitWriter writer;
+  for (std::size_t i = 0; i < plan.residuals.size(); i += 3) {
+    const std::size_t before = writer.bit_count();
+    unsigned width = 0;
+    for (std::size_t d = 0; d < 3; ++d) {
+      width = std::max(width, bits_needed(zigzag_encode(plan.residuals[i + d])));
+    }
+    const bool large = width > plan.best_k;
+    writer.put_bit(large);
+    const unsigned field = large ? kResidualFullBits : plan.best_k;
+    for (std::size_t d = 0; d < 3; ++d) {
+      writer.put_bits(zigzag_encode(plan.residuals[i + d]), field);
+    }
+    if (per_atom != nullptr) {
+      per_atom->bits.push_back(static_cast<std::uint32_t>(writer.bit_count() - before));
+    }
+  }
+  frame.payload_bits = writer.bit_count();
+  frame.payload = writer.finish();
+}
+
+void rotate_context(PredictionContext& ctx, std::vector<std::int32_t>&& quanta, float precision) {
+  ctx.prev2 = std::move(ctx.prev1);
+  ctx.prev1 = std::move(quanta);
+  ctx.precision = precision;
+}
+
+}  // namespace
+
+Result<CompressedFrame> compress(std::span<const float> coords, const CodecParams& params,
+                                 PerAtomCost* per_atom) {
+  if (coords.size() % 3 != 0) return invalid_argument("coords length not divisible by 3");
+  if (!(params.precision > 0.0f)) return invalid_argument("precision must be positive");
+
+  CompressedFrame frame;
+  frame.atom_count = static_cast<std::uint32_t>(coords.size() / 3);
+  frame.precision = params.precision;
+  if (per_atom != nullptr) {
+    per_atom->bits.clear();
+    per_atom->bits.reserve(frame.atom_count);
+  }
+  if (frame.atom_count == 0) return frame;
+
+  ADA_ASSIGN_OR_RETURN(const QuantizedFrame qf, quantize(coords, params.precision));
+  encode_intra(qf, frame, per_atom);
+  ADA_OBS_COUNT("codec.encode.calls", 1);
+  ADA_OBS_COUNT("codec.encode.atoms", frame.atom_count);
+  ADA_OBS_COUNT("codec.encode.bytes_out", frame.payload_bytes());
+  return frame;
+}
+
+Result<std::vector<float>> decompress(const CompressedFrame& frame) {
+  if (frame.atom_count == 0) return std::vector<float>{};
+  if (!(frame.precision > 0.0f)) return corrupt_data("compressed frame has invalid precision");
+  ADA_ASSIGN_OR_RETURN(const std::vector<std::int32_t> quanta, decode_intra_quanta(frame));
+  ADA_OBS_COUNT("codec.decode.calls", 1);
+  ADA_OBS_COUNT("codec.decode.atoms", frame.atom_count);
+  ADA_OBS_COUNT("codec.decode.bytes_in", frame.payload_bytes());
+  return quanta_to_floats(quanta, frame.precision);
+}
+
+Result<CompressedFrame> compress_v2(std::span<const float> coords, const CodecParams& params,
+                                    PredictionContext& ctx, PerAtomCost* per_atom) {
+  if (coords.size() % 3 != 0) return invalid_argument("coords length not divisible by 3");
+  if (!(params.precision > 0.0f)) return invalid_argument("precision must be positive");
+
+  CompressedFrame frame;
+  frame.atom_count = static_cast<std::uint32_t>(coords.size() / 3);
+  frame.precision = params.precision;
+  if (per_atom != nullptr) {
+    per_atom->bits.clear();
+    per_atom->bits.reserve(frame.atom_count);
+  }
+  if (frame.atom_count == 0) {
+    ctx.reset();  // keep encoder and decoder context streams in lockstep
+    return frame;
+  }
+
+  ADA_ASSIGN_OR_RETURN(QuantizedFrame qf, quantize(coords, params.precision));
+
+  // Evaluate every predictor the context supports by exact packed cost and
+  // keep the cheapest; the intra candidate always exists, so a v2 stream can
+  // always be written (and a reset context simply forces a keyframe).
+  std::optional<PredictorPlan> chosen;
+  if (ctx.has_prev(coords.size(), params.precision)) {
+    chosen = plan_predicted(Predictor::kPrev, qf, ctx);
+    if (ctx.has_two(coords.size(), params.precision)) {
+      PredictorPlan linear = plan_predicted(Predictor::kLinear, qf, ctx);
+      if (linear.cost < chosen->cost) chosen = std::move(linear);
+    }
+  }
+
+  // Intra cost: the cost-minimized atom records plus the unconditional
+  // absolute first atom (mirrors encode_intra's layout exactly).
+  {
+    unsigned full_sum = 0;
+    for (int d = 0; d < 3; ++d) {
+      const auto span64 = static_cast<std::int64_t>(qf.maxs[d]) - qf.mins[d];
+      full_sum += bits_needed(static_cast<std::uint32_t>(span64));
+    }
+    std::array<std::uint32_t, 33> width_histogram{};
+    for (std::uint32_t i = 1; i < frame.atom_count; ++i) {
+      width_histogram[atom_delta_bits(&qf.q[3 * (i - 1)], &qf.q[3 * i])] += 1;
+    }
+    const std::uint64_t intra_cost =
+        full_sum + choose_small_bits(width_histogram, full_sum, 31).cost;
+    if (chosen.has_value() && intra_cost <= chosen->cost) chosen.reset();
+  }
+
+  if (chosen.has_value()) {
+    encode_predicted(qf, *chosen, frame, per_atom);
+  } else {
+    encode_intra(qf, frame, per_atom);
+    frame.predictor = Predictor::kIntra;
+  }
+  rotate_context(ctx, std::move(qf.q), params.precision);
+
+  ADA_OBS_COUNT("codec.encode.calls", 1);
+  ADA_OBS_COUNT("codec.encode.atoms", frame.atom_count);
+  ADA_OBS_COUNT("codec.encode.bytes_out", frame.payload_bytes());
+  return frame;
+}
+
+Result<std::vector<float>> decompress_v2(const CompressedFrame& frame, PredictionContext& ctx) {
+  if (frame.atom_count == 0) {
+    ctx.reset();
+    return std::vector<float>{};
+  }
+  if (!(frame.precision > 0.0f)) return corrupt_data("compressed frame has invalid precision");
+  const std::size_t values = static_cast<std::size_t>(frame.atom_count) * 3;
+
+  std::vector<std::int32_t> quanta;
+  if (frame.predictor == Predictor::kIntra) {
+    ADA_ASSIGN_OR_RETURN(quanta, decode_intra_quanta(frame));
+  } else if (frame.predictor == Predictor::kPrev || frame.predictor == Predictor::kLinear) {
+    const bool linear = frame.predictor == Predictor::kLinear;
+    const bool usable = linear ? ctx.has_two(values, frame.precision)
+                               : ctx.has_prev(values, frame.precision);
+    if (!usable) {
+      return corrupt_data("predicted frame without a usable context (decode must start at a keyframe)");
+    }
+    if (frame.small_bits > 32) return corrupt_data("invalid small_bits");
+    // Every atom costs at least its flag bit.
+    ADA_RETURN_IF_ERROR(check_payload_plausible(frame, frame.atom_count));
+
+    // Pass 1: serial bitstream -> flat residual array (SoA).
+    std::vector<std::int32_t> residuals(values);
+    BitReader reader(frame.payload);
+    for (std::size_t i = 0; i < values; i += 3) {
+      ADA_ASSIGN_OR_RETURN(const bool large, reader.get_bit());
+      const unsigned field = large ? kResidualFullBits : frame.small_bits;
+      for (std::size_t d = 0; d < 3; ++d) {
+        ADA_ASSIGN_OR_RETURN(const std::uint32_t zz, reader.get_bits(field));
+        residuals[i + d] = zigzag_decode(zz);
+      }
+    }
+    if (reader.bits_consumed() != frame.payload_bits) {
+      return corrupt_data("payload bit count mismatch: consumed " +
+                          std::to_string(reader.bits_consumed()) + ", declared " +
+                          std::to_string(frame.payload_bits));
+    }
+
+    // Pass 2: elementwise reconstruction with no loop-carried dependency --
+    // this is the auto-vectorizable hot loop v1 cannot have.  Out-of-grid
+    // reconstructions (corrupt residuals) are detected with a branch-free
+    // accumulator and rejected after the loop.
+    quanta.resize(values);
+    const std::int32_t* p1 = ctx.prev1.data();
+    const std::int32_t* res = residuals.data();
+    std::int32_t* q = quanta.data();
+    std::uint32_t bad = 0;
+    if (linear) {
+      const std::int32_t* p2 = ctx.prev2.data();
+      for (std::size_t i = 0; i < values; ++i) {
+        const std::int64_t v =
+            static_cast<std::int64_t>(predict_linear(p1[i], p2[i])) + res[i];
+        bad |= static_cast<std::uint32_t>((v <= -kMaxQuantum) || (v >= kMaxQuantum));
+        q[i] = static_cast<std::int32_t>(v);
+      }
+    } else {
+      for (std::size_t i = 0; i < values; ++i) {
+        const std::int64_t v = static_cast<std::int64_t>(p1[i]) + res[i];
+        bad |= static_cast<std::uint32_t>((v <= -kMaxQuantum) || (v >= kMaxQuantum));
+        q[i] = static_cast<std::int32_t>(v);
+      }
+    }
+    if (bad != 0) return corrupt_data("predicted coordinate outside the quantization grid");
+  } else {
+    return corrupt_data("unknown predictor id: " +
+                        std::to_string(static_cast<unsigned>(frame.predictor)));
+  }
+
+  std::vector<float> coords = quanta_to_floats(quanta, frame.precision);
+  rotate_context(ctx, std::move(quanta), frame.precision);
   ADA_OBS_COUNT("codec.decode.calls", 1);
   ADA_OBS_COUNT("codec.decode.atoms", frame.atom_count);
   ADA_OBS_COUNT("codec.decode.bytes_in", frame.payload_bytes());

@@ -17,6 +17,17 @@
 // raw:compressed ratio of 3.27 (Table 2).  Decoding is deliberately a
 // sequential, branchy, CPU-bound loop -- exactly the "duplication of labor"
 // the paper's Fig. 8 flame graph attributes >50% of VMD CPU time to.
+//
+// Codec v2 adds temporal prediction on top of the same bitstream: each frame
+// may be coded against the previous frame (Predictor::kPrev) or a linear
+// extrapolation of the previous two (Predictor::kLinear) instead of
+// intra-frame atom deltas.  MD displacements between adjacent frames are far
+// smaller than inter-atom distances, so residuals pack tighter; and because
+// every atom's residual is independent of every other atom's, the v2 decode
+// reconstructs coordinates in a flat elementwise pass the compiler can
+// auto-vectorize (v1's previous-atom chain is inherently serial).  The
+// encoder picks the cheapest of {intra, prev, linear} per frame by exact
+// cost, so v2 never does worse than v1 plus one predictor byte.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +38,19 @@
 #include "common/result.hpp"
 
 namespace ada::codec {
+
+/// On-wire codec generations (AdaConfig selector, xtc coordinate-block magic).
+enum class CodecVersion : std::uint8_t {
+  kV1 = 1,  // per-frame intra coding only (ada3d classic)
+  kV2 = 2,  // temporal prediction + SoA residual decode
+};
+
+/// How a v2 frame's quantized coordinates were predicted.
+enum class Predictor : std::uint8_t {
+  kIntra = 0,   // no temporal context: exact v1 record layout (keyframe)
+  kPrev = 1,    // predicted from the previous frame's grid positions
+  kLinear = 2,  // predicted from a 2-frame linear extrapolation
+};
 
 /// Codec configuration.
 struct CodecParams {
@@ -41,12 +65,39 @@ struct CompressedFrame {
   float precision = 0.0f;
   std::int32_t min_quantum[3] = {0, 0, 0};  // per-dimension frame minimum (grid units)
   std::uint8_t full_bits[3] = {0, 0, 0};    // absolute-record field widths
-  std::uint8_t small_bits = 0;              // small-record delta field width
+  std::uint8_t small_bits = 0;              // small-record delta/residual field width
+  Predictor predictor = Predictor::kIntra;  // always kIntra for v1 frames
   std::uint64_t payload_bits = 0;           // valid bits in `payload`
   std::vector<std::uint8_t> payload;        // bit-packed records
 
   /// Wire size of this frame's coordinate payload in bytes.
   std::size_t payload_bytes() const noexcept { return payload.size(); }
+};
+
+/// Temporal state threaded through a v2 encode or decode stream: the exact
+/// quantized grids of the last two frames.  Encoder and decoder rotate it
+/// identically (prediction is in the lossless integer domain), so contexts
+/// never drift.  reset() forces the next frame intra -- that is how writers
+/// implement keyframes and how readers handle seeks.
+struct PredictionContext {
+  std::vector<std::int32_t> prev1;  // most recent frame, xyz grid triplets
+  std::vector<std::int32_t> prev2;  // the frame before prev1
+  float precision = 0.0f;           // grid the stored quanta live on
+
+  void reset() {
+    prev1.clear();
+    prev2.clear();
+    precision = 0.0f;
+  }
+
+  /// Usable as a one-frame (kPrev) context for `values` coordinates?
+  bool has_prev(std::size_t values, float grid) const noexcept {
+    return precision == grid && precision > 0.0f && prev1.size() == values;
+  }
+  /// Usable as a two-frame (kLinear) context?
+  bool has_two(std::size_t values, float grid) const noexcept {
+    return has_prev(values, grid) && prev2.size() == values;
+  }
 };
 
 /// Analysis by-product: the packed cost of each atom, for attributing
@@ -63,6 +114,18 @@ Result<CompressedFrame> compress(std::span<const float> coords, const CodecParam
 /// Decompress back to xyz triplets.  Output values are exact multiples of
 /// 1/precision; round-trip error is bounded by 0.5/precision per coordinate.
 Result<std::vector<float>> decompress(const CompressedFrame& frame);
+
+/// Compress one frame of a v2 stream.  Picks the cheapest predictor the
+/// context supports (intra when `ctx` is empty or mismatched) and rotates
+/// `ctx` so the next frame can predict from this one.  Call ctx.reset()
+/// first to force a keyframe.
+Result<CompressedFrame> compress_v2(std::span<const float> coords, const CodecParams& params,
+                                    PredictionContext& ctx, PerAtomCost* per_atom = nullptr);
+
+/// Decompress one frame of a v2 stream and rotate `ctx`.  Predicted frames
+/// require a context of matching size and precision (i.e. decode must have
+/// started at a keyframe) -- anything else is corrupt_data, never a crash.
+Result<std::vector<float>> decompress_v2(const CompressedFrame& frame, PredictionContext& ctx);
 
 /// Sum of packed record bits over an index range [begin, end) of atoms,
 /// given a PerAtomCost from compress().  Used to attribute compressed volume

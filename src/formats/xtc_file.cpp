@@ -4,18 +4,39 @@
 
 namespace ada::formats {
 
+namespace {
+
+constexpr std::uint32_t kMaxPredictorId =
+    static_cast<std::uint32_t>(codec::Predictor::kLinear);
+
+}  // namespace
+
 Status XtcWriter::add_frame(std::uint32_t step, float time_ps, const chem::Box& box,
                             std::span<const float> coords, codec::PerAtomCost* per_atom) {
-  ADA_ASSIGN_OR_RETURN(const codec::CompressedFrame frame,
-                       codec::compress(coords, params_, per_atom));
+  codec::CompressedFrame frame;
+  if (version_ == codec::CodecVersion::kV1) {
+    ADA_ASSIGN_OR_RETURN(frame, codec::compress(coords, params_, per_atom));
+  } else {
+    // Force a keyframe (intra decode entry point) at least every
+    // keyframe_interval frames by dropping the prediction context.
+    if (frames_since_keyframe_ >= keyframe_interval_) ctx_.reset();
+    ADA_ASSIGN_OR_RETURN(frame, codec::compress_v2(coords, params_, ctx_, per_atom));
+    frames_since_keyframe_ =
+        frame.predictor == codec::Predictor::kIntra ? 1 : frames_since_keyframe_ + 1;
+  }
   xdr::XdrWriter w;
   w.put_i32(kXtcMagic);
   w.put_u32(frame.atom_count);
   w.put_u32(step);
   w.put_f32(time_ps);
   for (float v : box.matrix) w.put_f32(v);
-  // Coordinate block (ada3d variant).
-  w.put_u32(kAda3dMagic);
+  // Coordinate block (ada3d variant; v2 adds the predictor word).
+  if (version_ == codec::CodecVersion::kV1) {
+    w.put_u32(kAda3dMagic);
+  } else {
+    w.put_u32(kAda3dV2Magic);
+    w.put_u32(static_cast<std::uint32_t>(frame.predictor));
+  }
   w.put_f32(frame.precision);
   for (int d = 0; d < 3; ++d) w.put_i32(frame.min_quantum[d]);
   for (int d = 0; d < 3; ++d) w.put_u32(frame.full_bits[d]);
@@ -46,8 +67,16 @@ Result<std::optional<TrajFrame>> XtcReader::next() {
     ADA_ASSIGN_OR_RETURN(v, r.get_f32());
   }
   ADA_ASSIGN_OR_RETURN(const std::uint32_t codec_magic, r.get_u32());
-  if (codec_magic != kAda3dMagic) {
+  const bool v2 = codec_magic == kAda3dV2Magic;
+  if (!v2 && codec_magic != kAda3dMagic) {
     return corrupt_data("unsupported xtc coordinate codec: " + std::to_string(codec_magic));
+  }
+  if (v2) {
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t predictor, r.get_u32());
+    if (predictor > kMaxPredictorId) {
+      return corrupt_data("bad predictor id: " + std::to_string(predictor));
+    }
+    frame.predictor = static_cast<codec::Predictor>(predictor);
   }
   ADA_ASSIGN_OR_RETURN(frame.precision, r.get_f32());
   for (int d = 0; d < 3; ++d) {
@@ -59,14 +88,19 @@ Result<std::optional<TrajFrame>> XtcReader::next() {
     frame.full_bits[d] = static_cast<std::uint8_t>(bits);
   }
   ADA_ASSIGN_OR_RETURN(const std::uint32_t small_bits, r.get_u32());
-  if (small_bits > 31) return corrupt_data("bad small_bits field");
+  if (small_bits > (v2 ? 32u : 31u)) return corrupt_data("bad small_bits field");
   frame.small_bits = static_cast<std::uint8_t>(small_bits);
   ADA_ASSIGN_OR_RETURN(const std::uint32_t bits_hi, r.get_u32());
   ADA_ASSIGN_OR_RETURN(const std::uint32_t bits_lo, r.get_u32());
   frame.payload_bits = (static_cast<std::uint64_t>(bits_hi) << 32) | bits_lo;
   ADA_ASSIGN_OR_RETURN(frame.payload, r.get_opaque());
 
-  ADA_ASSIGN_OR_RETURN(out.coords, codec::decompress(frame));
+  if (v2) {
+    ADA_ASSIGN_OR_RETURN(out.coords, codec::decompress_v2(frame, ctx_));
+  } else {
+    ctx_.reset();  // a v1 frame carries no temporal context forward
+    ADA_ASSIGN_OR_RETURN(out.coords, codec::decompress(frame));
+  }
   pos_ += r.position();
   return std::optional<TrajFrame>(std::move(out));
 }
@@ -76,14 +110,24 @@ Result<bool> XtcReader::skip() {
   xdr::XdrReader r(data_.subspan(pos_));
   ADA_ASSIGN_OR_RETURN(const std::int32_t magic, r.get_i32());
   if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic: " + std::to_string(magic));
-  // Fixed-size header after the magic: natoms, step, time, box, codec magic,
-  // precision, 3 min, 3 full_bits, small_bits, 2 payload_bits words.
-  constexpr std::size_t kHeaderWords = 3 + 9 + 1 + 1 + 3 + 3 + 1 + 2;
-  for (std::size_t i = 0; i < kHeaderWords; ++i) {
+  // Fixed words between the magic and the codec magic: natoms, step, time,
+  // box (9) = 12.
+  for (std::size_t i = 0; i < 12; ++i) {
+    ADA_RETURN_IF_ERROR(r.get_u32().status());
+  }
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t codec_magic, r.get_u32());
+  if (codec_magic == kAda3dV2Magic) {
+    ADA_RETURN_IF_ERROR(r.get_u32().status());  // predictor
+  } else if (codec_magic != kAda3dMagic) {
+    return corrupt_data("unsupported xtc coordinate codec: " + std::to_string(codec_magic));
+  }
+  // precision, mins (3), full_bits (3), small_bits, payload_bits (2) = 10.
+  for (std::size_t i = 0; i < 10; ++i) {
     ADA_RETURN_IF_ERROR(r.get_u32().status());
   }
   ADA_RETURN_IF_ERROR(r.get_opaque().status());  // payload
   pos_ += r.position();
+  ctx_.reset();  // the skipped frame is missing from the temporal context
   return true;
 }
 
@@ -110,9 +154,18 @@ Result<std::vector<XtcIndexEntry>> build_xtc_index(std::span<const std::uint8_t>
     ADA_RETURN_IF_ERROR(r.get_u32().status());  // natoms
     ADA_ASSIGN_OR_RETURN(entry.step, r.get_u32());
     ADA_ASSIGN_OR_RETURN(entry.time_ps, r.get_f32());
-    // Skip: box (9), codec magic, precision, mins (3), full_bits (3),
-    // small_bits, payload_bits (2) = 20 words, then the opaque payload.
-    for (int i = 0; i < 20; ++i) {
+    // Skip the box (9 words), then the codec magic (+ predictor for v2),
+    // then precision, mins (3), full_bits (3), small_bits, payload_bits (2).
+    for (int i = 0; i < 9; ++i) {
+      ADA_RETURN_IF_ERROR(r.get_u32().status());
+    }
+    ADA_ASSIGN_OR_RETURN(const std::uint32_t codec_magic, r.get_u32());
+    if (codec_magic == kAda3dV2Magic) {
+      ADA_RETURN_IF_ERROR(r.get_u32().status());  // predictor
+    } else if (codec_magic != kAda3dMagic) {
+      return corrupt_data("unsupported xtc coordinate codec in index pass");
+    }
+    for (int i = 0; i < 10; ++i) {
       ADA_RETURN_IF_ERROR(r.get_u32().status());
     }
     ADA_RETURN_IF_ERROR(r.get_opaque().status());
@@ -129,11 +182,14 @@ std::uint32_t load_u32_be(const std::uint8_t* p) noexcept {
          std::uint32_t{p[3]};
 }
 
-// Fixed-size prelude of every frame: magic, natoms, step, time, box (9),
+// Fixed-size prelude of every v1 frame: magic, natoms, step, time, box (9),
 // codec magic, precision, min_quantum (3), full_bits (3), small_bits,
-// payload_bits (2) -- 24 XDR words before the counted opaque payload.
+// payload_bits (2) -- 24 XDR words before the counted opaque payload.  A v2
+// frame inserts the predictor word after the codec magic: 25 words.
 constexpr std::size_t kXtcPreludeBytes = 24 * 4;
+constexpr std::size_t kXtcV2PreludeBytes = 25 * 4;
 constexpr std::size_t kXtcCodecMagicOffset = 13 * 4;
+constexpr std::size_t kXtcPredictorOffset = 14 * 4;
 
 }  // namespace
 
@@ -147,11 +203,23 @@ Result<std::vector<XtcFrameExtent>> scan_xtc_extents(std::span<const std::uint8_
     const auto magic = static_cast<std::int32_t>(load_u32_be(data.data() + pos));
     if (magic != kXtcMagic) return corrupt_data("bad xtc frame magic: " + std::to_string(magic));
     const std::uint32_t codec_magic = load_u32_be(data.data() + pos + kXtcCodecMagicOffset);
-    if (codec_magic != kAda3dMagic) {
+    std::size_t prelude = kXtcPreludeBytes;
+    bool intra = true;
+    if (codec_magic == kAda3dV2Magic) {
+      prelude = kXtcV2PreludeBytes;
+      if (data.size() - pos < prelude + 4) {
+        return corrupt_data("truncated xtc v2 frame header at offset " + std::to_string(pos));
+      }
+      const std::uint32_t predictor = load_u32_be(data.data() + pos + kXtcPredictorOffset);
+      if (predictor > kMaxPredictorId) {
+        return corrupt_data("bad predictor id: " + std::to_string(predictor));
+      }
+      intra = predictor == static_cast<std::uint32_t>(codec::Predictor::kIntra);
+    } else if (codec_magic != kAda3dMagic) {
       return corrupt_data("unsupported xtc coordinate codec: " + std::to_string(codec_magic));
     }
-    const std::size_t payload = load_u32_be(data.data() + pos + kXtcPreludeBytes);
-    const std::size_t size = kXtcPreludeBytes + 4 + payload + xdr::padding_for(payload);
+    const std::size_t payload = load_u32_be(data.data() + pos + prelude);
+    const std::size_t size = prelude + 4 + payload + xdr::padding_for(payload);
     if (data.size() - pos < size) {
       return corrupt_data("truncated xtc frame payload at offset " + std::to_string(pos));
     }
@@ -159,6 +227,7 @@ Result<std::vector<XtcFrameExtent>> scan_xtc_extents(std::span<const std::uint8_
     extent.offset = pos;
     extent.size = size;
     extent.atom_count = load_u32_be(data.data() + pos + 4);
+    extent.intra = intra;
     extents.push_back(extent);
     pos += size;
   }

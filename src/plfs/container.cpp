@@ -25,6 +25,10 @@ std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) 
     w.put_u64_le(r.physical_offset);
     w.put_u32_le(r.crc32c);
     w.put_u8(r.flags);
+    if (r.has_frame_table()) {
+      w.put_u32_le(static_cast<std::uint32_t>(r.frame_offsets.size()));
+      for (const std::uint64_t off : r.frame_offsets) w.put_u64_le(off);
+    }
   }
   return w.take();
 }
@@ -51,6 +55,20 @@ Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> imag
     if (v2) {
       ADA_ASSIGN_OR_RETURN(record.crc32c, r.get_u32_le());
       ADA_ASSIGN_OR_RETURN(record.flags, r.get_u8());
+      if (record.has_frame_table()) {
+        ADA_ASSIGN_OR_RETURN(const std::uint32_t frames, r.get_u32_le());
+        // Bound the allocation by the bytes actually present: a lying count
+        // must fail cheaply, not reserve gigabytes.
+        if (frames > r.remaining() / 8) {
+          return corrupt_data("frame table count exceeds index size");
+        }
+        record.frame_offsets.reserve(frames);
+        for (std::uint32_t f = 0; f < frames; ++f) {
+          std::uint64_t off = 0;
+          ADA_ASSIGN_OR_RETURN(off, r.get_u64_le());
+          record.frame_offsets.push_back(off);
+        }
+      }
     }
     records.push_back(std::move(record));
   }

@@ -21,6 +21,8 @@ namespace ada::plfs {
 struct IndexRecord {
   /// flags bits (v2 index format).
   static constexpr std::uint8_t kHasChecksum = 0x01;
+  /// Record carries a per-extent frame table (frame-granular addressing).
+  static constexpr std::uint8_t kHasFrameTable = 0x02;
 
   std::uint64_t logical_offset = 0;  // position in the logical file
   std::uint64_t length = 0;
@@ -30,11 +32,21 @@ struct IndexRecord {
   std::uint64_t physical_offset = 0; // offset inside the dropping file
   std::uint32_t crc32c = 0;          // extent checksum (valid iff kHasChecksum)
   std::uint8_t flags = 0;
+  /// Byte offset of each decoded frame relative to the extent start, in
+  /// frame order (valid iff kHasFrameTable).  Lets a range query read only
+  /// the extents and slices it needs instead of the whole subset.
+  std::vector<std::uint64_t> frame_offsets;
 
   bool has_checksum() const noexcept { return (flags & kHasChecksum) != 0; }
   void set_checksum(std::uint32_t crc) noexcept {
     crc32c = crc;
     flags |= kHasChecksum;
+  }
+
+  bool has_frame_table() const noexcept { return (flags & kHasFrameTable) != 0; }
+  void set_frame_table(std::vector<std::uint64_t> offsets) {
+    frame_offsets = std::move(offsets);
+    flags |= kHasFrameTable;
   }
 
   friend bool operator==(const IndexRecord&, const IndexRecord&) = default;

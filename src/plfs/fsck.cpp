@@ -18,6 +18,20 @@ Result<VerifyReport> verify_container(const PlfsMount& mount, const std::string&
   std::vector<IndexRecord> intact;
   for (const IndexRecord& record : records) {
     bool broken = record.backend >= mount.backend_count();
+    if (!broken && record.has_frame_table()) {
+      // Frame tables must address strictly increasing offsets inside the
+      // extent; anything else would let a range query read out of bounds.
+      std::uint64_t prev = 0;
+      bool first = true;
+      for (const std::uint64_t off : record.frame_offsets) {
+        if (off >= record.length || (!first && off <= prev)) {
+          broken = true;
+          break;
+        }
+        prev = off;
+        first = false;
+      }
+    }
     if (!broken) {
       referenced[record.backend].insert(record.dropping);
       const std::string path =

@@ -176,7 +176,8 @@ Result<std::vector<IndexRecord>> PlfsMount::read_index(const std::string& logica
 
 Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std::string& label,
                                       std::uint32_t backend_id,
-                                      std::span<const std::uint8_t> bytes) {
+                                      std::span<const std::uint8_t> bytes,
+                                      const std::vector<std::uint64_t>* frame_offsets) {
   if (backend_id >= backend_count()) {
     return invalid_argument("backend " + std::to_string(backend_id) + " out of range");
   }
@@ -200,6 +201,7 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
                     std::to_string(records.size());
   record.physical_offset = 0;  // one dropping file per append
   record.set_checksum(crc32c(bytes.data(), bytes.size()));
+  if (frame_offsets != nullptr) record.set_frame_table(*frame_offsets);
 
   const std::string path = container_dir(backend_id, logical_name) + "/" + record.dropping;
   ADA_RETURN_IF_ERROR(retry_sync("plfs_write_dropping", retry_policy_,

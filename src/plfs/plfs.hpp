@@ -62,9 +62,12 @@ class PlfsMount {
   /// Append `bytes` to the logical file, storing the dropping on `backend_id`
   /// tagged with `label`.  Returns the index record it created.  The extent's
   /// CRC32C is computed over the intended bytes and stored in the record, so
-  /// a torn or corrupted write is caught at read time.
+  /// a torn or corrupted write is caught at read time.  When `frame_offsets`
+  /// is non-null the record additionally carries a frame table (byte offset
+  /// of each decoded frame within this extent) for frame-range queries.
   Result<IndexRecord> append(const std::string& logical_name, const std::string& label,
-                             std::uint32_t backend_id, std::span<const std::uint8_t> bytes);
+                             std::uint32_t backend_id, std::span<const std::uint8_t> bytes,
+                             const std::vector<std::uint64_t>* frame_offsets = nullptr);
 
   /// Full logical file content, reassembled across backends in logical order.
   Result<std::vector<std::uint8_t>> read_logical(const std::string& logical_name) const;

@@ -1,12 +1,18 @@
-// Unit + property tests for the bitstream and the ada3d coordinate codec.
+// Unit + property tests for the bitstream and the ada3d coordinate codec,
+// plus the golden-vector suite that locks both wire formats bit for bit.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <tuple>
 
 #include "codec/bitstream.hpp"
 #include "codec/coord_codec.hpp"
+#include "common/binary_io.hpp"
 #include "common/rng.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
 
 namespace ada::codec {
 namespace {
@@ -275,6 +281,160 @@ TEST(CoordCodecTest, NegativeCoordinatesRoundTrip) {
     ASSERT_NEAR(out[i], coords[i], 0.0006f);
   }
 }
+
+// --- codec v2 (predictive) -----------------------------------------------------
+
+std::vector<std::vector<float>> drifting_frames(Rng& rng, std::size_t atoms, int frames,
+                                                float step) {
+  std::vector<std::vector<float>> out;
+  auto coords = random_cluster_coords(rng, atoms, 6.0f, 0.2f);
+  for (int f = 0; f < frames; ++f) {
+    out.push_back(coords);
+    for (auto& v : coords) {
+      v = std::clamp(v + static_cast<float>(rng.normal(0.0, static_cast<double>(step))), 0.0f,
+                     6.0f);
+    }
+  }
+  return out;
+}
+
+TEST(CoordCodecV2Test, PredictedFramesRoundTripExactly) {
+  // Encoder and decoder rotate the same integer-domain context, so decoding
+  // a predicted chain reproduces the keyframe-quantized grid exactly.
+  Rng rng(31);
+  const auto frames = drifting_frames(rng, 500, 8, 0.01f);
+  PredictionContext encode_ctx;
+  PredictionContext decode_ctx;
+  for (const auto& coords : frames) {
+    const auto frame = compress_v2(coords, {}, encode_ctx).value();
+    const auto out = decompress_v2(frame, decode_ctx).value();
+    ASSERT_EQ(out.size(), coords.size());
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      ASSERT_NEAR(out[i], coords[i], 0.0006f) << "at coordinate " << i;
+    }
+  }
+}
+
+TEST(CoordCodecV2Test, TemporalCoherenceBeatsIntraCoding) {
+  // Small inter-frame motion: the predicted frames must be strictly smaller
+  // than what intra (v1) coding produces for the same frames.
+  Rng rng(37);
+  const auto frames = drifting_frames(rng, 2000, 6, 0.005f);
+  PredictionContext ctx;
+  std::size_t v1_bytes = 0;
+  std::size_t v2_bytes = 0;
+  for (const auto& coords : frames) {
+    v1_bytes += compress(coords, {}).value().payload_bytes();
+    v2_bytes += compress_v2(coords, {}, ctx).value().payload_bytes();
+  }
+  EXPECT_LT(v2_bytes, v1_bytes) << "v2 " << v2_bytes << " vs v1 " << v1_bytes;
+}
+
+TEST(CoordCodecV2Test, FirstFrameIsIntraAndMatchesV1) {
+  Rng rng(41);
+  const auto coords = random_cluster_coords(rng, 300, 8.0f, 0.2f);
+  PredictionContext ctx;
+  const auto v2 = compress_v2(coords, {}, ctx).value();
+  EXPECT_EQ(v2.predictor, Predictor::kIntra);
+  const auto v1 = compress(coords, {}).value();
+  EXPECT_EQ(v2.payload, v1.payload);  // keyframes are bit-identical to v1 blocks
+  EXPECT_EQ(v2.payload_bits, v1.payload_bits);
+}
+
+TEST(CoordCodecV2Test, PredictedFrameWithoutContextRejected) {
+  Rng rng(43);
+  const auto frames = drifting_frames(rng, 100, 2, 0.005f);
+  PredictionContext encode_ctx;
+  (void)compress_v2(frames[0], {}, encode_ctx).value();
+  const auto predicted = compress_v2(frames[1], {}, encode_ctx).value();
+  ASSERT_NE(predicted.predictor, Predictor::kIntra);
+  PredictionContext empty;
+  EXPECT_FALSE(decompress_v2(predicted, empty).is_ok());  // no usable context
+}
+
+TEST(CoordCodecV2Test, ResetForcesKeyframe) {
+  Rng rng(47);
+  const auto frames = drifting_frames(rng, 100, 3, 0.005f);
+  PredictionContext ctx;
+  (void)compress_v2(frames[0], {}, ctx).value();
+  ctx.reset();
+  const auto frame = compress_v2(frames[1], {}, ctx).value();
+  EXPECT_EQ(frame.predictor, Predictor::kIntra);
+}
+
+// --- golden vectors ------------------------------------------------------------
+//
+// Canned encoded streams lock both wire formats: encoding a fixed
+// deterministic trajectory must reproduce the canned .xtc blob bit for bit,
+// and decoding the canned blob must reproduce the canned RAW floats exactly
+// (float bits, not tolerances).  After an *intentional* format change,
+// regenerate with `ADA_UPDATE_GOLDEN=1 ctest -R Golden` and commit the new
+// blobs alongside the change (procedure: docs/performance.md).
+
+std::string golden_path(const char* name) {
+  return std::string(ADA_TEST_DATA_DIR) + "/" + name;
+}
+
+// The fixed input: 6 frames x 64 atoms of bonded-cluster geometry with small
+// inter-frame drift, deterministic for all time (Rng is a fixed algorithm).
+std::vector<std::vector<float>> golden_trajectory() {
+  Rng rng(424242);
+  return drifting_frames(rng, 64, 6, 0.01f);
+}
+
+void check_golden(CodecVersion version, const char* xtc_name, const char* raw_name) {
+  const auto frames = golden_trajectory();
+  // Keyframe every 4 frames: the stream carries two intra frames and four
+  // predicted ones (prev and linear both exercised) under v2.
+  formats::XtcWriter writer({}, version, 4);
+  chem::Box box;
+  box.matrix = {6.0f, 0.0f, 0.0f, 0.0f, 6.0f, 0.0f, 0.0f, 0.0f, 6.0f};
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ASSERT_TRUE(writer
+                    .add_frame(static_cast<std::uint32_t>(f), 0.002f * static_cast<float>(f), box,
+                               frames[f])
+                    .is_ok());
+  }
+  const std::vector<std::uint8_t> encoded = writer.bytes();
+
+  const auto decode_to_raw = [](std::span<const std::uint8_t> stream) {
+    formats::RawTrajWriter raw(64);
+    formats::XtcReader reader(stream);
+    while (true) {
+      auto next = reader.next();
+      EXPECT_TRUE(next.is_ok());
+      if (!next.is_ok() || !next.value().has_value()) break;
+      const formats::TrajFrame& frame = *next.value();
+      EXPECT_TRUE(raw.add_frame(frame.step, frame.time_ps, frame.box, frame.coords).is_ok());
+    }
+    return raw.finish();
+  };
+  const std::vector<std::uint8_t> decoded = decode_to_raw(encoded);
+
+  if (std::getenv("ADA_UPDATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(write_file(golden_path(xtc_name), encoded).is_ok());
+    ASSERT_TRUE(write_file(golden_path(raw_name), decoded).is_ok());
+    GTEST_SKIP() << "golden vectors regenerated; commit tests/data/ and re-run without "
+                    "ADA_UPDATE_GOLDEN";
+  }
+
+  const auto want_xtc = read_file(golden_path(xtc_name));
+  ASSERT_TRUE(want_xtc.is_ok()) << "missing golden vector " << xtc_name
+                                << " (regenerate: ADA_UPDATE_GOLDEN=1 ctest -R Golden)";
+  EXPECT_EQ(encoded, want_xtc.value()) << "encoder no longer bit-exact for " << xtc_name;
+
+  const auto want_raw = read_file(golden_path(raw_name));
+  ASSERT_TRUE(want_raw.is_ok());
+  // Fresh encode+decode and canned-blob decode must both hit the canned
+  // floats exactly.
+  EXPECT_EQ(decoded, want_raw.value()) << "decode drifted for " << xtc_name;
+  EXPECT_EQ(decode_to_raw(want_xtc.value()), want_raw.value())
+      << "canned " << xtc_name << " no longer decodes to the canned floats";
+}
+
+TEST(CodecGoldenTest, V1StreamBitExact) { check_golden(CodecVersion::kV1, "golden_v1.xtc", "golden_v1.raw"); }
+
+TEST(CodecGoldenTest, V2StreamBitExact) { check_golden(CodecVersion::kV2, "golden_v2.xtc", "golden_v2.raw"); }
 
 }  // namespace
 }  // namespace ada::codec

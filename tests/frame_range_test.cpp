@@ -1,0 +1,371 @@
+// Frame-range query tests: the differential property suite behind
+// `ctest -L check-range`.
+//
+// The contract under test: Ada::query(name, tag, range) is byte-identical to
+// slicing the same frames out of the full-subset query -- across codec
+// versions (v1/v2 streams), frame tables on/off (fast path vs fallback),
+// cache on/off (block cache vs direct reads), and batch vs streamed
+// (single- vs multi-extent) ingest.  The reference slicer below is an
+// independent decode-and-re-emit, not the production slice code.
+//
+// Also here: the ingest compat matrix (v1 containers read by a v2-capable
+// build and vice versa) and fsck over frame-table-bearing indexes (lying
+// tables are flagged and repaired, and can never crash a range query).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ada/ingest_stream.hpp"
+#include "ada/middleware.hpp"
+#include "ada/vfs.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "formats/raw_traj.hpp"
+#include "formats/xtc_file.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "plfs/fsck.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Independent reference: decode the full subset and re-emit the selected
+// frames through a fresh RawTrajWriter.  Float payloads survive bit-exact
+// (little-endian reads/writes are memcpy-based), so this is byte-identical
+// to cutting the records out -- without sharing any code with the
+// production fast path or fallback slicer.
+std::vector<std::uint8_t> reference_slice(const std::vector<std::uint8_t>& full,
+                                          const FrameRange& range) {
+  const auto cat = formats::RawTrajCatReader::open(full).value();
+  formats::RawTrajWriter writer(cat.atom_count());
+  const std::uint64_t limit = std::min<std::uint64_t>(range.end, cat.frame_count());
+  for (std::uint64_t g = range.begin; g < limit; g += range.stride) {
+    const auto frame = cat.frame(static_cast<std::uint32_t>(g)).value();
+    ADA_CHECK(writer.add_frame(frame.step, frame.time_ps, frame.box, frame.coords).is_ok());
+  }
+  return writer.finish();
+}
+
+class FrameRangeTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = testing::TempDir() + "/ada_range_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    fs::remove_all(root_);
+    system_ = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::vector<std::uint8_t> make_xtc(std::uint32_t frames,
+                                     codec::CodecVersion version = codec::CodecVersion::kV1) {
+    workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+    formats::XtcWriter writer({}, version, /*keyframe_interval=*/8);
+    for (std::uint32_t f = 0; f < frames; ++f) {
+      ADA_CHECK(writer
+                    .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(),
+                               gen.next_frame())
+                    .is_ok());
+    }
+    return writer.take();
+  }
+
+  std::unique_ptr<Ada> open_ada(const std::string& subdir, bool frame_tables,
+                                std::uint64_t cache_bytes, bool overwrite = false) {
+    AdaConfig config;
+    config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    config.frame_tables = frame_tables;
+    config.cache_bytes = cache_bytes;
+    config.overwrite = overwrite;
+    const std::string base = root_ + "/" + subdir;
+    return std::make_unique<Ada>(
+        plfs::PlfsMount::open({{"ssd", base + "/ssd"}, {"hdd", base + "/hdd"}}).value(), config);
+  }
+
+  // The ranges every configuration is checked against: whole, empty,
+  // single-frame, off-the-end start, truncated end, stride > range, and a
+  // handful of random ones.
+  std::vector<FrameRange> probe_ranges(std::uint32_t frames) {
+    std::vector<FrameRange> ranges = {
+        {},                                  // every frame
+        {0, 0, 1},                           // empty
+        {frames / 2, frames / 2 + 1, 1},     // single frame
+        {frames + 10, frames + 20, 1},       // fully off the end
+        {frames - 1, frames + 100, 1},       // end clamped
+        {2, frames, frames + 5},             // stride > range: first frame only
+        {0, frames, 2},                      // even frames
+        {1, frames, 3},
+    };
+    Rng rng(frames * 31u + 7u);
+    for (int i = 0; i < 6; ++i) {
+      FrameRange r;
+      r.begin = static_cast<std::uint32_t>(rng.uniform_index(frames + 4));
+      r.end = r.begin + static_cast<std::uint32_t>(rng.uniform_index(frames + 4));
+      r.stride = 1 + static_cast<std::uint32_t>(rng.uniform_index(7));
+      ranges.push_back(r);
+    }
+    return ranges;
+  }
+
+  // Every probe range, byte-compared against the independent slicer; ranged
+  // queries run twice so a warm block cache is exercised when armed.
+  void check_differential(Ada& ada, const std::string& name, std::uint32_t frames) {
+    const auto tags = ada.tags(name).value();
+    ASSERT_FALSE(tags.empty());
+    for (const Tag& tag : tags) {
+      const auto full = ada.query(name, tag).value();
+      for (const FrameRange& range : probe_ranges(frames)) {
+        const auto want = reference_slice(full, range);
+        for (int round = 0; round < 2; ++round) {
+          const auto got = ada.query(name, tag, range);
+          ASSERT_TRUE(got.is_ok()) << got.error().to_string();
+          ASSERT_EQ(got.value(), want)
+              << "range [" << range.begin << "," << range.end << ") stride " << range.stride
+              << " tag " << tag << " round " << round;
+        }
+      }
+    }
+  }
+
+  std::string root_;
+  chem::System system_;
+};
+
+constexpr std::uint64_t kPlentyOfCache = 64u << 20;
+
+// --- differential property: batch ingest (one extent per tag) ------------------
+
+class FrameRangeMatrixTest
+    : public FrameRangeTest,
+      public testing::WithParamInterface<std::tuple<codec::CodecVersion, bool, std::uint64_t>> {};
+
+TEST_P(FrameRangeMatrixTest, BatchIngestMatchesReferenceSlice) {
+  const auto [version, tables, cache_bytes] = GetParam();
+  auto ada = open_ada("batch", tables, cache_bytes);
+  constexpr std::uint32_t kFrames = 24;
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(kFrames, version), "bar.xtc").is_ok());
+  check_differential(*ada, "bar.xtc", kFrames);
+}
+
+TEST_P(FrameRangeMatrixTest, StreamedIngestMatchesReferenceSlice) {
+  const auto [version, tables, cache_bytes] = GetParam();
+  (void)version;  // streams ingest decoded frames; codec version is moot
+  auto ada = open_ada("stream", tables, cache_bytes);
+  const LabelMap labels = categorize_protein_misc(system_);
+  // chunk_frames=5 and 23 frames: extents of 5,5,5,5,3 per tag, so range
+  // blocks span extent boundaries.
+  auto stream = ada->begin_stream(labels, "seq.xtc", 5);
+  ASSERT_TRUE(stream.is_ok());
+  workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+  constexpr std::uint32_t kFrames = 23;
+  for (std::uint32_t f = 0; f < kFrames; ++f) {
+    const auto frame = gen.next_frame();
+    ASSERT_TRUE(stream.value()
+                    .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(), frame)
+                    .is_ok());
+  }
+  ASSERT_TRUE(stream.value().finish().is_ok());
+  check_differential(*ada, "seq.xtc", kFrames);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FrameRangeMatrixTest,
+    testing::Combine(testing::Values(codec::CodecVersion::kV1, codec::CodecVersion::kV2),
+                     testing::Bool(), testing::Values(std::uint64_t{0}, kPlentyOfCache)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == codec::CodecVersion::kV1 ? "v1" : "v2") +
+             (std::get<1>(info.param) ? "_tables" : "_notables") +
+             (std::get<2>(info.param) != 0 ? "_cached" : "_uncached");
+    });
+
+// --- fast path / fallback wiring ------------------------------------------------
+
+TEST_F(FrameRangeTest, FastPathEngagesOnTableBearingContainers) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  auto ada = open_ada("fast", /*frame_tables=*/true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(12), "bar.xtc").is_ok());
+  ASSERT_TRUE(ada->query("bar.xtc", kProteinTag, FrameRange{2, 9, 2}).is_ok());
+  EXPECT_EQ(obs::Registry::global().counter_value("query.range.fallback"), 0u)
+      << "table-bearing container should serve ranges without the fallback";
+  obs::set_enabled(false);
+  obs::reset_all();
+}
+
+TEST_F(FrameRangeTest, LegacyContainersFallBack) {
+  obs::reset_all();
+  obs::set_enabled(true);
+  auto ada = open_ada("legacy", /*frame_tables=*/false, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(12), "bar.xtc").is_ok());
+  ASSERT_TRUE(ada->query("bar.xtc", kProteinTag, FrameRange{2, 9, 2}).is_ok());
+  EXPECT_EQ(obs::Registry::global().counter_value("query.range.fallback"), 1u);
+  obs::set_enabled(false);
+  obs::reset_all();
+}
+
+TEST_F(FrameRangeTest, ZeroStrideRejected) {
+  auto ada = open_ada("zstride", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(4), "bar.xtc").is_ok());
+  EXPECT_FALSE(ada->query("bar.xtc", kProteinTag, FrameRange{0, 4, 0}).is_ok());
+}
+
+TEST_F(FrameRangeTest, ReservedTagsRejected) {
+  auto ada = open_ada("reserved", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(4), "bar.xtc").is_ok());
+  EXPECT_FALSE(ada->query("bar.xtc", kLabelFileTag, FrameRange{}).is_ok());
+  EXPECT_FALSE(ada->query("bar.xtc", kOriginalTag, FrameRange{}).is_ok());
+}
+
+TEST_F(FrameRangeTest, VfsReadThreadsTheRange) {
+  auto ada = open_ada("vfs", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(10), "bar.xtc").is_ok());
+  VfsShim shim(*ada, root_ + "/vfs_passthrough");
+  const FrameRange range{1, 8, 3};
+  const auto direct = ada->query("bar.xtc", kProteinTag, range).value();
+  const auto via_vfs = shim.read("/mnt/bar.xtc", "vmd", kProteinTag, range);
+  ASSERT_TRUE(via_vfs.is_ok());
+  EXPECT_EQ(via_vfs.value(), direct);
+  // A frame selection without a tag has no defined frame axis.
+  EXPECT_FALSE(shim.read("/mnt/bar.xtc", "vmd", std::nullopt, range).is_ok());
+}
+
+TEST_F(FrameRangeTest, OverwriteInvalidatesCachedBlocks) {
+  auto ada = open_ada("inval", true, kPlentyOfCache, /*overwrite=*/true);
+  const auto first = make_xtc(16);
+  ASSERT_TRUE(ada->ingest(system_, first, "bar.xtc").is_ok());
+  const FrameRange range{3, 13, 2};
+  const auto before = ada->query("bar.xtc", kProteinTag, range).value();  // fills blocks
+
+  // Different dynamics seed: the replacement trajectory differs.
+  workload::DynamicsSpec dynamics;
+  dynamics.seed = 999;
+  workload::TrajectoryGenerator gen(system_, dynamics);
+  formats::XtcWriter writer;
+  for (std::uint32_t f = 0; f < 16; ++f) {
+    ASSERT_TRUE(writer
+                    .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(),
+                               gen.next_frame())
+                    .is_ok());
+  }
+  ASSERT_TRUE(ada->ingest(system_, writer.take(), "bar.xtc").is_ok());
+
+  const auto after = ada->query("bar.xtc", kProteinTag, range).value();
+  EXPECT_NE(after, before) << "stale cached blocks served after overwrite";
+  EXPECT_EQ(after, reference_slice(ada->query("bar.xtc", kProteinTag).value(), range));
+}
+
+// --- ingest compat matrix -------------------------------------------------------
+
+TEST_F(FrameRangeTest, TableAndTablelessIngestsStoreIdenticalSubsets) {
+  // The frame table lives in the index only: the stored subset bytes (and
+  // therefore every full query) are identical with tables on or off.
+  const auto xtc = make_xtc(9);
+  auto with_tables = open_ada("with", true, 0);
+  auto without = open_ada("without", false, 0);
+  ASSERT_TRUE(with_tables->ingest(system_, xtc, "bar.xtc").is_ok());
+  ASSERT_TRUE(without->ingest(system_, xtc, "bar.xtc").is_ok());
+  const auto tags = with_tables->tags("bar.xtc").value();
+  for (const Tag& tag : tags) {
+    EXPECT_EQ(with_tables->query("bar.xtc", tag).value(), without->query("bar.xtc", tag).value());
+  }
+}
+
+TEST_F(FrameRangeTest, V1AndV2StreamsIngestToIdenticalSubsets) {
+  // Same trajectory through both codecs: the decoded subsets must agree
+  // frame for frame at the shared quantization grid, so queries (full and
+  // ranged) are byte-identical -- the v2 rollout can't change what readers
+  // see.
+  auto v1 = open_ada("v1", true, 0);
+  auto v2 = open_ada("v2", true, 0);
+  ASSERT_TRUE(v1->ingest(system_, make_xtc(14, codec::CodecVersion::kV1), "bar.xtc").is_ok());
+  ASSERT_TRUE(v2->ingest(system_, make_xtc(14, codec::CodecVersion::kV2), "bar.xtc").is_ok());
+  const auto tags = v1->tags("bar.xtc").value();
+  for (const Tag& tag : tags) {
+    EXPECT_EQ(v1->query("bar.xtc", tag).value(), v2->query("bar.xtc", tag).value());
+    const FrameRange range{2, 11, 3};
+    EXPECT_EQ(v1->query("bar.xtc", tag, range).value(), v2->query("bar.xtc", tag, range).value());
+  }
+}
+
+// --- fsck over frame tables -----------------------------------------------------
+
+TEST_F(FrameRangeTest, FsckAcceptsHealthyFrameTables) {
+  auto ada = open_ada("fsck_ok", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(8), "bar.xtc").is_ok());
+  const auto report = plfs::verify_container(ada->mount(), "bar.xtc").value();
+  EXPECT_TRUE(report.clean());
+  // The ingest actually produced tables (the fsck pass wasn't vacuous).
+  bool saw_table = false;
+  const auto records = ada->mount().read_index("bar.xtc").value();
+  for (const auto& record : records) {
+    saw_table |= record.has_frame_table();
+  }
+  EXPECT_TRUE(saw_table);
+}
+
+TEST_F(FrameRangeTest, FsckFlagsAndRepairsLyingFrameTables) {
+  auto ada = open_ada("fsck_bad", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(8), "bar.xtc").is_ok());
+
+  // Corrupt the protein record's table: a non-monotonic entry and an
+  // offset past the extent.
+  auto records = ada->mount().read_index("bar.xtc").value();
+  std::size_t corrupted = 0;
+  for (auto& record : records) {
+    if (record.label != kProteinTag || !record.has_frame_table()) continue;
+    auto table = record.frame_offsets;
+    ASSERT_GE(table.size(), 2u);
+    table[1] = table[0];                      // not strictly increasing
+    table.back() = record.length + 1000;      // out of bounds
+    record.set_frame_table(std::move(table));
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+  ASSERT_TRUE(ada->mount().rewrite_index("bar.xtc", records).is_ok());
+
+  const auto report = plfs::verify_container(ada->mount(), "bar.xtc").value();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.broken_records.size(), corrupted);
+
+  // A range query on the damaged container must return a Status (any
+  // outcome but a crash/overread); after repair the record is gone and the
+  // query fails cleanly.
+  (void)ada->query("bar.xtc", kProteinTag, FrameRange{0, 8, 1});
+  ASSERT_TRUE(plfs::repair_container(ada->mount(), "bar.xtc").is_ok());
+  const auto after = plfs::verify_container(ada->mount(), "bar.xtc").value();
+  EXPECT_TRUE(after.broken_records.empty());
+}
+
+TEST_F(FrameRangeTest, NonCanonicalTablesFallBackAndStayCorrect) {
+  // A table that passes fsck's monotonic check but is not a canonical RAW
+  // layout (first frame claimed at offset 0) must route to the fallback and
+  // still serve exactly the right bytes.
+  auto ada = open_ada("noncanon", true, 0);
+  ASSERT_TRUE(ada->ingest(system_, make_xtc(8), "bar.xtc").is_ok());
+  auto records = ada->mount().read_index("bar.xtc").value();
+  for (auto& record : records) {
+    if (record.label != kProteinTag || !record.has_frame_table()) continue;
+    auto table = record.frame_offsets;
+    for (auto& off : table) off -= 16;  // shift: still increasing, wrong base
+    record.set_frame_table(std::move(table));
+  }
+  ASSERT_TRUE(ada->mount().rewrite_index("bar.xtc", records).is_ok());
+  EXPECT_TRUE(plfs::verify_container(ada->mount(), "bar.xtc").value().clean());
+
+  const FrameRange range{1, 7, 2};
+  const auto got = ada->query("bar.xtc", kProteinTag, range);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), reference_slice(ada->query("bar.xtc", kProteinTag).value(), range));
+}
+
+}  // namespace
+}  // namespace ada::core

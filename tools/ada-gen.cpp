@@ -1,17 +1,21 @@
 // ada-gen: generate a synthetic GPCR dataset (.pdb + .xtc [+ .trr]) on disk.
 //
 //   ada-gen --out data/ --frames 100 [--size tiny|paper] [--ligand N]
-//           [--seed S] [--trr] [--metrics[=json]]
+//           [--seed S] [--trr] [--codec v1|v2] [--metrics[=json]]
 //
 // Produces data/system.pdb and data/traj.xtc (and data/traj.trr with --trr),
-// ready for ada-ingest or plain mini-VMD loading.  With --metrics, prints
-// the observability report (compression counters, stage timers) after
-// generation; --metrics=json emits the stable JSON document on stdout (the
-// summary moves to stderr).  See docs/observability.md.
+// ready for ada-ingest or plain mini-VMD loading.  --codec selects the
+// coordinate codec version of traj.xtc (AdaConfig::codec default: v1, the
+// intra-frame-only stream every consumer reads; v2 adds inter-frame
+// prediction).  With --metrics, prints the observability report (compression
+// counters, stage timers) after generation; --metrics=json emits the stable
+// JSON document on stdout (the summary moves to stderr).  See
+// docs/observability.md.
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
+#include "ada/middleware.hpp"
 #include "common/units.hpp"
 #include "common/binary_io.hpp"
 #include "formats/pdb.hpp"
@@ -27,7 +31,7 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-gen --out <dir> [--frames N] [--size tiny|paper] [--ligand N]\n"
-    "               [--seed S] [--trr] [--metrics[=json]]\n"
+    "               [--seed S] [--trr] [--codec v1|v2] [--metrics[=json]]\n"
     "  generates a synthetic GPCR membrane system (system.pdb) and an\n"
     "  OU-dynamics trajectory (traj.xtc; traj.trr with --trr)\n";
 }
@@ -54,7 +58,14 @@ int main(int argc, char** argv) {
   workload::DynamicsSpec dynamics;
   dynamics.seed = spec.seed + 1;
   workload::TrajectoryGenerator gen(system, dynamics);
-  formats::XtcWriter xtc;
+  core::AdaConfig codec_config;  // carries the codec default (v1)
+  const std::string codec_name = args.get("codec", "v1");
+  if (codec_name == "v2") {
+    codec_config.codec = codec::CodecVersion::kV2;
+  } else if (codec_name != "v1") {
+    tools::die_usage(kUsage);
+  }
+  formats::XtcWriter xtc({}, codec_config.codec);
   formats::TrrWriter trr;
   const bool want_trr = args.has("trr");
   for (std::uint32_t f = 0; f < frames; ++f) {

@@ -17,7 +17,13 @@
 // exit 0 when every tag was served, 2 when the result is partial, 1 when
 // nothing could be resolved.  With --faults site=spec[,...], arms the
 // deterministic fault injector before the query (docs/robustness.md).
+//
+// With --frames A:B (half-open, either side optional: "10:", ":50") and/or
+// --stride K, only the selected frames of the tagged subset are fetched --
+// the frame-range query that addresses per-extent frame tables when the
+// container carries them.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "ada/middleware.hpp"
@@ -33,9 +39,28 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
+    "                 [--frames A:B] [--stride K]\n"
     "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
     "                 [--metrics[=json]] [--trace <out.json>] [--cache <bytes>]\n"
     "                 [--faults site=spec[,site=spec...]] [--degraded]\n";
+
+// "A:B" -> [A, B); either side may be omitted ("10:", ":50", ":").
+core::FrameRange parse_frames(const std::string& spec, core::FrameRange range) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) tools::die_usage(kUsage);
+  const std::string lo = spec.substr(0, colon);
+  const std::string hi = spec.substr(colon + 1);
+  char* rest = nullptr;
+  if (!lo.empty()) {
+    range.begin = static_cast<std::uint32_t>(std::strtoul(lo.c_str(), &rest, 10));
+    if (rest == nullptr || *rest != '\0') tools::die_usage(kUsage);
+  }
+  if (!hi.empty()) {
+    range.end = static_cast<std::uint32_t>(std::strtoul(hi.c_str(), &rest, 10));
+    if (rest == nullptr || *rest != '\0') tools::die_usage(kUsage);
+  }
+  return range;
+}
 }
 
 int main(int argc, char** argv) {
@@ -91,7 +116,13 @@ int main(int argc, char** argv) {
   }
 
   const core::Tag tag = args.get("tag");
-  const auto subset = tools::must(middleware.query(logical, tag), "query");
+  const bool ranged = args.has("frames") || args.has("stride");
+  core::FrameRange range;
+  if (args.has("frames")) range = parse_frames(args.get("frames"), range);
+  range.stride = static_cast<std::uint32_t>(args.get_int("stride", 1));
+  if (range.stride == 0) tools::die_usage(kUsage);
+  const auto subset = ranged ? tools::must(middleware.query(logical, tag, range), "range query")
+                             : tools::must(middleware.query(logical, tag), "query");
   const auto reader = tools::must(formats::RawTrajCatReader::open(subset), "parse subset");
   std::fprintf(report_out, "%s tag %s: %u frames x %u atoms, %s decompressed\n", logical.c_str(),
                tag.c_str(), reader.frame_count(), reader.atom_count(),

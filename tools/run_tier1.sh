@@ -31,6 +31,9 @@ ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure -j 
 echo "== query-cache tier (ctest -L check-cache) =="
 ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L check-cache --output-on-failure -j "$(nproc)"
 
+echo "== codec/frame-range tier (ctest -L check-range) =="
+ctest --test-dir "$BUILD_DIR" -L check-range --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -61,6 +64,24 @@ echo "== cache differential smoke: --cache serves byte-identical subsets =="
     --tag p --cache 67108864 --out "$WORK/protein_cached.raw" >/dev/null
 cmp "$WORK/protein.raw" "$WORK/protein_cached.raw" || {
     echo "FAIL: cached query served different bytes than the uncached query" >&2
+    exit 1
+}
+
+echo "== frame-range smoke: --frames/--stride slice the tagged subset =="
+# A whole-range query is the same canonical image the plain query wrote
+# (batch ingest stores one extent per tag, so both are single-segment RAW).
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --tag p --frames 0: --out "$WORK/range_all.raw" >/dev/null
+cmp "$WORK/protein.raw" "$WORK/range_all.raw" || {
+    echo "FAIL: --frames 0: differs from the plain query" >&2
+    exit 1
+}
+# A strided sub-range reports the right frame count (frames 1 and 3 of 4).
+RANGE_OUT="$("$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --tag p --frames 1:4 --stride 2)"
+echo "$RANGE_OUT" | grep -q '2 frames' || {
+    echo "FAIL: --frames 1:4 --stride 2 should serve 2 frames" >&2
+    echo "$RANGE_OUT" >&2
     exit 1
 }
 
