@@ -1,8 +1,13 @@
 // Shared helpers for the table/figure harnesses.
 #pragma once
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -10,8 +15,15 @@
 #include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
 #include "platform/pipeline.hpp"
+
+// Stamped by bench/CMakeLists.txt from `git describe` at configure time so
+// every BENCH_*.json records the code it measured.
+#ifndef ADA_GIT_DESCRIBE
+#define ADA_GIT_DESCRIBE "unknown"
+#endif
 
 namespace ada::bench {
 
@@ -62,6 +74,66 @@ inline void trace_report(const std::string& path, std::ostream& os = std::cout) 
     return;
   }
   os << "wrote trace " << path << " (load in Perfetto or analyse with ada-trace)\n";
+}
+
+/// Common opening for every BENCH_*.json document (schema_version 2): the
+/// bench name plus a `meta` object recording the code revision, UTC wall
+/// time, host and core count of the measuring machine.  ada-stats diff only
+/// judges explicitly listed keys, so `meta.*` never trips the perf gate --
+/// it exists to make two BENCH files comparable by a human first.
+/// Emits `"bench": ..., "schema_version": 2, "meta": {...},` with a
+/// trailing comma; callers continue with their own keys.
+inline std::string json_envelope(const std::string& bench_name) {
+  char utc[32] = "unknown";
+  std::tm tm{};
+  const std::time_t now = std::time(nullptr);
+  if (gmtime_r(&now, &tm) != nullptr) {
+    std::strftime(utc, sizeof utc, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  }
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof host) != 0) {
+    std::snprintf(host, sizeof host, "unknown");
+  }
+  host[sizeof host - 1] = '\0';
+  std::string out = "  \"bench\": \"" + bench_name + "\",\n";
+  out += "  \"schema_version\": 2,\n";
+  out += "  \"meta\": {\"git\": \"" ADA_GIT_DESCRIBE "\", \"utc\": \"";
+  out += utc;
+  out += "\", \"host\": \"";
+  out += host;
+  out += "\", \"cores\": " + std::to_string(std::thread::hardware_concurrency()) + "},\n";
+  return out;
+}
+
+/// Parse --telemetry=<file[,interval_ms]> from a harness's argv and, when
+/// present, start the background metrics sampler (obs/telemetry.hpp).  The
+/// sim-driven harnesses get "sim"-clock samples as virtual time advances;
+/// every harness gets the wall-clock ticker.  Returns the spec ("" when
+/// absent); pass it to telemetry_report() before returning from main().
+inline std::string telemetry_flag(int argc, char** argv) {
+  std::string spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--telemetry=", 0) == 0) spec = arg.substr(12);
+  }
+  if (!spec.empty()) {
+    obs::set_enabled(true);
+    const Status status = obs::start_telemetry(spec);
+    if (!status.is_ok()) {
+      std::cerr << "cannot start telemetry: " << status.error().to_string() << "\n";
+      spec.clear();
+    }
+  }
+  return spec;
+}
+
+/// Stop the sampler and flush the final JSONL line (no-op for "").  Render
+/// the series with `ada-stats render <file>`.
+inline void telemetry_report(const std::string& spec, std::ostream& os = std::cout) {
+  if (spec.empty()) return;
+  obs::stop_telemetry();
+  os << "wrote telemetry " << spec.substr(0, spec.find(','))
+     << " (render with ada-stats)\n";
 }
 
 inline std::string seconds_cell(const platform::ScenarioResult& r, double seconds) {

@@ -17,6 +17,7 @@ using namespace ada;
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_flag(argc, argv);
+  const std::string telemetry_spec = bench::telemetry_flag(argc, argv);
   const auto plat = platform::Platform::fat_node();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   std::cout << "shape check: XFS >3x ADA energy on completed runs (paper: \"more then 3x\",\n"
                ">12,500 kJ for XFS vs <5,000 kJ ADA(all) / ~2,200 kJ ADA(protein)).\n";
   bench::obs_report();
+  bench::telemetry_report(telemetry_spec);
   bench::trace_report(trace_path);
   return 0;
 }

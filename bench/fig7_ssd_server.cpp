@@ -17,6 +17,7 @@ using platform::Scenario;
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_flag(argc, argv);
+  const std::string telemetry_spec = bench::telemetry_flag(argc, argv);
   const auto plat = platform::Platform::ssd_server();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   std::cout << "shape check: C-ext4 memory is >2.5x D-ADA (protein) at 5,006 frames\n"
                "(paper: \"over 2.5x\").\n";
   bench::obs_report();
+  bench::telemetry_report(telemetry_spec);
   bench::trace_report(trace_path);
   return 0;
 }

@@ -55,6 +55,7 @@ vmd::PhaseProfiler modeled_profile(const platform::ScenarioResult& result) {
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_flag(argc, argv);
+  const std::string telemetry_spec = bench::telemetry_flag(argc, argv);
   bench::banner("Fig. 8: CPU burst time comparison (flame graphs)", "paper Fig. 8");
 
   // --- modeled plane: the pipelines behind Fig. 7 at 5,006 frames -------------
@@ -114,6 +115,7 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: under the traditional path decompression is >50% of CPU\n"
                "burst time (paper Fig. 8); under ADA the decompression frames vanish.\n";
   bench::obs_report();
+  bench::telemetry_report(telemetry_spec);
   bench::trace_report(trace_path);
   return 0;
 }

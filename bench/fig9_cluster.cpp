@@ -17,6 +17,7 @@ using namespace ada;
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_flag(argc, argv);
+  const std::string telemetry_spec = bench::telemetry_flag(argc, argv);
   const auto plat = platform::Platform::small_cluster();
   const auto& profile = platform::FrameProfile::paper_gpcr();
 
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   memory.print(std::cout);
   std::cout << "shape check: same trend as Fig. 7c (identical data groups in memory).\n";
   bench::obs_report();
+  bench::telemetry_report(telemetry_spec);
   bench::trace_report(trace_path);
   return 0;
 }

@@ -211,8 +211,7 @@ int main(int argc, char** argv) {
   std::uint64_t raw_bytes = 0;
   for (const auto& [tag, image] : reference.value()) raw_bytes += image.size();
   json << "{\n"
-       << "  \"bench\": \"ingest_scaling\",\n"
-       << "  \"schema_version\": 1,\n"
+       << bench::json_envelope("ingest_scaling")
        << "  \"workload\": {\"system\": \"gpcr\", \"size\": \"" << size
        << "\", \"atoms\": " << system.atom_count() << ", \"frames\": " << frames
        << ", \"xtc_bytes\": " << xtc.size() << ", \"raw_bytes\": " << raw_bytes << "},\n"

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "codec/coord_codec.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -192,6 +193,7 @@ int compare_streams(const std::string& out_path, std::uint32_t frames, const std
     return 1;
   }
   json << "{\n"
+       << bench::json_envelope("micro_codec")
        << "  \"workload\": {\"size\": \"" << size << "\", \"frames\": " << frames
        << ", \"atoms\": " << system.atom_count() << "},\n"
        << "  \"v1\": {\"stream_bytes\": " << v1.stream_bytes << ", \"ratio\": " << v1.ratio

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ada/middleware.hpp"
+#include "bench/bench_util.hpp"
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
 #include "formats/xtc_file.hpp"
@@ -191,8 +192,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   json << "{\n"
-       << "  \"bench\": \"query_cache\",\n"
-       << "  \"schema_version\": 1,\n"
+       << bench::json_envelope("query_cache")
        << "  \"workload\": {\"system\": \"gpcr\", \"size\": \"" << size
        << "\", \"atoms\": " << system.atom_count() << ", \"frames\": " << frames
        << ", \"tags\": " << tags.size() << ", \"subset_bytes\": " << subset_bytes_total << "},\n"

@@ -11,6 +11,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/warn.hpp"
 
 namespace ada::core {
 
@@ -453,6 +454,8 @@ Result<Ada::PartialQuery> Ada::query_degraded(const std::string& logical_name) c
       out.subsets.emplace(tag, std::move(subset).value());
     } else {
       ADA_OBS_COUNT("query.degraded.failed_tags", 1);
+      obs::warn(obs::WarnSeverity::kWarn, "degraded-read",
+                logical_name + "/" + tag + ": " + subset.error().to_string());
       out.failed.push_back(TagFailure{tag, subset.error()});
     }
   }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/warn.hpp"
 
 namespace ada::core {
 
@@ -95,7 +96,15 @@ void QueryCache::evict_for(Shard& shard, std::uint64_t needed) {
 void QueryCache::insert(const std::string& logical_name, const Tag& tag,
                         std::uint64_t generation, std::vector<std::uint8_t> bytes) {
   const std::uint64_t size = bytes.size();
-  if (size > shard_budget_) return;  // would evict the whole shard for one entry
+  if (size > shard_budget_) {
+    // Would evict the whole shard for one entry; serve it uncached instead.
+    ADA_OBS_COUNT("cache.bypass", 1);
+    obs::warn(obs::WarnSeverity::kWarn, "cache-bypass",
+              make_key(logical_name, tag) + ": subset of " + std::to_string(size) +
+                  " bytes exceeds the per-shard budget of " +
+                  std::to_string(shard_budget_) + " bytes");
+    return;
+  }
   Entry entry;
   entry.key = make_key(logical_name, tag);
   entry.logical_name = logical_name;

@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON reader shared by the offline tooling.
+//
+// Grown out of the Chrome-trace importer (obs/trace_export.cpp) and promoted
+// here once the telemetry plane needed the same parser for JSONL time-series
+// lines and BENCH_*.json documents (tools/ada-stats.cpp).  It parses the
+// strict subset this repository emits: objects, arrays, strings with the
+// standard escapes (BMP \u only, no surrogate pairs), doubles, booleans and
+// null.  Object key order is preserved -- the emitters sort their keys, so
+// round-trips stay deterministic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::json {
+
+/// One parsed JSON value.  A tagged struct, not a variant: the offline tools
+/// that consume this are cold paths and the flat shape keeps call sites
+/// simple (`value.find("ts")->number`).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member named `key`, or null.  Linear scan: documents here carry a
+  /// handful of keys.
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+  bool is_string() const noexcept { return kind == Kind::kString; }
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+Result<Value> parse(std::string_view text);
+
+}  // namespace ada::json

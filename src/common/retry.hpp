@@ -22,6 +22,7 @@
 #include "common/stopwatch.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/warn.hpp"
 
 namespace ada {
 
@@ -69,12 +70,18 @@ auto retry_sync(const char* op, const RetryPolicy& policy, Fn&& fn)
     if (result.is_ok() || !is_transient(result.error().code())) return result;
     if (attempt >= policy.max_attempts) {
       ADA_OBS_COUNT("retry.exhausted", 1);
+      obs::warn(obs::WarnSeverity::kError, "retry",
+                std::string(op) + " gave up after " + std::to_string(attempt) +
+                    " attempt(s): " + result.error().to_string());
       return result;
     }
     const double backoff = policy.backoff_for(attempt, rng);
     if (policy.op_timeout_s > 0.0 &&
         deadline.elapsed_seconds() + backoff >= policy.op_timeout_s) {
       ADA_OBS_COUNT("retry.exhausted", 1);
+      obs::warn(obs::WarnSeverity::kError, "retry",
+                std::string(op) + " hit the " + std::to_string(policy.op_timeout_s) +
+                    "s op timeout after " + std::to_string(attempt) + " attempt(s)");
       return Error(ErrorCode::kDeadlineExceeded,
                    std::string(op) + " exceeded " + std::to_string(policy.op_timeout_s) +
                        "s after " + std::to_string(attempt) + " attempt(s): " +

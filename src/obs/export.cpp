@@ -9,8 +9,6 @@
 
 namespace ada::obs {
 
-namespace {
-
 std::string json_escape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
@@ -44,6 +42,8 @@ std::string json_number(double value) {
   return buf;
 }
 
+namespace {
+
 std::string ns_cell(std::uint64_t ns) {
   return format_seconds(static_cast<double>(ns) * 1e-9);
 }
@@ -64,6 +64,9 @@ Snapshot capture() {
     stat.p50 = histogram->percentile(0.50);
     stat.p90 = histogram->percentile(0.90);
     stat.p99 = histogram->percentile(0.99);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      stat.buckets[b] = histogram->bucket_count(b);
+    }
     snapshot.histograms.emplace(name, stat);
   }
   snapshot.spans = span_stats();
@@ -112,6 +115,98 @@ std::string to_json(const Snapshot& snapshot) {
            ",\"self_ns\":" + std::to_string(span.self_ns) + '}';
   }
   out += "]}";
+  return out;
+}
+
+namespace {
+
+// OpenMetrics metric names: [a-zA-Z_][a-zA-Z0-9_]*, prefixed "ada_".
+std::string om_name(const std::string& raw) {
+  std::string out = "ada_";
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Label values escape backslash, double-quote and newline per the spec.
+std::string om_label_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string u64_text(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string to_openmetrics(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = om_name(name);
+    out += "# HELP " + metric + " ADA counter " + name + "\n";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total " + u64_text(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = om_name(name);
+    out += "# HELP " + metric + " ADA gauge " + name + "\n";
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + json_number(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = om_name(name);
+    out += "# HELP " + metric + " ADA log-scale histogram " + name + "\n";
+    out += "# TYPE " + metric + " histogram\n";
+    // Cumulative counts on the power-of-two bucket upper edges.  Stop the
+    // finite edges at the highest populated bucket; +Inf always closes.
+    std::size_t top = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] != 0) top = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= top; ++b) {
+      cumulative += h.buckets[b];
+      // Bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 is exact zeros.
+      const std::uint64_t edge = b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+      out += metric + "_bucket{le=\"" + u64_text(edge) + "\"} " +
+             u64_text(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + u64_text(h.count) + "\n";
+    out += metric + "_sum " + u64_text(h.sum) + "\n";
+    out += metric + "_count " + u64_text(h.count) + "\n";
+  }
+  if (!snapshot.spans.empty()) {
+    out += "# HELP ada_span_calls ADA span call counts by tree path\n";
+    out += "# TYPE ada_span_calls counter\n";
+    for (const SpanStat& span : snapshot.spans) {
+      out += "ada_span_calls_total{path=\"" + om_label_escape(span.path) +
+             "\"} " + u64_text(span.calls) + "\n";
+    }
+    out += "# HELP ada_span_time_ns ADA span total (inclusive) nanoseconds\n";
+    out += "# TYPE ada_span_time_ns counter\n";
+    for (const SpanStat& span : snapshot.spans) {
+      out += "ada_span_time_ns_total{path=\"" + om_label_escape(span.path) +
+             "\"} " + u64_text(span.total_ns) + "\n";
+    }
+    out += "# HELP ada_span_self_ns ADA span self (exclusive) nanoseconds\n";
+    out += "# TYPE ada_span_self_ns counter\n";
+    for (const SpanStat& span : snapshot.spans) {
+      out += "ada_span_self_ns_total{path=\"" + om_label_escape(span.path) +
+             "\"} " + u64_text(span.self_ns) + "\n";
+    }
+  }
+  out += "# EOF\n";
   return out;
 }
 

@@ -7,12 +7,14 @@
 // paper tables.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ada::obs {
@@ -27,6 +29,9 @@ struct Snapshot {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    // Raw log-scale bucket counts (Histogram bucket shape): the OpenMetrics
+    // exposition needs cumulative buckets, not just precomputed quantiles.
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
   };
 
   std::map<std::string, std::uint64_t> counters;
@@ -49,7 +54,24 @@ void reset_all();
 /// Stable JSON document ({"version":1,"counters":{...},...}); keys sorted.
 std::string to_json(const Snapshot& snapshot);
 
+/// OpenMetrics / Prometheus text exposition of the snapshot, ready for a
+/// scrape endpoint (future ada-serve) or `--metrics=openmetrics`:
+///   * names are sanitized `ada_<name with . -> _>`; counters gain the
+///     `_total` suffix, each family gets `# HELP` / `# TYPE` lines;
+///   * histograms expose cumulative `_bucket{le="..."}` series on the
+///     power-of-two bucket edges (plus `+Inf`), `_sum` and `_count`;
+///   * spans export as three labelled families --
+///     `ada_span_calls_total{path="..."}`, `ada_span_time_ns_total`,
+///     `ada_span_self_ns_total`;
+///   * output ends with `# EOF` and is byte-stable for goldens.
+std::string to_openmetrics(const Snapshot& snapshot);
+
 /// Aligned text tables (counters / histograms / span tree) for terminals.
 void print_tables(const Snapshot& snapshot, std::ostream& os);
+
+/// JSON string-escape / shortest-stable-number helpers shared by the JSON,
+/// OpenMetrics and telemetry (obs/telemetry.hpp) writers.
+std::string json_escape(const std::string& raw);
+std::string json_number(double value);
 
 }  // namespace ada::obs

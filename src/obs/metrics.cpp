@@ -17,15 +17,16 @@ double Histogram::mean() const noexcept {
   return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
 }
 
-double Histogram::percentile(double q) const noexcept {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+double percentile_from_buckets(const std::array<std::uint64_t, 65>& buckets,
+                               std::uint64_t count, double q,
+                               std::uint64_t max_value) noexcept {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the requested quantile, 1-based; walk buckets until we pass it.
-  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    const std::uint64_t in_bucket = bucket_count(b);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
     if (in_bucket == 0) continue;
     if (seen + in_bucket >= std::max<std::uint64_t>(rank, 1)) {
       if (b == 0) return 0.0;
@@ -35,11 +36,17 @@ double Histogram::percentile(double q) const noexcept {
       const double into =
           static_cast<double>(std::max<std::uint64_t>(rank, 1) - seen - 1) /
           static_cast<double>(in_bucket);
-      return std::min(lo + (hi - lo) * into, static_cast<double>(max()));
+      return std::min(lo + (hi - lo) * into, static_cast<double>(max_value));
     }
     seen += in_bucket;
   }
-  return static_cast<double>(max());
+  return static_cast<double>(max_value);
+}
+
+double Histogram::percentile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t b = 0; b < kBuckets; ++b) counts[b] = bucket_count(b);
+  return percentile_from_buckets(counts, count(), q, max());
 }
 
 void Histogram::reset() noexcept {

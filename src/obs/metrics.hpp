@@ -70,9 +70,20 @@ class Gauge {
 
 /// Log-scale (power-of-two bucket) histogram of non-negative integers.
 /// Bucket b >= 1 covers [2^(b-1), 2^b - 1]; bucket 0 holds exact zeros.
-/// Quantiles interpolate linearly inside the matched bucket, so relative
-/// error is bounded by the bucket width (a factor of two) -- the right
-/// trade for latency-in-nanoseconds and bytes-per-op distributions.
+///
+/// Quantiles interpolate linearly inside the matched bucket.  The accuracy
+/// contract (unit-tested in tests/obs_test.cpp):
+///   * bucket 0 is exact: if the quantile falls on a zero observation the
+///     result is exactly 0;
+///   * otherwise the result lies in the matched bucket's value range
+///     [2^(b-1), 2^b - 1] clamped to the observed max, so the relative
+///     error against the true quantile is bounded by a factor of two (the
+///     bucket width) -- the right trade for latency-in-nanoseconds and
+///     bytes-per-op distributions;
+///   * an all-identical stream of value v == 2^(b-1) (a lower bucket edge)
+///     therefore reports every quantile in [v, min(2v - 1, max)] == [v, v]
+///     after the max clamp -- edges degrade gracefully, never past max;
+///   * percentile(1.0) is always <= max(), and monotone in q.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;
@@ -144,6 +155,18 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Quantile over an explicit log-scale bucket-count array (the Histogram
+/// bucket shape), with the same interpolation and accuracy contract as
+/// Histogram::percentile.  `count` is the total observation count in
+/// `buckets`; `max_value` clamps the top end (pass the observed max, or the
+/// cumulative max as an upper bound for windowed deltas).  Shared by
+/// Histogram::percentile and the telemetry sampler's windowed percentiles
+/// (obs/telemetry.hpp), which diffs two bucket snapshots and asks for the
+/// quantile of just the window.
+double percentile_from_buckets(const std::array<std::uint64_t, 65>& buckets,
+                               std::uint64_t count, double q,
+                               std::uint64_t max_value) noexcept;
 
 /// Hot-path helpers: cache the instrument in a function-local static so the
 /// per-event cost is one branch + one relaxed atomic op.

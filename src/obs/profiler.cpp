@@ -1,0 +1,170 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.hpp"
+#include "obs/trace.hpp"
+
+namespace ada::obs {
+
+SamplingProfiler::SamplingProfiler(ProfilerOptions options)
+    : options_(std::move(options)) {}
+
+SamplingProfiler::~SamplingProfiler() { (void)stop(); }
+
+Status SamplingProfiler::start() {
+  if (options_.interval_us == 0) {
+    return invalid_argument("profiler: interval_us must be > 0 to start the ticker");
+  }
+  if (ticker_.joinable()) {
+    return failed_precondition("profiler: ticker already running");
+  }
+  stop_requested_ = false;
+  ticker_ = std::thread(&SamplingProfiler::ticker_main, this);
+  return Status::ok();
+}
+
+Status SamplingProfiler::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopped_) return Status::ok();
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  if (options_.path.empty()) return Status::ok();
+  std::FILE* file = std::fopen(options_.path.c_str(), "wb");
+  if (file == nullptr) {
+    return io_error("profiler: cannot open " + options_.path);
+  }
+  const std::string text = folded_text();
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    return io_error("profiler: short write to " + options_.path);
+  }
+  return Status::ok();
+}
+
+void SamplingProfiler::ticker_main() {
+  const auto interval = std::chrono::microseconds(options_.interval_us);
+  std::unique_lock lock(stop_mutex_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+void SamplingProfiler::sample_once() {
+  const std::vector<std::string> stacks = sample_active_stacks();
+  std::lock_guard lock(mutex_);
+  ++samples_;
+  for (const std::string& stack : stacks) ++folded_[stack];
+}
+
+std::map<std::string, std::uint64_t> SamplingProfiler::folded() const {
+  std::lock_guard lock(mutex_);
+  return folded_;
+}
+
+std::string SamplingProfiler::folded_text() const {
+  std::string out;
+  std::lock_guard lock(mutex_);
+  for (const auto& [stack, hits] : folded_) {
+    out += stack + ' ' + std::to_string(hits) + '\n';
+  }
+  return out;
+}
+
+std::vector<SamplingProfiler::StageRow> SamplingProfiler::stage_table() const {
+  std::map<std::string, StageRow> rows;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [stack, hits] : folded_) {
+      const std::vector<std::string> frames = split(stack, ';');
+      // A stage recursing within one stack still counts its samples once.
+      const std::set<std::string> unique(frames.begin(), frames.end());
+      for (const std::string& frame : unique) {
+        StageRow& row = rows[frame];
+        row.name = frame;
+        row.total += hits;
+      }
+      if (!frames.empty()) rows[frames.back()].self += hits;
+    }
+  }
+  std::vector<StageRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const StageRow& a, const StageRow& b) {
+    return a.self != b.self ? a.self > b.self : a.name < b.name;
+  });
+  return out;
+}
+
+std::uint64_t SamplingProfiler::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+namespace {
+
+std::atomic<bool> g_profiler_active{false};
+std::mutex g_profiler_mutex;
+std::unique_ptr<SamplingProfiler>& global_profiler() {
+  static std::unique_ptr<SamplingProfiler>* profiler =
+      new std::unique_ptr<SamplingProfiler>();
+  return *profiler;
+}
+
+}  // namespace
+
+Status start_profiler(const std::string& spec) {
+  ProfilerOptions options;
+  const std::size_t comma = spec.find(',');
+  options.path = spec.substr(0, comma);
+  if (options.path.empty()) {
+    return invalid_argument("profiler: output path is empty (want FILE[,interval_us])");
+  }
+  if (comma != std::string::npos) {
+    const std::string interval = spec.substr(comma + 1);
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(interval.c_str(), &end, 10);
+    if (interval.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+      return invalid_argument("profiler: bad interval '" + interval +
+                              "' in spec '" + spec + "' (want FILE[,interval_us])");
+    }
+    options.interval_us = parsed;
+  }
+  std::lock_guard lock(g_profiler_mutex);
+  if (global_profiler() != nullptr) {
+    return failed_precondition("profiler: already started");
+  }
+  auto profiler = std::make_unique<SamplingProfiler>(std::move(options));
+  ADA_RETURN_IF_ERROR(profiler->start());
+  global_profiler() = std::move(profiler);
+  g_profiler_active.store(true, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+Status stop_profiler() {
+  std::lock_guard lock(g_profiler_mutex);
+  if (global_profiler() == nullptr) return Status::ok();
+  g_profiler_active.store(false, std::memory_order_relaxed);
+  const Status status = global_profiler()->stop();
+  global_profiler().reset();
+  return status;
+}
+
+bool profiler_active() noexcept {
+  return g_profiler_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace ada::obs

@@ -1,0 +1,98 @@
+// Span-attributed sampling profiler.
+//
+// A ticker thread periodically walks every thread's currently-open span
+// chain (trace.hpp sample_active_stacks) and accumulates collapsed stacks,
+// so the cost of profiling is borne by the sampler, not the sampled: the
+// instrumented hot paths pay exactly what they already pay for spans -- one
+// relaxed load when obs is disabled, an atomic publish of the open-span
+// pointer when enabled.  Unlike the exact span tree (calls/total per node),
+// the profile answers "where is wall time actually going right now" by
+// statistical sampling, and exports in the folded-stack format flamegraph
+// tools consume directly:
+//
+//   ingest;preprocess;decode 42
+//   query;plan 7
+//
+// sample_once() is the deterministic tick used by tests; the ticker thread
+// just calls it on a cadence.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ada::obs {
+
+struct ProfilerOptions {
+  std::string path;                // folded-stack output file ("" = memory only)
+  std::uint64_t interval_us = 1000;  // ticker period (1 kHz default)
+};
+
+class SamplingProfiler {
+ public:
+  explicit SamplingProfiler(ProfilerOptions options);
+  ~SamplingProfiler();
+
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Launch the ticker thread (requires interval_us > 0).
+  Status start();
+
+  /// Stop the ticker and, when options.path is set, write folded_text()
+  /// there.  Idempotent; safe without a prior start().
+  Status stop();
+
+  /// Take one sample of every thread's open span stack right now.
+  void sample_once();
+
+  /// Collapsed stacks: "a;b;c" -> number of samples observed there.
+  std::map<std::string, std::uint64_t> folded() const;
+
+  /// Flamegraph-ready text: one "a;b;c N" line per stack, sorted by stack,
+  /// trailing newline.  Deterministic for a deterministic sample sequence.
+  std::string folded_text() const;
+
+  /// Per-stage rollup across all stacks: `total` counts samples where the
+  /// stage appears anywhere in the stack, `self` samples where it is the
+  /// leaf.  Sorted by self descending, then name.
+  struct StageRow {
+    std::string name;
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+  };
+  std::vector<StageRow> stage_table() const;
+
+  /// Total samples taken, including ticks where every thread was idle.
+  std::uint64_t samples() const;
+
+ private:
+  void ticker_main();
+
+  ProfilerOptions options_;
+
+  mutable std::mutex mutex_;  // guards folded_ and samples_
+  std::map<std::string, std::uint64_t> folded_;
+  std::uint64_t samples_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread ticker_;
+};
+
+/// Process-global profiler behind `--profile=FILE[,interval_us]`: starts the
+/// ticker, and stop_profiler() writes the folded-stack file.
+Status start_profiler(const std::string& spec);
+Status stop_profiler();
+bool profiler_active() noexcept;
+
+}  // namespace ada::obs

@@ -1,0 +1,173 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada::obs {
+
+namespace {
+
+void flatten_into(const json::Value& value, const std::string& prefix,
+                  std::map<std::string, double>& out) {
+  switch (value.kind) {
+    case json::Value::Kind::kNumber:
+      out[prefix] = value.number;
+      break;
+    case json::Value::Kind::kBool:
+      out[prefix] = value.boolean ? 1.0 : 0.0;
+      break;
+    case json::Value::Kind::kObject:
+      for (const auto& [key, member] : value.object) {
+        flatten_into(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case json::Value::Kind::kArray:
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        flatten_into(value.array[i],
+                     prefix.empty() ? std::to_string(i) : prefix + "." + std::to_string(i),
+                     out);
+      }
+      break;
+    default:
+      break;  // strings and nulls carry no number
+  }
+}
+
+void judge(const std::map<std::string, double>& baseline,
+           const std::map<std::string, double>& candidate, const DiffSpec& spec,
+           const std::string& key, bool higher_is_better, DiffReport& report) {
+  DiffRow row;
+  row.key = key;
+  row.higher_is_better = higher_is_better;
+  const auto base_it = baseline.find(key);
+  const auto cand_it = candidate.find(key);
+  if (base_it == baseline.end() || cand_it == candidate.end()) {
+    row.missing = true;
+    row.violation = true;
+  } else {
+    row.baseline = base_it->second;
+    row.candidate = cand_it->second;
+    if (row.baseline != 0.0) {
+      row.change = (row.candidate - row.baseline) / row.baseline;
+      row.violation = higher_is_better ? row.change < -spec.budget
+                                       : row.change > spec.budget;
+    } else {
+      // No meaningful ratio from a zero baseline: only a move in the wrong
+      // direction is an unambiguous regression.
+      row.change = 0.0;
+      row.violation = higher_is_better ? row.candidate < 0.0 : row.candidate > 0.0;
+    }
+  }
+  if (row.violation) ++report.violations;
+  report.rows.push_back(std::move(row));
+}
+
+}  // namespace
+
+std::map<std::string, double> flatten_numbers(const json::Value& value) {
+  std::map<std::string, double> out;
+  flatten_into(value, "", out);
+  return out;
+}
+
+DiffReport diff_metrics(const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& candidate,
+                        const DiffSpec& spec) {
+  DiffReport report;
+  for (const std::string& key : spec.higher) {
+    judge(baseline, candidate, spec, key, /*higher_is_better=*/true, report);
+  }
+  for (const std::string& key : spec.lower) {
+    judge(baseline, candidate, spec, key, /*higher_is_better=*/false, report);
+  }
+  return report;
+}
+
+Result<std::vector<TelemetrySummary>> summarize_telemetry(const std::string& jsonl) {
+  struct Accumulator {
+    std::uint64_t samples = 0;
+    double first_t_ms = 0.0;
+    double last_t_ms = 0.0;
+    std::map<std::string, TelemetrySummary::CounterRow> counters;
+    std::map<std::string, TelemetrySummary::HistogramRow> histograms;
+  };
+  std::map<std::string, Accumulator> clocks;
+
+  std::size_t line_no = 0;
+  std::size_t begin = 0;
+  while (begin < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', begin);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string_view line(jsonl.data() + begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    ++line_no;
+
+    ADA_ASSIGN_OR_RETURN(const json::Value root, json::parse(line));
+    const json::Value* schema = root.find("schema");
+    if (schema == nullptr || !schema->is_number() || schema->number != 1.0) {
+      return corrupt_data("telemetry line " + std::to_string(line_no) +
+                          ": missing or unsupported schema");
+    }
+    const json::Value* clock = root.find("clock");
+    const json::Value* t_ms = root.find("t_ms");
+    if (clock == nullptr || !clock->is_string() || t_ms == nullptr || !t_ms->is_number()) {
+      return corrupt_data("telemetry line " + std::to_string(line_no) +
+                          ": missing clock or t_ms");
+    }
+    Accumulator& acc = clocks[clock->string];
+    if (acc.samples == 0) acc.first_t_ms = t_ms->number;
+    acc.last_t_ms = t_ms->number;
+    ++acc.samples;
+
+    if (const json::Value* counters = root.find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, entry] : counters->object) {
+        const json::Value* total = entry.find("total");
+        const json::Value* delta = entry.find("delta");
+        if (total == nullptr || delta == nullptr) {
+          return corrupt_data("telemetry line " + std::to_string(line_no) +
+                              ": counter " + name + " missing total/delta");
+        }
+        TelemetrySummary::CounterRow& row = acc.counters[name];
+        row.name = name;
+        row.total = static_cast<std::uint64_t>(total->number);
+        row.delta_sum += static_cast<std::uint64_t>(delta->number);
+      }
+    }
+    if (const json::Value* histograms = root.find("histograms");
+        histograms != nullptr && histograms->is_object()) {
+      for (const auto& [name, entry] : histograms->object) {
+        TelemetrySummary::HistogramRow& row = acc.histograms[name];
+        row.name = name;
+        if (const json::Value* count = entry.find("count"); count != nullptr) {
+          row.count = static_cast<std::uint64_t>(count->number);
+        }
+        if (const json::Value* p = entry.find("p50"); p != nullptr) row.p50 = p->number;
+        if (const json::Value* p = entry.find("p90"); p != nullptr) row.p90 = p->number;
+        if (const json::Value* p = entry.find("p99"); p != nullptr) row.p99 = p->number;
+      }
+    }
+  }
+
+  std::vector<TelemetrySummary> out;
+  for (auto& [clock, acc] : clocks) {
+    TelemetrySummary summary;
+    summary.clock = clock;
+    summary.samples = acc.samples;
+    summary.first_t_ms = acc.first_t_ms;
+    summary.last_t_ms = acc.last_t_ms;
+    const double span_s = (acc.last_t_ms - acc.first_t_ms) * 1e-3;
+    for (auto& [name, row] : acc.counters) {
+      row.rate_per_s = span_s > 0.0 ? static_cast<double>(row.delta_sum) / span_s : 0.0;
+      summary.counters.push_back(std::move(row));
+    }
+    for (auto& [name, row] : acc.histograms) {
+      summary.histograms.push_back(std::move(row));
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace ada::obs

@@ -1,0 +1,89 @@
+// Telemetry/bench statistics core shared by the ada-stats CLI and tests:
+// flattening parsed JSON into dotted-path numeric maps, rendering telemetry
+// JSONL into rate/percentile summaries, and the perf-regression diff that
+// check-perf gates on.
+//
+// Keeping the logic in the library (not the tool's main) means the negative
+// gate test and the unit tests exercise exactly the code path the CI gate
+// runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace ada::obs {
+
+/// Flatten a parsed JSON document into "a.b.c" -> number entries.  Array
+/// elements index as "a.3"; booleans count as 0/1; strings and nulls are
+/// skipped.
+std::map<std::string, double> flatten_numbers(const json::Value& value);
+
+/// Perf-regression comparison between two flattened metric maps
+/// (typically two BENCH_*.json files).  Only the keys listed in `higher` /
+/// `lower` are judged -- environment metadata (meta.*) never trips the gate
+/// unless explicitly listed.
+struct DiffSpec {
+  double budget = 0.10;             // allowed fractional regression per key
+  std::vector<std::string> higher;  // keys where higher is better
+  std::vector<std::string> lower;   // keys where lower is better
+};
+
+struct DiffRow {
+  std::string key;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double change = 0.0;  // (candidate - baseline) / baseline, signed; 0 when
+                        // baseline is 0 and candidate matches it
+  bool higher_is_better = true;
+  bool missing = false;  // absent from baseline or candidate => violation
+  bool violation = false;
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;  // spec order: higher keys, then lower keys
+  std::size_t violations = 0;
+};
+
+/// Judge `candidate` against `baseline` under `spec`.  A listed key missing
+/// from either side is a violation (a silently vanished metric must fail
+/// the gate, not pass it).  A zero baseline only violates when the
+/// regression direction is unambiguous (candidate moved the wrong way from
+/// zero).
+DiffReport diff_metrics(const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& candidate,
+                        const DiffSpec& spec);
+
+/// One telemetry JSONL stream reduced per clock: per-counter totals and
+/// mean rates over the observed span, per-histogram final quantiles.
+struct TelemetrySummary {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t total = 0;         // cumulative total at the last sample
+    std::uint64_t delta_sum = 0;     // sum of per-sample deltas (reconciles
+                                     // with `total` by construction)
+    double rate_per_s = 0.0;         // delta_sum over the observed span
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;  // cumulative, from last sample
+  };
+  std::string clock;  // "wall" or "sim"
+  std::uint64_t samples = 0;
+  double first_t_ms = 0.0;
+  double last_t_ms = 0.0;
+  std::vector<CounterRow> counters;      // sorted by name
+  std::vector<HistogramRow> histograms;  // sorted by name
+};
+
+/// Parse telemetry JSONL text (obs/telemetry.hpp schema 1) and reduce it to
+/// one summary per clock, sorted by clock name.  Unknown schemas and
+/// malformed lines are errors, not skips.
+Result<std::vector<TelemetrySummary>> summarize_telemetry(const std::string& jsonl);
+
+}  // namespace ada::obs

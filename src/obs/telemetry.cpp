@@ -1,0 +1,198 @@
+#include "obs/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/export.hpp"
+
+namespace ada::obs {
+
+Result<std::unique_ptr<MetricsSampler>> MetricsSampler::open(TelemetryOptions options) {
+  if (options.path.empty()) {
+    return invalid_argument("telemetry: output path is empty");
+  }
+  std::FILE* file = std::fopen(options.path.c_str(), "wb");
+  if (file == nullptr) {
+    return io_error("telemetry: cannot open " + options.path);
+  }
+  return std::unique_ptr<MetricsSampler>(new MetricsSampler(std::move(options), file));
+}
+
+MetricsSampler::MetricsSampler(TelemetryOptions options, std::FILE* file)
+    : options_(std::move(options)), file_(file) {}
+
+MetricsSampler::~MetricsSampler() {
+  stop();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status MetricsSampler::start() {
+  if (options_.interval_ms == 0) {
+    return invalid_argument("telemetry: interval_ms must be > 0 to start the ticker");
+  }
+  if (ticker_.joinable()) {
+    return failed_precondition("telemetry: ticker already running");
+  }
+  stop_requested_ = false;
+  ticker_ = std::thread(&MetricsSampler::ticker_main, this);
+  return Status::ok();
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  // Final wall sample: the last line always reflects the end state, so a
+  // reader summing deltas reconciles with the final cumulative dump.
+  const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+  sample_now("wall", std::chrono::duration<double, std::milli>(elapsed).count());
+  std::fflush(file_);
+}
+
+void MetricsSampler::ticker_main() {
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  std::unique_lock lock(stop_mutex_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+    sample_now("wall", std::chrono::duration<double, std::milli>(elapsed).count());
+    lock.lock();
+  }
+}
+
+void MetricsSampler::sample_now(const char* clock, double t_ms) {
+  const Snapshot snapshot = capture();
+  std::lock_guard lock(mutex_);
+  Baseline& baseline = baselines_[clock];
+
+  std::string line = "{\"schema\":1,\"seq\":" + std::to_string(seq_++) +
+                     ",\"clock\":\"" + std::string(clock) + "\",\"t_ms\":" +
+                     json_number(t_ms) + ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, total] : snapshot.counters) {
+    const std::uint64_t before = baseline.counters[name];
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json_escape(name) + "\":{\"total\":" + std::to_string(total) +
+            ",\"delta\":" + std::to_string(total - before) + '}';
+    baseline.counters[name] = total;
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  line += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    HistBaseline& hist_before = baseline.histograms[name];
+    // The window is the bucket-wise difference since the previous sample on
+    // this clock; its quantiles use the shared interpolation with the
+    // cumulative max as the (only available) upper clamp.
+    std::array<std::uint64_t, Histogram::kBuckets> window{};
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      window[b] = h.buckets[b] - hist_before.buckets[b];
+    }
+    const std::uint64_t window_count = h.count - hist_before.count;
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json_escape(name) + "\":{\"count\":" + std::to_string(h.count) +
+            ",\"delta\":" + std::to_string(window_count) +
+            ",\"p50\":" + json_number(h.p50) + ",\"p90\":" + json_number(h.p90) +
+            ",\"p99\":" + json_number(h.p99) +
+            ",\"win_p50\":" + json_number(percentile_from_buckets(window, window_count, 0.50, h.max)) +
+            ",\"win_p90\":" + json_number(percentile_from_buckets(window, window_count, 0.90, h.max)) +
+            ",\"win_p99\":" + json_number(percentile_from_buckets(window, window_count, 0.99, h.max)) + '}';
+    hist_before.count = h.count;
+    hist_before.buckets = h.buckets;
+  }
+  line += "}}\n";
+
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);  // whole lines on disk: readers never see a torn record
+  ++lines_;
+}
+
+void MetricsSampler::sim_tick(double sim_seconds) {
+  const double sim_ms = sim_seconds * 1e3;
+  {
+    std::lock_guard lock(mutex_);
+    if (sim_seen_ && sim_ms < next_sim_emit_ms_) return;
+    sim_seen_ = true;
+    next_sim_emit_ms_ = sim_ms + static_cast<double>(options_.interval_ms);
+  }
+  sample_now("sim", sim_ms);
+}
+
+std::uint64_t MetricsSampler::lines_written() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+namespace {
+
+std::atomic<bool> g_telemetry_active{false};
+std::mutex g_telemetry_mutex;
+std::unique_ptr<MetricsSampler>& global_sampler() {
+  static std::unique_ptr<MetricsSampler>* sampler =
+      new std::unique_ptr<MetricsSampler>();  // outlives static teardown races
+  return *sampler;
+}
+
+}  // namespace
+
+Status start_telemetry(const std::string& spec) {
+  TelemetryOptions options;
+  const std::size_t comma = spec.find(',');
+  options.path = spec.substr(0, comma);
+  if (comma != std::string::npos) {
+    const std::string interval = spec.substr(comma + 1);
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(interval.c_str(), &end, 10);
+    if (interval.empty() || end == nullptr || *end != '\0' || parsed == 0) {
+      return invalid_argument("telemetry: bad interval '" + interval +
+                              "' in spec '" + spec + "' (want FILE[,interval_ms])");
+    }
+    options.interval_ms = parsed;
+  }
+  std::lock_guard lock(g_telemetry_mutex);
+  if (global_sampler() != nullptr) {
+    return failed_precondition("telemetry: already started");
+  }
+  ADA_ASSIGN_OR_RETURN(std::unique_ptr<MetricsSampler> sampler,
+                       MetricsSampler::open(std::move(options)));
+  ADA_RETURN_IF_ERROR(sampler->start());
+  global_sampler() = std::move(sampler);
+  g_telemetry_active.store(true, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+void stop_telemetry() {
+  std::lock_guard lock(g_telemetry_mutex);
+  if (global_sampler() == nullptr) return;
+  g_telemetry_active.store(false, std::memory_order_relaxed);
+  global_sampler()->stop();
+  global_sampler().reset();
+}
+
+bool telemetry_active() noexcept {
+  return g_telemetry_active.load(std::memory_order_relaxed);
+}
+
+void telemetry_sim_tick(double sim_seconds) {
+  if (!telemetry_active()) return;  // the one-relaxed-load fast path
+  std::lock_guard lock(g_telemetry_mutex);
+  if (global_sampler() == nullptr) return;
+  global_sampler()->sim_tick(sim_seconds);
+}
+
+}  // namespace ada::obs

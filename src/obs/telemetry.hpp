@@ -1,0 +1,123 @@
+// Continuous telemetry: a background sampler that snapshots the metrics
+// registry on a fixed cadence and appends a JSONL time series.
+//
+// Each line is one sample: for every counter the cumulative total plus the
+// delta since the previous sample on the same clock, for every histogram the
+// cumulative quantiles plus *windowed* quantiles computed by diffing the raw
+// log-scale buckets between samples (percentile_from_buckets).  Samples are
+// attributed to a clock -- "wall" for the ticker thread, "sim" for samples
+// driven by the discrete-event simulator's virtual time -- and each clock
+// keeps its own delta baseline, so summing a clock's deltas always
+// reconciles with the final cumulative totals (the e2e telemetry test
+// enforces this against `--metrics=json`).
+//
+// Line shape (schema 1, keys sorted; see docs/observability.md):
+//   {"schema":1,"seq":3,"clock":"wall","t_ms":750.0,
+//    "counters":{"ingest.frames":{"total":900,"delta":300}},
+//    "gauges":{"cache.bytes":1024},
+//    "histograms":{"query.latency_ns":{"count":90,"delta":30,
+//      "p50":...,"p90":...,"p99":...,"win_p50":...,"win_p90":...,"win_p99":...}}}
+//
+// With telemetry off every hook reduces to one relaxed atomic load; the
+// differential e2e test proves the data path is byte-identical either way.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+
+namespace ada::obs {
+
+struct TelemetryOptions {
+  std::string path;                 // JSONL output file, appended line-by-line
+  std::uint64_t interval_ms = 250;  // cadence for both wall and sim clocks
+};
+
+/// Owns the output file, the per-clock delta baselines, and (after start())
+/// the wall-clock ticker thread.  sample_now() is the single sampling
+/// primitive; the ticker, the sim hook and deterministic tests all go
+/// through it, so test output matches production output byte-for-byte.
+class MetricsSampler {
+ public:
+  /// Opens (truncates) the output file.  No thread is started yet.
+  static Result<std::unique_ptr<MetricsSampler>> open(TelemetryOptions options);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launch the wall-clock ticker thread (requires interval_ms > 0).
+  Status start();
+
+  /// Stop the ticker (if running) and append one final wall sample so the
+  /// last line always reflects the end state.  Idempotent.
+  void stop();
+
+  /// Take one sample attributed to `clock` ("wall" or "sim") at time t_ms
+  /// on that clock.  Thread-safe; lines are appended atomically under the
+  /// sampler mutex and flushed so readers see complete lines.
+  void sample_now(const char* clock, double t_ms);
+
+  /// Sim-time hook: emits a "sim" sample whenever virtual time has advanced
+  /// by at least interval_ms since the last sim sample.
+  void sim_tick(double sim_seconds);
+
+  std::uint64_t lines_written() const;
+
+ private:
+  explicit MetricsSampler(TelemetryOptions options, std::FILE* file);
+
+  struct HistBaseline {
+    std::uint64_t count = 0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  };
+  struct Baseline {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, HistBaseline> histograms;
+  };
+
+  void ticker_main();
+
+  TelemetryOptions options_;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
+
+  mutable std::mutex mutex_;  // guards file writes, baselines, seq
+  std::map<std::string, Baseline> baselines_;  // keyed by clock name
+  std::uint64_t seq_ = 0;
+  std::uint64_t lines_ = 0;
+  double next_sim_emit_ms_ = 0.0;
+  bool sim_seen_ = false;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread ticker_;
+};
+
+/// Process-global telemetry plane behind `--telemetry=FILE[,interval_ms]`.
+/// start_telemetry parses the spec, opens the sampler and starts the wall
+/// ticker; stop_telemetry appends the final sample and closes the file.
+Status start_telemetry(const std::string& spec);
+void stop_telemetry();
+
+/// One relaxed load; true between successful start_telemetry and
+/// stop_telemetry.  The gate for the sim hook's fast path.
+bool telemetry_active() noexcept;
+
+/// Called by the discrete-event simulator as virtual time advances; a no-op
+/// (one relaxed load) unless telemetry is active.
+void telemetry_sim_tick(double sim_seconds);
+
+}  // namespace ada::obs

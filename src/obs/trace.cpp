@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <map>
@@ -36,13 +37,15 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
-// One trace tree per recording thread.  `current` is only ever touched by
-// the owning thread; `mutex` guards every node's child list so a concurrent
-// span_stats() walk sees consistent vectors.
+// One trace tree per recording thread.  `current` is written only by the
+// owning thread (release) and read by the profiler sampler (acquire), so a
+// sampled node's fields -- set before publication -- are visible; `mutex`
+// guards every node's child list so a concurrent span_stats() walk sees
+// consistent vectors.
 struct ThreadTrace {
   std::mutex mutex;
   SpanNode root{"", nullptr};
-  SpanNode* current = &root;
+  std::atomic<SpanNode*> current{&root};
 };
 
 struct TraceRegistry {
@@ -110,7 +113,7 @@ void zero(SpanNode& node) {
 ScopedTimer::ScopedTimer(const char* name) noexcept {
   if (!enabled()) return;
   ThreadTrace& trace = local_trace();
-  SpanNode* parent = trace.current;
+  SpanNode* parent = trace.current.load(std::memory_order_relaxed);
   SpanNode* node = nullptr;
   {
     std::lock_guard lock(trace.mutex);
@@ -125,7 +128,7 @@ ScopedTimer::ScopedTimer(const char* name) noexcept {
       node = parent->children.back().get();
     }
   }
-  trace.current = node;
+  trace.current.store(node, std::memory_order_release);
   node_ = node;
   start_ns_ = now_ns();
 }
@@ -135,7 +138,7 @@ ScopedTimer::~ScopedTimer() {
   const std::uint64_t elapsed = now_ns() - start_ns_;
   node_->calls.fetch_add(1, std::memory_order_relaxed);
   node_->total_ns.fetch_add(elapsed, std::memory_order_relaxed);
-  local_trace().current = node_->parent;
+  local_trace().current.store(node_->parent, std::memory_order_release);
 }
 
 std::vector<SpanStat> span_stats() {
@@ -160,6 +163,29 @@ void reset_spans() {
     std::lock_guard tree_lock(tree->mutex);
     zero(tree->root);
   }
+}
+
+std::vector<std::string> sample_active_stacks() {
+  std::vector<std::string> out;
+  TraceRegistry& registry = trace_registry();
+  std::lock_guard registry_lock(registry.mutex);
+  for (const auto& tree : registry.trees) {
+    const SpanNode* open = tree->current.load(std::memory_order_acquire);
+    if (open == &tree->root) continue;  // thread idle, nothing open
+    // Walk leaf -> root, then reverse into the folded root-first order.
+    std::vector<const char*> frames;
+    for (const SpanNode* node = open; node != nullptr && node->parent != nullptr;
+         node = node->parent) {
+      frames.push_back(node->name);
+    }
+    std::string stack;
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (!stack.empty()) stack += ';';
+      stack += *it;
+    }
+    out.push_back(std::move(stack));
+  }
+  return out;
 }
 
 }  // namespace ada::obs

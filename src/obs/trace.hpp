@@ -59,4 +59,14 @@ std::vector<SpanStat> span_stats();
 /// between measured runs, not while measured work is in flight.
 void reset_spans();
 
+/// One collapsed stack per thread with an open span right now, in
+/// flamegraph "folded" orientation: "ingest;preprocess;decode".  Threads
+/// idle at their tree root contribute nothing.  Safe to call from the
+/// profiler ticker while other threads record: the open-span pointer is an
+/// acquire-load of an atomic the owning thread publishes with release, and
+/// span nodes are owned by the (never-shrinking) tree so the parent chain
+/// stays valid.  Order is the thread-registration order, so a single-thread
+/// caller sees a deterministic result.
+std::vector<std::string> sample_active_stacks();
+
 }  // namespace ada::obs

@@ -10,6 +10,7 @@
 #include <span>
 
 #include "common/binary_io.hpp"
+#include "common/json.hpp"
 
 namespace ada::obs {
 
@@ -65,210 +66,10 @@ void append_metadata(std::string& out, std::uint32_t pid, std::uint64_t tid, boo
   out += ",\"args\":{\"name\":\"" + json_escape(display) + "\"}},\n";
 }
 
-// ---- minimal JSON reader (only what Chrome traces need) --------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  Result<JsonValue> parse() {
-    JsonValue value;
-    ADA_RETURN_IF_ERROR(parse_value(value));
-    skip_ws();
-    if (pos_ != text_.size()) return fail("trailing characters after JSON document");
-    return value;
-  }
-
- private:
-  Status parse_value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    const char c = text_[pos_];
-    switch (c) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"': {
-        out.kind = JsonValue::Kind::kString;
-        return parse_string(out.string);
-      }
-      case 't':
-      case 'f': return parse_literal(out, c == 't');
-      case 'n':
-        if (!consume("null")) return fail("bad literal");
-        out.kind = JsonValue::Kind::kNull;
-        return Status::ok();
-      default: return parse_number(out);
-    }
-  }
-
-  Status parse_object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return Status::ok();
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      ADA_RETURN_IF_ERROR(parse_string(key));
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':' in object");
-      ++pos_;
-      JsonValue value;
-      ADA_RETURN_IF_ERROR(parse_value(value));
-      out.object.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return Status::ok();
-      }
-      return fail("expected ',' or '}' in object");
-    }
-  }
-
-  Status parse_array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return Status::ok();
-    }
-    while (true) {
-      JsonValue value;
-      ADA_RETURN_IF_ERROR(parse_value(value));
-      out.array.push_back(std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return Status::ok();
-      }
-      return fail("expected ',' or ']' in array");
-    }
-  }
-
-  Status parse_string(std::string& out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected string");
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return Status::ok();
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad \\u escape");
-          }
-          // Traces only carry control characters escaped this way; map the
-          // BMP code point to UTF-8 without surrogate-pair handling.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xc0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
-            out += static_cast<char>(0xe0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-            out += static_cast<char>(0x80 | (code & 0x3f));
-          }
-          break;
-        }
-        default: return fail("bad escape character");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  Status parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected number");
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
-    return Status::ok();
-  }
-
-  Status parse_literal(JsonValue& out, bool value) {
-    if (!consume(value ? "true" : "false")) return fail("bad literal");
-    out.kind = JsonValue::Kind::kBool;
-    out.boolean = value;
-    return Status::ok();
-  }
-
-  bool consume(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  Error fail(const char* what) const {
-    return corrupt_data(std::string("trace JSON: ") + what + " at byte " + std::to_string(pos_));
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// The JSON reader itself lives in common/json.hpp (it started here and was
+// promoted once ada-stats and the telemetry tests needed it too); this file
+// keeps only the trace-shaped accessors.
+using JsonValue = json::Value;
 
 std::uint64_t as_u64(const JsonValue* value) {
   if (value == nullptr || value->kind != JsonValue::Kind::kNumber) return 0;
@@ -350,8 +151,7 @@ Status write_chrome_json(const std::string& path) {
 
 Result<std::vector<ExportEvent>> parse_chrome_json(
     std::string_view json, std::vector<std::pair<std::uint64_t, std::string>>* lane_names) {
-  JsonReader reader(json);
-  ADA_ASSIGN_OR_RETURN(const JsonValue root, reader.parse());
+  ADA_ASSIGN_OR_RETURN(const JsonValue root, json::parse(json));
   const JsonValue* array = &root;
   if (root.kind == JsonValue::Kind::kObject) {
     array = root.find("traceEvents");

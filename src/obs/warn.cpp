@@ -1,0 +1,85 @@
+#include "obs/warn.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace ada::obs {
+
+namespace {
+
+struct Bucket {
+  std::mutex mutex;
+  double per_second = 5.0;
+  double burst = 10.0;
+  double tokens = 10.0;
+  std::chrono::steady_clock::time_point last_refill = std::chrono::steady_clock::now();
+
+  // Refill-then-spend; returns false when the bucket is dry.
+  bool take() {
+    std::lock_guard lock(mutex);
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - last_refill).count();
+    last_refill = now;
+    tokens = std::min(burst, tokens + elapsed * per_second);
+    if (tokens < 1.0) return false;
+    tokens -= 1.0;
+    return true;
+  }
+};
+
+Bucket& bucket() {
+  static Bucket* instance = new Bucket();  // outlives static teardown
+  return *instance;
+}
+
+std::atomic<std::uint64_t> g_emitted{0};
+std::atomic<std::uint64_t> g_suppressed{0};
+
+}  // namespace
+
+void warn(WarnSeverity severity, const char* category, const std::string& message) {
+  if (!bucket().take()) {
+    g_suppressed.fetch_add(1, std::memory_order_relaxed);
+    ADA_OBS_COUNT("warn.suppressed", 1);
+    return;
+  }
+  g_emitted.fetch_add(1, std::memory_order_relaxed);
+  ADA_OBS_COUNT("warn.emitted", 1);
+  if (severity == WarnSeverity::kError) {
+    ADA_LOG(kError) << "[" << category << "] " << message;
+  } else {
+    ADA_LOG(kWarn) << "[" << category << "] " << message;
+  }
+}
+
+void set_warn_rate(double per_second, double burst) {
+  Bucket& b = bucket();
+  std::lock_guard lock(b.mutex);
+  b.per_second = std::max(0.0, per_second);
+  b.burst = std::max(1.0, burst);
+  b.tokens = std::min(b.tokens, b.burst);
+}
+
+std::uint64_t warnings_emitted() noexcept {
+  return g_emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t warnings_suppressed() noexcept {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
+
+void reset_warn_state() {
+  Bucket& b = bucket();
+  std::lock_guard lock(b.mutex);
+  b.tokens = b.burst;
+  b.last_refill = std::chrono::steady_clock::now();
+  g_emitted.store(0, std::memory_order_relaxed);
+  g_suppressed.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ada::obs

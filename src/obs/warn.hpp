@@ -1,0 +1,37 @@
+// Rate-limited structured warnings for recoverable runtime trouble.
+//
+// Libraries that hit a degraded-but-survivable condition (retry budget
+// exhausted, degraded read served, cache bypassed) should announce it once
+// in a while, not once per event: a fault storm can hit the same site
+// millions of times.  warn() routes through ADA_LOG -- so the obs trace-id
+// prefix hook applies and lines carry the active trace context -- behind a
+// token bucket shared by all sites.  Suppressed warnings are counted
+// (`warn.suppressed` in the metrics registry plus a local atomic that works
+// even with obs disabled), so the telemetry plane still shows the storm's
+// true size while the log stays readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ada::obs {
+
+enum class WarnSeverity { kWarn, kError };
+
+/// Emit "[category] message" at `severity` through ADA_LOG, subject to the
+/// global token bucket.  `category` should be a stable slug ("retry",
+/// "degraded-read", "cache-bypass") so log lines grep cleanly.
+void warn(WarnSeverity severity, const char* category, const std::string& message);
+
+/// Reconfigure the bucket: sustained `per_second` emissions with bursts up
+/// to `burst`.  Defaults: 5/s, burst 10.
+void set_warn_rate(double per_second, double burst);
+
+/// Totals since process start / last reset; live even when obs is disabled.
+std::uint64_t warnings_emitted() noexcept;
+std::uint64_t warnings_suppressed() noexcept;
+
+/// Refill the bucket and zero the totals (tests).
+void reset_warn_state();
+
+}  // namespace ada::obs

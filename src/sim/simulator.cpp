@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "obs/events.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ada::sim {
 
@@ -21,6 +22,9 @@ void Simulator::execute_next() {
   Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = event.time;
+  // Virtual time advanced: give the telemetry sampler a chance to emit a
+  // "sim"-clock sample, so virtual-lane benches get timelines too.
+  obs::telemetry_sim_tick(now_);
   ++executed_;
   event.fn();
 }

@@ -146,6 +146,75 @@ TEST_F(ObsTest, HistogramPercentiles) {
   }
 }
 
+// The documented accuracy contract (metrics.hpp): interpolation never leaves
+// the matched bucket's value range, so edges degrade gracefully and the
+// relative error is bounded by the bucket width (a factor of two).
+TEST_F(ObsTest, HistogramPercentileAccuracyAtBucketEdges) {
+  // An all-identical stream at a lower bucket edge (64 opens bucket [64,127])
+  // reports every quantile exactly at that value: the max() clamp collapses
+  // the interpolation range [64, 127] down to [64, 64].
+  Histogram& edge = Registry::global().histogram("obs_test.hist_edge");
+  for (int i = 0; i < 1000; ++i) edge.observe(64);
+  for (const double q : {0.01, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(edge.percentile(q), 64.0) << "q=" << q;
+  }
+
+  // A stream at an upper bucket edge (127 closes bucket [64,127]) stays in
+  // range too: quantiles land in [64, 127] -- within a factor of two of the
+  // true value, never above the observed max.
+  Histogram& upper = Registry::global().histogram("obs_test.hist_upper");
+  for (int i = 0; i < 1000; ++i) upper.observe(127);
+  for (const double q : {0.01, 0.5, 0.999, 1.0}) {
+    const double p = upper.percentile(q);
+    EXPECT_GE(p, 64.0) << "q=" << q;
+    EXPECT_LE(p, 127.0) << "q=" << q;
+    EXPECT_GE(p, 127.0 / 2.0) << "factor-of-two bound violated at q=" << q;
+  }
+
+  // Mixed distribution: every quantile stays inside its matched bucket's
+  // range, so values between the clusters are never invented far off.
+  Histogram& mixed = Registry::global().histogram("obs_test.hist_mixed");
+  for (int i = 0; i < 50; ++i) mixed.observe(10);    // bucket [8, 15]
+  for (int i = 0; i < 50; ++i) mixed.observe(1000);  // bucket [512, 1023]
+  const double p25 = mixed.percentile(0.25);
+  EXPECT_GE(p25, 8.0);
+  EXPECT_LE(p25, 15.0);
+  const double p75 = mixed.percentile(0.75);
+  EXPECT_GE(p75, 512.0);
+  EXPECT_LE(p75, 1000.0);  // max clamp beats the raw bucket top of 1023
+}
+
+// percentile_from_buckets is the same interpolation over an explicit bucket
+// array -- the telemetry sampler feeds it windowed (diffed) buckets.
+TEST_F(ObsTest, PercentileFromBucketsMatchesHistogramContract) {
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  EXPECT_EQ(percentile_from_buckets(buckets, 0, 0.5, 0), 0.0);  // empty window
+
+  // 10 zeros: bucket 0 is exact.
+  buckets[0] = 10;
+  EXPECT_EQ(percentile_from_buckets(buckets, 10, 0.99, 0), 0.0);
+
+  // Add 90 observations of value 1 (bucket 1 covers [1, 1]).
+  buckets[1] = 90;
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.5, 1), 1.0);
+
+  // A window whose counts sit in bucket [1024, 2047] but whose stream max
+  // is 1500 clamps to the max, honoring the "never past max" clause.
+  std::array<std::uint64_t, Histogram::kBuckets> high{};
+  high[Histogram::bucket_of(1500)] = 10;
+  const double p99 = percentile_from_buckets(high, 10, 0.99, 1500);
+  EXPECT_GE(p99, 1024.0);
+  EXPECT_LE(p99, 1500.0);
+
+  // Monotone in q over the explicit array, as for the live histogram.
+  double prev = 0.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double p = percentile_from_buckets(buckets, 100, q, 1);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
 // --- macros ---------------------------------------------------------------------------
 
 TEST_F(ObsTest, HotPathMacrosRecordWhenEnabled) {

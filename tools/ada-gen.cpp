@@ -31,7 +31,8 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-gen --out <dir> [--frames N] [--size tiny|paper] [--ligand N]\n"
-    "               [--seed S] [--trr] [--codec v1|v2] [--metrics[=json]]\n"
+    "               [--seed S] [--trr] [--codec v1|v2] [--metrics[=json|openmetrics]]\n"
+    "               [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
     "  generates a synthetic GPCR membrane system (system.pdb) and an\n"
     "  OU-dynamics trajectory (traj.xtc; traj.trr with --trr)\n";
 }
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (!args.has("out")) tools::die_usage(kUsage);
   tools::metrics_begin(args);
+  tools::telemetry_begin(args);
+  tools::profile_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
   const std::string out = args.get("out");
   const auto frames = static_cast<std::uint32_t>(args.get_int("frames", 50));
@@ -95,6 +98,8 @@ int main(int argc, char** argv) {
     std::fprintf(report_out, "wrote %s/traj.trr (%s)\n", out.c_str(),
                  format_bytes(static_cast<double>(trr.size_bytes())).c_str());
   }
+  tools::telemetry_end(args);
+  tools::profile_end(args);
   tools::metrics_end(args);
   return 0;
 }

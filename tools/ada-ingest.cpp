@@ -31,7 +31,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-ingest --pdb <file> --xtc <file> --ssd <dir> --hdd <dir>\n"
     "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
-    "                  [--threads <n>] [--metrics[=json]] [--trace <out.json>]\n"
+    "                  [--threads <n>] [--metrics[=json|openmetrics]] [--trace <out.json>]\n"
+    "                  [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
     "                  [--faults site=spec[,site=spec...]]\n";
 }
 
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
     tools::die_usage(kUsage);
   }
   tools::metrics_begin(args);
+  tools::telemetry_begin(args);
+  tools::profile_begin(args);
   tools::trace_begin(args);
   tools::faults_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
@@ -85,6 +88,8 @@ int main(int argc, char** argv) {
   std::fprintf(report_out, "decompression took %.3f s on this storage node (paid once)\n",
                report.preprocess.decompress_wall_seconds);
   tools::trace_end(args);
+  tools::telemetry_end(args);
+  tools::profile_end(args);
   tools::metrics_end(args);
   return 0;
 }

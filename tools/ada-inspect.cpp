@@ -25,7 +25,7 @@ using namespace ada;
 namespace {
 constexpr const char* kUsage =
     "usage: ada-inspect --ssd <dir> --hdd <dir> [--name <logical>] [--fsck] [--repair]\n"
-    "                   [--metrics[=json]]\n";
+    "                   [--metrics[=json|openmetrics]]\n";
 }
 
 int main(int argc, char** argv) {

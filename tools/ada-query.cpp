@@ -41,7 +41,8 @@ constexpr const char* kUsage =
     "usage: ada-query --ssd <dir> --hdd <dir> --name <logical> --tag <t>\n"
     "                 [--frames A:B] [--stride K]\n"
     "                 [--out <subset.raw>] [--render <frame.ppm> --pdb <file>]\n"
-    "                 [--metrics[=json]] [--trace <out.json>] [--cache <bytes>]\n"
+    "                 [--metrics[=json|openmetrics]] [--trace <out.json>] [--cache <bytes>]\n"
+    "                 [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
     "                 [--faults site=spec[,site=spec...]] [--degraded]\n";
 
 // "A:B" -> [A, B); either side may be omitted ("10:", ":50", ":").
@@ -70,6 +71,8 @@ int main(int argc, char** argv) {
     tools::die_usage(kUsage);
   }
   tools::metrics_begin(args);
+  tools::telemetry_begin(args);
+  tools::profile_begin(args);
   tools::trace_begin(args);
   tools::faults_begin(args);
   std::FILE* report_out = tools::metrics_json_only(args) ? stderr : stdout;
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
       std::fprintf(report_out, "wrote %s (surviving tags, tag order)\n", args.get("out").c_str());
     }
     tools::trace_end(args);
+    tools::telemetry_end(args);
+    tools::profile_end(args);
     tools::metrics_end(args);
     return partial.partial() ? 2 : 0;
   }
@@ -145,6 +150,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(frame.stats.bonds), args.get("render").c_str());
   }
   tools::trace_end(args);
+  tools::telemetry_end(args);
+  tools::profile_end(args);
   tools::metrics_end(args);
   return 0;
 }

@@ -37,7 +37,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: ada-trace <trace.json> [more.json ...]\n"
     "                 [--tag <t>] [--trace-id <id>] [--out <merged.json>]\n"
-    "                 [--critical-path] [--stages] [--summary]\n";
+    "                 [--critical-path] [--stages] [--summary]\n"
+    "                 [--metrics[=json|openmetrics]]\n";
 
 /// A reconstructed span: one B/E pair (matched by span id, else by per-track
 /// stack order for traces from other emitters).
@@ -194,6 +195,7 @@ std::string emit_chrome_json(const std::vector<obs::ExportEvent>& events,
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
   if (args.positional().empty()) tools::die_usage(kUsage);
+  tools::metrics_begin(args);
 
   // --- load + merge ---------------------------------------------------------------
   // Each input file comes from its own process, and every process numbers
@@ -257,6 +259,15 @@ int main(int argc, char** argv) {
   const bool want_critical = !any_section || args.has("critical-path");
 
   const std::vector<Span> spans = build_spans(events);
+  // With --metrics on, the analyzer reports on its own inputs: volume
+  // counters plus a latency histogram over the reconstructed spans, so the
+  // percentile machinery is exercisable on recorded traces too.
+  ADA_OBS_COUNT("ada_trace.files", args.positional().size());
+  ADA_OBS_COUNT("ada_trace.events", events.size());
+  ADA_OBS_COUNT("ada_trace.spans", spans.size());
+  for (const Span& span : spans) {
+    ADA_OBS_OBSERVE("ada_trace.span_us", span.duration_us());
+  }
 
   // --- per-trace summary ----------------------------------------------------------
   struct TraceAgg {
@@ -364,5 +375,6 @@ int main(int argc, char** argv) {
                    "write merged trace");
     std::printf("wrote %s (%zu events)\n", args.get("out").c_str(), events.size());
   }
+  tools::metrics_end(args);
   return 0;
 }

@@ -34,6 +34,9 @@ ADA_CHAOS_SEEDS=5 ctest --test-dir "$BUILD_DIR" -L check-cache --output-on-failu
 echo "== codec/frame-range tier (ctest -L check-range) =="
 ctest --test-dir "$BUILD_DIR" -L check-range --output-on-failure -j "$(nproc)"
 
+echo "== telemetry tier (ctest -L check-telemetry) =="
+ctest --test-dir "$BUILD_DIR" -L check-telemetry --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -82,6 +85,41 @@ RANGE_OUT="$("$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --
 echo "$RANGE_OUT" | grep -q '2 frames' || {
     echo "FAIL: --frames 1:4 --stride 2 should serve 2 frames" >&2
     echo "$RANGE_OUT" >&2
+    exit 1
+}
+
+echo "== telemetry smoke: --telemetry/--profile -> ada-stats render + openmetrics =="
+# Re-run the ingest with the telemetry sampler and profiler armed; the JSONL
+# series must render and the folded-stack profile must exist.
+"$BUILD_DIR/tools/ada-ingest" --pdb "$WORK/gen/system.pdb" --xtc "$WORK/gen/traj.xtc" \
+    --ssd "$WORK/ssd2" --hdd "$WORK/hdd2" --name traj.xtc --threads 2 \
+    --telemetry "$WORK/ingest_ts.jsonl,50" --profile "$WORK/ingest.folded,200" >/dev/null
+[ -s "$WORK/ingest_ts.jsonl" ] || { echo "FAIL: telemetry JSONL missing or empty" >&2; exit 1; }
+[ -s "$WORK/ingest.folded" ] || { echo "FAIL: folded profile missing or empty" >&2; exit 1; }
+"$BUILD_DIR/tools/ada-stats" render "$WORK/ingest_ts.jsonl" | grep -q 'clock' || {
+    echo "FAIL: ada-stats render produced no per-clock summary" >&2
+    exit 1
+}
+# OpenMetrics exposition is well-formed enough to end with the EOF marker.
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd2" --hdd "$WORK/hdd2" --name traj.xtc \
+    --tag p --metrics openmetrics | grep -q '^# EOF' || {
+    echo "FAIL: --metrics openmetrics did not emit the # EOF terminator" >&2
+    exit 1
+}
+# The perf gate's own negative control: identical files pass, a doctored
+# regression fails (exit 1).
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_codec.json \
+    bench/baselines/BENCH_codec.json --budget=0.05 --higher=v2.ratio >/dev/null || {
+    echo "FAIL: ada-stats diff rejected identical files" >&2
+    exit 1
+}
+set +e
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_codec.json \
+    bench/baselines/BENCH_codec_regressed.json --budget=0.05 --higher=v2.ratio >/dev/null
+GATE_EXIT=$?
+set -e
+[ "$GATE_EXIT" -eq 1 ] || {
+    echo "FAIL: ada-stats diff should exit 1 on the regressed fixture, got $GATE_EXIT" >&2
     exit 1
 }
 

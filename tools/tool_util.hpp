@@ -14,6 +14,8 @@
 #include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
 
 namespace ada::tools {
@@ -76,14 +78,70 @@ inline void metrics_end(const Args& args, std::ostream& os = std::cout) {
   const obs::Snapshot snapshot = obs::capture();
   if (args.get("metrics") == "json") {
     os << obs::to_json(snapshot) << "\n";
+  } else if (args.get("metrics") == "openmetrics") {
+    os << obs::to_openmetrics(snapshot);
   } else {
     obs::print_tables(snapshot, os);
   }
 }
 
 /// True when the human-readable report should move to stderr so stdout
-/// carries nothing but the machine-readable JSON document.
-inline bool metrics_json_only(const Args& args) { return args.get("metrics") == "json"; }
+/// carries nothing but the machine-readable document.
+inline bool metrics_json_only(const Args& args) {
+  return args.get("metrics") == "json" || args.get("metrics") == "openmetrics";
+}
+
+/// Shared --telemetry=FILE[,interval_ms] handling: starts the background
+/// metrics sampler appending a JSONL time series (docs/observability.md).
+/// Implies metrics collection.  Call telemetry_end after the instrumented
+/// work and *before* metrics_end, so the final telemetry line reconciles
+/// with the final `--metrics=json` dump.
+inline void telemetry_begin(const Args& args) {
+  if (!args.has("telemetry")) return;
+  const std::string spec = args.get("telemetry");
+  if (spec.empty() || spec == "true") {
+    std::fprintf(stderr, "error: --telemetry needs a file name (--telemetry=ts.jsonl[,250])\n");
+    std::exit(2);
+  }
+  obs::set_enabled(true);
+  const Status status = obs::start_telemetry(spec);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().to_string().c_str());
+    std::exit(2);
+  }
+}
+
+inline void telemetry_end(const Args& args) {
+  if (!args.has("telemetry")) return;
+  obs::stop_telemetry();
+}
+
+/// Shared --profile=FILE[,interval_us] handling: starts the span-attributed
+/// sampling profiler; profile_end writes the folded-stack (flamegraph)
+/// file.  Implies metrics collection (spans only record while obs is on).
+inline void profile_begin(const Args& args) {
+  if (!args.has("profile")) return;
+  const std::string spec = args.get("profile");
+  if (spec.empty() || spec == "true") {
+    std::fprintf(stderr, "error: --profile needs a file name (--profile=out.folded[,1000])\n");
+    std::exit(2);
+  }
+  obs::set_enabled(true);
+  const Status status = obs::start_profiler(spec);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().to_string().c_str());
+    std::exit(2);
+  }
+}
+
+inline void profile_end(const Args& args) {
+  if (!args.has("profile")) return;
+  const Status status = obs::stop_profiler();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().to_string().c_str());
+    std::exit(1);
+  }
+}
 
 /// Shared --trace=<file> handling.  Call trace_begin before the instrumented
 /// work (it turns the event recorder on) and trace_end after it to write the
