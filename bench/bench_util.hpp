@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <iostream>
 #include <string>
@@ -45,6 +46,28 @@ inline void obs_report(std::ostream& os = std::cout) {
   if (snapshot.empty()) return;
   os << "\n--- observability: pipeline stage breakdown ---\n";
   obs::print_tables(snapshot, os);
+}
+
+/// Parse --<name>=<n> from a harness's argv; `fallback` when absent.
+inline unsigned uint_flag(int argc, char** argv, const std::string& name, unsigned fallback) {
+  const std::string prefix = "--" + name + "=";
+  unsigned value = fallback;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = static_cast<unsigned>(std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  return value;
+}
+
+/// True when --<name> (exact) appears in a harness's argv.
+inline bool bool_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 /// Parse --trace=<file> from a harness's argv and, when present, switch the

@@ -7,6 +7,11 @@
 // D-ADA (protein) (two PVFS instances; ADA reads served by the SSD one).
 // Headlines: ADA > 2x PVFS in retrieval (all vs all), and D-PVFS turnaround
 // ~9x D-ADA(protein) at 6,256 frames.
+//
+// --queue-depth=<n> [--extent-kib=<k>, default 512] runs the retrieval
+// phases through the scatter-gather plan (PvfsModel::read_extents via
+// simulate_cluster_read) instead of whole-file stripes -- the same code
+// path bench/distributed_scaling sweeps.
 #include <iostream>
 
 #include "bench/bench_util.hpp"
@@ -20,8 +25,17 @@ int main(int argc, char** argv) {
   const std::string telemetry_spec = bench::telemetry_flag(argc, argv);
   const auto plat = platform::Platform::small_cluster();
   const auto& profile = platform::FrameProfile::paper_gpcr();
+  platform::PipelineOptions options;
+  options.sg_queue_depth = bench::uint_flag(argc, argv, "queue-depth", 0);
+  if (options.sg_queue_depth != 0) {
+    options.sg_extent_bytes = bench::uint_flag(argc, argv, "extent-kib", 512) * 1024.0;
+  }
 
   bench::banner("Fig. 9: Evaluation on a Small Cluster", "paper Fig. 9a/9b/9c");
+  if (options.sg_queue_depth != 0) {
+    std::cout << "scatter-gather retrieval: " << options.sg_extent_bytes / 1024.0
+              << " KiB extents, queue depth " << options.sg_queue_depth << " per server\n";
+  }
 
   Table retrieval({"frames", "C-PVFS", "D-PVFS", "D-ADA (all)", "D-ADA (protein)",
                    "D-PVFS/ADA(all)"});
@@ -31,7 +45,7 @@ int main(int argc, char** argv) {
 
   for (const std::uint32_t frames : workload::FrameSeries::kCluster) {
     const auto sizes = platform::WorkloadSizes::from_profile(profile, frames);
-    const auto results = platform::run_all_scenarios(plat, sizes);
+    const auto results = platform::run_all_scenarios(plat, sizes, options);
     const auto& c = results[0];
     const auto& d = results[1];
     const auto& all = results[2];

@@ -7,6 +7,7 @@
 //  (paper Section 3.2)
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,28 @@ class Indexer {
   const plfs::PlfsMount& mount_;
 };
 
+/// Scatter-gather retrieval knobs (docs/performance.md, "Scatter-gather
+/// retrieval").  The defaults reproduce the serial pre-scatter-gather read
+/// path byte for byte.
+struct RetrieveOptions {
+  /// Extent reads in flight per retrieve() call.  0 or 1 keeps the serial
+  /// path (one extent at a time, read then verified); N > 1 fans per-extent
+  /// read+verify tasks onto the shared thread pool so transfer of one extent
+  /// overlaps verification/decode of another.
+  unsigned threads = 0;
+
+  /// Per-backend admission window for the parallel path: at most this many
+  /// extent reads in flight against any one backend (0 = unbounded).  Keeps
+  /// a wide fan-out from swamping a single server while other backends idle.
+  unsigned queue_depth = 4;
+
+  bool parallel() const noexcept { return threads > 1; }
+};
+
 class IoRetriever {
  public:
-  explicit IoRetriever(const plfs::PlfsMount& mount) : mount_(mount) {}
+  explicit IoRetriever(const plfs::PlfsMount& mount, RetrieveOptions options = {})
+      : mount_(mount), options_(options) {}
 
   /// Fetch the full subset image for `tag` (POSIX reads on the droppings the
   /// indexer located).  Reads are retried under the mount's retry policy and
@@ -57,13 +77,28 @@ class IoRetriever {
   Result<std::vector<std::uint8_t>> retrieve(const std::string& logical_name,
                                              const Tag& tag) const;
 
+  /// Fetch already-located extents, concatenated in location order.  Callers
+  /// that hold `DatasetLocation`s (the frame-range path, degraded sweeps)
+  /// use this to skip a second index walk.  With options().parallel() the
+  /// extents are read scatter-gather; the assembled bytes are byte-identical
+  /// to the serial loop either way (ordered merge).
+  Result<std::vector<std::uint8_t>> retrieve(std::span<const DatasetLocation> locations) const;
+
+  /// Fetch several located extents as separate images, in location order
+  /// (the frame-range fast path assembles blocks out of these).  Same
+  /// scatter-gather/serial split as retrieve(span).
+  Result<std::vector<std::vector<std::uint8_t>>> retrieve_extents(
+      std::span<const DatasetLocation> locations) const;
+
   /// Fetch one located extent's bytes (same retry + CRC discipline as
-  /// retrieve()).  The frame-range fast path uses this to read only the
-  /// extents a block of frames actually touches.
+  /// retrieve()).
   Result<std::vector<std::uint8_t>> retrieve_extent(const DatasetLocation& location) const;
+
+  const RetrieveOptions& options() const noexcept { return options_; }
 
  private:
   const plfs::PlfsMount& mount_;
+  RetrieveOptions options_;
 };
 
 }  // namespace ada::core

@@ -213,7 +213,7 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
   auto subset = [&] {
     const obs::ScopedTimer retrieve_span("retrieve");
     const obs::TraceSpan retrieve_trace("retrieve", tag);
-    return IoRetriever(mount_).retrieve(logical_name, tag);
+    return IoRetriever(mount_, retrieve_options()).retrieve(logical_name, tag);
   }();
   if (subset.is_ok()) {
     if (cache_ != nullptr) {
@@ -353,7 +353,19 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
     // atom count then comes from the stored RAW header, which the index
     // cannot supply.
     ADA_OBS_COUNT("query.range.fallback", 1);
-    ADA_ASSIGN_OR_RETURN(const auto full, query(logical_name, tag));
+    std::vector<std::uint8_t> full;
+    if (cache_ != nullptr) {
+      ADA_ASSIGN_OR_RETURN(full, query(logical_name, tag));
+    } else {
+      // With no cache to consult, the droppings this function already
+      // located are the whole read plan: retrieve them directly instead of
+      // walking the index a second time inside retrieve(name, tag).
+      const obs::ScopedTimer retrieve_span("retrieve");
+      const obs::TraceSpan retrieve_trace("retrieve", tag);
+      ADA_ASSIGN_OR_RETURN(full, IoRetriever(mount_, retrieve_options())
+                                     .retrieve(std::span<const DatasetLocation>(locations)));
+      count_query_bytes(tag, full.size());
+    }
     auto sliced = slice_raw_frames(full, range);
     if (sliced.is_ok()) count_query_bytes(tag, sliced.value().size());
     return sliced;
@@ -368,7 +380,7 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
   // Extent images fetched this query: a run of uncached blocks reads each
   // dropping at most once.
   std::map<std::size_t, std::vector<std::uint8_t>> fetched;
-  const IoRetriever retriever(mount_);
+  const IoRetriever retriever(mount_, retrieve_options());
   // Owning extent of global frame `g`: last extent whose first frame is
   // <= g (ties from zero-frame extents resolve to the later, owning one).
   const auto extent_of = [&](std::uint64_t g) {
@@ -385,6 +397,39 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
     return lo;
   };
 
+  // Parallel mode plans the read up front: one pass resolves which blocks
+  // the cache already holds and which extents the uncached blocks touch,
+  // then a single scatter-gather retrieve fetches every needed extent
+  // concurrently.  The serial path keeps fetching on demand, one extent at
+  // a time, exactly as before.
+  std::map<std::uint64_t, QueryCache::Image> planned_blocks;
+  if (retriever.options().parallel()) {
+    std::vector<std::size_t> needed;  // ascending: picked and extent_of ascend
+    std::uint64_t planned = std::numeric_limits<std::uint64_t>::max();
+    for (const std::uint64_t g : picked) {
+      const std::uint64_t b = g / kFrameBlock;
+      if (b == planned) continue;
+      planned = b;
+      QueryCache::Image hit;
+      if (cache_ != nullptr) hit = cache_->lookup(logical_name, block_tag(tag, b), generation);
+      planned_blocks.emplace(b, hit);
+      if (hit != nullptr) continue;
+      const std::uint64_t lo_frame = b * kFrameBlock;
+      const std::uint64_t hi_frame = std::min(lo_frame + kFrameBlock, total_frames);
+      for (std::uint64_t f = lo_frame; f < hi_frame; ++f) {
+        const std::size_t e = extent_of(f);
+        if (needed.empty() || needed.back() != e) needed.push_back(e);
+      }
+    }
+    std::vector<DatasetLocation> want;
+    want.reserve(needed.size());
+    for (const std::size_t e : needed) want.push_back(locations[e]);
+    ADA_ASSIGN_OR_RETURN(auto images, retriever.retrieve_extents(want));
+    for (std::size_t k = 0; k < needed.size(); ++k) {
+      fetched.emplace(needed[k], std::move(images[k]));
+    }
+  }
+
   std::uint64_t current_block = std::numeric_limits<std::uint64_t>::max();
   QueryCache::Image cached;              // keeps a cache hit alive while sliced
   std::vector<std::uint8_t> local;       // block assembled from extents
@@ -395,7 +440,11 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
       current_block = b;
       block = nullptr;
       cached = nullptr;
-      if (cache_ != nullptr) cached = cache_->lookup(logical_name, block_tag(tag, b), generation);
+      if (const auto planned = planned_blocks.find(b); planned != planned_blocks.end()) {
+        cached = planned->second;  // resolved once in the planning pass
+      } else if (cache_ != nullptr) {
+        cached = cache_->lookup(logical_name, block_tag(tag, b), generation);
+      }
       if (cached != nullptr) {
         block = cached.get();
       } else {

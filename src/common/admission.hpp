@@ -1,0 +1,68 @@
+// Per-key admission windows: a bounded in-flight budget per resource.
+//
+// The scatter-gather retriever fans extent reads onto the shared thread
+// pool, but an unbounded fan-out would let one query swamp a single backend
+// (or, in a real deployment, a single PVFS server) with every outstanding
+// request.  AdmissionWindow bounds the number of in-flight operations *per
+// key* (backend id, server id): acquire() blocks until the key's window has
+// a free slot, release() frees it.
+//
+// Deadlock discipline: a holder of a slot must never block on acquiring
+// another slot of the same window.  The retriever acquires exactly one slot
+// per task, does its I/O, and releases -- so a blocked acquire() is always
+// waiting on a task that is actively running, and the window drains.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ada {
+
+class AdmissionWindow {
+ public:
+  /// `keys` resources, each admitting at most `depth` concurrent holders.
+  /// depth == 0 means unbounded (acquire never blocks).
+  AdmissionWindow(std::size_t keys, unsigned depth) : depth_(depth), in_flight_(keys, 0) {}
+
+  AdmissionWindow(const AdmissionWindow&) = delete;
+  AdmissionWindow& operator=(const AdmissionWindow&) = delete;
+
+  /// Block until key's window has room, then take a slot.  Returns the
+  /// number of times this call had to wait (0 = admitted immediately).
+  std::uint64_t acquire(std::size_t key) {
+    if (depth_ == 0) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    ADA_CHECK(key < in_flight_.size());
+    std::uint64_t waits = 0;
+    while (in_flight_[key] >= depth_) {
+      ++waits;
+      cv_.wait(lock);
+    }
+    ++in_flight_[key];
+    return waits;
+  }
+
+  void release(std::size_t key) {
+    if (depth_ == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ADA_CHECK(key < in_flight_.size() && in_flight_[key] > 0);
+      --in_flight_[key];
+    }
+    cv_.notify_all();
+  }
+
+  unsigned depth() const noexcept { return depth_; }
+
+ private:
+  const unsigned depth_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<unsigned> in_flight_;
+};
+
+}  // namespace ada

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/check.hpp"
 #include "common/units.hpp"
@@ -41,95 +42,42 @@ double loaded_bytes(Scenario scenario, const WorkloadSizes& sizes) {
 double cluster_retrieval_seconds(const ClusterConfig& cluster, Scenario scenario,
                                  const WorkloadSizes& sizes, const PipelineOptions& options,
                                  std::size_t* io_errors) {
-  sim::Simulator simulator;
-  sim::FlowNetwork network(simulator);
-  const unsigned nodes = cluster.compute_nodes + cluster.hdd_storage_nodes + cluster.ssd_storage_nodes;
-  net::Fabric fabric(simulator, network,
-                     net::FabricSpec{cluster.nic_bandwidth, cluster.backplane_bandwidth, 2e-6},
-                     nodes);
-
-  auto make_servers = [&](unsigned first, unsigned count, const storage::DeviceSpec& device) {
-    std::vector<pvfs::IoServer> servers;
-    const unsigned limit = options.stripe_servers_override == 0
-                               ? count
-                               : std::min(count, options.stripe_servers_override);
-    for (unsigned i = 0; i < limit; ++i) {
-      servers.push_back(pvfs::IoServer{first + i, device, cluster.disks_per_node});
-    }
-    return servers;
-  };
-  const unsigned hdd_first = cluster.compute_nodes;
-  const unsigned ssd_first = cluster.compute_nodes + cluster.hdd_storage_nodes;
-  const net::NodeId client = 0;
-
-  int outstanding = 0;
-  auto on_done = [&outstanding, io_errors](const Status& status) {
-    if (!status.is_ok() && io_errors != nullptr) ++*io_errors;
-    --outstanding;
-  };
-
-  // Instances are built per scenario; unused ones cost nothing.
-  std::optional<pvfs::PvfsModel> hybrid;
-  std::optional<pvfs::PvfsModel> ssd_fs;
-  std::optional<pvfs::PvfsModel> hdd_fs;
-
+  using Instance = ClusterRead::Instance;
+  using Placement = PipelineOptions::AdaClusterPlacement;
+  ClusterReadSpec spec;
+  spec.sg_extent_bytes = options.sg_extent_bytes;
+  spec.sg_queue_depth = options.sg_queue_depth;
+  spec.stripe_servers_override = options.stripe_servers_override;
   switch (scenario) {
     case Scenario::kCompressedFs:
-    case Scenario::kRawFs: {
-      // One PVFS over all six storage nodes (3 HDD + 3 SSD), the paper's
-      // hybrid control group.
-      auto servers = make_servers(hdd_first, cluster.hdd_storage_nodes,
-                                  storage::DeviceSpec::wd_hdd_1tb());
-      auto ssd_servers = make_servers(ssd_first, cluster.ssd_storage_nodes,
-                                      storage::DeviceSpec::plextor_ssd_256gb());
-      servers.insert(servers.end(), ssd_servers.begin(), ssd_servers.end());
-      hybrid.emplace(simulator, fabric, "pvfs", std::move(servers), hdd_first);
-      outstanding = 1;
-      hybrid->read_file(loaded_bytes(scenario, sizes), client, on_done);
+    case Scenario::kRawFs:
+      spec.reads.push_back(ClusterRead{Instance::kHybrid, loaded_bytes(scenario, sizes)});
       break;
-    }
+    case Scenario::kAdaProtein:
+      spec.reads.push_back(
+          ClusterRead{options.ada_placement == Placement::kAllOnHdd ? Instance::kHdd : Instance::kSsd,
+                      sizes.protein_bytes});
+      break;
     case Scenario::kAdaAll:
-    case Scenario::kAdaProtein: {
-      ssd_fs.emplace(simulator, fabric, "pvfs-ssd",
-                     make_servers(ssd_first, cluster.ssd_storage_nodes,
-                                  storage::DeviceSpec::plextor_ssd_256gb()),
-                     ssd_first);
-      hdd_fs.emplace(simulator, fabric, "pvfs-hdd",
-                     make_servers(hdd_first, cluster.hdd_storage_nodes,
-                                  storage::DeviceSpec::wd_hdd_1tb()),
-                     hdd_first);
-      const double misc_bytes = sizes.raw_bytes - sizes.protein_bytes;
-      using Placement = PipelineOptions::AdaClusterPlacement;
-      if (scenario == Scenario::kAdaProtein) {
-        outstanding = 1;
-        auto& fs = options.ada_placement == Placement::kAllOnHdd ? *hdd_fs : *ssd_fs;
-        fs.read_file(sizes.protein_bytes, client, on_done);
-      } else {
-        switch (options.ada_placement) {
-          case Placement::kAllOnSsd:
-            outstanding = 1;
-            ssd_fs->read_file(sizes.raw_bytes, client, on_done);
-            break;
-          case Placement::kAllOnHdd:
-            outstanding = 1;
-            hdd_fs->read_file(sizes.raw_bytes, client, on_done);
-            break;
-          case Placement::kSplitSsdHdd:
-            // Protein subset from the SSD instance, MISC from the HDD
-            // instance, fetched concurrently.
-            outstanding = 2;
-            ssd_fs->read_file(sizes.protein_bytes, client, on_done);
-            hdd_fs->read_file(misc_bytes, client, on_done);
-            break;
-        }
+      switch (options.ada_placement) {
+        case Placement::kAllOnSsd:
+          spec.reads.push_back(ClusterRead{Instance::kSsd, sizes.raw_bytes});
+          break;
+        case Placement::kAllOnHdd:
+          spec.reads.push_back(ClusterRead{Instance::kHdd, sizes.raw_bytes});
+          break;
+        case Placement::kSplitSsdHdd:
+          // Protein subset from the SSD instance, MISC from the HDD
+          // instance, fetched concurrently.
+          spec.reads.push_back(ClusterRead{Instance::kSsd, sizes.protein_bytes});
+          spec.reads.push_back(ClusterRead{Instance::kHdd, sizes.raw_bytes - sizes.protein_bytes});
+          break;
       }
       break;
-    }
   }
-  ADA_CHECK(outstanding > 0);
-  simulator.run_while_pending([&] { return outstanding == 0; });
-  ADA_CHECK(outstanding == 0);
-  return simulator.now();
+  const ClusterReadOutcome outcome = simulate_cluster_read(cluster, spec);
+  if (io_errors != nullptr) *io_errors += outcome.io_errors;
+  return outcome.seconds;
 }
 
 /// Internal phase description before slowdown/OOM resolution.
@@ -143,6 +91,98 @@ struct PhasePlan {
 };
 
 }  // namespace
+
+ClusterReadOutcome simulate_cluster_read(const ClusterConfig& cluster,
+                                         const ClusterReadSpec& spec) {
+  sim::Simulator simulator;
+  sim::FlowNetwork network(simulator);
+  const unsigned nodes =
+      cluster.compute_nodes + cluster.hdd_storage_nodes + cluster.ssd_storage_nodes;
+  net::Fabric fabric(simulator, network,
+                     net::FabricSpec{cluster.nic_bandwidth, cluster.backplane_bandwidth, 2e-6},
+                     nodes);
+
+  auto make_servers = [&](unsigned first, unsigned count, const storage::DeviceSpec& device) {
+    std::vector<pvfs::IoServer> servers;
+    const unsigned limit = spec.stripe_servers_override == 0
+                               ? count
+                               : std::min(count, spec.stripe_servers_override);
+    for (unsigned i = 0; i < limit; ++i) {
+      servers.push_back(pvfs::IoServer{first + i, device, cluster.disks_per_node});
+    }
+    return servers;
+  };
+  const unsigned hdd_first = cluster.compute_nodes;
+  const unsigned ssd_first = cluster.compute_nodes + cluster.hdd_storage_nodes;
+  const net::NodeId client = 0;
+
+  ClusterReadOutcome outcome;
+  int outstanding = 0;
+  auto on_done = [&outstanding, &outcome](const Status& status) {
+    if (!status.is_ok()) ++outcome.io_errors;
+    --outstanding;
+  };
+
+  // Instances are built per spec; unused ones cost nothing.  The hybrid
+  // instance spans all storage nodes (HDD then SSD); the dedicated
+  // instances are built as a pair, matching the ADA deployment shape.
+  std::optional<pvfs::PvfsModel> hybrid;
+  std::optional<pvfs::PvfsModel> ssd_fs;
+  std::optional<pvfs::PvfsModel> hdd_fs;
+  bool want_hybrid = false;
+  bool want_split = false;
+  for (const ClusterRead& read : spec.reads) {
+    (read.instance == ClusterRead::Instance::kHybrid ? want_hybrid : want_split) = true;
+  }
+  if (want_hybrid) {
+    auto servers =
+        make_servers(hdd_first, cluster.hdd_storage_nodes, storage::DeviceSpec::wd_hdd_1tb());
+    auto ssd_servers = make_servers(ssd_first, cluster.ssd_storage_nodes,
+                                    storage::DeviceSpec::plextor_ssd_256gb());
+    servers.insert(servers.end(), ssd_servers.begin(), ssd_servers.end());
+    hybrid.emplace(simulator, fabric, "pvfs", std::move(servers), hdd_first);
+  }
+  if (want_split) {
+    ssd_fs.emplace(simulator, fabric, "pvfs-ssd",
+                   make_servers(ssd_first, cluster.ssd_storage_nodes,
+                                storage::DeviceSpec::plextor_ssd_256gb()),
+                   ssd_first);
+    hdd_fs.emplace(simulator, fabric, "pvfs-hdd",
+                   make_servers(hdd_first, cluster.hdd_storage_nodes,
+                                storage::DeviceSpec::wd_hdd_1tb()),
+                   hdd_first);
+  }
+
+  auto issue = [&](pvfs::PvfsModel& fs, double bytes) {
+    ++outstanding;
+    if (spec.sg_extent_bytes > 0) {
+      // Scatter-gather: split into extents and admit per server under the
+      // queue depth.  read_file's whole-file stripes are the 0 default.
+      const auto plan = fs.layout().extents(static_cast<std::uint64_t>(bytes),
+                                            static_cast<std::uint64_t>(spec.sg_extent_bytes));
+      std::vector<pvfs::ExtentRead> extents;
+      extents.reserve(plan.size());
+      for (const auto& extent : plan) {
+        extents.push_back(pvfs::ExtentRead{static_cast<double>(extent.bytes), extent.server});
+      }
+      fs.read_extents(extents, client, pvfs::SgParams{spec.sg_queue_depth}, on_done);
+    } else {
+      fs.read_file(bytes, client, on_done);
+    }
+  };
+  for (const ClusterRead& read : spec.reads) {
+    switch (read.instance) {
+      case ClusterRead::Instance::kHybrid: issue(*hybrid, read.bytes); break;
+      case ClusterRead::Instance::kSsd: issue(*ssd_fs, read.bytes); break;
+      case ClusterRead::Instance::kHdd: issue(*hdd_fs, read.bytes); break;
+    }
+  }
+  ADA_CHECK(outstanding > 0);
+  simulator.run_while_pending([&] { return outstanding == 0; });
+  ADA_CHECK(outstanding == 0);
+  outcome.seconds = simulator.now();
+  return outcome;
+}
 
 std::string scenario_label(Scenario scenario, const Platform& platform) {
   const std::string fs = fs_suffix(platform);

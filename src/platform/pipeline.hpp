@@ -70,7 +70,43 @@ struct PipelineOptions {
   /// Override the stripe server count of the scenario's PVFS instance
   /// (striping ablation); 0 = use every server of the instance.
   unsigned stripe_servers_override = 0;
+
+  /// Scatter-gather plan for cluster retrievals: when sg_extent_bytes > 0
+  /// every retrieval is split into extents of that size and issued through
+  /// PvfsModel::read_extents under sg_queue_depth (extents in flight per
+  /// server, 0 = unbounded).  The 0 default keeps whole-file read_file
+  /// stripes -- the paper's shape, and bit-identical sim timing to pre-
+  /// scatter-gather builds.
+  double sg_extent_bytes = 0;
+  unsigned sg_queue_depth = 0;
 };
+
+/// One concurrent file read of a simulated cluster retrieval.
+struct ClusterRead {
+  /// Which PVFS instance serves it: the 6-node hybrid ("pvfs"), the SSD
+  /// instance ("pvfs-ssd"), or the HDD instance ("pvfs-hdd").
+  enum class Instance { kHybrid, kSsd, kHdd };
+  Instance instance = Instance::kSsd;
+  double bytes = 0;
+};
+
+/// A cluster retrieval to run on a fresh DES -- the shared substrate of
+/// run_scenario's retrieval phase, bench/fig9_cluster, and
+/// bench/distributed_scaling.
+struct ClusterReadSpec {
+  std::vector<ClusterRead> reads;  // issued concurrently
+  double sg_extent_bytes = 0;      // 0 = whole-file read_file stripes
+  unsigned sg_queue_depth = 0;     // extents in flight per server, 0 = unbounded
+  unsigned stripe_servers_override = 0;
+};
+
+struct ClusterReadOutcome {
+  double seconds = 0;       // sim time for every read to finish
+  std::size_t io_errors = 0;  // reads that failed for good (armed faults)
+};
+
+/// Build the cluster's fabric + PVFS instances and simulate `spec`.
+ClusterReadOutcome simulate_cluster_read(const ClusterConfig& cluster, const ClusterReadSpec& spec);
 
 ScenarioResult run_scenario(const Platform& platform, Scenario scenario,
                             const WorkloadSizes& sizes, const PipelineOptions& options = {});

@@ -87,8 +87,22 @@ void PvfsModel::write_file(double bytes, net::NodeId client, Completion on_compl
   start_striped(bytes, client, /*write=*/true, std::move(on_complete));
 }
 
-void PvfsModel::finish_stripe(const std::shared_ptr<OpState>& state, Status status) {
+void PvfsModel::finish_stripe(const std::shared_ptr<OpState>& state, std::uint32_t server,
+                              Status status) {
   if (!status.is_ok() && state->status.is_ok()) state->status = std::move(status);
+  if (state->queue_depth != 0) {
+    // Scatter-gather admission: this extent's slot frees, so the server's
+    // next queued extent (FIFO -- file order, the locality the plan set up)
+    // launches at the completion's sim time.
+    ADA_CHECK(state->in_flight[server] > 0);
+    --state->in_flight[server];
+    if (!state->queued[server].empty() && state->in_flight[server] < state->queue_depth) {
+      StripeTask next = std::move(state->queued[server].front());
+      state->queued[server].pop_front();
+      ++state->in_flight[server];
+      start_stripe(state, std::move(next), state->ctx, /*attempt=*/1);
+    }
+  }
   if (--state->remaining == 0 && state->done) state->done(state->status);
 }
 
@@ -116,21 +130,21 @@ void PvfsModel::fail_stripe(std::shared_ptr<OpState> state, StripeTask task,
       return;
     }
     ADA_OBS_COUNT("retry.pvfs.stripe.exhausted", 1);
-    finish_stripe(state, deadline_exceeded(
-                             name_ + " stripe on s" + std::to_string(servers_[s].node) +
-                             " exceeded " + std::to_string(retry_policy_.op_timeout_s) +
-                             "s: " + error.to_string()));
+    finish_stripe(state, s,
+                  deadline_exceeded(name_ + " stripe on s" + std::to_string(servers_[s].node) +
+                                    " exceeded " + std::to_string(retry_policy_.op_timeout_s) +
+                                    "s: " + error.to_string()));
     return;
   }
   if (is_transient(error.code())) {
     ADA_OBS_COUNT("retry.pvfs.stripe.exhausted", 1);
-    finish_stripe(state, unavailable(name_ + " stripe on s" +
-                                     std::to_string(servers_[s].node) + " failed after " +
-                                     std::to_string(attempt) + " attempt(s): " +
-                                     error.to_string()));
+    finish_stripe(state, s,
+                  unavailable(name_ + " stripe on s" + std::to_string(servers_[s].node) +
+                              " failed after " + std::to_string(attempt) +
+                              " attempt(s): " + error.to_string()));
     return;
   }
-  finish_stripe(state, std::move(error));
+  finish_stripe(state, s, std::move(error));
 }
 
 void PvfsModel::start_stripe(std::shared_ptr<OpState> state, StripeTask task,
@@ -171,7 +185,7 @@ void PvfsModel::start_stripe(std::shared_ptr<OpState> state, StripeTask task,
     fabric_.network().start_flow(
         std::move(path), server_bytes, [this, s, ctx, stripe_name, span, state]() {
           obs::sim_end(stripe_lanes_[s], stripe_name, simulator_.now(), span, ctx);
-          finish_stripe(state, Status::ok());
+          finish_stripe(state, s, Status::ok());
         });
   });
 }
@@ -234,6 +248,83 @@ void PvfsModel::start_striped(double bytes, net::NodeId client, bool write,
         task.path.insert(task.path.end(), net_path.begin(), net_path.end());
       }
       start_stripe(state, std::move(task), ctx, /*attempt=*/1);
+    }
+  });
+}
+
+void PvfsModel::read_extents(const std::vector<ExtentRead>& extents, net::NodeId client,
+                             SgParams params, Completion on_complete) {
+  double total = 0.0;
+  for (const ExtentRead& extent : extents) {
+    ADA_CHECK(extent.server < servers_.size() && extent.bytes >= 0.0);
+    total += extent.bytes;
+  }
+  ADA_OBS_COUNT("pvfs.read.calls", 1);
+  ADA_OBS_COUNT("pvfs.read.bytes", total);
+  ADA_OBS_COUNT("pvfs.sg.reads", 1);
+  ADA_OBS_COUNT("pvfs.sg.extents", extents.size());
+  // Same metadata discipline as read_file: one MDS round trip resolves the
+  // whole plan, and an MDS fault fails the op before any extent starts.
+  double lookup = metadata_params_.lookup_latency;
+  const fault::Outcome meta = fault::hit(kSiteMetadata);
+  if (meta.fired() && meta.kind != fault::Outcome::Kind::kDelay) {
+    simulator_.schedule_after(0.0, [on_complete = std::move(on_complete),
+                                    error = meta.to_error(kSiteMetadata)]() mutable {
+      if (on_complete) on_complete(std::move(error));
+    });
+    return;
+  }
+  if (meta.kind == fault::Outcome::Kind::kDelay) lookup += meta.delay_seconds;
+  const obs::TraceContext ctx = obs::trace_enabled() ? obs::current_context() : obs::TraceContext{};
+  metadata_.submit(lookup, [this, extents, client, params, ctx,
+                            on_complete = std::move(on_complete)]() mutable {
+    auto state = std::make_shared<OpState>();
+    state->done = std::move(on_complete);
+    state->start_time = simulator_.now();
+    state->ctx = ctx;
+    state->queue_depth = params.queue_depth;
+    // Group extents by owning server, preserving file order within each
+    // server (the plan's locality), and build each flow's path once.
+    std::vector<std::deque<StripeTask>> per_server(servers_.size());
+    for (const ExtentRead& extent : extents) {
+      if (extent.bytes <= 0.0) continue;
+      StripeTask task;
+      task.server = extent.server;
+      task.bytes = extent.bytes;
+      task.path.push_back(links_[extent.server].disk_read);
+      const auto net_path = fabric_.path(servers_[extent.server].node, client);
+      task.path.insert(task.path.end(), net_path.begin(), net_path.end());
+      ++state->remaining;
+      ADA_OBS_OBSERVE("pvfs.stripe.server_bytes", extent.bytes);
+      per_server[extent.server].push_back(std::move(task));
+    }
+    ADA_OBS_OBSERVE("pvfs.stripe.fanout", state->remaining);
+    if (state->remaining == 0) {
+      if (state->done) {
+        simulator_.schedule_after(0.0, [state]() { state->done(Status::ok()); });
+      }
+      return;
+    }
+    if (state->queue_depth == 0) {
+      // Unbounded: every flow starts now, like read_file's stripes.
+      for (auto& queue : per_server) {
+        while (!queue.empty()) {
+          StripeTask task = std::move(queue.front());
+          queue.pop_front();
+          start_stripe(state, std::move(task), ctx, /*attempt=*/1);
+        }
+      }
+      return;
+    }
+    state->in_flight.assign(servers_.size(), 0);
+    state->queued = std::move(per_server);
+    for (std::uint32_t s = 0; s < state->queued.size(); ++s) {
+      while (!state->queued[s].empty() && state->in_flight[s] < state->queue_depth) {
+        StripeTask task = std::move(state->queued[s].front());
+        state->queued[s].pop_front();
+        ++state->in_flight[s];
+        start_stripe(state, std::move(task), ctx, /*attempt=*/1);
+      }
     }
   });
 }

@@ -12,6 +12,7 @@
 // PvfsModel here.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +39,21 @@ struct IoServer {
 struct MetadataParams {
   double lookup_latency = 250e-6;  // getattr + layout fetch
   double create_latency = 400e-6;
+};
+
+/// One extent of a scatter-gather read: `bytes` served by server index
+/// `server` (StripeLayout::extents builds a plan from a file size).
+struct ExtentRead {
+  double bytes = 0.0;
+  std::uint32_t server = 0;
+};
+
+/// Scatter-gather knobs for read_extents.
+struct SgParams {
+  /// Extents in flight per server: extents beyond the window queue FIFO on
+  /// their owning server and launch as earlier ones finish.  0 = unbounded
+  /// (every extent's flow starts immediately, like read_file's stripes).
+  unsigned queue_depth = 0;
 };
 
 class PvfsModel {
@@ -73,6 +89,16 @@ class PvfsModel {
   /// Write a striped file of `bytes` from `client`.
   void write_file(double bytes, net::NodeId client, Completion on_complete);
 
+  /// Scatter-gather read: one concurrent stripe flow per extent, grouped by
+  /// owning server (extents keep file order within a server -- the locality
+  /// the retriever's plan provides) and admitted under the per-server queue
+  /// depth.  Completion semantics match read_file: `on_complete` fires after
+  /// the metadata lookup and every extent finishes (or fails for good); the
+  /// first failure in launch order is sticky.  A plan of one extent per
+  /// server at unbounded depth reproduces read_file's event schedule.
+  void read_extents(const std::vector<ExtentRead>& extents, net::NodeId client,
+                    SgParams params, Completion on_complete);
+
   // Status-less completions (callers that predate the fault plane; a no-arg
   // lambda binds here and unresolvable failures are dropped).
   void read_file(double bytes, net::NodeId client, std::function<void()> on_complete) {
@@ -88,20 +114,27 @@ class PvfsModel {
     sim::LinkId disk_write;
   };
 
-  /// One in-flight file operation (shared by its stripe flows).
-  struct OpState {
-    std::uint32_t remaining = 0;
-    Status status;        // first stripe failure, sticky
-    Completion done;
-    double start_time = 0.0;  // sim time at dispatch (op timeout basis)
-  };
-
   /// One stripe's work, kept so a retry can re-launch the same flow.
   struct StripeTask {
     std::uint32_t server = 0;
     double bytes = 0.0;
     bool write = false;
     std::vector<sim::LinkId> path;
+  };
+
+  /// One in-flight file operation (shared by its stripe flows).
+  struct OpState {
+    std::uint32_t remaining = 0;
+    Status status;        // first stripe failure, sticky
+    Completion done;
+    double start_time = 0.0;  // sim time at dispatch (op timeout basis)
+    // Scatter-gather admission (read_extents with queue_depth != 0): per-
+    // server FIFO of extents beyond the window, launched as slots free up.
+    // read_file/write_file ops leave these empty.
+    unsigned queue_depth = 0;  // 0 = unbounded, no admission bookkeeping
+    std::vector<std::deque<StripeTask>> queued;
+    std::vector<std::uint32_t> in_flight;
+    obs::TraceContext ctx;  // requester context for deferred launches
   };
 
   static Completion discard_status(std::function<void()> f) {
@@ -115,7 +148,7 @@ class PvfsModel {
                     obs::TraceContext ctx, int attempt);
   void fail_stripe(std::shared_ptr<OpState> state, StripeTask task,
                    obs::TraceContext ctx, int attempt, Error error);
-  void finish_stripe(const std::shared_ptr<OpState>& state, Status status);
+  void finish_stripe(const std::shared_ptr<OpState>& state, std::uint32_t server, Status status);
   std::uint32_t stripe_lane(std::uint32_t server);
 
   sim::Simulator& simulator_;

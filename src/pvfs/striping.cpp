@@ -30,4 +30,21 @@ std::uint64_t StripeLayout::stripes_on_server(std::uint64_t file_size, std::uint
   return (bytes + stripe_size - 1) / stripe_size;
 }
 
+std::vector<StripeLayout::Extent> StripeLayout::extents(std::uint64_t file_size,
+                                                        std::uint64_t extent_bytes) const {
+  ADA_CHECK(extent_bytes > 0);
+  std::vector<Extent> out;
+  out.reserve(static_cast<std::size_t>((file_size + extent_bytes - 1) / extent_bytes));
+  for (std::uint64_t offset = 0; offset < file_size; offset += extent_bytes) {
+    // Attribute extent i to server i % N (round-robin in file order) rather
+    // than to the server of its first byte: when extent_bytes is a stripe
+    // multiple, "first byte's server" aliases (extent k starts on stripe
+    // k*(extent/stripe), and k*8 % 2 == 0 for every k) and would starve all
+    // but a few servers, which no real PVFS layout does.
+    out.push_back(Extent{std::min(extent_bytes, file_size - offset),
+                         static_cast<std::uint32_t>((offset / extent_bytes) % server_count)});
+  }
+  return out;
+}
+
 }  // namespace ada::pvfs

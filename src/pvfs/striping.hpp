@@ -28,6 +28,18 @@ struct StripeLayout {
   /// Number of stripe units the file occupies on `server` (request count for
   /// the device model).
   std::uint64_t stripes_on_server(std::uint64_t file_size, std::uint32_t server) const;
+
+  /// One logical extent of a scatter-gather read plan.
+  struct Extent {
+    std::uint64_t bytes = 0;
+    std::uint32_t server = 0;  // server holding the extent's first byte
+  };
+
+  /// Split a `file_size`-byte file into `extent_bytes`-sized extents, in
+  /// file order, attributed round-robin across servers (extent i -> server
+  /// i % N, the balanced ownership a stripe-aligned layout yields).  This
+  /// is the unit of fan-out PvfsModel::read_extents consumes.
+  std::vector<Extent> extents(std::uint64_t file_size, std::uint64_t extent_bytes) const;
 };
 
 }  // namespace ada::pvfs

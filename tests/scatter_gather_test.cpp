@@ -1,0 +1,343 @@
+// Scatter-gather retrieval suite (`ctest -L check-sg`).
+//
+// The contract under test: a parallel retrieve (read_threads > 1) returns
+// BYTE-IDENTICAL results to the serial loop for every thread count, queue
+// depth, completion order, cache state, and failure pattern -- and the DES
+// plane's per-server admission window scales the way the bench claims.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "ada/indexer.hpp"
+#include "ada/ingest_stream.hpp"
+#include "ada/middleware.hpp"
+#include "ada/vfs.hpp"
+#include "common/admission.hpp"
+#include "common/faults.hpp"
+#include "platform/pipeline.hpp"
+#include "pvfs/pvfs.hpp"
+#include "pvfs/striping.hpp"
+#include "storage/device.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+namespace ada::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- AdmissionWindow -----------------------------------------------------------------
+
+TEST(AdmissionWindowTest, DepthZeroNeverBlocks) {
+  AdmissionWindow window(/*keys=*/2, /*depth=*/0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(window.acquire(0), 0u);  // no release: unbounded is a no-op
+  }
+}
+
+TEST(AdmissionWindowTest, BlocksAtDepthUntilRelease) {
+  AdmissionWindow window(/*keys=*/1, /*depth=*/1);
+  ASSERT_EQ(window.acquire(0), 0u);
+  std::atomic<bool> acquired{false};
+  std::thread blocked([&] {
+    const std::uint64_t waits = window.acquire(0);
+    EXPECT_GE(waits, 1u);  // it had to wait for the release
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load()) << "second acquire must block at depth 1";
+  window.release(0);
+  blocked.join();
+  EXPECT_TRUE(acquired.load());
+  window.release(0);
+}
+
+TEST(AdmissionWindowTest, KeysHaveIndependentBudgets) {
+  AdmissionWindow window(/*keys=*/2, /*depth=*/1);
+  EXPECT_EQ(window.acquire(0), 0u);
+  EXPECT_EQ(window.acquire(1), 0u);  // key 1 unaffected by key 0's slot
+  window.release(0);
+  window.release(1);
+}
+
+// --- middleware differential ---------------------------------------------------------
+
+/// Disarm every fault site on scope exit so a failing ASSERT can't leak an
+/// armed schedule into the next test.
+struct DisarmGuard {
+  ~DisarmGuard() { fault::Injector::global().disarm_all(); }
+};
+
+class ScatterGatherTest : public testing::Test {
+ protected:
+  static constexpr std::uint32_t kFrames = 17;  // chunks of 3: extents 3,3,3,3,3,2
+
+  void SetUp() override {
+    root_ = testing::TempDir() + "/ada_sg_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    fs::remove_all(root_);
+    system_ = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+    serial_ = open_ada(/*read_threads=*/0, /*queue_depth=*/4, /*cache_bytes=*/0);
+
+    // Streamed ingest with small chunks: every chunk flushes one dropping
+    // per tag, so each tag's subset spans six extents -- the multi-extent
+    // shape the scatter-gather engine fans over.
+    const LabelMap labels = categorize_protein_misc(system_);
+    auto stream = serial_->begin_stream(labels, "traj.xtc", /*chunk_frames=*/3);
+    ASSERT_TRUE(stream.is_ok()) << stream.error().to_string();
+    workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+    for (std::uint32_t f = 0; f < kFrames; ++f) {
+      const auto frame = gen.next_frame();
+      ASSERT_TRUE(stream.value()
+                      .add_frame(gen.current_step(), gen.current_time_ps(), system_.box(), frame)
+                      .is_ok());
+    }
+    ASSERT_TRUE(stream.value().finish().is_ok());
+
+    const auto tags = serial_->tags("traj.xtc");
+    ASSERT_TRUE(tags.is_ok());
+    tags_ = tags.value();
+    ASSERT_GE(tags_.size(), 2u);
+    for (const Tag& tag : tags_) {
+      reference_[tag] = serial_->query("traj.xtc", tag).value();
+    }
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::unique_ptr<Ada> open_ada(unsigned read_threads, unsigned queue_depth,
+                                std::uint64_t cache_bytes) {
+    AdaConfig config;
+    config.placement = PlacementPolicy::active_on_ssd(0, 1);
+    config.read_threads = read_threads;
+    config.read_queue_depth = queue_depth;
+    config.cache_bytes = cache_bytes;
+    return std::make_unique<Ada>(
+        plfs::PlfsMount::open({{"ssd", root_ + "/ssd"}, {"hdd", root_ + "/hdd"}}).value(),
+        config);
+  }
+
+  void expect_matches_reference(Ada& ada, const std::string& context) {
+    for (const Tag& tag : tags_) {
+      const auto got = ada.query("traj.xtc", tag);
+      ASSERT_TRUE(got.is_ok()) << context << ": " << got.error().to_string();
+      EXPECT_EQ(got.value(), reference_.at(tag)) << context << " tag " << tag;
+    }
+  }
+
+  std::string root_;
+  chem::System system_;
+  std::unique_ptr<Ada> serial_;
+  std::vector<Tag> tags_;
+  std::map<Tag, std::vector<std::uint8_t>> reference_;
+};
+
+TEST_F(ScatterGatherTest, ParallelMatchesSerialAcrossMatrix) {
+  for (const unsigned threads : {0u, 1u, 2u, 4u, 8u}) {
+    for (const unsigned depth : {0u, 1u, 2u, 4u}) {
+      auto ada = open_ada(threads, depth, /*cache_bytes=*/0);
+      expect_matches_reference(*ada, "threads=" + std::to_string(threads) +
+                                         " depth=" + std::to_string(depth));
+    }
+  }
+}
+
+TEST_F(ScatterGatherTest, AdversarialCompletionOrderStaysOrdered) {
+  // Random per-read delays scramble worker completion order; the ordered
+  // merge must still assemble extents in logical order, every round.
+  DisarmGuard guard;
+  ASSERT_TRUE(
+      fault::Injector::global().arm_spec("plfs.read_dropping=delay:0.002:0.5").is_ok());
+  auto ada = open_ada(/*read_threads=*/4, /*queue_depth=*/2, /*cache_bytes=*/0);
+  for (int round = 0; round < 4; ++round) {
+    expect_matches_reference(*ada, "adversarial round " + std::to_string(round));
+  }
+}
+
+TEST_F(ScatterGatherTest, FirstLogicalErrorWinsLikeSerial) {
+  // Break two extents; serial stops at the earliest broken one in logical
+  // order, and the parallel merge must surface that SAME error even though
+  // a later extent may fail first on the wall clock.
+  const auto locations = Indexer(serial_->mount()).locate("traj.xtc", tags_[0]).value();
+  ASSERT_GE(locations.size(), 4u);
+  fs::remove(locations[3].host_path);
+  fs::remove(locations[1].host_path);
+
+  const auto serial_result = serial_->query("traj.xtc", tags_[0]);
+  ASSERT_FALSE(serial_result.is_ok());
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/2, /*cache_bytes=*/0);
+  const auto parallel_result = parallel->query("traj.xtc", tags_[0]);
+  ASSERT_FALSE(parallel_result.is_ok());
+  EXPECT_EQ(parallel_result.error().to_string(), serial_result.error().to_string());
+}
+
+TEST_F(ScatterGatherTest, RangeFastPathMatchesSerial) {
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/4, /*cache_bytes=*/0);
+  const FrameRange ranges[] = {{0, kFrames, 1}, {2, 11, 2}, {5, 6, 1}, {0, kFrames, 3}};
+  for (const Tag& tag : tags_) {
+    for (const FrameRange& range : ranges) {
+      const auto want = serial_->query("traj.xtc", tag, range);
+      const auto got = parallel->query("traj.xtc", tag, range);
+      ASSERT_TRUE(want.is_ok()) << want.error().to_string();
+      ASSERT_TRUE(got.is_ok()) << got.error().to_string();
+      EXPECT_EQ(got.value(), want.value())
+          << "range [" << range.begin << "," << range.end << ") stride " << range.stride
+          << " tag " << tag;
+    }
+  }
+}
+
+TEST_F(ScatterGatherTest, CacheArmedDoubleReadStaysIdentical) {
+  // First read fills the subset cache through the parallel path; the second
+  // is a cache hit.  Both must equal the uncached serial bytes.
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/4, /*cache_bytes=*/64u << 20);
+  expect_matches_reference(*parallel, "cache fill");
+  expect_matches_reference(*parallel, "cache hit");
+}
+
+TEST_F(ScatterGatherTest, VfsUntaggedFanoutMatchesSerial) {
+  VfsShim serial_shim(*serial_, root_ + "/host_s");
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/4, /*cache_bytes=*/0);
+  VfsShim parallel_shim(*parallel, root_ + "/host_p");
+  const auto want = serial_shim.read("traj.xtc", "vmd");
+  const auto got = parallel_shim.read("traj.xtc", "vmd");
+  ASSERT_TRUE(want.is_ok()) << want.error().to_string();
+  ASSERT_TRUE(got.is_ok()) << got.error().to_string();
+  EXPECT_EQ(got.value(), want.value());
+}
+
+TEST_F(ScatterGatherTest, DegradedQueryServesSurvivorsUnderParallelReads) {
+  // A downed extent behind one tag: the degraded read must flag that tag
+  // and serve the other tags' bytes unchanged through the parallel path.
+  const auto locations = Indexer(serial_->mount()).locate("traj.xtc", tags_[0]).value();
+  ASSERT_FALSE(locations.empty());
+  fs::remove(locations[0].host_path);
+
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/2, /*cache_bytes=*/0);
+  const auto partial = parallel->query_degraded("traj.xtc");
+  ASSERT_TRUE(partial.is_ok()) << partial.error().to_string();
+  EXPECT_TRUE(partial.value().partial());
+  ASSERT_EQ(partial.value().failed.size(), 1u);
+  EXPECT_EQ(partial.value().failed[0].tag, tags_[0]);
+  for (const Tag& tag : tags_) {
+    if (tag == tags_[0]) continue;
+    EXPECT_EQ(partial.value().subsets.at(tag), reference_.at(tag)) << "survivor tag " << tag;
+  }
+}
+
+TEST_F(ScatterGatherTest, StressConcurrentQueriesStayIdentical) {
+  // Many application threads querying one parallel middleware at once: the
+  // shared pool, admission windows, and block cache must stay race-free
+  // (run under TSan via the sanitizer build).
+  auto parallel = open_ada(/*read_threads=*/4, /*queue_depth=*/2, /*cache_bytes=*/8u << 20);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 3; ++round) {
+        for (const Tag& tag : tags_) {
+          const auto got = parallel->query("traj.xtc", tag);
+          if (!got.is_ok() || got.value() != reference_.at(tag)) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- DES plane -----------------------------------------------------------------------
+
+double sim_read_seconds(unsigned servers, unsigned queue_depth, double extent_bytes) {
+  platform::ClusterConfig cluster;
+  cluster.compute_nodes = 1;
+  cluster.hdd_storage_nodes = servers;
+  cluster.ssd_storage_nodes = 1;
+  platform::ClusterReadSpec spec;
+  spec.reads = {platform::ClusterRead{platform::ClusterRead::Instance::kHdd, 16.0 * 1024 * 1024}};
+  spec.sg_extent_bytes = extent_bytes;
+  spec.sg_queue_depth = queue_depth;
+  return platform::simulate_cluster_read(cluster, spec).seconds;
+}
+
+constexpr double kExtent = 512.0 * 1024;
+
+TEST(ScatterGatherSimTest, ServerScalingIsMonotone) {
+  const double t1 = sim_read_seconds(1, 4, kExtent);
+  const double t2 = sim_read_seconds(2, 4, kExtent);
+  const double t4 = sim_read_seconds(4, 4, kExtent);
+  const double t9 = sim_read_seconds(9, 4, kExtent);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t4, t9);
+  EXPECT_GT(t1 / t9, 4.0) << "nine HDD servers should beat one by well over 4x";
+}
+
+TEST(ScatterGatherSimTest, DeeperQueuesNeverSlower) {
+  const double unbounded = sim_read_seconds(9, 0, kExtent);
+  double previous = sim_read_seconds(9, 1, kExtent);
+  for (const unsigned depth : {2u, 4u, 8u, 16u}) {
+    const double seconds = sim_read_seconds(9, depth, kExtent);
+    EXPECT_LE(seconds, previous + 1e-9) << "depth " << depth;
+    previous = seconds;
+  }
+  EXPECT_GE(previous, unbounded - 1e-9) << "unbounded is the floor";
+}
+
+TEST(ScatterGatherSimTest, OneExtentPerServerReproducesReadFile) {
+  // read_extents with each server's whole share as one extent at unbounded
+  // depth must replay read_file's exact event schedule.
+  sim::Simulator simulator;
+  sim::FlowNetwork network(simulator);
+  net::Fabric fabric(simulator, network, net::FabricSpec{4.5e9, 40e9, 2e-6}, /*node_count=*/4);
+  const std::vector<pvfs::IoServer> servers = {{1, storage::DeviceSpec::wd_hdd_1tb(), 2},
+                                               {2, storage::DeviceSpec::wd_hdd_1tb(), 2},
+                                               {3, storage::DeviceSpec::wd_hdd_1tb(), 2}};
+  const double bytes = 48.0 * 1024 * 1024;
+
+  pvfs::PvfsModel whole(simulator, fabric, "whole", servers, 1);
+  double whole_done = -1;
+  whole.read_file(bytes, /*client=*/0, [&] { whole_done = simulator.now(); });
+  simulator.run();
+
+  sim::Simulator simulator2;
+  sim::FlowNetwork network2(simulator2);
+  net::Fabric fabric2(simulator2, network2, net::FabricSpec{4.5e9, 40e9, 2e-6}, 4);
+  pvfs::PvfsModel sg(simulator2, fabric2, "sg", servers, 1);
+  const auto shares = sg.layout().distribution(static_cast<std::uint64_t>(bytes));
+  std::vector<pvfs::ExtentRead> extents;
+  for (std::uint32_t s = 0; s < shares.size(); ++s) {
+    if (shares[s] != 0) {
+      extents.push_back(pvfs::ExtentRead{static_cast<double>(shares[s]), s});
+    }
+  }
+  double sg_done = -1;
+  sg.read_extents(extents, /*client=*/0, pvfs::SgParams{0},
+                  [&](const Status&) { sg_done = simulator2.now(); });
+  simulator2.run();
+
+  ASSERT_GT(whole_done, 0.0);
+  EXPECT_DOUBLE_EQ(sg_done, whole_done);
+}
+
+TEST(ScatterGatherSimTest, DownedServerFailsReadAfterRetries) {
+  DisarmGuard guard;
+  ASSERT_TRUE(fault::Injector::global()
+                  .arm_spec("pvfs.stripe_read.s1=down:1:1000000000")
+                  .is_ok());
+  platform::ClusterConfig cluster;
+  cluster.compute_nodes = 1;
+  cluster.hdd_storage_nodes = 9;
+  cluster.ssd_storage_nodes = 1;
+  platform::ClusterReadSpec spec;
+  spec.reads = {platform::ClusterRead{platform::ClusterRead::Instance::kHdd, 16.0 * 1024 * 1024}};
+  spec.sg_extent_bytes = kExtent;
+  spec.sg_queue_depth = 4;
+  const auto outcome = platform::simulate_cluster_read(cluster, spec);
+  EXPECT_EQ(outcome.io_errors, 1u) << "the op fails for good once retries are exhausted";
+  EXPECT_GT(outcome.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ada::core

@@ -37,6 +37,9 @@ ctest --test-dir "$BUILD_DIR" -L check-range --output-on-failure -j "$(nproc)"
 echo "== telemetry tier (ctest -L check-telemetry) =="
 ctest --test-dir "$BUILD_DIR" -L check-telemetry --output-on-failure -j "$(nproc)"
 
+echo "== scatter-gather tier (ctest -L check-sg) =="
+ctest --test-dir "$BUILD_DIR" -L check-sg --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -138,6 +141,26 @@ DEGRADED_EXIT=$?
 set -e
 [ "$DEGRADED_EXIT" -eq 2 ] || {
     echo "FAIL: degraded query under a down backend should exit 2, got $DEGRADED_EXIT" >&2
+    exit 1
+}
+
+echo "== scatter-gather smoke: --read-threads byte-identical + degraded exit 2 =="
+# Parallel retrieval must serve the same bytes the serial query wrote above.
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --tag p --read-threads 4 --queue-depth 2 --out "$WORK/protein_sg.raw" >/dev/null
+cmp "$WORK/protein.raw" "$WORK/protein_sg.raw" || {
+    echo "FAIL: --read-threads 4 served different bytes than the serial query" >&2
+    exit 1
+}
+# A down backend under parallel reads still degrades to an explicit partial
+# result (exit 2) -- the scatter-gather merge surfaces the failure, never junk.
+set +e
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --name traj.xtc \
+    --degraded --read-threads 4 --faults "plfs.read_dropping=down:1:1000" >/dev/null
+SG_DEGRADED_EXIT=$?
+set -e
+[ "$SG_DEGRADED_EXIT" -eq 2 ] || {
+    echo "FAIL: parallel degraded query under a down backend should exit 2, got $SG_DEGRADED_EXIT" >&2
     exit 1
 }
 
