@@ -73,12 +73,14 @@ Status IoDispatcher::dispatch(const std::string& logical_name,
 
 Result<plfs::IndexRecord> IoDispatcher::dispatch_one(const std::string& logical_name,
                                                      const Tag& tag,
-                                                     std::span<const std::uint8_t> bytes) {
+                                                     std::span<const std::uint8_t> bytes,
+                                                     const std::uint64_t* frame_base,
+                                                     std::uint32_t frame_count) {
   const obs::ScopedTimer span("dispatch");
   const obs::TraceSpan trace("dispatch", tag);
   const auto table = frame_table_for(frame_tables_, tag, bytes);
   auto record = mount_.append(logical_name, tag, policy_.backend_for(tag), bytes,
-                              table.has_value() ? &*table : nullptr);
+                              table.has_value() ? &*table : nullptr, frame_base, frame_count);
   if (record.is_ok()) count_dispatched(tag, bytes.size());
   return record;
 }

@@ -48,9 +48,13 @@ class IoDispatcher {
   Status dispatch(const std::string& logical_name,
                   const std::map<Tag, std::vector<std::uint8_t>>& subsets);
 
-  /// Append one more labeled blob to an existing container.
+  /// Append one more labeled blob to an existing container.  Streaming
+  /// ingest passes `frame_base` so the record carries its global frame span
+  /// [*frame_base, *frame_base + frame_count) for watermark clamping.
   Result<plfs::IndexRecord> dispatch_one(const std::string& logical_name, const Tag& tag,
-                                         std::span<const std::uint8_t> bytes);
+                                         std::span<const std::uint8_t> bytes,
+                                         const std::uint64_t* frame_base = nullptr,
+                                         std::uint32_t frame_count = 0);
 
  private:
   plfs::PlfsMount& mount_;

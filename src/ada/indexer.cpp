@@ -18,6 +18,18 @@ Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_
                                                      const Tag& tag) const {
   ADA_ASSIGN_OR_RETURN(auto records, mount_.read_index(logical_name));
   std::erase_if(records, [&](const plfs::IndexRecord& r) { return r.label != tag; });
+  // Live-streamed containers publish a sealed-frame watermark; only extents
+  // entirely below it are safe to serve (the open tail may be mid-flush on
+  // some tags).  The clamp works in ANY index/state read interleaving:
+  // records carry their own global frame span, so a newer index read against
+  // an older watermark simply hides the not-yet-published tail.  A corrupt
+  // state file is an error -- never silently "everything sealed".
+  ADA_ASSIGN_OR_RETURN(const auto state, mount_.read_stream_state(logical_name));
+  if (state.has_value()) {
+    std::erase_if(records, [&](const plfs::IndexRecord& r) {
+      return r.has_frame_base() && r.frame_base + r.frame_count > state->sealed_frames;
+    });
+  }
   if (records.empty()) {
     return not_found("no subset tagged '" + tag + "' in " + logical_name);
   }
@@ -39,6 +51,9 @@ Result<std::vector<DatasetLocation>> Indexer::locate(const std::string& logical_
     location.has_crc = record.has_checksum();
     location.has_frame_table = record.has_frame_table();
     location.frame_offsets = std::move(record.frame_offsets);
+    location.has_frame_base = record.has_frame_base();
+    location.frame_base = record.frame_base;
+    location.frame_count = record.frame_count;
     out.push_back(std::move(location));
   }
   return out;

@@ -30,6 +30,12 @@ struct DatasetLocation {
   /// `has_frame_table`): the index-side half of frame-range addressing.
   std::vector<std::uint64_t> frame_offsets;
   bool has_frame_table = false;  // false for records ingested without tables
+  /// Global frame span [frame_base, frame_base + frame_count) of this extent
+  /// (valid iff `has_frame_base`; streaming ingest).  locate() has already
+  /// clamped the location list to the sealed-frame watermark.
+  std::uint64_t frame_base = 0;
+  std::uint32_t frame_count = 0;
+  bool has_frame_base = false;
 };
 
 class Indexer {

@@ -9,6 +9,7 @@
 // through the same tag queries (formats::RawTrajCatReader joins the chunks).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,6 +29,9 @@ struct StreamReport {
   std::uint32_t frames = 0;
   std::uint32_t chunks = 0;
   std::map<Tag, std::uint64_t> subset_bytes;
+  std::uint64_t sealed_frames = 0;    // final watermark (== frames)
+  std::uint64_t floor_frames = 0;     // retention floor at seal time
+  std::uint64_t retention_drops = 0;  // chunks dropped by windowed retention
 };
 
 class IngestStream {
@@ -37,10 +41,19 @@ class IngestStream {
   /// is the per-frame split budget: with more than one, each frame's
   /// per-tag subset extraction fans out to the shared thread pool (every
   /// writer is touched by exactly one task, so the per-tag byte streams are
-  /// identical to the serial ones).
+  /// identical to the serial ones).  `retain_bytes`, when non-zero, enables
+  /// windowed retention: once the live sealed chunks exceed the budget, the
+  /// oldest chunks are dropped (index rewrite + dropping unlink) and the
+  /// retention floor rises -- queries below the floor return kOutOfRange.
+  /// The newest sealed chunk is always kept.
+  ///
+  /// begin() also publishes the container's initial (unsealed) stream state,
+  /// so concurrent readers see a live stream with watermark 0 instead of a
+  /// half-batch container; every chunk flush atomically appends the chunk's
+  /// extents and then advances the sealed-frame watermark over them.
   static Result<IngestStream> begin(IoDispatcher& dispatcher, LabelMap labels,
                                     std::string logical_name, std::uint32_t chunk_frames = 64,
-                                    unsigned threads = 1);
+                                    unsigned threads = 1, std::uint64_t retain_bytes = 0);
 
   /// Moving transfers the container handle: the source is left *sealed*
   /// (no dispatcher, finished) so a stale add_frame()/finish() on it fails
@@ -57,27 +70,44 @@ class IngestStream {
   std::uint32_t frames_ingested() const noexcept { return frames_; }
   std::uint32_t chunks_flushed() const noexcept { return chunks_; }
 
+  /// Published sealed-frame watermark (frames below it are readable now).
+  std::uint64_t sealed_frames() const noexcept { return state_.sealed_frames; }
+  /// Retention floor (frames below it have been dropped).
+  std::uint64_t floor_frames() const noexcept { return state_.floor_frames; }
+
   /// Flush the partial chunk, persist the label file, and seal the stream.
   /// No further add_frame calls are allowed afterwards.
   Result<StreamReport> finish();
 
  private:
   IngestStream(IoDispatcher& dispatcher, LabelMap labels, std::string logical_name,
-               std::uint32_t chunk_frames, unsigned threads);
+               std::uint32_t chunk_frames, unsigned threads, std::uint64_t retain_bytes);
+
+  /// One sealed chunk still live (not yet dropped by retention).
+  struct ChunkInfo {
+    std::uint64_t first_frame = 0;
+    std::uint32_t frames = 0;
+    std::uint64_t bytes = 0;  // summed across tags
+  };
 
   void reset_writers();
   Status flush_chunk();
+  Status apply_retention();
 
   IoDispatcher* dispatcher_;
   LabelMap labels_;
   std::string logical_name_;
   std::uint32_t chunk_frames_;
   unsigned threads_ = 1;
+  std::uint64_t retain_bytes_ = 0;
   std::map<Tag, formats::RawTrajWriter> writers_;
   std::uint32_t frames_in_chunk_ = 0;
   std::uint32_t frames_ = 0;
   std::uint32_t chunks_ = 0;
   std::map<Tag, std::uint64_t> subset_bytes_;
+  plfs::StreamState state_;
+  std::deque<ChunkInfo> live_chunks_;
+  std::uint64_t live_bytes_ = 0;
   bool finished_ = false;
 };
 

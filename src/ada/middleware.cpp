@@ -167,7 +167,8 @@ std::vector<Result<IngestReport>> Ada::ingest_batch(const chem::System& structur
 
 Result<IngestStream> Ada::begin_stream(const LabelMap& labels, const std::string& logical_name,
                                        std::uint32_t chunk_frames) {
-  return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames, config_.threads);
+  return IngestStream::begin(dispatcher_, labels, logical_name, chunk_frames, config_.threads,
+                             config_.retain_bytes);
 }
 
 void Ada::count_query_bytes(const Tag& tag, std::size_t bytes) const {
@@ -240,6 +241,15 @@ constexpr std::uint64_t kFrameBlock = 32;
 // generation fencing cover them identically.
 std::string block_tag(const Tag& tag, std::uint64_t block) {
   return tag + '\x01' + std::to_string(block);
+}
+
+// Cache-key tag for a *partial* frame block: the growing open-tail block of a
+// live stream, or a block straddling the retention floor.  Keying on the
+// frame count makes a grown tail block miss (and re-fill) instead of hitting
+// the shorter cached image; floor moves bump the rewrite generation, which
+// fences the rest.  '\x02', like '\x01', cannot appear in a label.
+std::string partial_block_tag(const Tag& tag, std::uint64_t block, std::uint64_t frames) {
+  return tag + '\x01' + std::to_string(block) + '\x02' + std::to_string(frames);
 }
 
 // True iff the extent is one canonical RawTrajWriter image -- a 16-byte
@@ -329,24 +339,44 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
   }
   if (range.stride == 0) return invalid_argument("frame stride must be positive");
 
-  // Same fencing discipline as the whole-subset path: the generation is
-  // observed BEFORE any read, so a racing write leaves filled blocks
-  // detectably stale.
-  std::uint64_t generation = 0;
-  if (cache_ != nullptr) generation = mount_.mutation_generation(logical_name);
+  // Fencing: frame blocks validate against the *rewrite* generation, which
+  // only history-rewriting writes advance (retention, repair, overwrite).  A
+  // streaming chunk flush bumps the mutation clock but not this one, so
+  // sealed-prefix blocks stay hittable across flushes -- the flush extends
+  // the readable prefix instead of invalidating it.  Observed BEFORE any
+  // read, so a racing rewrite leaves filled blocks detectably stale.
+  std::uint64_t block_generation = 0;
+  if (cache_ != nullptr) block_generation = mount_.rewrite_generation(logical_name);
 
   ADA_ASSIGN_OR_RETURN(const auto locations, Indexer(mount_).locate(logical_name, tag));
 
+  // Global frame numbering: streamed extents carry their own frame span
+  // (frame_base, clamped to the sealed watermark by the indexer); batch
+  // extents number implicitly from 0.  A mixed container, a span gap, or a
+  // span/table disagreement routes to the fallback slicer.
+  const bool streamed = !locations.empty() && locations.front().has_frame_base;
+  const std::uint64_t base_frame = streamed ? locations.front().frame_base : 0;
+  if (range.begin < base_frame) {
+    return out_of_range("frame " + std::to_string(range.begin) +
+                        " is below the retention floor (" + std::to_string(base_frame) + ")");
+  }
+
   std::uint64_t frame_bytes = 0;
-  std::uint64_t total_frames = 0;
+  std::uint64_t total_frames = base_frame;
   std::vector<std::uint64_t> first_frame(locations.size(), 0);
   bool fast = true;
   for (std::size_t i = 0; i < locations.size() && fast; ++i) {
     first_frame[i] = total_frames;
+    if (locations[i].has_frame_base != streamed ||
+        (streamed && (locations[i].frame_base != total_frames ||
+                      locations[i].frame_count != locations[i].frame_offsets.size()))) {
+      fast = false;
+      break;
+    }
     fast = canonical_extent(locations[i], frame_bytes);
     total_frames += locations[i].frame_offsets.size();
   }
-  if (!fast || total_frames == 0) {
+  if (!fast || total_frames == base_frame) {
     // Fallback covers containers ingested without frame tables and any
     // non-canonical extent: fetch the whole subset (through the subset cache
     // when armed) and slice.  A zero-frame dataset also lands here -- the
@@ -366,7 +396,15 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
                                      .retrieve(std::span<const DatasetLocation>(locations)));
       count_query_bytes(tag, full.size());
     }
-    auto sliced = slice_raw_frames(full, range);
+    // The full image of a retained stream starts at the floor, not frame 0:
+    // shift the selection into the image's local numbering.
+    FrameRange local_range = range;
+    local_range.begin = static_cast<std::uint32_t>(range.begin - base_frame);
+    if (range.end != std::numeric_limits<std::uint32_t>::max()) {
+      local_range.end = static_cast<std::uint32_t>(
+          range.end > base_frame ? range.end - base_frame : 0);
+    }
+    auto sliced = slice_raw_frames(full, local_range);
     if (sliced.is_ok()) count_query_bytes(tag, sliced.value().size());
     return sliced;
   }
@@ -376,6 +414,20 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
   std::vector<std::uint8_t> out;
   out.reserve(16 + picked.size() * frame_bytes);
   append_raw_header(out, atoms, static_cast<std::uint32_t>(picked.size()));
+
+  // A block's available frames, clamped to the retention floor below and the
+  // sealed prefix above.  A clamped (partial) block caches under a
+  // frame-count-suffixed key so a later, longer version of the same block
+  // can never serve the shorter cached image.
+  const auto block_bounds = [&](std::uint64_t b) {
+    return std::pair<std::uint64_t, std::uint64_t>(
+        std::max(b * kFrameBlock, base_frame),
+        std::min((b + 1) * kFrameBlock, total_frames));
+  };
+  const auto block_key = [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi) {
+    const bool full = lo == b * kFrameBlock && hi == (b + 1) * kFrameBlock;
+    return full ? block_tag(tag, b) : partial_block_tag(tag, b, hi - lo);
+  };
 
   // Extent images fetched this query: a run of uncached blocks reads each
   // dropping at most once.
@@ -410,12 +462,13 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
       const std::uint64_t b = g / kFrameBlock;
       if (b == planned) continue;
       planned = b;
+      const auto [lo_frame, hi_frame] = block_bounds(b);
       QueryCache::Image hit;
-      if (cache_ != nullptr) hit = cache_->lookup(logical_name, block_tag(tag, b), generation);
+      if (cache_ != nullptr) {
+        hit = cache_->lookup(logical_name, block_key(b, lo_frame, hi_frame), block_generation);
+      }
       planned_blocks.emplace(b, hit);
       if (hit != nullptr) continue;
-      const std::uint64_t lo_frame = b * kFrameBlock;
-      const std::uint64_t hi_frame = std::min(lo_frame + kFrameBlock, total_frames);
       for (std::uint64_t f = lo_frame; f < hi_frame; ++f) {
         const std::size_t e = extent_of(f);
         if (needed.empty() || needed.back() != e) needed.push_back(e);
@@ -431,6 +484,7 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
   }
 
   std::uint64_t current_block = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t current_lo = 0;          // first global frame of current block
   QueryCache::Image cached;              // keeps a cache hit alive while sliced
   std::vector<std::uint8_t> local;       // block assembled from extents
   const std::vector<std::uint8_t>* block = nullptr;
@@ -440,16 +494,17 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
       current_block = b;
       block = nullptr;
       cached = nullptr;
+      const auto [lo_frame, hi_frame] = block_bounds(b);
+      current_lo = lo_frame;
+      const std::string key = block_key(b, lo_frame, hi_frame);
       if (const auto planned = planned_blocks.find(b); planned != planned_blocks.end()) {
         cached = planned->second;  // resolved once in the planning pass
       } else if (cache_ != nullptr) {
-        cached = cache_->lookup(logical_name, block_tag(tag, b), generation);
+        cached = cache_->lookup(logical_name, key, block_generation);
       }
       if (cached != nullptr) {
         block = cached.get();
       } else {
-        const std::uint64_t lo_frame = b * kFrameBlock;
-        const std::uint64_t hi_frame = std::min(lo_frame + kFrameBlock, total_frames);
         local.clear();
         local.reserve((hi_frame - lo_frame) * frame_bytes);
         for (std::uint64_t f = lo_frame; f < hi_frame; ++f) {
@@ -467,17 +522,61 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
           local.insert(local.end(), frame, frame + frame_bytes);
         }
         if (cache_ != nullptr) {
-          cache_->insert(logical_name, block_tag(tag, b), generation, local);
+          cache_->insert(logical_name, key, block_generation, local);
         }
         block = &local;
       }
     }
-    const std::uint64_t off = (g - b * kFrameBlock) * frame_bytes;
+    const std::uint64_t off = (g - current_lo) * frame_bytes;
     const auto* frame = block->data() + off;
     out.insert(out.end(), frame, frame + frame_bytes);
   }
   count_query_bytes(tag, out.size());
   return out;
+}
+
+Result<Ada::TailChunk> Ada::query_tail(const std::string& logical_name, const Tag& tag,
+                                       std::uint64_t from_frame) const {
+  const obs::ScopedTimer span("query");
+  const obs::TraceSpan trace("query_tail", tag);
+  ADA_OBS_COUNT("stream.tail_polls", 1);
+  ADA_ASSIGN_OR_RETURN(const auto state, mount_.read_stream_state(logical_name));
+  TailChunk chunk;
+  chunk.from_frame = from_frame;
+  if (!state.has_value()) {
+    // Batch container: everything is already sealed.  Serve the remaining
+    // frames in one chunk; a second poll from the new position comes back
+    // empty and the caller stops.
+    ADA_ASSIGN_OR_RETURN(
+        chunk.image,
+        query(logical_name, tag, FrameRange{static_cast<std::uint32_t>(from_frame)}));
+    ADA_ASSIGN_OR_RETURN(const auto raw, formats::RawTrajReader::open(chunk.image));
+    chunk.frames = raw.frame_count();
+    chunk.sealed = true;
+    if (chunk.frames == 0) chunk.image.clear();
+    return chunk;
+  }
+  chunk.sealed = state->sealed;
+  if (from_frame < state->floor_frames) {
+    return out_of_range("tail frame " + std::to_string(from_frame) +
+                        " is below the retention floor (" +
+                        std::to_string(state->floor_frames) + ")");
+  }
+  if (from_frame >= state->sealed_frames) return chunk;  // nothing new yet
+  // The watermark observed above bounds the read; a flush racing us only
+  // means the next poll has more to serve.
+  ADA_ASSIGN_OR_RETURN(
+      chunk.image,
+      query(logical_name, tag,
+            FrameRange{static_cast<std::uint32_t>(from_frame),
+                       static_cast<std::uint32_t>(state->sealed_frames), 1}));
+  chunk.frames = state->sealed_frames - from_frame;
+  return chunk;
+}
+
+Result<std::optional<plfs::StreamState>> Ada::stream_progress(
+    const std::string& logical_name) const {
+  return mount_.read_stream_state(logical_name);
 }
 
 std::vector<std::uint8_t> Ada::PartialQuery::concat() const {

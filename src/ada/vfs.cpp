@@ -141,6 +141,15 @@ Result<Ada::PartialQuery> VfsShim::read_degraded(const std::string& path,
   return ada_->query_degraded(logical);
 }
 
+Result<Ada::TailChunk> VfsShim::read_tail(const std::string& path, const std::string& app_id,
+                                          const Tag& tag, std::uint64_t from_frame) const {
+  const std::string logical = basename_of(path);
+  if (!ada_->has_dataset(logical) || !ada_->should_intercept(path, app_id)) {
+    return failed_precondition("tail read of a non-ADA path: " + path);
+  }
+  return ada_->query_tail(logical, tag, from_frame);
+}
+
 Status VfsShim::set_guide(const std::string& pdb_logical_name) {
   if (structures_.count(pdb_logical_name) == 0) {
     return not_found("no structure registered as " + pdb_logical_name);

@@ -54,6 +54,12 @@ class VfsShim {
   Result<Ada::PartialQuery> read_degraded(const std::string& path,
                                           const std::string& app_id) const;
 
+  /// Tail read of a live-streamed ADA dataset: the frames of `tag` sealed at
+  /// or after `from_frame` (Ada::query_tail semantics -- poll until
+  /// `sealed && frames == 0`).  Non-ADA paths fail with kFailedPrecondition.
+  Result<Ada::TailChunk> read_tail(const std::string& path, const std::string& app_id,
+                                   const Tag& tag, std::uint64_t from_frame) const;
+
   /// Explicitly bind future .xtc ingests to the structure registered under
   /// `pdb_logical_name` (overrides most-recent pairing).
   Status set_guide(const std::string& pdb_logical_name);

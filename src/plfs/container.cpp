@@ -4,12 +4,14 @@
 #include <cstring>
 
 #include "common/binary_io.hpp"
+#include "common/crc32c.hpp"
 
 namespace ada::plfs {
 
 namespace {
 constexpr std::uint8_t kIndexMagicV1[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '1'};
 constexpr std::uint8_t kIndexMagicV2[8] = {'P', 'L', 'F', 'S', 'I', 'D', 'X', '2'};
+constexpr std::uint8_t kStreamMagic[8] = {'A', 'D', 'A', 'S', 'T', 'R', 'M', '1'};
 }
 
 std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) {
@@ -28,6 +30,10 @@ std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records) 
     if (r.has_frame_table()) {
       w.put_u32_le(static_cast<std::uint32_t>(r.frame_offsets.size()));
       for (const std::uint64_t off : r.frame_offsets) w.put_u64_le(off);
+    }
+    if (r.has_frame_base()) {
+      w.put_u64_le(r.frame_base);
+      w.put_u32_le(r.frame_count);
     }
   }
   return w.take();
@@ -69,11 +75,60 @@ Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> imag
           record.frame_offsets.push_back(off);
         }
       }
+      if (record.has_frame_base()) {
+        ADA_ASSIGN_OR_RETURN(record.frame_base, r.get_u64_le());
+        ADA_ASSIGN_OR_RETURN(record.frame_count, r.get_u32_le());
+      }
     }
     records.push_back(std::move(record));
   }
   if (!r.at_end()) return corrupt_data("trailing bytes after plfs index records");
   return records;
+}
+
+std::vector<std::uint8_t> encode_stream_state(const StreamState& state) {
+  ByteWriter w;
+  w.put_bytes(kStreamMagic);
+  w.put_u8(state.sealed ? 1 : 0);
+  w.put_u64_le(state.sealed_frames);
+  w.put_u64_le(state.sealed_chunks);
+  w.put_u64_le(state.floor_frames);
+  w.put_u64_le(state.retention_drops);
+  std::vector<std::uint8_t> image = w.take();
+  const std::uint32_t crc = crc32c(image);
+  ByteWriter tail;
+  tail.put_u32_le(crc);
+  const std::vector<std::uint8_t> tail_bytes = tail.take();
+  image.insert(image.end(), tail_bytes.begin(), tail_bytes.end());
+  return image;
+}
+
+Result<StreamState> decode_stream_state(std::span<const std::uint8_t> image) {
+  // magic(8) + sealed(1) + 4 x u64(32) + crc(4)
+  constexpr std::size_t kStateBytes = 8 + 1 + 4 * 8 + 4;
+  if (image.size() != kStateBytes) return corrupt_data("bad stream state size");
+  if (std::memcmp(image.data(), kStreamMagic, 8) != 0) {
+    return corrupt_data("bad stream state magic");
+  }
+  ByteReader r(image.subspan(8, kStateBytes - 8 - 4));
+  StreamState state;
+  std::uint8_t sealed = 0;
+  ADA_ASSIGN_OR_RETURN(sealed, r.get_u8());
+  if (sealed > 1) return corrupt_data("bad stream state sealed flag");
+  state.sealed = sealed != 0;
+  ADA_ASSIGN_OR_RETURN(state.sealed_frames, r.get_u64_le());
+  ADA_ASSIGN_OR_RETURN(state.sealed_chunks, r.get_u64_le());
+  ADA_ASSIGN_OR_RETURN(state.floor_frames, r.get_u64_le());
+  ADA_ASSIGN_OR_RETURN(state.retention_drops, r.get_u64_le());
+  ByteReader crc_r(image.subspan(kStateBytes - 4));
+  ADA_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, crc_r.get_u32_le());
+  if (stored_crc != crc32c(image.data(), kStateBytes - 4)) {
+    return corrupt_data("stream state crc mismatch");
+  }
+  if (state.floor_frames > state.sealed_frames) {
+    return corrupt_data("stream state floor above watermark");
+  }
+  return state;
 }
 
 std::uint64_t logical_size(const std::vector<IndexRecord>& records) {

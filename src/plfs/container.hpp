@@ -23,6 +23,11 @@ struct IndexRecord {
   static constexpr std::uint8_t kHasChecksum = 0x01;
   /// Record carries a per-extent frame table (frame-granular addressing).
   static constexpr std::uint8_t kHasFrameTable = 0x02;
+  /// Record carries a global frame span (streaming ingest: the extent holds
+  /// frames [frame_base, frame_base + frame_count) of the subset's frame
+  /// axis).  Readers clamp to the container's sealed-frame watermark
+  /// (StreamState) using exactly this span.
+  static constexpr std::uint8_t kHasFrameBase = 0x04;
 
   std::uint64_t logical_offset = 0;  // position in the logical file
   std::uint64_t length = 0;
@@ -49,6 +54,20 @@ struct IndexRecord {
     flags |= kHasFrameTable;
   }
 
+  /// Global frame index of the extent's first frame (valid iff
+  /// kHasFrameBase), plus the number of frames the extent holds.  Written by
+  /// the streaming ingest so the sealed prefix is computable from the index
+  /// alone, whatever order a racing reader saw index and stream state in.
+  std::uint64_t frame_base = 0;
+  std::uint32_t frame_count = 0;
+
+  bool has_frame_base() const noexcept { return (flags & kHasFrameBase) != 0; }
+  void set_frame_base(std::uint64_t base, std::uint32_t count) noexcept {
+    frame_base = base;
+    frame_count = count;
+    flags |= kHasFrameBase;
+  }
+
   friend bool operator==(const IndexRecord&, const IndexRecord&) = default;
 };
 
@@ -61,6 +80,37 @@ std::vector<std::uint8_t> encode_index(const std::vector<IndexRecord>& records);
 /// v1 ("PLFSIDX1") images; v1 records decode with no checksum (readers then
 /// skip verification for those extents).
 Result<std::vector<IndexRecord>> decode_index(std::span<const std::uint8_t> image);
+
+/// Live-stream publication state of a container ("stream.plfs", next to the
+/// index on backend 0, replaced atomically on every chunk flush).
+///
+/// The *sealed-frame watermark* `sealed_frames` is the publication point:
+/// global frames [floor_frames, sealed_frames) are durable on every tag and
+/// safe to serve; anything at or beyond the watermark is the open tail --
+/// possibly mid-flush, possibly missing on some tags -- and must stay
+/// invisible to readers.  The watermark only moves forward (monotone), the
+/// floor only rises (windowed retention dropping the oldest chunks), and
+/// `sealed` flips to true exactly once when the stream finishes.  Containers
+/// written by batch ingest have no stream state at all; readers then treat
+/// every indexed extent as sealed (the pre-streaming behavior, bit for bit).
+struct StreamState {
+  bool sealed = false;
+  std::uint64_t sealed_frames = 0;   // watermark: frames below this are readable
+  std::uint64_t sealed_chunks = 0;   // chunks fully published
+  std::uint64_t floor_frames = 0;    // retention floor: frames below this are gone
+  std::uint64_t retention_drops = 0; // chunks dropped by windowed retention
+
+  friend bool operator==(const StreamState&, const StreamState&) = default;
+};
+
+/// Serialize stream state ("ADASTRM1" magic, little-endian fields, trailing
+/// CRC32C over everything before it -- a torn or bit-flipped state file is
+/// detected, never trusted).
+std::vector<std::uint8_t> encode_stream_state(const StreamState& state);
+
+/// Parse an on-disk stream-state image; kCorruptData on bad magic, short or
+/// oversized image, or CRC mismatch.
+Result<StreamState> decode_stream_state(std::span<const std::uint8_t> image);
 
 /// Logical file size implied by an index (max extent end).
 std::uint64_t logical_size(const std::vector<IndexRecord>& records);

@@ -28,12 +28,28 @@ struct VerifyReport {
   /// (backend id, file name)
   std::vector<std::pair<std::uint32_t, std::string>> orphan_droppings;
 
+  /// Streamed extents above the sealed-frame watermark: the open tail of an
+  /// interrupted stream.  Possibly mid-write, so they are exempt from the
+  /// broken/checksum classification; repair quarantines them and seals the
+  /// stream.  The sealed prefix below the watermark is untouched.
+  std::vector<IndexRecord> open_tail_records;
+
+  /// Stream state present and not sealed (a live stream, or a crash before
+  /// finish()).  Informational: an open stream with no other findings is
+  /// consistent -- do not run repair on a container still being written.
+  bool stream_open = false;
+
+  /// Stream state file present but undecodable (torn write, bit flip).
+  /// Repair reconstructs a conservative watermark from the index and seals.
+  bool stream_state_corrupt = false;
+
   /// True when the logical extents tile [0, size) without holes/overlap.
   bool extents_complete = false;
 
   bool clean() const noexcept {
     return broken_records.empty() && checksum_bad_records.empty() &&
-           orphan_droppings.empty() && extents_complete;
+           orphan_droppings.empty() && open_tail_records.empty() &&
+           !stream_state_corrupt && extents_complete;
   }
 };
 
@@ -46,6 +62,9 @@ struct RepairActions {
   /// Checksum-bad droppings set aside as "<name>.quarantined" (kept on disk
   /// for forensics, never deleted or served) and dropped from the index.
   std::size_t extents_quarantined = 0;
+  /// Open-tail records quarantined + dropped while sealing an interrupted
+  /// stream (the sealed prefix below the watermark is untouched).
+  std::size_t tail_records_dropped = 0;
 };
 
 /// Repair in place: rewrite the index without broken records, quarantine
@@ -53,6 +72,13 @@ struct RepairActions {
 /// droppings are intact is never modified.  Extent completeness is *not*
 /// restored (lost extents stay lost) -- the report tells the caller what is
 /// gone.
+///
+/// Interrupted streams: when the report carries open-tail records or a
+/// corrupt stream state, repair quarantines the tail droppings, drops their
+/// records, and *seals* the stream at the watermark (reconstructed from the
+/// index -- min across tags of each tag's covered frame end -- if the state
+/// file is corrupt).  Only run repair on streams known to be dead; sealing a
+/// live stream ends it.
 Result<RepairActions> repair_container(PlfsMount& mount, const std::string& logical_name);
 
 }  // namespace ada::plfs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <thread>
@@ -19,6 +20,7 @@ namespace ada::plfs {
 
 namespace {
 constexpr const char* kIndexFile = "index.plfs";
+constexpr const char* kStreamStateFile = "stream.plfs";
 constexpr const char* kQuarantineSuffix = ".quarantined";
 
 // Fault-injection sites (docs/robustness.md).
@@ -26,6 +28,7 @@ constexpr const char* kSiteWriteDropping = "plfs.write_dropping";
 constexpr const char* kSiteReadDropping = "plfs.read_dropping";
 constexpr const char* kSiteWriteIndex = "plfs.write_index";
 constexpr const char* kSiteReadIndex = "plfs.read_index";
+constexpr const char* kSiteWriteStreamState = "plfs.write_stream_state";
 
 bool valid_logical_name(const std::string& name) {
   if (name.empty() || name == "." || name == "..") return false;
@@ -153,6 +156,43 @@ std::uint64_t PlfsMount::mutation_generation(const std::string& logical_name) co
   return it == clock_->generation.end() ? 0 : it->second;
 }
 
+void PlfsMount::bump_rewrite_generation(const std::string& logical_name) const {
+  const std::lock_guard<std::mutex> lock(clock_->mutex);
+  ++clock_->rewrite[logical_name];
+}
+
+std::uint64_t PlfsMount::rewrite_generation(const std::string& logical_name) const {
+  const std::lock_guard<std::mutex> lock(clock_->mutex);
+  const auto it = clock_->rewrite.find(logical_name);
+  return it == clock_->rewrite.end() ? 0 : it->second;
+}
+
+Result<std::optional<StreamState>> PlfsMount::read_stream_state(
+    const std::string& logical_name) const {
+  if (!container_exists(logical_name)) {
+    return not_found("container " + logical_name + " does not exist");
+  }
+  const std::string path = container_dir(0, logical_name) + "/" + kStreamStateFile;
+  if (!fs::exists(path)) return std::optional<StreamState>{};
+  ADA_ASSIGN_OR_RETURN(const auto image, read_file(path));
+  ADA_ASSIGN_OR_RETURN(StreamState state, decode_stream_state(image));
+  return std::optional<StreamState>{state};
+}
+
+Status PlfsMount::write_stream_state(const std::string& logical_name,
+                                     const StreamState& state) {
+  if (!container_exists(logical_name)) {
+    return not_found("container " + logical_name + " does not exist");
+  }
+  // Bump the mutation clock first, mirroring write_index: a failed publish
+  // can only cause a spurious cache miss, never a stale hit.  The rewrite
+  // clock stays put -- moving the watermark forward rewrites no history.
+  bump_generation(logical_name);
+  ADA_RETURN_IF_ERROR(fault::check(kSiteWriteStreamState));
+  return write_file_atomic(container_dir(0, logical_name) + "/" + kStreamStateFile,
+                           encode_stream_state(state));
+}
+
 Status PlfsMount::write_index(const std::string& logical_name,
                               const std::vector<IndexRecord>& records) const {
   // Bump first: if the write fails (or tears before the atomic rename) the
@@ -177,7 +217,9 @@ Result<std::vector<IndexRecord>> PlfsMount::read_index(const std::string& logica
 Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std::string& label,
                                       std::uint32_t backend_id,
                                       std::span<const std::uint8_t> bytes,
-                                      const std::vector<std::uint64_t>* frame_offsets) {
+                                      const std::vector<std::uint64_t>* frame_offsets,
+                                      const std::uint64_t* frame_base,
+                                      std::uint32_t frame_count) {
   if (backend_id >= backend_count()) {
     return invalid_argument("backend " + std::to_string(backend_id) + " out of range");
   }
@@ -197,11 +239,23 @@ Result<IndexRecord> PlfsMount::append(const std::string& logical_name, const std
   record.length = bytes.size();
   record.backend = backend_id;
   record.label = label;
-  record.dropping = "dropping." + (label.empty() ? std::string("data") : label) + "." +
-                    std::to_string(records.size());
+  // Name suffix: one past the highest ordinal in use, NOT records.size().
+  // Retention and repair shrink the index, and a size-derived name would
+  // then collide with (and overwrite) a live chunk's dropping.
+  std::uint64_t ordinal = 0;
+  for (const IndexRecord& r : records) {
+    const auto dot = r.dropping.rfind('.');
+    if (dot == std::string::npos) continue;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(r.dropping.c_str() + dot + 1, &end, 10);
+    if (end != nullptr && *end == '\0') ordinal = std::max<std::uint64_t>(ordinal, n + 1);
+  }
+  record.dropping =
+      "dropping." + (label.empty() ? std::string("data") : label) + "." + std::to_string(ordinal);
   record.physical_offset = 0;  // one dropping file per append
   record.set_checksum(crc32c(bytes.data(), bytes.size()));
   if (frame_offsets != nullptr) record.set_frame_table(*frame_offsets);
+  if (frame_base != nullptr) record.set_frame_base(*frame_base, frame_count);
 
   const std::string path = container_dir(backend_id, logical_name) + "/" + record.dropping;
   ADA_RETURN_IF_ERROR(retry_sync("plfs_write_dropping", retry_policy_,
@@ -284,6 +338,7 @@ Status PlfsMount::remove_container(const std::string& logical_name) {
     return not_found("container " + logical_name + " does not exist");
   }
   bump_generation(logical_name);
+  bump_rewrite_generation(logical_name);
   for (std::uint32_t b = 0; b < backend_count(); ++b) {
     std::error_code ec;
     fs::remove_all(container_dir(b, logical_name), ec);
@@ -299,6 +354,8 @@ Status PlfsMount::replace_container(const std::string& from, const std::string& 
   }
   bump_generation(from);
   bump_generation(to);
+  bump_rewrite_generation(from);
+  bump_rewrite_generation(to);
   for (std::uint32_t b = 0; b < backend_count(); ++b) {
     std::error_code ec;
     fs::remove_all(container_dir(b, to), ec);
@@ -327,7 +384,7 @@ Result<std::vector<std::string>> PlfsMount::list_dropping_files(
   if (!fs::is_directory(dir)) return out;  // backend never got this container
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name == kIndexFile || is_quarantined_name(name)) continue;
+    if (name == kIndexFile || name == kStreamStateFile || is_quarantined_name(name)) continue;
     out.push_back(name);
   }
   if (ec) return io_error("cannot list " + dir + ": " + ec.message());
@@ -340,6 +397,9 @@ Status PlfsMount::rewrite_index(const std::string& logical_name,
   if (!container_exists(logical_name)) {
     return not_found("container " + logical_name + " does not exist");
   }
+  // Wholesale index replacement (repair, retention) can rewrite history:
+  // fence frame-block cache entries too, not just whole-subset entries.
+  bump_rewrite_generation(logical_name);
   return write_index(logical_name, records);
 }
 

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -65,9 +66,14 @@ class PlfsMount {
   /// a torn or corrupted write is caught at read time.  When `frame_offsets`
   /// is non-null the record additionally carries a frame table (byte offset
   /// of each decoded frame within this extent) for frame-range queries.
+  /// When `frame_base` is non-null the record also carries a global frame
+  /// span [*frame_base, *frame_base + frame_count) -- streaming ingest uses
+  /// this so readers can clamp to the sealed-frame watermark.
   Result<IndexRecord> append(const std::string& logical_name, const std::string& label,
                              std::uint32_t backend_id, std::span<const std::uint8_t> bytes,
-                             const std::vector<std::uint64_t>* frame_offsets = nullptr);
+                             const std::vector<std::uint64_t>* frame_offsets = nullptr,
+                             const std::uint64_t* frame_base = nullptr,
+                             std::uint32_t frame_count = 0);
 
   /// Full logical file content, reassembled across backends in logical order.
   Result<std::vector<std::uint8_t>> read_logical(const std::string& logical_name) const;
@@ -101,6 +107,25 @@ class PlfsMount {
   /// Shared across copies/moves of this mount (one clock per open()).
   std::uint64_t mutation_generation(const std::string& logical_name) const;
 
+  /// Monotonic per-container *rewrite* generation.  Unlike the mutation
+  /// clock, this only advances on writes that can rewrite history --
+  /// rewrite_index (repair, retention), remove_container, replace_container
+  /// -- never on plain appends or stream-state watermark bumps.  Cached
+  /// frame-range blocks below a sealed watermark stay valid across chunk
+  /// flushes by validating against this clock instead of the mutation clock.
+  std::uint64_t rewrite_generation(const std::string& logical_name) const;
+
+  /// The container's live-stream state ("stream.plfs" on backend 0), or
+  /// nullopt for containers that never streamed (batch ingest).  A present
+  /// but corrupt state file is an error (kCorruptData), not nullopt --
+  /// readers must not silently treat a torn state as "everything sealed".
+  Result<std::optional<StreamState>> read_stream_state(const std::string& logical_name) const;
+
+  /// Atomically publish the container's stream state.  Bumps the mutation
+  /// generation (watermark moves fence whole-subset cache entries) but not
+  /// the rewrite generation.  Fault site: "plfs.write_stream_state".
+  Status write_stream_state(const std::string& logical_name, const StreamState& state);
+
   /// Containers present (by index files on backend 0).
   Result<std::vector<std::string>> list_containers() const;
 
@@ -126,6 +151,7 @@ class PlfsMount {
   struct MutationClock {
     std::mutex mutex;
     std::map<std::string, std::uint64_t> generation;
+    std::map<std::string, std::uint64_t> rewrite;  // history-rewriting writes only
   };
 
   explicit PlfsMount(std::vector<Backend> backends)
@@ -136,6 +162,7 @@ class PlfsMount {
   Status write_index(const std::string& logical_name,
                      const std::vector<IndexRecord>& records) const;
   void bump_generation(const std::string& logical_name) const;
+  void bump_rewrite_generation(const std::string& logical_name) const;
 
   /// One extent's bytes, retried and checksum-verified.
   Result<std::vector<std::uint8_t>> read_extent(const std::string& logical_name,

@@ -15,12 +15,16 @@
 // the sweep width (default 8; tools/run_tier1.sh uses a fast budget).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "ada/ingest_stream.hpp"
 #include "ada/middleware.hpp"
+#include "formats/raw_traj.hpp"
 #include "common/faults.hpp"
 #include "common/rng.hpp"
 #include "formats/xtc_file.hpp"
@@ -230,6 +234,156 @@ TEST_F(ChaosPipelineTest, SeededFaultSweepNeverCorruptsSilently) {
       }
     }
     (void)ingest;
+  }
+}
+
+/// Fault plan for the streaming path: same schedule shapes as
+/// plan_for_seed, but the site pool includes the watermark publish
+/// ("plfs.write_stream_state") -- the write whose failure leaves an open
+/// tail above the watermark (docs/streaming.md).
+FaultPlan stream_plan_for_seed(std::uint64_t seed) {
+  Rng rng(seed * 7919 + 13);
+  static const char* kSites[] = {
+      "plfs.write_dropping", "plfs.read_dropping",      "plfs.write_index",
+      "plfs.read_index",     "plfs.write_stream_state",
+  };
+  FaultPlan plan;
+  const std::uint64_t site_count = 1 + rng.uniform_index(2);
+  for (std::uint64_t i = 0; i < site_count; ++i) {
+    const char* site = kSites[rng.uniform_index(5)];
+    fault::Schedule schedule;
+    switch (rng.uniform_index(4)) {
+      case 0: schedule = fault::Schedule::fail_nth(1 + rng.uniform_index(6)); break;
+      case 1:
+        schedule = fault::Schedule::fail_probability(0.15 + 0.25 * rng.uniform(), seed ^ i);
+        break;
+      case 2: {
+        const std::uint64_t begin = 1 + rng.uniform_index(4);
+        schedule = fault::Schedule::down_window(begin, begin + rng.uniform_index(8));
+        break;
+      }
+      default:
+        if (std::string_view(site) == "plfs.write_dropping") {
+          schedule = fault::Schedule::torn_write(0.25 + 0.5 * rng.uniform(),
+                                                 1 + rng.uniform_index(4));
+        } else if (std::string_view(site) == "plfs.read_dropping") {
+          schedule = fault::Schedule::corrupt_read(1 + rng.uniform_index(4), rng.uniform());
+        } else {
+          schedule = fault::Schedule::fail_nth(1 + rng.uniform_index(4));
+        }
+        break;
+    }
+    plan.arms.emplace_back(site, schedule);
+  }
+  return plan;
+}
+
+// The streaming analogue of the sweep above: a producer streams chunk by
+// chunk under an armed fault plan and is abandoned at the first error (a
+// dying MD process).  The invariant: no matter where the plan killed the
+// stream, any successful read -- under fault or after repair -- serves an
+// exact byte-prefix of the faultless ground-truth stream, and fsck repair
+// converges to a sealed, tail-free container.
+TEST_F(ChaosPipelineTest, StreamingFlushFaultSweepKeepsSealedPrefixConsistent) {
+  constexpr std::uint32_t kFrames = 8;
+  constexpr std::uint32_t kChunk = 2;
+  const auto labels = categorize_protein_misc(system_);
+  // Pre-generate the trajectory so every seed (and the truth) streams
+  // bit-identical frames on identical chunk boundaries.
+  workload::TrajectoryGenerator gen(system_, workload::DynamicsSpec{});
+  std::vector<std::uint32_t> steps;
+  std::vector<float> times;
+  std::vector<std::vector<float>> coords;
+  for (std::uint32_t f = 0; f < kFrames; ++f) {
+    const auto frame = gen.next_frame();
+    coords.emplace_back(frame.begin(), frame.end());
+    steps.push_back(gen.current_step());
+    times.push_back(gen.current_time_ps());
+  }
+
+  // Faultless ground truth: kFrames divides kChunk, so every sealed chunk a
+  // faulted run publishes is byte-aligned with a truth segment.
+  auto truth_ada = open_ada("stream_truth");
+  std::map<Tag, std::vector<std::uint8_t>> truth;
+  {
+    auto stream = truth_ada->begin_stream(labels, "live.xtc", kChunk);
+    ASSERT_TRUE(stream.is_ok());
+    for (std::uint32_t f = 0; f < kFrames; ++f) {
+      ASSERT_TRUE(
+          stream.value().add_frame(steps[f], times[f], system_.box(), coords[f]).is_ok());
+    }
+    ASSERT_TRUE(stream.value().finish().is_ok());
+  }
+  const auto truth_tags = truth_ada->tags("live.xtc").value();
+  for (const Tag& tag : truth_tags) truth[tag] = truth_ada->query("live.xtc", tag).value();
+  ASSERT_FALSE(truth.empty());
+
+  const int seeds = seed_budget();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const FaultPlan plan = stream_plan_for_seed(static_cast<std::uint64_t>(seed));
+    SCOPED_TRACE("stream chaos seed " + std::to_string(seed) + ": " + plan.to_string() +
+                 "  (reproduce: ADA_CHAOS_SEEDS=" + std::to_string(seed) + ")");
+    auto ada = open_ada("stream_seed" + std::to_string(seed));
+
+    for (const auto& [site, schedule] : plan.arms) {
+      fault::Injector::global().arm(site, schedule);
+    }
+
+    // --- the producer: abandon at the first failed flush -----------------
+    {
+      auto stream = ada->begin_stream(labels, "live.xtc", kChunk);
+      if (stream.is_ok()) {
+        bool alive = true;
+        for (std::uint32_t f = 0; alive && f < kFrames; ++f) {
+          alive = stream.value()
+                      .add_frame(steps[f], times[f], system_.box(), coords[f])
+                      .is_ok();
+        }
+        if (alive) (void)stream.value().finish();  // the seal itself may fault
+      }
+    }
+
+    // --- reads under fault: typed error or an exact prefix of truth ------
+    for (const auto& [tag, expected] : truth) {
+      const auto subset = ada->query("live.xtc", tag);
+      if (subset.is_ok()) {
+        ASSERT_LE(subset.value().size(), expected.size());
+        EXPECT_TRUE(std::equal(subset.value().begin(), subset.value().end(), expected.begin()))
+            << "tag " << tag << " served bytes that are not a prefix of the faultless stream";
+      }
+    }
+
+    // --- disarm, repair: converge to a sealed, tail-free container -------
+    fault::Injector::global().disarm_all();
+    if (!ada->has_dataset("live.xtc")) continue;  // plan killed the first flush
+    const auto repair = plfs::repair_container(ada->mount(), "live.xtc");
+    ASSERT_TRUE(repair.is_ok()) << repair.error().to_string();
+    const auto report = plfs::verify_container(ada->mount(), "live.xtc").value();
+    EXPECT_TRUE(report.broken_records.empty()) << "repair left broken records";
+    EXPECT_TRUE(report.checksum_bad_records.empty()) << "repair left corrupt extents";
+    EXPECT_TRUE(report.open_tail_records.empty()) << "repair left an open tail";
+    EXPECT_FALSE(report.stream_open) << "repair did not seal the interrupted stream";
+    EXPECT_FALSE(report.stream_state_corrupt);
+
+    // Post-repair reads are prefixes of truth, frame-aligned at whatever
+    // watermark survived; a tail follower terminates against the seal.
+    const auto progress = ada->stream_progress("live.xtc");
+    if (progress.is_ok() && progress.value().has_value()) {
+      EXPECT_TRUE(progress.value()->sealed);
+    }
+    for (const auto& [tag, expected] : truth) {
+      const auto subset = ada->query("live.xtc", tag);
+      if (!subset.is_ok()) continue;  // quarantine may have removed the tag
+      ASSERT_LE(subset.value().size(), expected.size());
+      EXPECT_TRUE(std::equal(subset.value().begin(), subset.value().end(), expected.begin()))
+          << "tag " << tag << " served a non-prefix AFTER repair";
+      const auto cat = formats::RawTrajCatReader::open(subset.value());
+      ASSERT_TRUE(cat.is_ok());
+      if (progress.is_ok() && progress.value().has_value()) {
+        EXPECT_EQ(cat.value().frame_count(), progress.value()->sealed_frames)
+            << "tag " << tag << " disagrees with the sealed watermark";
+      }
+    }
   }
 }
 

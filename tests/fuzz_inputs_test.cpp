@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "formats/pdb.hpp"
 #include "formats/xtc_file.hpp"
+#include "plfs/container.hpp"
 #include "vmd/command.hpp"
 #include "vmd/mol.hpp"
 #include "vmd/select.hpp"
@@ -234,6 +235,93 @@ TEST(FuzzTest, DecompressV2SurvivesRandomFrames) {
     if (result.is_ok()) {
       EXPECT_EQ(result.value().size(), static_cast<std::size_t>(frame.atom_count) * 3);
     }
+  }
+}
+
+TEST(FuzzTest, StreamStateDecoderSurvivesHostileImages) {
+  Rng rng(2005);
+  // Random images of every plausible size: never a crash, and anything that
+  // somehow decodes must satisfy the structural invariants a correct writer
+  // guarantees (the CRC makes an accidental pass astronomically unlikely,
+  // but the decoder may not rely on that for memory safety).
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> image(rng.uniform_index(64));
+    for (auto& b : image) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto result = plfs::decode_stream_state(image);
+    if (result.is_ok()) {
+      EXPECT_LE(result.value().floor_frames, result.value().sealed_frames);
+    }
+  }
+
+  // Multi-bit corruptions of a real image (the exhaustive single-bit sweep
+  // lives in streaming_tail_test): clean error or invariant-satisfying
+  // state, never a crash or over-read.
+  plfs::StreamState state;
+  state.sealed_frames = 1000;
+  state.sealed_chunks = 20;
+  state.floor_frames = 12;
+  state.retention_drops = 4;
+  const auto pristine = plfs::encode_stream_state(state);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto corrupt = pristine;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(6));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(corrupt.size());
+      corrupt[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    }
+    const auto result = plfs::decode_stream_state(corrupt);
+    if (result.is_ok()) {
+      EXPECT_LE(result.value().floor_frames, result.value().sealed_frames);
+    }
+  }
+}
+
+TEST(FuzzTest, TornStreamIndexSuffixesDecodeToAPrefixOrFail) {
+  // An index whose records carry streamed frame spans (kHasFrameBase), cut
+  // at every byte -- the shape a torn index write leaves when a flush dies
+  // mid-publish.  Decoding must return a clean error or an exact record
+  // PREFIX of the original: never over-read, never invent or reorder a
+  // record, never resurrect a half-written suffix.
+  std::vector<plfs::IndexRecord> records;
+  for (int i = 0; i < 6; ++i) {
+    plfs::IndexRecord r;
+    r.logical_offset = static_cast<std::uint64_t>(i) * 1000;
+    r.length = 1000;
+    r.backend = static_cast<std::uint32_t>(i % 2);
+    r.label = (i % 2) != 0 ? "m" : "p";
+    r.dropping = "dropping." + r.label + "." + std::to_string(i / 2);
+    r.set_checksum(0x1234u + static_cast<std::uint32_t>(i));
+    r.set_frame_table({0, 100, 300});
+    r.set_frame_base(static_cast<std::uint64_t>(i / 2) * 3, 3);
+    records.push_back(std::move(r));
+  }
+  const auto image = plfs::encode_index(records);
+  const auto full = plfs::decode_index(image);
+  ASSERT_TRUE(full.is_ok());
+  ASSERT_EQ(full.value(), records);
+
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const auto result = plfs::decode_index(std::span(image.data(), len));
+    if (!result.is_ok()) continue;
+    ASSERT_LE(result.value().size(), records.size()) << "a " << len
+        << "-byte truncation decoded MORE records than were encoded";
+    for (std::size_t i = 0; i < result.value().size(); ++i) {
+      EXPECT_EQ(result.value()[i], records[i])
+          << "truncation at " << len << " altered record " << i;
+    }
+  }
+
+  // Random splices and bit flips across the whole image: parse or reject,
+  // never crash (the suite runs under ADA_SANITIZE in CI).
+  Rng rng(2006);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupt = image;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(8));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform_index(corrupt.size());
+      corrupt[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+    }
+    (void)plfs::decode_index(corrupt);
   }
 }
 

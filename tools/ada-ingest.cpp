@@ -14,14 +14,23 @@
 // moves to stderr).  With --trace=<file>, records a request timeline and
 // writes Chrome trace JSON for Perfetto / ada-trace.  See
 // docs/observability.md.
+// With --stream, the .xtc is ingested frame by frame through the live
+// streaming path (ada/ingest_stream.hpp): every --chunk-frames frames the
+// chunk is flushed and the sealed-frame watermark advances, so concurrent
+// ada-query calls see a growing readable prefix while this process still
+// runs.  --frame-delay-ms paces the frames (simulating a running MD
+// producer); --retain-bytes arms windowed retention.
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "ada/middleware.hpp"
 #include "ada/schema_config.hpp"
 #include "common/binary_io.hpp"
 #include "common/units.hpp"
 #include "formats/pdb.hpp"
+#include "formats/xtc_file.hpp"
 #include "vmd/mol.hpp"
 #include "tools/tool_util.hpp"
 
@@ -33,7 +42,9 @@ constexpr const char* kUsage =
     "                  [--name <logical>] [--schema <rules file>] [--keep-original]\n"
     "                  [--threads <n>] [--metrics[=json|openmetrics]] [--trace <out.json>]\n"
     "                  [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
-    "                  [--faults site=spec[,site=spec...]]\n";
+    "                  [--faults site=spec[,site=spec...]]\n"
+    "                  [--stream [--chunk-frames <n>] [--frame-delay-ms <ms>]\n"
+    "                            [--retain-bytes <b>]]\n";
 }
 
 int main(int argc, char** argv) {
@@ -57,6 +68,7 @@ int main(int argc, char** argv) {
   config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
   config.keep_original = args.has("keep-original");
   config.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  config.retain_bytes = static_cast<std::uint64_t>(args.get_int("retain-bytes", 0));
   core::Ada middleware(
       tools::must(plfs::PlfsMount::open(
                       {{"ssd-fs", args.get("ssd")}, {"hdd-fs", args.get("hdd")}}),
@@ -72,6 +84,34 @@ int main(int argc, char** argv) {
     labels = schema.categorize(structure);
   } else {
     labels = core::categorize_protein_misc(structure);
+  }
+
+  if (args.has("stream")) {
+    const auto chunk_frames = static_cast<std::uint32_t>(args.get_int("chunk-frames", 64));
+    const long long delay_ms = args.get_int("frame-delay-ms", 0);
+    auto stream = tools::must(middleware.begin_stream(labels, logical, chunk_frames),
+                              "begin stream");
+    formats::XtcReader reader(xtc);
+    while (true) {
+      auto frame = tools::must(reader.next(), "decode xtc frame");
+      if (!frame.has_value()) break;
+      tools::must_ok(stream.add_frame(frame->step, frame->time_ps, frame->box, frame->coords),
+                     "stream frame");
+      if (delay_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const auto stream_report = tools::must(stream.finish(), "finish stream");
+    std::fprintf(report_out,
+                 "streamed %s: %u frames in %u chunks, watermark %llu, floor %llu"
+                 " (%llu chunks dropped by retention)\n",
+                 logical.c_str(), stream_report.frames, stream_report.chunks,
+                 static_cast<unsigned long long>(stream_report.sealed_frames),
+                 static_cast<unsigned long long>(stream_report.floor_frames),
+                 static_cast<unsigned long long>(stream_report.retention_drops));
+    tools::trace_end(args);
+    tools::telemetry_end(args);
+    tools::profile_end(args);
+    tools::metrics_end(args);
+    return 0;
   }
 
   const auto report =

@@ -22,9 +22,19 @@
 // --stride K, only the selected frames of the tagged subset are fetched --
 // the frame-range query that addresses per-extent frame tables when the
 // container carries them.
+//
+// With --follow, the query tails a live stream (ada-ingest --stream running
+// concurrently): it polls Ada::query_tail every --poll-ms milliseconds,
+// drains each newly sealed batch of frames as it appears, and exits 0 once
+// the stream seals.  The accumulated output (--out) is one canonical RAW
+// segment, byte-identical to a one-shot `--frames <from>:` query issued
+// after the ingest finished.  --from sets the first frame to tail (default
+// 0); --timeout-s bounds the wait (exit 1 if the stream never seals).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "ada/middleware.hpp"
 #include "common/binary_io.hpp"
@@ -44,7 +54,8 @@ constexpr const char* kUsage =
     "                 [--metrics[=json|openmetrics]] [--trace <out.json>] [--cache <bytes>]\n"
     "                 [--read-threads <n>] [--queue-depth <n>]\n"
     "                 [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
-    "                 [--faults site=spec[,site=spec...]] [--degraded]\n";
+    "                 [--faults site=spec[,site=spec...]] [--degraded]\n"
+    "                 [--follow [--from <frame>] [--poll-ms <ms>] [--timeout-s <s>]]\n";
 
 // "A:B" -> [A, B); either side may be omitted ("10:", ":50", ":").
 core::FrameRange parse_frames(const std::string& spec, core::FrameRange range) {
@@ -124,6 +135,69 @@ int main(int argc, char** argv) {
     tools::profile_end(args);
     tools::metrics_end(args);
     return partial.partial() ? 2 : 0;
+  }
+
+  if (args.has("follow")) {
+    const core::Tag tag = args.get("tag");
+    const long long poll_ms = args.get_int("poll-ms", 20);
+    const long long timeout_s = args.get_int("timeout-s", 60);
+    const std::uint64_t first_frame = static_cast<std::uint64_t>(args.get_int("from", 0));
+    std::uint64_t cursor = first_frame;
+    std::vector<std::uint8_t> payload;  // frame records only; header emitted once
+    std::uint32_t atoms = 0;
+    std::uint64_t polls = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+    for (;;) {
+      ++polls;
+      auto chunk_result = middleware.query_tail(logical, tag, cursor);
+      if (!chunk_result.is_ok()) {
+        // kNotFound while waiting just means the producer has not created
+        // the container yet -- keep polling until the timeout.
+        if (chunk_result.error().code() != ErrorCode::kNotFound) {
+          tools::must(std::move(chunk_result), "tail query");
+        }
+      } else {
+        const auto& chunk = chunk_result.value();
+        if (!chunk.image.empty()) {
+          // Each drained batch arrives as one canonical RAW segment; strip
+          // its 16-byte header and re-emit a single header at the end.
+          const auto segment =
+              tools::must(formats::RawTrajReader::open(chunk.image), "tail chunk");
+          atoms = segment.atom_count();
+          payload.insert(payload.end(), chunk.image.begin() + 16, chunk.image.end());
+        }
+        cursor += chunk.frames;
+        if (chunk.sealed && chunk.frames == 0) break;
+        if (chunk.frames != 0) continue;  // drained a batch: poll again at once
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "ada-query: --follow timed out after %llds before %s sealed\n",
+                     timeout_s, logical.c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    const std::uint64_t frames = cursor - first_frame;
+    ByteWriter header;
+    header.put_bytes(std::span<const std::uint8_t>(formats::kRawMagic, 8));
+    header.put_u32_le(atoms);
+    header.put_u32_le(static_cast<std::uint32_t>(frames));
+    std::vector<std::uint8_t> out = header.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    std::fprintf(report_out, "followed %s tag %s: %llu frames x %u atoms in %llu polls, %s\n",
+                 logical.c_str(), tag.c_str(), static_cast<unsigned long long>(frames), atoms,
+                 static_cast<unsigned long long>(polls),
+                 format_bytes(static_cast<double>(out.size())).c_str());
+    if (args.has("out")) {
+      tools::must_ok(write_file(args.get("out"), out), "write followed subset");
+      std::fprintf(report_out, "wrote %s\n", args.get("out").c_str());
+    }
+    tools::trace_end(args);
+    tools::telemetry_end(args);
+    tools::profile_end(args);
+    tools::metrics_end(args);
+    return 0;
   }
 
   const core::Tag tag = args.get("tag");

@@ -40,6 +40,9 @@ ctest --test-dir "$BUILD_DIR" -L check-telemetry --output-on-failure -j "$(nproc
 echo "== scatter-gather tier (ctest -L check-sg) =="
 ctest --test-dir "$BUILD_DIR" -L check-sg --output-on-failure -j "$(nproc)"
 
+echo "== streaming tier (ctest -L check-stream) =="
+ctest --test-dir "$BUILD_DIR" -L check-stream --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -161,6 +164,66 @@ SG_DEGRADED_EXIT=$?
 set -e
 [ "$SG_DEGRADED_EXIT" -eq 2 ] || {
     echo "FAIL: parallel degraded query under a down backend should exit 2, got $SG_DEGRADED_EXIT" >&2
+    exit 1
+}
+
+echo "== streaming smoke: --stream ingest + mid-stream query + --follow differential =="
+# A paced streaming ingest in the background; concurrent queries must see a
+# growing sealed prefix and a follower must reassemble the exact dataset.
+"$BUILD_DIR/tools/ada-gen" --out "$WORK/gen_stream" --size tiny --frames 12 >/dev/null
+"$BUILD_DIR/tools/ada-ingest" --pdb "$WORK/gen_stream/system.pdb" --xtc "$WORK/gen_stream/traj.xtc" \
+    --ssd "$WORK/ssd3" --hdd "$WORK/hdd3" --name live.xtc \
+    --stream --chunk-frames 2 --frame-delay-ms 60 >"$WORK/stream_ingest.log" &
+INGEST_PID=$!
+# The follower polls until the stream seals; byte-compared against the
+# one-shot query below.
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd3" --hdd "$WORK/hdd3" --name live.xtc \
+    --tag p --follow --poll-ms 10 --timeout-s 60 --out "$WORK/followed.raw" >/dev/null &
+FOLLOW_PID=$!
+# Mid-ingest one-shot queries: kNotFound only before the first flush, then
+# exit 0 with however much of the prefix is sealed.
+MID_OK=0
+for _ in $(seq 1 100); do
+    if "$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd3" --hdd "$WORK/hdd3" --name live.xtc \
+        --tag p >/dev/null 2>&1; then
+        MID_OK=1
+        break
+    fi
+    sleep 0.05
+done
+[ "$MID_OK" -eq 1 ] || {
+    echo "FAIL: no mid-stream query ever served the sealed prefix" >&2
+    exit 1
+}
+wait "$INGEST_PID" || { echo "FAIL: streaming ingest failed" >&2; cat "$WORK/stream_ingest.log" >&2; exit 1; }
+grep -q 'streamed live.xtc: 12 frames' "$WORK/stream_ingest.log" || {
+    echo "FAIL: streaming ingest report missing or wrong" >&2
+    cat "$WORK/stream_ingest.log" >&2
+    exit 1
+}
+wait "$FOLLOW_PID" || { echo "FAIL: ada-query --follow did not terminate cleanly" >&2; exit 1; }
+"$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd3" --hdd "$WORK/hdd3" --name live.xtc \
+    --tag p --frames 0: --out "$WORK/stream_oneshot.raw" >/dev/null
+cmp "$WORK/followed.raw" "$WORK/stream_oneshot.raw" || {
+    echo "FAIL: --follow reassembly differs from the one-shot query" >&2
+    exit 1
+}
+# The streaming perf gate's own negative control: identical files pass, a
+# fixture whose p99 blew the flush-interval bound fails (exit 1).
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_stream.json \
+    bench/baselines/BENCH_stream.json --budget=0.05 \
+    --higher=stream.p99_bounded,stream.correct >/dev/null || {
+    echo "FAIL: ada-stats diff rejected identical stream baselines" >&2
+    exit 1
+}
+set +e
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_stream.json \
+    bench/baselines/BENCH_stream_regressed.json --budget=0.05 \
+    --higher=stream.p99_bounded,stream.correct >/dev/null
+STREAM_GATE_EXIT=$?
+set -e
+[ "$STREAM_GATE_EXIT" -eq 1 ] || {
+    echo "FAIL: stream gate should exit 1 on the regressed fixture, got $STREAM_GATE_EXIT" >&2
     exit 1
 }
 
