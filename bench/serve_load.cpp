@@ -1,0 +1,469 @@
+// Serve load: the multi-tenant query service under concurrent VMD clients.
+//
+// Four phases over one shared AdaService (docs/serving.md):
+//
+//   1. Correctness + coalescing wave.  N concurrent identical queries are
+//      launched into a cold cache while the first backend read is held open
+//      (a deterministic latency-spike fault), so every client arrives while
+//      the leader's fill is in flight.  Verdicts: `serve.correct` (every
+//      response byte-identical to the direct query) and
+//      `serve.coalesce_single_fill` (the wave paid exactly ONE backend
+//      fill).  Nothing is timed with the fault armed.
+//   2. Zipf offered-load sweep.  C client threads (C doubling per level)
+//      replay a Zipf-popular catalog of subset and 4-frame-block range
+//      queries through execute(); per-level p50/p99 latency and throughput
+//      locate the saturation knee (first level whose p99 exceeds 3x the
+//      lightest level's).  Wall-clock keys are informational -- the perf
+//      gate judges only the deterministic verdicts.
+//   3. Overload.  A paused service with a 2-deep tenant queue must shed the
+//      third submit with a typed kOverloaded (`serve.overload_typed`).
+//   4. DRR fairness.  One worker, a 6-deep hot backlog vs one cold request,
+//      quanta far below one response: the cold tenant's request must
+//      complete second, not last, and the deficit scheduler must have
+//      cycled (`serve.fair`).
+//
+// Emits BENCH_serve.json.
+//
+//   serve_load [--clients N] [--requests N] [--out BENCH_serve.json] [--smoke]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ada/ingest_stream.hpp"
+#include "ada/middleware.hpp"
+#include "bench/bench_util.hpp"
+#include "common/faults.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "serve/serve.hpp"
+#include "workload/gpcr_builder.hpp"
+#include "workload/trajectory_gen.hpp"
+
+using namespace ada;
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kFrames = 32;
+constexpr std::uint32_t kChunk = 4;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Nearest-rank percentile of a sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// One entry of the replayed catalog: a subset or a 32-frame-block-style
+/// range request (4 frames here, scaled to the tiny workload).
+struct CatalogEntry {
+  serve::Request request;
+  std::vector<std::uint8_t> reference;
+};
+
+/// Zipf(s=1.1) sampler over catalog ranks: rank 0 is the hot head, exactly
+/// the replay-the-same-trajectory popularity a VMD fleet shows.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, std::uint64_t seed) : rng_(seed) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), 1.1);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t pick() {
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+/// Hold the leader's fill open so a concurrent wave provably overlaps it.
+fault::Schedule first_read_delay(double seconds) {
+  fault::Schedule schedule;
+  schedule.trigger = fault::Schedule::Trigger::kNth;
+  schedule.nth = 1;
+  schedule.effect = fault::Outcome::Kind::kDelay;
+  schedule.delay_seconds = seconds;
+  return schedule;
+}
+
+struct LoadLevel {
+  unsigned clients = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double requests_per_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::bool_flag(argc, argv, "smoke");
+  unsigned max_clients = bench::uint_flag(argc, argv, "clients", smoke ? 16 : 64);
+  unsigned requests_per_client = bench::uint_flag(argc, argv, "requests", smoke ? 24 : 96);
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+  }
+  if (max_clients < 4) max_clients = 4;
+
+  std::cout << "================================================================\n"
+            << "Serve load: multi-tenant concurrent queries with coalescing\n"
+            << "(GPCR tiny system, " << kFrames << " frames, Zipf sweep up to " << max_clients
+            << " clients x " << requests_per_client << " requests)\n"
+            << "================================================================\n";
+
+  obs::set_enabled(false);
+  const auto system = workload::GpcrSystemBuilder(workload::GpcrSpec::tiny()).build();
+  const auto labels = core::categorize_protein_misc(system);
+
+  const std::string root = (fs::temp_directory_path() / "ada_bench_serve_load").string();
+  fs::remove_all(root);
+  core::AdaConfig config;
+  config.placement = core::PlacementPolicy::active_on_ssd(0, 1);
+  config.cache_bytes = 32ull << 20;
+  auto mount = plfs::PlfsMount::open({{"ssd", root + "/ssd"}, {"hdd", root + "/hdd"}});
+  if (!mount.is_ok()) {
+    std::cerr << "cannot open scratch backends under " << root << "\n";
+    return 1;
+  }
+  core::Ada middleware(std::move(mount).value(), config);
+
+  {
+    auto stream = middleware.begin_stream(labels, "traj.xtc", kChunk);
+    if (!stream.is_ok()) {
+      std::cerr << "begin_stream failed: " << stream.error().to_string() << "\n";
+      return 1;
+    }
+    workload::TrajectoryGenerator gen(system, workload::DynamicsSpec{});
+    for (std::uint32_t f = 0; f < kFrames; ++f) {
+      const auto frame = gen.next_frame();
+      if (!stream.value()
+               .add_frame(gen.current_step(), gen.current_time_ps(), system.box(), frame)
+               .is_ok()) {
+        std::cerr << "add_frame failed\n";
+        return 1;
+      }
+    }
+    if (!stream.value().finish().is_ok()) {
+      std::cerr << "finish failed\n";
+      return 1;
+    }
+  }
+
+  const auto tags = middleware.tags("traj.xtc");
+  if (!tags.is_ok() || tags.value().size() < 2) {
+    std::cerr << "tag discovery failed\n";
+    return 1;
+  }
+
+  // --- phase 1: correctness + the cold-wave coalescing differential -------------------
+  // This runs BEFORE any reference query so the cache is genuinely cold:
+  // a warmed cache would serve every wave client instantly and nothing
+  // would overlap the leader's fill.
+  bool correct = true;
+  bool single_fill = false;
+  {
+    serve::ServeConfig serve_config;
+    serve_config.workers = 4;
+    serve_config.default_quota.max_inflight = 0;
+    serve_config.default_quota.queue_capacity = 0;
+    serve::AdaService service(middleware, serve_config);
+    const fault::ScopedFault slow("plfs.read_dropping", first_read_delay(0.3));
+
+    serve::Request wave_request;
+    wave_request.logical_name = "traj.xtc";
+    wave_request.tag = tags.value()[0];
+
+    constexpr std::size_t kWave = 8;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = kWave;
+    std::vector<Result<serve::Response>> results;
+    for (std::size_t i = 0; i < kWave; ++i) {
+      const Status accepted =
+          service.submit(wave_request, [&](Result<serve::Response> result) {
+            const std::lock_guard<std::mutex> lock(mu);
+            results.push_back(std::move(result));
+            if (--remaining == 0) cv.notify_all();
+          });
+      if (!accepted.is_ok()) {
+        std::cerr << "wave submit rejected: " << accepted.error().to_string() << "\n";
+        return 1;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+    fault::Injector::global().disarm_all();
+    const auto wave_reference = middleware.query("traj.xtc", tags.value()[0]);
+    if (!wave_reference.is_ok()) {
+      std::cerr << "wave reference query failed\n";
+      return 1;
+    }
+    for (const auto& result : results) {
+      if (!result.is_ok() || *result.value().image != wave_reference.value()) correct = false;
+    }
+    const serve::ServeStats stats = service.stats();
+    single_fill = stats.fills == 1 && stats.coalesced == kWave - 1;
+    std::printf("\n  cold wave             %zu clients -> %llu fill(s), %llu coalesced (%s)\n",
+                kWave, static_cast<unsigned long long>(stats.fills),
+                static_cast<unsigned long long>(stats.coalesced),
+                single_fill ? "single-flight" : "DUPLICATED");
+  }
+
+  // The replay catalog: every tag's full subset plus 4-frame range blocks
+  // (the block granularity the serve layer coalesces range traffic on).
+  std::vector<CatalogEntry> catalog;
+  for (const core::Tag& tag : tags.value()) {
+    CatalogEntry entry;
+    entry.request.logical_name = "traj.xtc";
+    entry.request.tag = tag;
+    auto reference = middleware.query("traj.xtc", tag);
+    if (!reference.is_ok()) {
+      std::cerr << "reference query failed: " << reference.error().to_string() << "\n";
+      return 1;
+    }
+    entry.reference = std::move(reference).value();
+    catalog.push_back(std::move(entry));
+    for (std::uint32_t begin = 0; begin + 4 <= kFrames; begin += 4) {
+      CatalogEntry block;
+      block.request.logical_name = "traj.xtc";
+      block.request.tag = tag;
+      block.request.kind = serve::RequestKind::kRange;
+      block.request.range = core::FrameRange{begin, begin + 4, 1};
+      auto sliced = middleware.query("traj.xtc", tag, block.request.range);
+      if (!sliced.is_ok()) {
+        std::cerr << "reference range query failed\n";
+        return 1;
+      }
+      block.reference = std::move(sliced).value();
+      catalog.push_back(std::move(block));
+    }
+  }
+
+  // --- phase 2: Zipf offered-load sweep ------------------------------------------------
+  std::vector<LoadLevel> levels;
+  double coalescing_hit_ratio = 0;
+  {
+    serve::ServeConfig serve_config;
+    serve_config.workers = 8;
+    serve_config.default_quota.max_inflight = 8;
+    serve_config.default_quota.queue_capacity = 0;
+    serve::AdaService service(middleware, serve_config);
+
+    std::uint64_t accepted_total = 0;
+    for (unsigned clients = 4; clients <= max_clients; clients *= 2) {
+      std::vector<double> latencies;
+      std::mutex latency_mu;
+      std::atomic<bool> failed{false};
+      const Clock::time_point level_start = Clock::now();
+      std::vector<std::thread> fleet;
+      for (unsigned c = 0; c < clients; ++c) {
+        fleet.emplace_back([&, c] {
+          ZipfPicker picker(catalog.size(), 0x5eedull * (clients + 1) + c);
+          const std::string tenant = "viz" + std::to_string(c % 4);
+          std::vector<double> mine;
+          mine.reserve(requests_per_client);
+          for (unsigned r = 0; r < requests_per_client; ++r) {
+            serve::Request request = catalog[picker.pick()].request;
+            request.tenant = tenant;
+            const Clock::time_point t0 = Clock::now();
+            const auto result = service.execute(request);
+            if (!result.is_ok()) {
+              failed.store(true);
+              return;
+            }
+            mine.push_back(ms_between(t0, Clock::now()));
+          }
+          const std::lock_guard<std::mutex> lock(latency_mu);
+          latencies.insert(latencies.end(), mine.begin(), mine.end());
+        });
+      }
+      for (std::thread& t : fleet) t.join();
+      if (failed.load()) {
+        std::cerr << "a sweep client failed\n";
+        return 1;
+      }
+      const double elapsed_ms = ms_between(level_start, Clock::now());
+      std::sort(latencies.begin(), latencies.end());
+      LoadLevel level;
+      level.clients = clients;
+      level.p50_ms = percentile(latencies, 0.50);
+      level.p99_ms = percentile(latencies, 0.99);
+      level.requests_per_s =
+          elapsed_ms > 0 ? static_cast<double>(latencies.size()) * 1000.0 / elapsed_ms : 0;
+      levels.push_back(level);
+      accepted_total += latencies.size();
+      std::printf("  load %3u clients      p50 %7.3f ms  p99 %7.3f ms  %9.0f req/s\n",
+                  clients, level.p50_ms, level.p99_ms, level.requests_per_s);
+    }
+    const serve::ServeStats stats = service.stats();
+    coalescing_hit_ratio = stats.accepted != 0
+                               ? static_cast<double>(stats.coalesced) /
+                                     static_cast<double>(stats.accepted)
+                               : 0;
+    std::printf("  coalescing hit ratio  %.4f (%llu of %llu requests joined a fill)\n",
+                coalescing_hit_ratio, static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(accepted_total));
+  }
+
+  // Saturation knee: the first level whose p99 blows past 3x the lightest
+  // level's p99 (0 = no knee inside the sweep).
+  unsigned knee_clients = 0;
+  if (!levels.empty()) {
+    const double base_p99 = std::max(levels.front().p99_ms, 1e-3);
+    for (const LoadLevel& level : levels) {
+      if (level.p99_ms > 3.0 * base_p99) {
+        knee_clients = level.clients;
+        break;
+      }
+    }
+  }
+  std::printf("  saturation knee       %s\n",
+              knee_clients == 0 ? "not reached in sweep"
+                                : (std::to_string(knee_clients) + " clients").c_str());
+
+  // --- phase 3: typed overload ---------------------------------------------------------
+  bool overload_typed = false;
+  {
+    serve::ServeConfig serve_config;
+    serve_config.workers = 2;
+    serve_config.start_paused = true;
+    serve_config.default_quota.queue_capacity = 2;
+    serve::AdaService service(middleware, serve_config);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 2;
+    auto drain = [&](Result<serve::Response>) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_all();
+    };
+    if (!service.submit(catalog[0].request, drain).is_ok() ||
+        !service.submit(catalog[1].request, drain).is_ok()) {
+      std::cerr << "overload phase: priming submits rejected\n";
+      return 1;
+    }
+    const Status shed = service.submit(catalog[0].request, [](Result<serve::Response>) {});
+    overload_typed = !shed.is_ok() && shed.error().code() == ErrorCode::kOverloaded;
+    service.resume();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+    std::printf("  overload              full queue shed %s\n",
+                overload_typed ? "typed kOverloaded" : "UNTYPED (regression)");
+  }
+
+  // --- phase 4: DRR fairness -----------------------------------------------------------
+  bool fair = false;
+  {
+    serve::ServeConfig serve_config;
+    serve_config.workers = 1;
+    serve_config.start_paused = true;
+    serve::TenantQuota quota;
+    quota.max_inflight = 0;
+    quota.queue_capacity = 0;
+    quota.io_quantum_bytes = 1024;
+    serve_config.tenant_quotas["hot"] = quota;
+    serve_config.tenant_quotas["cold"] = quota;
+    serve::AdaService service(middleware, serve_config);
+
+    constexpr std::size_t kHotBacklog = 6;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = kHotBacklog + 1;
+    std::vector<std::string> order;
+    auto tagged = [&](const std::string& who) {
+      return [&, who](Result<serve::Response>) {
+        const std::lock_guard<std::mutex> lock(mu);
+        order.push_back(who);
+        if (--remaining == 0) cv.notify_all();
+      };
+    };
+    serve::Request hot = catalog[0].request;
+    hot.tenant = "hot";
+    serve::Request cold = catalog[0].request;
+    cold.tenant = "cold";
+    for (std::size_t i = 0; i < kHotBacklog; ++i) {
+      if (!service.submit(hot, tagged("hot")).is_ok()) {
+        std::cerr << "fairness phase: hot submit rejected\n";
+        return 1;
+      }
+    }
+    if (!service.submit(cold, tagged("cold")).is_ok()) {
+      std::cerr << "fairness phase: cold submit rejected\n";
+      return 1;
+    }
+    service.resume();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+    const auto cold_pos = std::find(order.begin(), order.end(), "cold") - order.begin();
+    fair = cold_pos <= 1 && service.stats().drr_rounds >= 1;
+    std::printf("  fairness              cold tenant finished #%ld of %zu, %llu DRR rounds (%s)\n",
+                static_cast<long>(cold_pos + 1), order.size(),
+                static_cast<unsigned long long>(service.stats().drr_rounds),
+                fair ? "fair" : "STARVED");
+  }
+
+  if (!correct) {
+    std::cerr << "served bytes differ from the direct query -- not reporting timings\n";
+    return 1;
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << bench::json_envelope("serve_load")
+       << "  \"workload\": {\"system\": \"gpcr\", \"size\": \"tiny\", \"atoms\": "
+       << system.atom_count() << ", \"frames\": " << kFrames << ", \"catalog\": "
+       << catalog.size() << ", \"zipf_s\": 1.1, \"requests_per_client\": "
+       << requests_per_client << "},\n"
+       << "  \"serve\": {\"correct\": " << (correct ? 1 : 0)
+       << ", \"coalesce_single_fill\": " << (single_fill ? 1 : 0)
+       << ", \"overload_typed\": " << (overload_typed ? 1 : 0)
+       << ", \"fair\": " << (fair ? 1 : 0)
+       << ", \"coalescing_hit_ratio\": " << coalescing_hit_ratio
+       << ", \"knee_clients\": " << knee_clients << "},\n"
+       << "  \"load\": {\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    json << "    \"c" << levels[i].clients << "\": {\"p50_ms\": " << levels[i].p50_ms
+         << ", \"p99_ms\": " << levels[i].p99_ms
+         << ", \"requests_per_s\": " << levels[i].requests_per_s << "}"
+         << (i + 1 == levels.size() ? "\n" : ",\n");
+  }
+  json << "  }\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return single_fill && overload_typed && fair ? 0 : 1;
+}

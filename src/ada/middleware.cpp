@@ -201,12 +201,17 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
   }
   // The generation is observed BEFORE any read: a write racing the retrieve
   // below leaves the filled entry detectably stale instead of poisoning
-  // later lookups with bytes from the middle of a mutation.
+  // later lookups with bytes from the middle of a mutation.  The fill guard
+  // makes the miss single-flight: concurrent cold misses of the same key
+  // wait for this read instead of each paying their own (it resolves after
+  // the insert below, or on the error return).
   std::uint64_t generation = 0;
+  QueryCache::FillGuard fill_guard;
   if (cache_ != nullptr) {
     generation = mount_.mutation_generation(logical_name);
     const obs::TraceSpan lookup_trace("cache_lookup", tag);
-    if (const QueryCache::Image hit = cache_->lookup(logical_name, tag, generation)) {
+    if (const QueryCache::Image hit =
+            cache_->lookup_or_fill(logical_name, tag, generation, &fill_guard)) {
       count_query_bytes(tag, hit->size());
       return *hit;  // copy out; the shared image itself stays immutable
     }
@@ -226,6 +231,41 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name,
     count_query_bytes(tag, subset.value().size());
   }
   return subset;
+}
+
+Result<QueryCache::Image> Ada::query_image(const std::string& logical_name,
+                                           const Tag& tag) const {
+  const obs::ScopedTimer span("query");
+  const obs::TraceSpan trace("query", tag);
+  ADA_OBS_COUNT("query.calls", 1);
+  if (tag == kLabelFileTag || tag == kOriginalTag) {
+    return invalid_argument("tag '" + tag + "' is reserved");
+  }
+  std::uint64_t generation = 0;
+  QueryCache::FillGuard fill_guard;
+  if (cache_ != nullptr) {
+    generation = mount_.mutation_generation(logical_name);
+    const obs::TraceSpan lookup_trace("cache_lookup", tag);
+    if (QueryCache::Image hit =
+            cache_->lookup_or_fill(logical_name, tag, generation, &fill_guard)) {
+      count_query_bytes(tag, hit->size());
+      return hit;  // shared, not copied: the whole point of this entry
+    }
+  }
+  auto subset = [&] {
+    const obs::ScopedTimer retrieve_span("retrieve");
+    const obs::TraceSpan retrieve_trace("retrieve", tag);
+    return IoRetriever(mount_, retrieve_options()).retrieve(logical_name, tag);
+  }();
+  if (!subset.is_ok()) return subset.error();
+  count_query_bytes(tag, subset.value().size());
+  if (cache_ != nullptr) {
+    const obs::TraceSpan fill_trace("cache_fill", tag);
+    // insert() returns the image now cached under the key -- the incumbent
+    // if a concurrent fill won, so every racer still shares one allocation.
+    return cache_->insert(logical_name, tag, generation, std::move(subset).value());
+  }
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(subset).value());
 }
 
 namespace {
@@ -454,6 +494,13 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
   // then a single scatter-gather retrieve fetches every needed extent
   // concurrently.  The serial path keeps fetching on demand, one extent at
   // a time, exactly as before.
+  // Single-flight claims for the blocks this query will fill: a concurrent
+  // query touching the same block waits for our insert instead of reading
+  // the same extents again.  Claims are taken in ascending block order
+  // (every path walks `picked` ascending), so two queries can never wait on
+  // each other's blocks in a cycle.  Each claim resolves right after its
+  // block's insert lands in the main loop below (or on any error return).
+  std::map<std::uint64_t, QueryCache::FillGuard> block_guards;
   std::map<std::uint64_t, QueryCache::Image> planned_blocks;
   if (retriever.options().parallel()) {
     std::vector<std::size_t> needed;  // ascending: picked and extent_of ascend
@@ -465,7 +512,8 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
       const auto [lo_frame, hi_frame] = block_bounds(b);
       QueryCache::Image hit;
       if (cache_ != nullptr) {
-        hit = cache_->lookup(logical_name, block_key(b, lo_frame, hi_frame), block_generation);
+        hit = cache_->lookup_or_fill(logical_name, block_key(b, lo_frame, hi_frame),
+                                     block_generation, &block_guards[b]);
       }
       planned_blocks.emplace(b, hit);
       if (hit != nullptr) continue;
@@ -500,7 +548,7 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
       if (const auto planned = planned_blocks.find(b); planned != planned_blocks.end()) {
         cached = planned->second;  // resolved once in the planning pass
       } else if (cache_ != nullptr) {
-        cached = cache_->lookup(logical_name, key, block_generation);
+        cached = cache_->lookup_or_fill(logical_name, key, block_generation, &block_guards[b]);
       }
       if (cached != nullptr) {
         block = cached.get();
@@ -525,6 +573,11 @@ Result<std::vector<std::uint8_t>> Ada::query(const std::string& logical_name, co
           cache_->insert(logical_name, key, block_generation, local);
         }
         block = &local;
+      }
+      // This block's fill landed (or was a hit): release any waiters now
+      // rather than at function exit.
+      if (const auto claim = block_guards.find(b); claim != block_guards.end()) {
+        block_guards.erase(claim);
       }
     }
     const std::uint64_t off = (g - current_lo) * frame_bytes;

@@ -4,8 +4,18 @@
 // pool, but an unbounded fan-out would let one query swamp a single backend
 // (or, in a real deployment, a single PVFS server) with every outstanding
 // request.  AdmissionWindow bounds the number of in-flight operations *per
-// key* (backend id, server id): acquire() blocks until the key's window has
-// a free slot, release() frees it.
+// key* (backend id, server id, tenant id): acquire() blocks until the key's
+// window has a free slot, release() frees it.
+//
+// Wakeup discipline: each key owns its own lock and a FIFO queue of
+// waiters, each with a private condition variable.  release() hands the
+// freed slot directly to the OLDEST waiter of that key and notifies exactly
+// that one waiter -- one wakeup per release, never a thundering herd across
+// every key (the serve layer multiplies windows by tenants, so an
+// every-waiter-every-release broadcast would scale as waiters x releases).
+// Because the slot is handed off rather than returned to a free pool, a
+// late acquire() can never barge past a queued waiter: grants are strictly
+// FIFO per key.
 //
 // Deadlock discipline: a holder of a slot must never block on acquiring
 // another slot of the same window.  The retriever acquires exactly one slot
@@ -13,8 +23,11 @@
 // waiting on a task that is actively running, and the window drains.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -26,43 +39,136 @@ class AdmissionWindow {
  public:
   /// `keys` resources, each admitting at most `depth` concurrent holders.
   /// depth == 0 means unbounded (acquire never blocks).
-  AdmissionWindow(std::size_t keys, unsigned depth) : depth_(depth), in_flight_(keys, 0) {}
+  AdmissionWindow(std::size_t keys, unsigned depth) : depth_(depth), keys_(keys) {
+    if (depth_ != 0) {
+      slots_ = std::make_unique<Key[]>(keys_);
+      for (std::size_t i = 0; i < keys_; ++i) slots_[i].depth = depth_;
+    }
+  }
+
+  /// Per-key depths (the serve layer's per-tenant windows): key `i` admits
+  /// at most `depths[i]` concurrent holders, 0 = that key is unbounded.
+  explicit AdmissionWindow(const std::vector<unsigned>& depths)
+      : depth_(0), keys_(depths.size()) {
+    slots_ = std::make_unique<Key[]>(keys_);
+    for (std::size_t i = 0; i < keys_; ++i) slots_[i].depth = depths[i];
+  }
 
   AdmissionWindow(const AdmissionWindow&) = delete;
   AdmissionWindow& operator=(const AdmissionWindow&) = delete;
 
   /// Block until key's window has room, then take a slot.  Returns the
   /// number of times this call had to wait (0 = admitted immediately).
+  /// Waiters are granted strictly in arrival order.
   std::uint64_t acquire(std::size_t key) {
-    if (depth_ == 0) return 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    ADA_CHECK(key < in_flight_.size());
-    std::uint64_t waits = 0;
-    while (in_flight_[key] >= depth_) {
-      ++waits;
-      cv_.wait(lock);
+    if (slots_ == nullptr) return 0;
+    ADA_CHECK(key < keys_);
+    Key& slot = slots_[key];
+    if (slot.depth == 0) return 0;
+    std::unique_lock<std::mutex> lock(slot.mutex);
+    if (slot.in_flight < slot.depth && slot.waiters.empty()) {
+      ++slot.in_flight;
+      return 0;
     }
-    ++in_flight_[key];
+    Waiter self;
+    slot.waiters.push_back(&self);
+    std::uint64_t waits = 0;
+    while (!self.granted) {
+      ++waits;
+      self.cv.wait(lock);
+    }
+    // The releaser handed its slot to us: in_flight already accounts for it.
     return waits;
   }
 
-  void release(std::size_t key) {
-    if (depth_ == 0) return;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ADA_CHECK(key < in_flight_.size() && in_flight_[key] > 0);
-      --in_flight_[key];
-    }
-    cv_.notify_all();
+  /// Take a slot only if one is free right now (no queueing): the serve
+  /// scheduler probes windows under its own lock and must never block a
+  /// worker on a tenant that is already at depth.
+  bool try_acquire(std::size_t key) {
+    if (slots_ == nullptr) return true;
+    ADA_CHECK(key < keys_);
+    Key& slot = slots_[key];
+    if (slot.depth == 0) return true;
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.in_flight >= slot.depth || !slot.waiters.empty()) return false;
+    ++slot.in_flight;
+    return true;
   }
 
+  void release(std::size_t key) {
+    if (slots_ == nullptr) return;
+    ADA_CHECK(key < keys_);
+    Key& slot = slots_[key];
+    if (slot.depth == 0) return;
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    ADA_CHECK(slot.in_flight > 0);
+    if (slot.waiters.empty()) {
+      --slot.in_flight;
+      return;
+    }
+    // Hand the slot to the oldest waiter of THIS key: exactly one wakeup,
+    // FIFO grant.  in_flight is unchanged -- the slot never went free.
+    Waiter* next = slot.waiters.front();
+    slot.waiters.pop_front();
+    next->granted = true;
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    next->cv.notify_one();
+  }
+
+  /// The uniform depth this window was built with (0 when unbounded or when
+  /// constructed from per-key depths; see depth(key) for the latter).
   unsigned depth() const noexcept { return depth_; }
 
+  unsigned depth(std::size_t key) const {
+    if (slots_ == nullptr) return 0;
+    ADA_CHECK(key < keys_);
+    return slots_[key].depth;
+  }
+
+  /// Slots currently held on `key` (test/diagnostic hook).
+  unsigned in_flight(std::size_t key) const {
+    if (slots_ == nullptr) return 0;
+    ADA_CHECK(key < keys_);
+    const std::lock_guard<std::mutex> lock(slots_[key].mutex);
+    return slots_[key].in_flight;
+  }
+
+  /// Waiters currently queued on `key` (test/diagnostic hook).
+  std::size_t waiting(std::size_t key) const {
+    if (slots_ == nullptr) return 0;
+    ADA_CHECK(key < keys_);
+    const std::lock_guard<std::mutex> lock(slots_[key].mutex);
+    return slots_[key].waiters.size();
+  }
+
+  /// Total waiter notifications issued: exactly one per slot handoff, so
+  /// this never exceeds the number of releases (the regression contract for
+  /// the old notify-everyone-on-every-release behavior).
+  std::uint64_t wakeups() const noexcept { return wakeups_.load(std::memory_order_relaxed); }
+
  private:
+  /// One queued acquire(), parked on its own condition variable so a
+  /// release can wake precisely this waiter.  Lives on the acquirer's
+  /// stack; the key mutex guards its lifetime (the releaser still holds
+  /// the mutex when it notifies, and acquire cannot return -- and destroy
+  /// the Waiter -- until it reacquires that mutex and observes granted).
+  struct Waiter {
+    std::condition_variable cv;
+    bool granted = false;
+  };
+
+  /// One admission key: private lock domain + FIFO waiter queue.
+  struct Key {
+    mutable std::mutex mutex;
+    std::deque<Waiter*> waiters;
+    unsigned in_flight = 0;
+    unsigned depth = 0;  // 0 = this key never blocks
+  };
+
   const unsigned depth_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<unsigned> in_flight_;
+  const std::size_t keys_;
+  std::unique_ptr<Key[]> slots_;
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 }  // namespace ada

@@ -28,6 +28,7 @@ enum class ErrorCode {
   kFailedPrecondition,
   kUnavailable,
   kDeadlineExceeded,
+  kOverloaded,
   kInternal,
 };
 
@@ -45,6 +46,7 @@ constexpr const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
@@ -142,6 +144,7 @@ inline Error resource_exhausted(std::string m) { return Error(ErrorCode::kResour
 inline Error failed_precondition(std::string m) { return Error(ErrorCode::kFailedPrecondition, std::move(m)); }
 inline Error unavailable(std::string m) { return Error(ErrorCode::kUnavailable, std::move(m)); }
 inline Error deadline_exceeded(std::string m) { return Error(ErrorCode::kDeadlineExceeded, std::move(m)); }
+inline Error overloaded(std::string m) { return Error(ErrorCode::kOverloaded, std::move(m)); }
 inline Error internal_error(std::string m) { return Error(ErrorCode::kInternal, std::move(m)); }
 
 /// Propagate an error from an expression producing Status.

@@ -1,0 +1,79 @@
+// Spool IPC: the file-based request/response protocol between ada-serve and
+// its clients.
+//
+// The repo has no network stack (and needs none for a single-node
+// deployment): clients and the service share a spool directory, and every
+// exchange is plain atomic-rename filesystem traffic --
+//
+//   client:  <id>.req   one key=value line per field, written via tmp+rename
+//   server:  <id>.wip   the claim (rename of .req: exactly one server wins)
+//            <id>.raw   the RAW payload bytes
+//            <id>.done  verdict line, written LAST via tmp+rename:
+//                         ok <coalesced> <from_frame> <frames> <sealed>
+//                         error <code_name> <message...>
+//
+// A client polls for `<id>.done`; because it appears only after `<id>.raw`
+// is fully renamed in, a client that sees the verdict can read the payload
+// without locking.  Typed errors travel as the ErrorCode name, so a client
+// distinguishes an overloaded server (back off) from a missing dataset
+// (give up) without parsing prose.  Protocol details in docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "serve/serve.hpp"
+
+namespace ada::serve {
+
+/// What a spool exchange returns to the client.
+struct SpoolReply {
+  std::vector<std::uint8_t> payload;
+  bool coalesced = false;
+  std::uint64_t from_frame = 0;
+  std::uint64_t frames = 0;
+  bool sealed = false;
+};
+
+/// One key=value-per-line request file body.
+std::string encode_spool_request(const Request& request);
+Result<Request> parse_spool_request(const std::string& text);
+
+/// Client half: drop requests into the spool, wait for verdicts.
+class SpoolClient {
+ public:
+  explicit SpoolClient(std::string dir);
+
+  /// Write the request, poll for the verdict, read the payload.  Errors the
+  /// server reported come back typed (kOverloaded, kNotFound, ...);
+  /// kDeadlineExceeded means no verdict within `timeout_s`.
+  Result<SpoolReply> call(const Request& request, double timeout_s, double poll_s = 0.02);
+
+ private:
+  std::string dir_;
+};
+
+/// Server half: claim request files, run them through the service, publish
+/// verdicts.  Single-threaded scanning; execution itself rides the
+/// service's worker pool (poll_once only blocks on submit-side rejection).
+class SpoolServer {
+ public:
+  SpoolServer(AdaService& service, std::string dir);
+
+  /// Scan the spool once, submit every unclaimed request.  Returns how many
+  /// were claimed; completions land asynchronously from worker threads.
+  std::size_t poll_once();
+
+ private:
+  AdaService& service_;
+  /// Shared with every in-flight completion callback: a worker thread may
+  /// publish a verdict after this SpoolServer is destroyed (the client only
+  /// waits for `.done`, not for the server's cleanup), so the callbacks
+  /// must not reach back into the server object at all.
+  std::shared_ptr<const std::string> dir_;
+};
+
+}  // namespace ada::serve

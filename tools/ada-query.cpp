@@ -29,7 +29,16 @@
 // the stream seals.  The accumulated output (--out) is one canonical RAW
 // segment, byte-identical to a one-shot `--frames <from>:` query issued
 // after the ingest finished.  --from sets the first frame to tail (default
-// 0); --timeout-s bounds the wait (exit 1 if the stream never seals).
+// 0); --timeout-s bounds the wait (exit 1 if the stream never seals).  Both
+// knobs must be positive -- a non-positive poll would busy-spin the mount
+// and a non-positive timeout would expire before the first poll -- and the
+// deadline is checked only after a final drain, so a stream sealing exactly
+// at the timeout still exits 0.
+//
+// With --serve-spool <dir>, the tool is a *client* of a running ada-serve
+// instead of opening backends itself: the request travels through the spool
+// protocol (docs/serving.md), honoring --tenant, --frames/--stride and
+// --degraded, and the served bytes are identical to a direct query.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +50,7 @@
 #include "common/units.hpp"
 #include "formats/pdb.hpp"
 #include "formats/raw_traj.hpp"
+#include "serve/spool.hpp"
 #include "tools/tool_util.hpp"
 #include "vmd/mol.hpp"
 
@@ -55,7 +65,10 @@ constexpr const char* kUsage =
     "                 [--read-threads <n>] [--queue-depth <n>]\n"
     "                 [--telemetry <ts.jsonl[,interval_ms]>] [--profile <out.folded[,interval_us]>]\n"
     "                 [--faults site=spec[,site=spec...]] [--degraded]\n"
-    "                 [--follow [--from <frame>] [--poll-ms <ms>] [--timeout-s <s>]]\n";
+    "                 [--follow [--from <frame>] [--poll-ms <ms>] [--timeout-s <s>]]\n"
+    "   or: ada-query --serve-spool <dir> --name <logical> --tag <t>\n"
+    "                 [--tenant <id>] [--frames A:B] [--stride K] [--degraded]\n"
+    "                 [--timeout-s <s>] [--out <subset.raw>]\n";
 
 // "A:B" -> [A, B); either side may be omitted ("10:", ":50", ":").
 core::FrameRange parse_frames(const std::string& spec, core::FrameRange range) {
@@ -78,6 +91,47 @@ core::FrameRange parse_frames(const std::string& spec, core::FrameRange range) {
 
 int main(int argc, char** argv) {
   const tools::Args args(argc, argv);
+
+  if (args.has("serve-spool")) {
+    // Client mode: the running ada-serve owns the backends; this process
+    // only speaks the spool protocol.
+    if (!args.has("name") || (!args.has("tag") && !args.has("degraded"))) {
+      tools::die_usage(kUsage);
+    }
+    serve::Request request;
+    request.tenant = args.get("tenant", "default");
+    request.logical_name = args.get("name");
+    request.tag = args.get("tag");
+    if (args.has("degraded")) {
+      request.kind = serve::RequestKind::kDegraded;
+    } else if (args.has("frames") || args.has("stride")) {
+      request.kind = serve::RequestKind::kRange;
+      if (args.has("frames")) request.range = parse_frames(args.get("frames"), request.range);
+      request.range.stride = static_cast<std::uint32_t>(args.get_int("stride", 1));
+      if (request.range.stride == 0) tools::die_usage(kUsage);
+    }
+    const long long timeout_s = parse_int(args.get("timeout-s", "30"));
+    if (timeout_s <= 0) {
+      std::fprintf(stderr, "error: --timeout-s must be a positive number of seconds (got %s)\n",
+                   args.get("timeout-s").c_str());
+      return 2;
+    }
+    serve::SpoolClient client(args.get("serve-spool"));
+    const auto reply =
+        tools::must(client.call(request, static_cast<double>(timeout_s)), "serve query");
+    const auto reader = tools::must(formats::RawTrajCatReader::open(reply.payload), "parse subset");
+    std::fprintf(stdout, "%s tag %s via %s: %u frames x %u atoms, %s%s\n",
+                 request.logical_name.c_str(), request.tag.c_str(),
+                 args.get("serve-spool").c_str(), reader.frame_count(), reader.atom_count(),
+                 format_bytes(static_cast<double>(reply.payload.size())).c_str(),
+                 reply.coalesced ? " (coalesced)" : "");
+    if (args.has("out")) {
+      tools::must_ok(write_file(args.get("out"), reply.payload), "write subset");
+      std::fprintf(stdout, "wrote %s\n", args.get("out").c_str());
+    }
+    return 0;
+  }
+
   if (!args.has("ssd") || !args.has("hdd") || !args.has("name") ||
       (!args.has("tag") && !args.has("degraded"))) {
     tools::die_usage(kUsage);
@@ -139,13 +193,30 @@ int main(int argc, char** argv) {
 
   if (args.has("follow")) {
     const core::Tag tag = args.get("tag");
-    const long long poll_ms = args.get_int("poll-ms", 20);
-    const long long timeout_s = args.get_int("timeout-s", 60);
+    // Validate from the raw strings: get_int() maps negative values to the
+    // fallback, which would silently turn "--poll-ms -5" into the default
+    // instead of an error.  A non-positive poll interval busy-spins the
+    // mount at 100% CPU; a non-positive timeout expires before the first
+    // poll ever runs.  Both are always user error -- reject them loudly.
+    const long long poll_ms = parse_int(args.get("poll-ms", "20"));
+    if (poll_ms <= 0) {
+      std::fprintf(stderr,
+                   "error: --poll-ms must be a positive number of milliseconds (got %s)\n",
+                   args.get("poll-ms").c_str());
+      return 2;
+    }
+    const long long timeout_s = parse_int(args.get("timeout-s", "60"));
+    if (timeout_s <= 0) {
+      std::fprintf(stderr, "error: --timeout-s must be a positive number of seconds (got %s)\n",
+                   args.get("timeout-s").c_str());
+      return 2;
+    }
     const std::uint64_t first_frame = static_cast<std::uint64_t>(args.get_int("from", 0));
     std::uint64_t cursor = first_frame;
     std::vector<std::uint8_t> payload;  // frame records only; header emitted once
     std::uint32_t atoms = 0;
     std::uint64_t polls = 0;
+    bool final_drain = false;
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
     for (;;) {
@@ -171,10 +242,17 @@ int main(int argc, char** argv) {
         if (chunk.sealed && chunk.frames == 0) break;
         if (chunk.frames != 0) continue;  // drained a batch: poll again at once
       }
-      if (std::chrono::steady_clock::now() >= deadline) {
+      // The timeout only fires after one final drain: a stream that seals
+      // exactly as the deadline passes is picked up by that last poll and
+      // exits 0 instead of reporting a spurious timeout.
+      if (final_drain) {
         std::fprintf(stderr, "ada-query: --follow timed out after %llds before %s sealed\n",
                      timeout_s, logical.c_str());
         return 1;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        final_drain = true;
+        continue;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
     }

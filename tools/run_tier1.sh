@@ -43,6 +43,9 @@ ctest --test-dir "$BUILD_DIR" -L check-sg --output-on-failure -j "$(nproc)"
 echo "== streaming tier (ctest -L check-stream) =="
 ctest --test-dir "$BUILD_DIR" -L check-stream --output-on-failure -j "$(nproc)"
 
+echo "== serve tier (ctest -L check-serve) =="
+ctest --test-dir "$BUILD_DIR" -L check-serve --output-on-failure -j "$(nproc)"
+
 echo "== tracing smoke: gen -> ingest -> query -> ada-trace =="
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -224,6 +227,71 @@ STREAM_GATE_EXIT=$?
 set -e
 [ "$STREAM_GATE_EXIT" -eq 1 ] || {
     echo "FAIL: stream gate should exit 1 on the regressed fixture, got $STREAM_GATE_EXIT" >&2
+    exit 1
+}
+
+echo "== follow flag validation: non-positive --poll-ms/--timeout-s rejected =="
+# Each of these is always user error (busy-spin / timeout-before-first-poll):
+# the tool must refuse loudly with usage exit 2 instead of running anyway.
+for bad_flags in "--poll-ms 0" "--poll-ms -5" "--timeout-s 0" "--timeout-s -1"; do
+    set +e
+    # shellcheck disable=SC2086
+    "$BUILD_DIR/tools/ada-query" --ssd "$WORK/ssd3" --hdd "$WORK/hdd3" --name live.xtc \
+        --tag p --follow $bad_flags >/dev/null 2>&1
+    FOLLOW_FLAG_EXIT=$?
+    set -e
+    [ "$FOLLOW_FLAG_EXIT" -eq 2 ] || {
+        echo "FAIL: --follow $bad_flags should be rejected with exit 2, got $FOLLOW_FLAG_EXIT" >&2
+        exit 1
+    }
+done
+
+echo "== serve smoke: ada-serve + concurrent spool clients byte-identical =="
+# Start the service over the batch dataset, fan three tenants' clients at it
+# concurrently, and byte-compare every served subset against the direct
+# query from the tracing smoke above.
+mkdir "$WORK/spool"
+"$BUILD_DIR/tools/ada-serve" --ssd "$WORK/ssd" --hdd "$WORK/hdd" --spool "$WORK/spool" \
+    --stop-file "$WORK/spool/stop" --workers 4 --poll-ms 5 >"$WORK/serve.log" &
+SERVE_PID=$!
+SERVE_CLIENT_PIDS=()
+for i in 1 2 3; do
+    "$BUILD_DIR/tools/ada-query" --serve-spool "$WORK/spool" --name traj.xtc --tag p \
+        --tenant "viz$i" --timeout-s 60 --out "$WORK/served_$i.raw" >/dev/null &
+    SERVE_CLIENT_PIDS+=($!)
+done
+for pid in "${SERVE_CLIENT_PIDS[@]}"; do
+    wait "$pid" || { echo "FAIL: serve-spool client $pid failed" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+done
+for i in 1 2 3; do
+    cmp "$WORK/protein.raw" "$WORK/served_$i.raw" || {
+        echo "FAIL: served subset $i differs from the direct query" >&2
+        exit 1
+    }
+done
+touch "$WORK/spool/stop"
+wait "$SERVE_PID" || { echo "FAIL: ada-serve did not shut down cleanly" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+grep -q 'served 3 requests' "$WORK/serve.log" || {
+    echo "FAIL: ada-serve report missing or wrong" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+}
+# The serve perf gate's own negative control: identical files pass, a
+# fixture with the coalescing/correctness verdicts zeroed fails (exit 1).
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_serve.json \
+    bench/baselines/BENCH_serve.json --budget=0.05 \
+    --higher=serve.correct,serve.coalesce_single_fill >/dev/null || {
+    echo "FAIL: ada-stats diff rejected identical serve baselines" >&2
+    exit 1
+}
+set +e
+"$BUILD_DIR/tools/ada-stats" diff bench/baselines/BENCH_serve.json \
+    bench/baselines/BENCH_serve_regressed.json --budget=0.05 \
+    --higher=serve.correct,serve.coalesce_single_fill >/dev/null
+SERVE_GATE_EXIT=$?
+set -e
+[ "$SERVE_GATE_EXIT" -eq 1 ] || {
+    echo "FAIL: serve gate should exit 1 on the regressed fixture, got $SERVE_GATE_EXIT" >&2
     exit 1
 }
 
